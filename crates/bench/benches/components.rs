@@ -1,0 +1,119 @@
+//! Component micro-benchmarks: the building blocks' raw performance.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use bytes::Bytes;
+use gdmp_gridftp::block::{partition, Reassembler};
+use gdmp_gridftp::crc::crc32;
+use gdmp_objectstore::{
+    synth_payload, CopierSpec, DatabaseFile, Federation, LogicalOid, ObjectCopier, ObjectKind,
+    StoredObject,
+};
+use gdmp_replica_catalog::service::{FileMeta, ReplicaCatalogService};
+use gdmp_replica_catalog::{Filter, ReplicaCatalog};
+
+fn bench_crc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crc32");
+    let data = vec![0xA5u8; 1 << 20];
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("1MiB", |b| b.iter(|| crc32(black_box(&data))));
+    g.finish();
+}
+
+fn bench_blocks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extended_block_mode");
+    let data = Bytes::from(vec![7u8; 1 << 20]);
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("partition_4ch_64k", |b| {
+        b.iter(|| partition(black_box(&data), 64 * 1024, 4))
+    });
+    g.bench_function("reassemble_4ch_64k", |b| {
+        let parts = partition(&data, 64 * 1024, 4);
+        b.iter(|| {
+            let mut r = Reassembler::new(data.len() as u64, 4);
+            for p in &parts {
+                for blk in p {
+                    r.accept(blk).unwrap();
+                }
+            }
+            assert!(r.is_complete());
+        })
+    });
+    g.finish();
+}
+
+fn bench_catalog(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replica_catalog");
+    g.bench_function("publish", |b| {
+        b.iter_with_setup(
+            || ReplicaCatalogService::new("GDMP", "cms").unwrap(),
+            |mut svc| {
+                for i in 0..100 {
+                    let meta =
+                        FileMeta { size: i, modified: 0, crc32: 0, file_type: "flat".into() };
+                    svc.publish(Some(&format!("f{i}.db")), "cern", "u://x", &meta).unwrap();
+                }
+                svc
+            },
+        )
+    });
+    g.bench_function("locate_among_1000", |b| {
+        let mut rc = ReplicaCatalog::new("GDMP");
+        rc.create_collection("cms").unwrap();
+        let names: Vec<String> = (0..1000).map(|i| format!("f{i}.db")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        rc.add_filenames("cms", &refs).unwrap();
+        rc.create_location("cms", "cern", "u://cern").unwrap();
+        rc.location_add_filenames("cms", "cern", &refs).unwrap();
+        b.iter(|| rc.locate("cms", black_box("f500.db")).unwrap())
+    });
+    g.bench_function("filter_parse_eval", |b| {
+        let f = Filter::parse("(&(objectclass=GlobusFile)(!(size=10))(name=f*))").unwrap();
+        let attrs = gdmp_replica_catalog::ldap::attrs(&[
+            ("objectclass", "GlobusFile"),
+            ("size", "42"),
+            ("name", "f500.db"),
+        ]);
+        b.iter(|| black_box(&f).matches(black_box(&attrs)))
+    });
+    g.finish();
+}
+
+fn bench_objectstore(c: &mut Criterion) {
+    let mut g = c.benchmark_group("objectstore");
+    let build = || {
+        let mut fed = Federation::new("bench");
+        fed.create_database("d.db").unwrap();
+        for e in 0..2_000u64 {
+            let logical = LogicalOid::new(e, ObjectKind::Aod);
+            fed.store("d.db", (e % 8) as u32, StoredObject {
+                logical,
+                version: 1,
+                payload: synth_payload(logical, 1, 512),
+                assocs: vec![],
+            })
+            .unwrap();
+        }
+        fed
+    };
+    g.bench_function("copier_extract_500_of_2000", |b| {
+        let mut fed = build();
+        let wanted: Vec<_> =
+            (0..2_000).step_by(4).map(|e| LogicalOid::new(e, ObjectKind::Aod)).collect();
+        let copier = ObjectCopier::new(CopierSpec::classic());
+        b.iter(|| copier.extract(&mut fed, black_box(&wanted), "x").unwrap())
+    });
+    g.bench_function("codec_roundtrip_2000_objects", |b| {
+        let fed = build();
+        let image = fed.export("d.db").unwrap();
+        b.iter(|| DatabaseFile::decode(black_box(image.clone())).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_crc, bench_blocks, bench_catalog, bench_objectstore
+}
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! # gdmp-bench — harness that regenerates every figure and table
+//!
+//! Each public function reproduces one artifact of the paper's evaluation;
+//! the `figures` binary prints them in the paper's layout, and the
+//! Criterion benches reuse the same code for component micro-benchmarks.
+
+pub mod figures;
+pub mod tables;
+
+pub use figures::{fig_sweep, FigRow};
+pub use tables::{
+    buffer_sweep, motivation_table, objcost_table, objrep_table, staging_table, stripe_table,
+    tuning_table, BufferRow, MotivationRow, ObjCostRow, ObjRepRow, StageRow, StripeRow,
+    TuningReport,
+};

@@ -1,0 +1,182 @@
+//! Associated-file consistency policies (Section 2.1).
+//!
+//! "Two objects in two separate files can have a navigational association
+//! between each other. If only one of these two files is replicated to a
+//! remote site, the navigation to the associated object might not be
+//! possible... Thus, the two files have to be treated as associated files
+//! and replicated together in order to preserve the navigation."
+//!
+//! [`associated_closure`] computes that coupling from the source
+//! federation's actual association graph; [`Grid::replicate_with_policy`]
+//! applies it.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use gdmp_objectstore::Federation;
+
+use crate::error::Result;
+use crate::grid::{Grid, ReplicationReport};
+
+/// How much of the association graph to drag along.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsistencyPolicy {
+    /// Replicate exactly the requested file (navigation may break).
+    FileOnly,
+    /// Replicate the transitive closure of associated files.
+    AssociatedClosure,
+}
+
+/// The transitive closure of files coupled to `file` by navigational
+/// associations, computed on the federation that holds them. The result
+/// includes `file` itself. Associations whose targets are not resident in
+/// this federation are ignored (nothing to couple to).
+pub fn associated_closure(fed: &Federation, file: &str) -> BTreeSet<String> {
+    let mut closure = BTreeSet::new();
+    let mut queue = VecDeque::new();
+    if fed.is_attached(file) {
+        closure.insert(file.to_string());
+        queue.push_back(file.to_string());
+    }
+    while let Some(current) = queue.pop_front() {
+        let Some(db) = fed.file(&current) else { continue };
+        let targets: Vec<_> = db
+            .iter()
+            .flat_map(|(_, o)| o.assocs.iter().map(|a| a.target))
+            .collect();
+        for t in targets {
+            if let Some(holder) = fed.file_of(t) {
+                if !closure.contains(holder) {
+                    closure.insert(holder.to_string());
+                    queue.push_back(holder.to_string());
+                }
+            }
+        }
+    }
+    closure
+}
+
+impl Grid {
+    /// Replicate `lfn` to `dst` under the given consistency policy. With
+    /// [`ConsistencyPolicy::AssociatedClosure`], every coupled file (as
+    /// seen at the *source* federation) that the destination lacks is
+    /// replicated too. Returns one report per file actually moved.
+    pub fn replicate_with_policy(
+        &mut self,
+        dst: &str,
+        lfn: &str,
+        policy: ConsistencyPolicy,
+    ) -> Result<Vec<ReplicationReport>> {
+        let files: Vec<String> = match policy {
+            ConsistencyPolicy::FileOnly => vec![lfn.to_string()],
+            ConsistencyPolicy::AssociatedClosure => {
+                // Find a source site that holds the file and compute the
+                // closure on its federation.
+                let info = self.catalog.info(lfn)?;
+                // Different replicas may see different amounts of the
+                // association graph (a site holding only this file cannot
+                // know its couplings); use the most complete source view.
+                let mut closure = BTreeSet::new();
+                closure.insert(lfn.to_string());
+                for replica in &info.replicas {
+                    if replica.location == dst {
+                        continue;
+                    }
+                    if let Ok(site) = self.site(&replica.location) {
+                        if site.federation.is_attached(lfn) {
+                            let c = associated_closure(&site.federation, lfn);
+                            if c.len() > closure.len() {
+                                closure = c;
+                            }
+                        }
+                    }
+                }
+                closure.into_iter().collect()
+            }
+        };
+        let mut out = Vec::new();
+        for f in files {
+            match self.replicate(dst, &f) {
+                Ok(r) => out.push(r),
+                Err(crate::error::GdmpError::AlreadyReplicated { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdmp_objectstore::{standard_assocs, synth_payload, LogicalOid, ObjectKind, StoredObject};
+
+    fn obj(event: u64, kind: ObjectKind) -> StoredObject {
+        let logical = LogicalOid::new(event, kind);
+        StoredObject {
+            logical,
+            version: 1,
+            payload: synth_payload(logical, 1, 32),
+            assocs: standard_assocs(logical),
+        }
+    }
+
+    /// AOD file → ESD file → RAW file chain; TAG separate.
+    fn chained_federation() -> Federation {
+        let mut fed = Federation::new("src");
+        for (file, kind) in [
+            ("aod.db", ObjectKind::Aod),
+            ("esd.db", ObjectKind::Esd),
+            ("raw.db", ObjectKind::Raw),
+            ("tag.db", ObjectKind::Tag),
+        ] {
+            fed.create_database(file).unwrap();
+            for e in 0..4 {
+                fed.store(file, 0, obj(e, kind)).unwrap();
+            }
+        }
+        fed
+    }
+
+    #[test]
+    fn closure_follows_chain() {
+        let fed = chained_federation();
+        let closure = associated_closure(&fed, "aod.db");
+        // AOD → ESD → RAW transitively; TAG not reachable *from* AOD.
+        assert!(closure.contains("aod.db"));
+        assert!(closure.contains("esd.db"));
+        assert!(closure.contains("raw.db"));
+        assert!(!closure.contains("tag.db"));
+    }
+
+    #[test]
+    fn closure_from_tag_includes_everything() {
+        let fed = chained_federation();
+        let closure = associated_closure(&fed, "tag.db");
+        assert_eq!(closure.len(), 4, "tag → aod → esd → raw");
+    }
+
+    #[test]
+    fn raw_is_self_contained() {
+        let fed = chained_federation();
+        let closure = associated_closure(&fed, "raw.db");
+        assert_eq!(closure.len(), 1);
+    }
+
+    #[test]
+    fn missing_targets_do_not_couple() {
+        let mut fed = Federation::new("src");
+        fed.create_database("aod.db").unwrap();
+        for e in 0..3 {
+            fed.store("aod.db", 0, obj(e, ObjectKind::Aod)).unwrap();
+        }
+        // ESD objects absent: the association dangles, closure is just AOD.
+        let closure = associated_closure(&fed, "aod.db");
+        assert_eq!(closure.len(), 1);
+    }
+
+    #[test]
+    fn unattached_file_has_empty_closure() {
+        let fed = Federation::new("src");
+        assert!(associated_closure(&fed, "ghost.db").is_empty());
+    }
+}

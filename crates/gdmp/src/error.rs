@@ -1,0 +1,101 @@
+//! Unified error type for GDMP operations.
+
+use gdmp_gsi::context::SecError;
+use gdmp_gsi::gridmap::AuthzError;
+use gdmp_mass_storage::hrm::HrmError;
+use gdmp_objectstore::federation::FedError;
+use gdmp_replica_catalog::catalog::CatalogError;
+
+/// Anything a GDMP operation can fail with.
+#[derive(Debug)]
+pub enum GdmpError {
+    /// Unknown site name.
+    NoSuchSite(String),
+    /// Security context establishment failed.
+    Security(SecError),
+    /// Gridmap refused the operation.
+    Authorization(AuthzError),
+    /// Replica catalog failure.
+    Catalog(CatalogError),
+    /// Storage (pool/tape) failure.
+    Storage(HrmError),
+    /// Object store failure.
+    ObjectStore(FedError),
+    /// Transfer failed after all retries.
+    TransferFailed { lfn: String, attempts: u32, last_error: String },
+    /// CRC mismatch that persisted beyond retry budget.
+    IntegrityFailure { lfn: String },
+    /// File already present at the destination.
+    AlreadyReplicated { lfn: String, site: String },
+    /// Requested objects that no file in the grid holds.
+    ObjectsUnavailable(usize),
+    /// Destination not subscribed / file not published.
+    NotPublished(String),
+    /// Plugin-specific failure during pre/post-processing.
+    Plugin { file_type: String, message: String },
+}
+
+impl std::fmt::Display for GdmpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GdmpError::NoSuchSite(s) => write!(f, "no such site: {s}"),
+            GdmpError::Security(e) => write!(f, "security: {e}"),
+            GdmpError::Authorization(e) => write!(f, "authorization: {e}"),
+            GdmpError::Catalog(e) => write!(f, "replica catalog: {e}"),
+            GdmpError::Storage(e) => write!(f, "storage: {e}"),
+            GdmpError::ObjectStore(e) => write!(f, "object store: {e}"),
+            GdmpError::TransferFailed { lfn, attempts, last_error } => {
+                write!(f, "transfer of {lfn} failed after {attempts} attempts: {last_error}")
+            }
+            GdmpError::IntegrityFailure { lfn } => write!(f, "integrity failure on {lfn}"),
+            GdmpError::AlreadyReplicated { lfn, site } => {
+                write!(f, "{lfn} already replicated at {site}")
+            }
+            GdmpError::ObjectsUnavailable(n) => write!(f, "{n} requested objects unavailable"),
+            GdmpError::NotPublished(lfn) => write!(f, "file not published: {lfn}"),
+            GdmpError::Plugin { file_type, message } => {
+                write!(f, "{file_type} plugin: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GdmpError {}
+
+impl From<SecError> for GdmpError {
+    fn from(e: SecError) -> Self {
+        GdmpError::Security(e)
+    }
+}
+
+impl From<AuthzError> for GdmpError {
+    fn from(e: AuthzError) -> Self {
+        GdmpError::Authorization(e)
+    }
+}
+
+impl From<CatalogError> for GdmpError {
+    fn from(e: CatalogError) -> Self {
+        GdmpError::Catalog(e)
+    }
+}
+
+impl From<HrmError> for GdmpError {
+    fn from(e: HrmError) -> Self {
+        GdmpError::Storage(e)
+    }
+}
+
+impl From<gdmp_mass_storage::pool::PoolError> for GdmpError {
+    fn from(e: gdmp_mass_storage::pool::PoolError) -> Self {
+        GdmpError::Storage(HrmError::Pool(e))
+    }
+}
+
+impl From<FedError> for GdmpError {
+    fn from(e: FedError) -> Self {
+        GdmpError::ObjectStore(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, GdmpError>;

@@ -1,0 +1,107 @@
+//! Deterministic failure injection for transfer robustness testing.
+//!
+//! The Data Mover must "handle network failures and perform additional
+//! checks for corruption beyond those supported by TCP's 16-bit checksums"
+//! (Section 4.3). A [`FaultPlan`] makes a specific file's transfers fail in
+//! controlled ways so the retry/restart/CRC machinery can be exercised and
+//! measured.
+
+/// Scripted misbehaviour for one logical file's transfers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultPlan {
+    /// The first `abort_attempts` transfer attempts break off early.
+    pub abort_attempts: u32,
+    /// Fraction of the attempted bytes delivered before an abort (restart
+    /// markers let the next attempt continue from here).
+    pub abort_fraction: f64,
+    /// After any aborts, the next `corrupt_attempts` attempts complete but
+    /// deliver corrupted data (caught by the CRC check; the whole file is
+    /// re-fetched).
+    pub corrupt_attempts: u32,
+}
+
+impl FaultPlan {
+    /// A connection that drops once at the given progress fraction.
+    pub fn drop_once_at(fraction: f64) -> Self {
+        FaultPlan { abort_attempts: 1, abort_fraction: fraction, ..Default::default() }
+    }
+
+    /// A path that corrupts the first `n` complete transfers.
+    pub fn corrupt_first(n: u32) -> Self {
+        FaultPlan { corrupt_attempts: n, ..Default::default() }
+    }
+}
+
+/// What the injector decides for one attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verdict {
+    /// Attempt succeeds.
+    Clean,
+    /// Attempt aborts after delivering `fraction` of its bytes.
+    Abort { fraction: f64 },
+    /// Attempt completes but the data fails the CRC check.
+    Corrupt,
+}
+
+/// Mutable per-file fault state.
+#[derive(Debug, Clone, Default)]
+pub struct FaultState {
+    plan: FaultPlan,
+    attempts_seen: u32,
+}
+
+impl FaultState {
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultState { plan, attempts_seen: 0 }
+    }
+
+    /// Decide the fate of the next attempt.
+    pub fn next_verdict(&mut self) -> Verdict {
+        let n = self.attempts_seen;
+        self.attempts_seen += 1;
+        if n < self.plan.abort_attempts {
+            Verdict::Abort { fraction: self.plan.abort_fraction.clamp(0.0, 1.0) }
+        } else if n < self.plan.abort_attempts + self.plan.corrupt_attempts {
+            Verdict::Corrupt
+        } else {
+            Verdict::Clean
+        }
+    }
+
+    pub fn attempts_seen(&self) -> u32 {
+        self.attempts_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_plan_always_clean() {
+        let mut s = FaultState::new(FaultPlan::default());
+        for _ in 0..5 {
+            assert_eq!(s.next_verdict(), Verdict::Clean);
+        }
+    }
+
+    #[test]
+    fn aborts_then_corrupts_then_clean() {
+        let mut s = FaultState::new(FaultPlan {
+            abort_attempts: 2,
+            abort_fraction: 0.25,
+            corrupt_attempts: 1,
+        });
+        assert_eq!(s.next_verdict(), Verdict::Abort { fraction: 0.25 });
+        assert_eq!(s.next_verdict(), Verdict::Abort { fraction: 0.25 });
+        assert_eq!(s.next_verdict(), Verdict::Corrupt);
+        assert_eq!(s.next_verdict(), Verdict::Clean);
+        assert_eq!(s.attempts_seen(), 4);
+    }
+
+    #[test]
+    fn fraction_is_clamped() {
+        let mut s = FaultState::new(FaultPlan { abort_attempts: 1, abort_fraction: 7.0, corrupt_attempts: 0 });
+        assert_eq!(s.next_verdict(), Verdict::Abort { fraction: 1.0 });
+    }
+}

@@ -1,0 +1,592 @@
+//! The grid orchestrator: sites, the central replica catalog, WAN
+//! profiles between sites, the logical clock, and the Data Mover.
+//!
+//! [`Grid`] plays the role of the network between GDMP servers (Figure 3):
+//! every RPC is authenticated (GSI), authorized (gridmap), and charged one
+//! control round trip on the clock; every file transfer runs through the
+//! packet-level WAN simulation of `gdmp-gridftp` with staging, space
+//! reservation, CRC verification, retry and restart exactly as Section 4
+//! describes.
+
+use std::collections::{BTreeMap, HashMap};
+
+use bytes::Bytes;
+use gdmp_gridftp::crc::crc32;
+use gdmp_gridftp::sim::WanProfile;
+use gdmp_gsi::cert::CertificateAuthority;
+use gdmp_gsi::context::SecurityContext;
+use gdmp_gsi::name::DistinguishedName;
+use gdmp_objectstore::ObjectFileCatalog;
+use gdmp_replica_catalog::service::{FileMeta, ReplicaCatalogService};
+use gdmp_simnet::time::{SimDuration, SimTime};
+
+use crate::error::{GdmpError, Result};
+use crate::failure::{FaultPlan, FaultState, Verdict};
+use crate::message::{FileNotice, Request, Response};
+use crate::plugins::PluginCtx;
+use crate::recovery::{FailureCtx, FailureKind, RecoveryAction, RecoveryStrategy, SimpleRetry};
+use crate::site::{Site, SiteConfig};
+
+/// GridFTP parameters the Data Mover uses for every transfer.
+#[derive(Debug, Clone, Copy)]
+pub struct TransferParams {
+    /// Parallel TCP streams.
+    pub streams: u32,
+    /// Socket buffer in bytes.
+    pub buffer: u64,
+    /// Retry budget per file.
+    pub max_attempts: u32,
+}
+
+impl Default for TransferParams {
+    fn default() -> Self {
+        // The paper's findings: a few tuned streams are close to optimal.
+        TransferParams { streams: 4, buffer: 1024 * 1024, max_attempts: 5 }
+    }
+}
+
+/// Outcome of one file replication.
+#[derive(Debug, Clone)]
+pub struct ReplicationReport {
+    pub lfn: String,
+    pub from: String,
+    pub to: String,
+    pub bytes: u64,
+    /// Total bytes that crossed the WAN (> `bytes` when retries re-sent).
+    pub bytes_moved: u64,
+    pub attempts: u32,
+    /// Whether the source had to stage from tape.
+    pub staged: bool,
+    pub stage_latency: SimDuration,
+    /// Cumulative data-phase time across attempts.
+    pub data_time: SimDuration,
+    /// Control/setup overhead across attempts (RPCs + GridFTP setup).
+    pub setup_time: SimDuration,
+    pub started_at: SimTime,
+    pub finished_at: SimTime,
+}
+
+impl ReplicationReport {
+    /// End-to-end latency of the replication.
+    pub fn total_time(&self) -> SimDuration {
+        self.finished_at.since(self.started_at)
+    }
+
+    /// Effective throughput in Mb/s over the whole operation.
+    pub fn effective_mbps(&self) -> f64 {
+        self.bytes as f64 * 8.0 / self.total_time().as_secs_f64().max(1e-9) / 1e6
+    }
+}
+
+/// The assembled data grid.
+pub struct Grid {
+    pub ca: CertificateAuthority,
+    clock: SimTime,
+    /// The central replica catalog (one LDAP server, as in the paper).
+    pub catalog: ReplicaCatalogService,
+    sites: BTreeMap<String, Site>,
+    /// Directed WAN profiles; missing pairs fall back to the default.
+    profiles: HashMap<(String, String), WanProfile>,
+    default_profile: WanProfile,
+    /// The global object→file view (Section 5.2's "global view of which
+    /// objects exist where", maintained by GDMP itself).
+    pub object_view: ObjectFileCatalog,
+    pub params: TransferParams,
+    /// Faults keyed by `(lfn, site)`; `None` site applies to any source.
+    faults: HashMap<(String, Option<String>), FaultState>,
+    /// Pluggable error recovery; `None` = SimpleRetry(params.max_attempts).
+    recovery: Option<Box<dyn RecoveryStrategy>>,
+    pub reports: Vec<ReplicationReport>,
+    nonce_counter: u64,
+    /// RPCs issued (Request Manager load).
+    pub rpc_count: u64,
+    /// Sequence number for object-replication extraction files.
+    pub(crate) objrep_seq: u64,
+}
+
+impl Grid {
+    /// A fresh grid with its own CA and replica catalog collection.
+    pub fn new(collection: &str) -> Grid {
+        let ca = CertificateAuthority::new(
+            DistinguishedName::user("grid", "GDMP Test Grid CA"),
+            0xCA5EED,
+            0,
+            u64::MAX / 2,
+        );
+        Grid {
+            ca,
+            clock: SimTime::ZERO,
+            catalog: ReplicaCatalogService::new("GDMP", collection)
+                .expect("fresh catalog accepts a collection"),
+            sites: BTreeMap::new(),
+            profiles: HashMap::new(),
+            default_profile: WanProfile::cern_anl_production(),
+            object_view: ObjectFileCatalog::new(),
+            params: TransferParams::default(),
+            faults: HashMap::new(),
+            recovery: None,
+            reports: Vec::new(),
+            nonce_counter: 1,
+            rpc_count: 0,
+            objrep_seq: 0,
+        }
+    }
+
+    // ---- assembly -----------------------------------------------------
+
+    pub fn add_site(&mut self, cfg: SiteConfig) {
+        assert!(
+            !self.sites.contains_key(&cfg.name),
+            "site {} already exists",
+            cfg.name
+        );
+        let site = Site::new(&cfg, &self.ca);
+        self.sites.insert(cfg.name.clone(), site);
+    }
+
+    /// Allow `caller` to invoke all operations on `callee`.
+    pub fn trust(&mut self, callee: &str, caller: &str) {
+        let caller_id = self.site(caller).expect("caller exists").identity().clone();
+        let local_user = format!("{caller}_svc");
+        self.sites
+            .get_mut(callee)
+            .expect("callee exists")
+            .gridmap
+            .add_full(caller_id, &local_user);
+    }
+
+    /// Mutual full trust between every pair of sites.
+    pub fn trust_all(&mut self) {
+        let names: Vec<String> = self.sites.keys().cloned().collect();
+        for a in &names {
+            for b in &names {
+                if a != b {
+                    self.trust(a, b);
+                }
+            }
+        }
+    }
+
+    pub fn set_profile(&mut self, from: &str, to: &str, profile: WanProfile) {
+        self.profiles.insert((from.to_string(), to.to_string()), profile);
+        self.profiles.insert((to.to_string(), from.to_string()), profile);
+    }
+
+    pub fn set_default_profile(&mut self, profile: WanProfile) {
+        self.default_profile = profile;
+    }
+
+    pub fn profile_between(&self, a: &str, b: &str) -> WanProfile {
+        self.profiles
+            .get(&(a.to_string(), b.to_string()))
+            .copied()
+            .unwrap_or(self.default_profile)
+    }
+
+    pub fn site(&self, name: &str) -> Result<&Site> {
+        self.sites.get(name).ok_or_else(|| GdmpError::NoSuchSite(name.to_string()))
+    }
+
+    pub fn site_mut(&mut self, name: &str) -> Result<&mut Site> {
+        self.sites.get_mut(name).ok_or_else(|| GdmpError::NoSuchSite(name.to_string()))
+    }
+
+    pub fn site_names(&self) -> Vec<String> {
+        self.sites.keys().cloned().collect()
+    }
+
+    // ---- clock -----------------------------------------------------------
+
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    pub fn advance(&mut self, d: SimDuration) {
+        self.clock += d;
+    }
+
+    fn gsi_now(&self) -> u64 {
+        self.clock.as_secs_f64() as u64
+    }
+
+    // ---- request manager (authenticated RPC) ------------------------------
+
+    /// Issue one authenticated, authorized RPC from `from` to `to`,
+    /// charging a control round trip plus any server-side storage latency.
+    pub fn rpc(&mut self, from: &str, to: &str, req: Request) -> Result<Response> {
+        if !self.sites.contains_key(from) {
+            return Err(GdmpError::NoSuchSite(from.to_string()));
+        }
+        if !self.sites.contains_key(to) {
+            return Err(GdmpError::NoSuchSite(to.to_string()));
+        }
+        // Mutual authentication between the two site credentials.
+        self.nonce_counter += 1;
+        let nonce = self.nonce_counter;
+        let (caller_cred, callee_cred) = (
+            self.sites[from].credential.clone(),
+            self.sites[to].credential.clone(),
+        );
+        let (_ctx_i, ctx_a) = SecurityContext::establish(
+            &caller_cred,
+            &callee_cred,
+            self.ca.public_key(),
+            self.gsi_now(),
+            nonce,
+        )?;
+        // One control round trip on the WAN.
+        let rtt = self.profile_between(from, to).rtt();
+        self.clock += rtt;
+        self.rpc_count += 1;
+        let peer = ctx_a.peer.clone();
+        let (resp, latency) = self
+            .sites
+            .get_mut(to)
+            .expect("checked above")
+            .handle(&peer, req)?;
+        self.clock += latency;
+        Ok(resp)
+    }
+
+    /// Subscribe `subscriber` to `producer`'s publications (Section 4.1).
+    pub fn subscribe(&mut self, subscriber: &str, producer: &str) -> Result<()> {
+        let req = Request::Subscribe { subscriber: subscriber.to_string() };
+        match self.rpc(subscriber, producer, req)? {
+            Response::Ok => Ok(()),
+            other => panic!("subscribe returned {other:?}"),
+        }
+    }
+
+    // ---- publication -------------------------------------------------------
+
+    /// Publish a file: store it locally (disk + tape), register it in the
+    /// replica catalog, and notify all subscribers.
+    pub fn publish_file(
+        &mut self,
+        site_name: &str,
+        lfn: &str,
+        data: Bytes,
+        file_type: &str,
+    ) -> Result<FileMeta> {
+        let meta = FileMeta {
+            size: data.len() as u64,
+            modified: self.gsi_now(),
+            crc32: crc32(&data),
+            file_type: file_type.to_string(),
+        };
+        let url_prefix = {
+            let site = self.site_mut(site_name)?;
+            site.storage.store(lfn, data, true)?;
+            site.url_prefix.clone()
+        };
+        self.catalog.publish(Some(lfn), site_name, &url_prefix, &meta)?;
+        let notice =
+            FileNotice { lfn: lfn.to_string(), meta: meta.clone(), origin: site_name.to_string() };
+        self.site_mut(site_name)?.export_catalog.push(notice.clone());
+        // Notify every subscriber (one RPC each).
+        let subscribers: Vec<String> =
+            self.site(site_name)?.subscribers.iter().cloned().collect();
+        for sub in subscribers {
+            self.rpc(site_name, &sub, Request::Notify { notices: vec![notice.clone()] })?;
+        }
+        Ok(meta)
+    }
+
+    /// Publish an Objectivity database file straight out of the site's
+    /// federation, recording its objects in the global object view.
+    pub fn publish_database(&mut self, site_name: &str, file_name: &str) -> Result<FileMeta> {
+        let (image, objects) = {
+            let site = self.site(site_name)?;
+            let image = site.federation.export(file_name)?;
+            let objects: Vec<_> = site
+                .federation
+                .file(file_name)
+                .expect("export succeeded")
+                .iter()
+                .map(|(_, o)| o.logical)
+                .collect();
+            (image, objects)
+        };
+        self.object_view.record_file(file_name, &objects);
+        self.publish_file(site_name, file_name, image, "objectivity")
+    }
+
+    // ---- the Data Mover ----------------------------------------------------
+
+    /// Inject a fault plan for a file's future transfers from any source.
+    pub fn inject_fault(&mut self, lfn: &str, plan: FaultPlan) {
+        self.faults.insert((lfn.to_string(), None), FaultState::new(plan));
+    }
+
+    /// Inject a fault plan for transfers of `lfn` sourced from `site` only
+    /// (models a flaky path or bad disks at one replica).
+    pub fn inject_fault_at(&mut self, lfn: &str, site: &str, plan: FaultPlan) {
+        self.faults
+            .insert((lfn.to_string(), Some(site.to_string())), FaultState::new(plan));
+    }
+
+    /// Install a pluggable error-recovery strategy (Section 4.3's future
+    /// work). Default: retry the same source `params.max_attempts` times.
+    pub fn set_recovery(&mut self, strategy: Box<dyn RecoveryStrategy>) {
+        self.recovery = Some(strategy);
+    }
+
+    fn fault_verdict(&mut self, lfn: &str, source: &str) -> Verdict {
+        let site_key = (lfn.to_string(), Some(source.to_string()));
+        if let Some(state) = self.faults.get_mut(&site_key) {
+            return state.next_verdict();
+        }
+        match self.faults.get_mut(&(lfn.to_string(), None)) {
+            Some(state) => state.next_verdict(),
+            None => Verdict::Clean,
+        }
+    }
+
+    fn decide_recovery(&self, ctx: &FailureCtx) -> RecoveryAction {
+        match &self.recovery {
+            Some(s) => s.decide(ctx),
+            None => SimpleRetry { max_attempts: self.params.max_attempts }.decide(ctx),
+        }
+    }
+
+    /// Replicate `lfn` to `dst` from the best available source, running
+    /// the full GDMP pipeline: source selection → staging → space
+    /// allocation → parallel WAN transfer with restart/retry → CRC
+    /// verification → post-processing → catalog registration. On repeated
+    /// failure the installed [`RecoveryStrategy`] may fail over to the
+    /// next-cheapest replica; GridFTP restart markers stay valid across
+    /// sources (every replica has identical content), so progress carries
+    /// over.
+    pub fn replicate(&mut self, dst: &str, lfn: &str) -> Result<ReplicationReport> {
+        let started_at = self.clock;
+        let info = self.catalog.info(lfn).map_err(|_| GdmpError::NotPublished(lfn.to_string()))?;
+        if info.replicas.iter().any(|r| r.location == dst) {
+            return Err(GdmpError::AlreadyReplicated { lfn: lfn.to_string(), site: dst.to_string() });
+        }
+        if !self.sites.contains_key(dst) {
+            return Err(GdmpError::NoSuchSite(dst.to_string()));
+        }
+        // Replica selection: rank sources by estimated cost.
+        let estimates = crate::selection::estimate_sources(self, dst, &info)?;
+        if estimates.is_empty() {
+            return Err(GdmpError::NotPublished(lfn.to_string()));
+        }
+        let size = info.meta.size;
+
+        let mut src_i = 0usize;
+        let mut attempts_total = 0u32;
+        let mut attempts_on_source = 0u32;
+        let mut bytes_moved = 0u64;
+        let mut data_time = SimDuration::ZERO;
+        let mut setup_time = SimDuration::ZERO;
+        let mut stage_latency = SimDuration::ZERO;
+        let mut staged_any = false;
+        let mut remaining = size;
+
+        let (source, data) = 'sources: loop {
+            let source = estimates[src_i].site.clone();
+            // Ask this source to make the file disk-resident (stage if
+            // needed). The RPC costs one RTT; the rest is staging latency.
+            {
+                let before = self.clock;
+                let rtt = self.profile_between(dst, &source).rtt();
+                match self.rpc(dst, &source, Request::PrepareFile { lfn: lfn.to_string() })? {
+                    Response::FileReady { was_staged, .. } => {
+                        let total = self.clock.since(before);
+                        stage_latency =
+                            stage_latency + SimDuration(total.nanos().saturating_sub(rtt.nanos()));
+                        staged_any |= was_staged;
+                    }
+                    other => panic!("PrepareFile returned {other:?}"),
+                }
+            }
+            // Pre-processing (Section 4.1, file-type specific): Objectivity
+            // files need the source's schema installed at the destination
+            // before the post-transfer attach can succeed.
+            if info.meta.file_type == "objectivity" {
+                let src_schema = self.site(&source)?.federation.schema.clone();
+                self.site_mut(dst)?.federation.schema.import_from(&src_schema);
+            }
+            // Pin at the source for the duration of the attempts.
+            self.site_mut(&source)?.storage.pool.pin(lfn)?;
+            let profile = self.profile_between(&source, dst);
+            let params = self.params;
+            loop {
+                attempts_total += 1;
+                attempts_on_source += 1;
+                let report =
+                    profile.simulate_transfer(remaining.max(1), params.streams, params.buffer);
+                setup_time = setup_time + report.setup_time;
+                let verdict = self.fault_verdict(lfn, &source);
+                let kind = match verdict {
+                    Verdict::Clean => {
+                        self.clock += report.setup_time + report.data_time;
+                        data_time = data_time + report.data_time;
+                        bytes_moved += remaining;
+                        self.clock += SimDuration::from_millis(1); // CRC pass
+                        let data = self
+                            .site(&source)?
+                            .storage
+                            .pool
+                            .peek(lfn)
+                            .expect("pinned file is resident");
+                        self.site_mut(&source)?.storage.pool.unpin(lfn)?;
+                        break 'sources (source, data);
+                    }
+                    Verdict::Abort { fraction } => {
+                        // Connection died mid-attempt; restart markers
+                        // preserve what arrived.
+                        let got = (remaining as f64 * fraction) as u64;
+                        let partial_time =
+                            SimDuration::from_secs_f64(report.data_time.as_secs_f64() * fraction);
+                        self.clock += report.setup_time + partial_time;
+                        data_time = data_time + partial_time;
+                        bytes_moved += got;
+                        remaining -= got.min(remaining);
+                        FailureKind::Aborted
+                    }
+                    Verdict::Corrupt => {
+                        // Whole attempt completed, CRC failed: discard and
+                        // re-fetch the file.
+                        self.clock += report.setup_time + report.data_time;
+                        data_time = data_time + report.data_time;
+                        bytes_moved += remaining;
+                        remaining = size;
+                        FailureKind::Corrupted
+                    }
+                };
+                let ctx = FailureCtx {
+                    attempts_on_source,
+                    attempts_total,
+                    sources_tried: src_i as u32 + 1,
+                    sources_remaining: (estimates.len() - 1 - src_i) as u32,
+                    kind,
+                };
+                match self.decide_recovery(&ctx) {
+                    RecoveryAction::RetrySameSource => continue,
+                    RecoveryAction::FailoverToNextSource => {
+                        self.site_mut(&source)?.storage.pool.unpin(lfn)?;
+                        src_i += 1;
+                        attempts_on_source = 0;
+                        if src_i >= estimates.len() {
+                            return Err(GdmpError::TransferFailed {
+                                lfn: lfn.to_string(),
+                                attempts: attempts_total,
+                                last_error: "no alternate sources left".into(),
+                            });
+                        }
+                        continue 'sources;
+                    }
+                    RecoveryAction::GiveUp => {
+                        self.site_mut(&source)?.storage.pool.unpin(lfn)?;
+                        return Err(GdmpError::TransferFailed {
+                            lfn: lfn.to_string(),
+                            attempts: attempts_total,
+                            last_error: "retry budget exhausted".into(),
+                        });
+                    }
+                }
+            }
+        };
+
+        // Deliver the actual bytes: verify CRC, reserve space, copy.
+        let actual_crc = crc32(&data);
+        if actual_crc != info.meta.crc32 {
+            return Err(GdmpError::IntegrityFailure { lfn: lfn.to_string() });
+        }
+        {
+            let dst_site = self.site_mut(dst)?;
+            let reservation = dst_site.storage.pool.allocate(size)?;
+            dst_site.storage.pool.put_reserved(reservation, lfn, data.clone())?;
+        }
+
+        // Post-processing per file type (attach to federation, ...).
+        self.post_process(dst, lfn, &info.meta.file_type, &data)?;
+
+        // Make the new replica visible to the grid.
+        let url = self.site(dst)?.url_prefix.clone();
+        self.catalog.add_replica(lfn, dst, &url)?;
+        let notice = FileNotice { lfn: lfn.to_string(), meta: info.meta.clone(), origin: source.clone() };
+        {
+            let dst_site = self.site_mut(dst)?;
+            dst_site.export_catalog.push(notice);
+            dst_site.import_queue.retain(|n| n.lfn != lfn);
+        }
+
+        let report = ReplicationReport {
+            lfn: lfn.to_string(),
+            from: source,
+            to: dst.to_string(),
+            bytes: size,
+            bytes_moved,
+            attempts: attempts_total,
+            staged: staged_any,
+            stage_latency,
+            data_time,
+            setup_time,
+            started_at,
+            finished_at: self.clock,
+        };
+        self.reports.push(report.clone());
+        Ok(report)
+    }
+
+    fn post_process(&mut self, dst: &str, lfn: &str, file_type: &str, data: &Bytes) -> Result<()> {
+        let mut discovered = Vec::new();
+        {
+            let site = self.sites.get_mut(dst).expect("checked above");
+            // Split borrows: plugins and federation are separate fields.
+            let plugins = std::mem::take(&mut site.plugins);
+            let result = {
+                let mut ctx = PluginCtx {
+                    federation: &mut site.federation,
+                    discovered_objects: &mut discovered,
+                };
+                plugins.for_type(file_type).post_process(&mut ctx, lfn, data)
+            };
+            site.plugins = plugins;
+            result?;
+        }
+        for (file, objects) in discovered {
+            self.object_view.record_file(&file, &objects);
+        }
+        Ok(())
+    }
+
+    /// Drain the destination's import queue, replicating every notified
+    /// file not yet held locally.
+    pub fn replicate_pending(&mut self, dst: &str) -> Result<Vec<ReplicationReport>> {
+        let pending: Vec<FileNotice> = self.site(dst)?.import_queue.clone();
+        let mut out = Vec::new();
+        for notice in pending {
+            match self.replicate(dst, &notice.lfn) {
+                Ok(r) => out.push(r),
+                Err(GdmpError::AlreadyReplicated { .. }) => {
+                    self.site_mut(dst)?.import_queue.retain(|n| n.lfn != notice.lfn);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Failure recovery (Section 4.1): fetch a remote site's catalog and
+    /// enqueue everything we miss.
+    pub fn recover_catalog(&mut self, dst: &str, from: &str) -> Result<usize> {
+        let files = match self.rpc(dst, from, Request::GetCatalog)? {
+            Response::Catalog { files } => files,
+            other => panic!("GetCatalog returned {other:?}"),
+        };
+        let mut added = 0;
+        let dst_holdings = self.catalog.site_files(dst).unwrap_or_default();
+        let site = self.site_mut(dst)?;
+        for notice in files {
+            let already_queued = site.import_queue.iter().any(|n| n.lfn == notice.lfn);
+            if !dst_holdings.contains(&notice.lfn) && !already_queued {
+                site.import_queue.push(notice);
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+}

@@ -1,0 +1,45 @@
+//! # gdmp — the Grid Data Management Pilot (the paper's contribution)
+//!
+//! A faithful reproduction of GDMP 2.0's architecture (Figure 4):
+//!
+//! * **Request Manager** ([`message`], [`grid::Grid::rpc`]) — limited RPC
+//!   between sites, every call GSI-authenticated and gridmap-authorized;
+//! * **Replica Catalog Service** — the central catalog wrapper lives in
+//!   `gdmp-replica-catalog`; the [`grid::Grid`] owns the shared instance;
+//! * **Data Mover** ([`grid::Grid::replicate`]) — source selection,
+//!   staging, space reservation, parallel GridFTP transfer (simulated WAN)
+//!   with restart-on-failure and CRC verification, then per-file-type
+//!   post-processing ([`plugins`]);
+//! * **Storage Manager** — the disk-pool/tape staging integration of
+//!   `gdmp-mass-storage`, triggered by `PrepareFile` requests;
+//! * **producer/consumer replication** — subscribe, publish, notify,
+//!   import/export catalogs, and catalog-based failure recovery;
+//! * **object replication** ([`objrep`]) — Section 5's copier-based
+//!   object-granularity replication with copy/transfer pipelining;
+//! * **consistency policies** ([`consistency`]) — associated-file closure
+//!   so navigation survives replication (Section 2.1).
+
+pub mod consistency;
+pub mod error;
+pub mod failure;
+pub mod grid;
+pub mod message;
+pub mod objrep;
+pub mod plugins;
+pub mod recovery;
+pub mod selection;
+pub mod site;
+
+pub use consistency::{associated_closure, ConsistencyPolicy};
+pub use error::{GdmpError, Result};
+pub use failure::{FaultPlan, FaultState, Verdict};
+pub use grid::{Grid, ReplicationReport, TransferParams};
+pub use message::{FileNotice, Request, Response};
+pub use objrep::{ObjectReplicationConfig, ObjectReplicationReport};
+pub use plugins::{FileTypePlugin, FlatFilePlugin, ObjectivityPlugin, OraclePlugin, PluginRegistry};
+pub use recovery::{
+    CorruptionAverse, FailoverRetry, FailureCtx, FailureKind, RecoveryAction, RecoveryStrategy,
+    SimpleRetry,
+};
+pub use selection::{estimate_sources, SourceEstimate};
+pub use site::{Site, SiteConfig};

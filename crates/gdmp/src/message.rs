@@ -1,0 +1,99 @@
+//! Request Manager messages.
+//!
+//! GDMP's client↔server communication is "a limited Remote Procedure Call
+//! functionality" built on Globus IO (Section 4.1). These are the request
+//! and response types; [`crate::grid::Grid`] plays the network, charging
+//! each call one control round trip and running GSI authentication +
+//! gridmap authorization before dispatch.
+
+use serde::{Deserialize, Serialize};
+
+use gdmp_replica_catalog::service::FileMeta;
+
+/// Notification that a producer published new files (sent to subscribers).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileNotice {
+    pub lfn: String,
+    pub meta: FileMeta,
+    /// Producing site.
+    pub origin: String,
+}
+
+/// The four client services of Section 4.1, plus admin.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Request {
+    /// Subscribe the calling site to the remote site's publications.
+    Subscribe { subscriber: String },
+    /// Unsubscribe.
+    Unsubscribe { subscriber: String },
+    /// Notify of newly published files.
+    Notify { notices: Vec<FileNotice> },
+    /// Obtain the remote site's file catalog (failure recovery).
+    GetCatalog,
+    /// Ask the remote site to make a file disk-resident and report its
+    /// size (precedes the disk-to-disk transfer).
+    PrepareFile { lfn: String },
+    /// Ping (health check).
+    Echo(String),
+}
+
+/// Responses paired with [`Request`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Response {
+    Ok,
+    Catalog { files: Vec<FileNotice> },
+    /// File is on disk, ready for transfer; staging latency already paid.
+    FileReady { size: u64, was_staged: bool },
+    Echo(String),
+}
+
+impl Request {
+    /// The gridmap operation this request needs authorization for.
+    pub fn required_operation(&self) -> gdmp_gsi::gridmap::Operation {
+        use gdmp_gsi::gridmap::Operation;
+        match self {
+            Request::Subscribe { .. } | Request::Unsubscribe { .. } => Operation::Subscribe,
+            Request::Notify { .. } => Operation::Publish,
+            Request::GetCatalog => Operation::FetchCatalog,
+            Request::PrepareFile { .. } => Operation::Transfer,
+            Request::Echo(_) => Operation::FetchCatalog,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdmp_gsi::gridmap::Operation;
+
+    fn meta() -> FileMeta {
+        FileMeta { size: 1, modified: 0, crc32: 0, file_type: "flat".into() }
+    }
+
+    #[test]
+    fn requests_map_to_operations() {
+        assert_eq!(
+            Request::Subscribe { subscriber: "x".into() }.required_operation(),
+            Operation::Subscribe
+        );
+        assert_eq!(
+            Request::Notify { notices: vec![] }.required_operation(),
+            Operation::Publish
+        );
+        assert_eq!(Request::GetCatalog.required_operation(), Operation::FetchCatalog);
+        assert_eq!(
+            Request::PrepareFile { lfn: "f".into() }.required_operation(),
+            Operation::Transfer
+        );
+    }
+
+    #[test]
+    fn messages_serialize() {
+        let r = Request::Notify {
+            notices: vec![FileNotice { lfn: "a.db".into(), meta: meta(), origin: "cern".into() }],
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

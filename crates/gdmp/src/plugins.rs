@@ -1,0 +1,228 @@
+//! File-type plugins: the pre-processing and post-processing steps.
+//!
+//! GDMP 2.0 "has been extended to handle file replication independent of
+//! the file format" by splitting replication into pre-processing → transfer
+//! → post-processing → catalog registration (Section 4.1). The format-
+//! specific steps live behind this trait: Objectivity files must be
+//! attached to the destination federation; flat files need nothing; Oracle
+//! files need a schema check.
+
+use bytes::Bytes;
+
+use gdmp_objectstore::Federation;
+
+use crate::error::{GdmpError, Result};
+
+/// Everything a plugin may touch at the destination (or source) site.
+pub struct PluginCtx<'a> {
+    pub federation: &'a mut Federation,
+    /// Object→file records discovered during post-processing are returned
+    /// through here: `(file name, objects)` to merge into the global view.
+    pub discovered_objects: &'a mut Vec<(String, Vec<gdmp_objectstore::LogicalOid>)>,
+}
+
+/// Format-specific replication behaviour.
+pub trait FileTypePlugin: Send {
+    /// The `filetype` metadata tag this plugin serves.
+    fn file_type(&self) -> &'static str;
+
+    /// Prepare the destination before the transfer (e.g. create a
+    /// federation / verify schema). Default: nothing.
+    fn pre_process(&self, _ctx: &mut PluginCtx<'_>, _lfn: &str) -> Result<()> {
+        Ok(())
+    }
+
+    /// Integrate the transferred bytes at the destination (e.g. attach to
+    /// the federation). Default: nothing.
+    fn post_process(&self, _ctx: &mut PluginCtx<'_>, _lfn: &str, _data: &Bytes) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Flat files: no processing at all.
+pub struct FlatFilePlugin;
+
+impl FileTypePlugin for FlatFilePlugin {
+    fn file_type(&self) -> &'static str {
+        "flat"
+    }
+}
+
+/// Objectivity database files: post-processing attaches the file to the
+/// local federation and records its objects in the object→file view.
+pub struct ObjectivityPlugin;
+
+impl FileTypePlugin for ObjectivityPlugin {
+    fn file_type(&self) -> &'static str {
+        "objectivity"
+    }
+
+    fn post_process(&self, ctx: &mut PluginCtx<'_>, lfn: &str, data: &Bytes) -> Result<()> {
+        let name = ctx.federation.attach(data.clone())?;
+        if name != lfn {
+            return Err(GdmpError::Plugin {
+                file_type: "objectivity".into(),
+                message: format!("image is database {name:?} but was published as {lfn:?}"),
+            });
+        }
+        let objects: Vec<_> = ctx
+            .federation
+            .file(&name)
+            .expect("just attached")
+            .iter()
+            .map(|(_, o)| o.logical)
+            .collect();
+        ctx.discovered_objects.push((name, objects));
+        Ok(())
+    }
+}
+
+/// Oracle dump files: pre-processing validates a schema header (simulated
+/// as a magic prefix), post-processing is a no-op import.
+pub struct OraclePlugin;
+
+impl OraclePlugin {
+    pub const MAGIC: &'static [u8; 8] = b"ORCLDMP1";
+}
+
+impl FileTypePlugin for OraclePlugin {
+    fn file_type(&self) -> &'static str {
+        "oracle"
+    }
+
+    fn post_process(&self, _ctx: &mut PluginCtx<'_>, lfn: &str, data: &Bytes) -> Result<()> {
+        if data.len() < 8 || &data[..8] != Self::MAGIC {
+            return Err(GdmpError::Plugin {
+                file_type: "oracle".into(),
+                message: format!("{lfn}: missing schema header"),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The registry a site consults by `filetype` tag.
+pub struct PluginRegistry {
+    plugins: Vec<Box<dyn FileTypePlugin>>,
+}
+
+impl Default for PluginRegistry {
+    fn default() -> Self {
+        PluginRegistry {
+            plugins: vec![
+                Box::new(FlatFilePlugin),
+                Box::new(ObjectivityPlugin),
+                Box::new(OraclePlugin),
+            ],
+        }
+    }
+}
+
+impl PluginRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn register(&mut self, plugin: Box<dyn FileTypePlugin>) {
+        self.plugins.push(plugin);
+    }
+
+    /// Find the plugin for a file type; unknown types fall back to flat
+    /// handling (transfer-only), as GDMP does for opaque files.
+    pub fn for_type(&self, file_type: &str) -> &dyn FileTypePlugin {
+        self.plugins
+            .iter()
+            .rev() // later registrations override
+            .find(|p| p.file_type() == file_type)
+            .map(Box::as_ref)
+            .unwrap_or(&FlatFilePlugin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdmp_objectstore::{synth_payload, DatabaseFile, LogicalOid, ObjectKind, StoredObject};
+
+    fn image_with_objects(name: &str, n: u64) -> Bytes {
+        let mut db = DatabaseFile::new(1, name);
+        for e in 0..n {
+            let logical = LogicalOid::new(e, ObjectKind::Aod);
+            db.insert(0, StoredObject {
+                logical,
+                version: 1,
+                payload: synth_payload(logical, 1, 64),
+                assocs: vec![],
+            });
+        }
+        db.encode()
+    }
+
+    #[test]
+    fn objectivity_post_process_attaches_and_reports() {
+        let mut fed = Federation::new("dst");
+        let mut discovered = Vec::new();
+        let mut ctx = PluginCtx { federation: &mut fed, discovered_objects: &mut discovered };
+        let img = image_with_objects("x.db", 5);
+        ObjectivityPlugin.post_process(&mut ctx, "x.db", &img).unwrap();
+        assert!(fed.is_attached("x.db"));
+        assert_eq!(fed.object_count(), 5);
+        assert_eq!(discovered.len(), 1);
+        assert_eq!(discovered[0].1.len(), 5);
+    }
+
+    #[test]
+    fn objectivity_name_mismatch_rejected() {
+        let mut fed = Federation::new("dst");
+        let mut discovered = Vec::new();
+        let mut ctx = PluginCtx { federation: &mut fed, discovered_objects: &mut discovered };
+        let img = image_with_objects("actual.db", 1);
+        let err = ObjectivityPlugin.post_process(&mut ctx, "published.db", &img).unwrap_err();
+        assert!(matches!(err, GdmpError::Plugin { .. }));
+    }
+
+    #[test]
+    fn oracle_requires_magic() {
+        let mut fed = Federation::new("dst");
+        let mut discovered = Vec::new();
+        let mut ctx = PluginCtx { federation: &mut fed, discovered_objects: &mut discovered };
+        let mut good = OraclePlugin::MAGIC.to_vec();
+        good.extend_from_slice(b"tablespace");
+        OraclePlugin.post_process(&mut ctx, "d.dmp", &Bytes::from(good)).unwrap();
+        let err = OraclePlugin
+            .post_process(&mut ctx, "d.dmp", &Bytes::from_static(b"garbage!"))
+            .unwrap_err();
+        assert!(matches!(err, GdmpError::Plugin { .. }));
+    }
+
+    #[test]
+    fn registry_dispatch_and_fallback() {
+        let reg = PluginRegistry::new();
+        assert_eq!(reg.for_type("objectivity").file_type(), "objectivity");
+        assert_eq!(reg.for_type("oracle").file_type(), "oracle");
+        // Unknown types degrade to flat (opaque) handling.
+        assert_eq!(reg.for_type("mystery").file_type(), "flat");
+    }
+
+    #[test]
+    fn registry_override() {
+        struct Custom;
+        impl FileTypePlugin for Custom {
+            fn file_type(&self) -> &'static str {
+                "flat"
+            }
+            fn post_process(&self, _: &mut PluginCtx<'_>, _: &str, _: &Bytes) -> Result<()> {
+                Err(GdmpError::Plugin { file_type: "flat".into(), message: "custom".into() })
+            }
+        }
+        let mut reg = PluginRegistry::new();
+        reg.register(Box::new(Custom));
+        let mut fed = Federation::new("x");
+        let mut d = Vec::new();
+        let mut ctx = PluginCtx { federation: &mut fed, discovered_objects: &mut d };
+        assert!(reg
+            .for_type("flat")
+            .post_process(&mut ctx, "f", &Bytes::new())
+            .is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! Pluggable error-recovery strategies for the Data Mover.
+//!
+//! Section 4.3: "In the future, we will exploit GridFTP's support for
+//! pluggable error handling modules to incorporate a variety of
+//! specialized error recovery strategies." This module is that plug point:
+//! a [`RecoveryStrategy`] decides, after each failed attempt, whether to
+//! retry the same source, fail over to the next-cheapest replica, or give
+//! up.
+
+/// What went wrong with the attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Connection broke mid-transfer (restart markers preserved progress).
+    Aborted,
+    /// Transfer completed but failed the CRC check.
+    Corrupted,
+}
+
+/// The context a strategy decides on.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureCtx {
+    /// Attempts made against the *current* source (1-based).
+    pub attempts_on_source: u32,
+    /// Attempts made in total across sources.
+    pub attempts_total: u32,
+    /// Sources tried so far, including the current one.
+    pub sources_tried: u32,
+    /// Alternate replicas still untried.
+    pub sources_remaining: u32,
+    pub kind: FailureKind,
+}
+
+/// The strategy's verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryAction {
+    RetrySameSource,
+    /// Move to the next-cheapest replica (progress carries over — the
+    /// file content is identical everywhere, so restart markers remain
+    /// valid against a different source).
+    FailoverToNextSource,
+    GiveUp,
+}
+
+/// A pluggable error-recovery module.
+pub trait RecoveryStrategy: Send {
+    fn decide(&self, ctx: &FailureCtx) -> RecoveryAction;
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// GDMP's baseline behaviour: retry the same source up to a budget.
+#[derive(Debug, Clone, Copy)]
+pub struct SimpleRetry {
+    pub max_attempts: u32,
+}
+
+impl RecoveryStrategy for SimpleRetry {
+    fn decide(&self, ctx: &FailureCtx) -> RecoveryAction {
+        if ctx.attempts_total < self.max_attempts {
+            RecoveryAction::RetrySameSource
+        } else {
+            RecoveryAction::GiveUp
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "simple-retry"
+    }
+}
+
+/// Retry a source a few times, then fail over to the next replica.
+#[derive(Debug, Clone, Copy)]
+pub struct FailoverRetry {
+    /// Attempts per source before moving on.
+    pub attempts_per_source: u32,
+    /// Overall attempt ceiling.
+    pub max_total_attempts: u32,
+}
+
+impl RecoveryStrategy for FailoverRetry {
+    fn decide(&self, ctx: &FailureCtx) -> RecoveryAction {
+        if ctx.attempts_total >= self.max_total_attempts {
+            return RecoveryAction::GiveUp;
+        }
+        if ctx.attempts_on_source >= self.attempts_per_source {
+            if ctx.sources_remaining > 0 {
+                RecoveryAction::FailoverToNextSource
+            } else {
+                RecoveryAction::GiveUp
+            }
+        } else {
+            RecoveryAction::RetrySameSource
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "failover-retry"
+    }
+}
+
+/// Corruption-paranoid strategy: a single CRC failure abandons the source
+/// immediately (it may have bad disks), while plain connection drops are
+/// retried.
+#[derive(Debug, Clone, Copy)]
+pub struct CorruptionAverse {
+    pub max_total_attempts: u32,
+}
+
+impl RecoveryStrategy for CorruptionAverse {
+    fn decide(&self, ctx: &FailureCtx) -> RecoveryAction {
+        if ctx.attempts_total >= self.max_total_attempts {
+            return RecoveryAction::GiveUp;
+        }
+        match ctx.kind {
+            FailureKind::Corrupted if ctx.sources_remaining > 0 => {
+                RecoveryAction::FailoverToNextSource
+            }
+            FailureKind::Corrupted => RecoveryAction::RetrySameSource,
+            FailureKind::Aborted => RecoveryAction::RetrySameSource,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "corruption-averse"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(on_source: u32, total: u32, remaining: u32, kind: FailureKind) -> FailureCtx {
+        FailureCtx {
+            attempts_on_source: on_source,
+            attempts_total: total,
+            sources_tried: 1,
+            sources_remaining: remaining,
+            kind,
+        }
+    }
+
+    #[test]
+    fn simple_retry_honours_budget() {
+        let s = SimpleRetry { max_attempts: 3 };
+        assert_eq!(s.decide(&ctx(1, 1, 2, FailureKind::Aborted)), RecoveryAction::RetrySameSource);
+        assert_eq!(s.decide(&ctx(3, 3, 2, FailureKind::Aborted)), RecoveryAction::GiveUp);
+    }
+
+    #[test]
+    fn failover_moves_after_per_source_budget() {
+        let s = FailoverRetry { attempts_per_source: 2, max_total_attempts: 10 };
+        assert_eq!(s.decide(&ctx(1, 1, 1, FailureKind::Aborted)), RecoveryAction::RetrySameSource);
+        assert_eq!(
+            s.decide(&ctx(2, 2, 1, FailureKind::Aborted)),
+            RecoveryAction::FailoverToNextSource
+        );
+        // No alternates left: give up rather than loop forever.
+        assert_eq!(s.decide(&ctx(2, 4, 0, FailureKind::Aborted)), RecoveryAction::GiveUp);
+        // Global ceiling dominates.
+        assert_eq!(s.decide(&ctx(1, 10, 3, FailureKind::Aborted)), RecoveryAction::GiveUp);
+    }
+
+    #[test]
+    fn corruption_averse_flees_bad_disks() {
+        let s = CorruptionAverse { max_total_attempts: 6 };
+        assert_eq!(
+            s.decide(&ctx(1, 1, 2, FailureKind::Corrupted)),
+            RecoveryAction::FailoverToNextSource
+        );
+        assert_eq!(
+            s.decide(&ctx(1, 1, 2, FailureKind::Aborted)),
+            RecoveryAction::RetrySameSource
+        );
+        assert_eq!(
+            s.decide(&ctx(1, 1, 0, FailureKind::Corrupted)),
+            RecoveryAction::RetrySameSource
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! A GDMP site: server state, storage, federation, and request handlers.
+
+use std::collections::BTreeSet;
+
+use gdmp_gsi::cert::{CertificateAuthority, KeyPair};
+use gdmp_gsi::gridmap::{GridMap, Operation};
+use gdmp_gsi::name::DistinguishedName;
+use gdmp_gsi::proxy::CredentialChain;
+use gdmp_mass_storage::hrm::HierarchicalStorage;
+use gdmp_mass_storage::pool::EvictionPolicy;
+use gdmp_mass_storage::tape::TapeSpec;
+use gdmp_objectstore::{Federation, TagCatalog};
+use gdmp_simnet::time::SimDuration;
+
+use crate::error::{GdmpError, Result};
+use crate::message::{FileNotice, Request, Response};
+use crate::plugins::PluginRegistry;
+
+/// Static configuration of one site.
+#[derive(Debug, Clone)]
+pub struct SiteConfig {
+    /// Short site name (`cern`, `anl`, ...), used everywhere as the id.
+    pub name: String,
+    /// DNS-ish organization, for the host certificate DN.
+    pub org: String,
+    /// Disk pool capacity in bytes.
+    pub pool_capacity: u64,
+    pub eviction: EvictionPolicy,
+    pub tape: TapeSpec,
+    /// Key seed (deterministic certificates).
+    pub key_seed: u64,
+}
+
+impl SiteConfig {
+    /// A roomy default site: 10 GB pool, classic tape library.
+    pub fn named(name: &str, org: &str, key_seed: u64) -> Self {
+        SiteConfig {
+            name: name.to_string(),
+            org: org.to_string(),
+            pool_capacity: 10 * 1024 * 1024 * 1024,
+            eviction: EvictionPolicy::Lru,
+            tape: TapeSpec::classic(),
+            key_seed,
+        }
+    }
+
+    pub fn with_pool(mut self, bytes: u64) -> Self {
+        self.pool_capacity = bytes;
+        self
+    }
+}
+
+/// One site's complete server state.
+pub struct Site {
+    pub name: String,
+    /// Physical URL prefix registered in the replica catalog.
+    pub url_prefix: String,
+    pub federation: Federation,
+    pub storage: HierarchicalStorage,
+    pub gridmap: GridMap,
+    pub credential: CredentialChain,
+    /// Sites subscribed to this site's publications.
+    pub subscribers: BTreeSet<String>,
+    /// Notifications received and not yet acted upon (import catalog).
+    pub import_queue: Vec<FileNotice>,
+    /// Everything this site has published or replicated (export catalog) —
+    /// what `GetCatalog` returns for failure recovery.
+    pub export_catalog: Vec<FileNotice>,
+    /// Local physics selections.
+    pub tags: TagCatalog,
+    pub plugins: PluginRegistry,
+    /// Objects discovered by post-processing, pending merge into the
+    /// grid-wide object view.
+    pub discovered_objects: Vec<(String, Vec<gdmp_objectstore::LogicalOid>)>,
+}
+
+impl Site {
+    /// Build a site and its host credential, signed by the grid CA.
+    pub fn new(cfg: &SiteConfig, ca: &CertificateAuthority) -> Site {
+        let keys = KeyPair::from_seed(cfg.key_seed);
+        let dn = DistinguishedName::host(&cfg.org, &format!("gdmp.{}", cfg.org));
+        let cert = ca.issue(dn, keys.public, 0, u64::MAX / 2);
+        Site {
+            name: cfg.name.clone(),
+            url_prefix: format!("gsiftp://gdmp.{}/data", cfg.org),
+            federation: Federation::new(&cfg.name),
+            storage: HierarchicalStorage::new(cfg.pool_capacity, cfg.eviction, cfg.tape),
+            gridmap: GridMap::new(),
+            credential: CredentialChain::end_entity(cert, keys),
+            subscribers: BTreeSet::new(),
+            import_queue: Vec::new(),
+            export_catalog: Vec::new(),
+            tags: TagCatalog::new(),
+            plugins: PluginRegistry::new(),
+            discovered_objects: Vec::new(),
+        }
+    }
+
+    /// The grid identity of this site's server.
+    pub fn identity(&self) -> &DistinguishedName {
+        self.credential.identity()
+    }
+
+    /// Authorize a peer for a gridmap operation.
+    pub fn authorize(&self, peer: &DistinguishedName, op: Operation) -> Result<()> {
+        self.gridmap.authorize(peer, op).map(|_| ()).map_err(GdmpError::Authorization)
+    }
+
+    /// Serve one authenticated, authorized request. Returns the response
+    /// and any storage latency incurred (the caller charges the clock).
+    pub fn handle(&mut self, peer: &DistinguishedName, req: Request) -> Result<(Response, SimDuration)> {
+        self.authorize(peer, req.required_operation())?;
+        match req {
+            Request::Subscribe { subscriber } => {
+                self.subscribers.insert(subscriber);
+                Ok((Response::Ok, SimDuration::ZERO))
+            }
+            Request::Unsubscribe { subscriber } => {
+                self.subscribers.remove(&subscriber);
+                Ok((Response::Ok, SimDuration::ZERO))
+            }
+            Request::Notify { notices } => {
+                self.import_queue.extend(notices);
+                Ok((Response::Ok, SimDuration::ZERO))
+            }
+            Request::GetCatalog => Ok((
+                Response::Catalog { files: self.export_catalog.clone() },
+                SimDuration::ZERO,
+            )),
+            Request::PrepareFile { lfn } => {
+                let outcome = self.storage.request(&lfn)?;
+                let was_staged = matches!(
+                    outcome.residence,
+                    gdmp_mass_storage::hrm::Residence::StagedFromTape
+                );
+                Ok((
+                    Response::FileReady { size: outcome.data.len() as u64, was_staged },
+                    outcome.latency,
+                ))
+            }
+            Request::Echo(s) => Ok((Response::Echo(s), SimDuration::ZERO)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn ca() -> CertificateAuthority {
+        CertificateAuthority::new(DistinguishedName::user("grid", "Test CA"), 1, 0, u64::MAX / 2)
+    }
+
+    fn peer_site(ca: &CertificateAuthority) -> Site {
+        Site::new(&SiteConfig::named("anl", "anl.gov", 7), ca)
+    }
+
+    #[test]
+    fn handlers_require_authorization() {
+        let ca = ca();
+        let mut cern = Site::new(&SiteConfig::named("cern", "cern.ch", 5), &ca);
+        let anl = peer_site(&ca);
+        // No gridmap entry for anl yet.
+        let err = cern
+            .handle(anl.identity(), Request::Subscribe { subscriber: "anl".into() })
+            .unwrap_err();
+        assert!(matches!(err, GdmpError::Authorization(_)));
+        // Grant and retry.
+        cern.gridmap.add_full(anl.identity().clone(), "anl_svc");
+        cern.handle(anl.identity(), Request::Subscribe { subscriber: "anl".into() }).unwrap();
+        assert!(cern.subscribers.contains("anl"));
+    }
+
+    #[test]
+    fn operation_granularity_enforced() {
+        let ca = ca();
+        let mut cern = Site::new(&SiteConfig::named("cern", "cern.ch", 5), &ca);
+        let anl = peer_site(&ca);
+        cern.gridmap.add(anl.identity().clone(), "anl_svc", &[Operation::Subscribe]);
+        // Subscribe allowed, catalog fetch denied.
+        cern.handle(anl.identity(), Request::Subscribe { subscriber: "anl".into() }).unwrap();
+        assert!(matches!(
+            cern.handle(anl.identity(), Request::GetCatalog),
+            Err(GdmpError::Authorization(_))
+        ));
+    }
+
+    #[test]
+    fn prepare_file_reports_staging() {
+        let ca = ca();
+        let mut cern = Site::new(&SiteConfig::named("cern", "cern.ch", 5).with_pool(250), &ca);
+        let anl = peer_site(&ca);
+        cern.gridmap.add_full(anl.identity().clone(), "anl_svc");
+        cern.storage.store("a.db", Bytes::from(vec![0u8; 100]), true).unwrap();
+        cern.storage.store("b.db", Bytes::from(vec![0u8; 100]), true).unwrap();
+        cern.storage.store("c.db", Bytes::from(vec![0u8; 100]), true).unwrap(); // evicts a
+        let (resp, latency) =
+            cern.handle(anl.identity(), Request::PrepareFile { lfn: "a.db".into() }).unwrap();
+        match resp {
+            Response::FileReady { size, was_staged } => {
+                assert_eq!(size, 100);
+                assert!(was_staged);
+                assert!(latency > SimDuration::ZERO);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Second request is a disk hit.
+        let (resp, latency) =
+            cern.handle(anl.identity(), Request::PrepareFile { lfn: "a.db".into() }).unwrap();
+        assert!(matches!(resp, Response::FileReady { was_staged: false, .. }));
+        assert_eq!(latency, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn unsubscribe_stops_membership() {
+        let ca = ca();
+        let mut cern = Site::new(&SiteConfig::named("cern", "cern.ch", 5), &ca);
+        let anl = peer_site(&ca);
+        cern.gridmap.add_full(anl.identity().clone(), "anl_svc");
+        cern.handle(anl.identity(), Request::Subscribe { subscriber: "anl".into() }).unwrap();
+        cern.handle(anl.identity(), Request::Unsubscribe { subscriber: "anl".into() }).unwrap();
+        assert!(cern.subscribers.is_empty());
+    }
+
+    #[test]
+    fn echo_works_for_health_checks() {
+        let ca = ca();
+        let mut cern = Site::new(&SiteConfig::named("cern", "cern.ch", 5), &ca);
+        let anl = peer_site(&ca);
+        cern.gridmap.add_full(anl.identity().clone(), "anl_svc");
+        let (resp, _) = cern.handle(anl.identity(), Request::Echo("ping".into())).unwrap();
+        assert_eq!(resp, Response::Echo("ping".into()));
+    }
+}

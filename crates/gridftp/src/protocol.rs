@@ -1,0 +1,375 @@
+//! Control-channel protocol: FTP commands plus the GridFTP extensions.
+//!
+//! The subset implemented is what GDMP's Data Mover exercises: GSI
+//! authentication (`AUTH`/`ADAT`), binary type, extended block mode,
+//! socket-buffer negotiation (`SBUF`), parallelism (`OPTS RETR`), striped
+//! passive mode (`SPAS`), whole and partial retrieval (`RETR`/`ERET`),
+//! store (`STOR`), checksums (`CKSM`), size query, delete, and quit.
+
+use std::fmt;
+
+/// A parsed control-channel command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `AUTH GSSAPI`
+    AuthGssapi,
+    /// `ADAT <base16 token>`
+    Adat(String),
+    /// `TYPE I` — binary transfers only.
+    TypeImage,
+    /// `MODE E` | `MODE S`
+    Mode(char),
+    /// `SBUF <bytes>` — set TCP buffer for subsequent data channels.
+    Sbuf(u64),
+    /// `OPTS RETR Parallelism=n;`
+    OptsParallelism(u32),
+    /// `SPAS <n>` — striped/parallel passive: ask for n data ports.
+    Spas(u32),
+    /// `SPOR <host:port,host:port,...>` — striped active: the server will
+    /// *connect out* to these data endpoints for the next transfer
+    /// (third-party control: the endpoints belong to another server).
+    Spor(Vec<std::net::SocketAddr>),
+    /// `SIZE <path>`
+    Size(String),
+    /// `CKSM CRC32 <offset> <length|-1> <path>`
+    Cksm { offset: u64, length: i64, path: String },
+    /// `RETR <path>`
+    Retr(String),
+    /// `ERET P <offset> <length> <path>` — partial retrieve.
+    EretPartial { offset: u64, length: u64, path: String },
+    /// `STOR <path> <size>` (size extension lets the receiver preallocate).
+    Stor { path: String, size: u64 },
+    /// `DELE <path>`
+    Dele(String),
+    /// `NOOP`
+    Noop,
+    /// `QUIT`
+    Quit,
+}
+
+/// Command parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    Empty,
+    Unknown(String),
+    BadArgs(&'static str),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Empty => write!(f, "empty command line"),
+            ParseError::Unknown(c) => write!(f, "unknown command {c:?}"),
+            ParseError::BadArgs(what) => write!(f, "bad arguments: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Command {
+    /// Parse one CRLF-stripped command line.
+    pub fn parse(line: &str) -> Result<Command, ParseError> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Err(ParseError::Empty);
+        }
+        let (verb, rest) = match line.split_once(' ') {
+            Some((v, r)) => (v, r.trim()),
+            None => (line, ""),
+        };
+        match verb.to_ascii_uppercase().as_str() {
+            "AUTH" if rest.eq_ignore_ascii_case("GSSAPI") => Ok(Command::AuthGssapi),
+            "AUTH" => Err(ParseError::BadArgs("only GSSAPI supported")),
+            "ADAT" if !rest.is_empty() => Ok(Command::Adat(rest.to_string())),
+            "ADAT" => Err(ParseError::BadArgs("missing token")),
+            "TYPE" if rest.eq_ignore_ascii_case("I") => Ok(Command::TypeImage),
+            "TYPE" => Err(ParseError::BadArgs("only TYPE I supported")),
+            "MODE" => match rest.to_ascii_uppercase().as_str() {
+                "E" => Ok(Command::Mode('E')),
+                "S" => Ok(Command::Mode('S')),
+                _ => Err(ParseError::BadArgs("mode must be E or S")),
+            },
+            "SBUF" => rest
+                .parse()
+                .map(Command::Sbuf)
+                .map_err(|_| ParseError::BadArgs("SBUF wants a byte count")),
+            "OPTS" => {
+                // OPTS RETR Parallelism=n;
+                let rest_l = rest.to_ascii_lowercase();
+                let n = rest_l
+                    .strip_prefix("retr parallelism=")
+                    .and_then(|s| s.trim_end_matches(';').parse().ok())
+                    .ok_or(ParseError::BadArgs("OPTS RETR Parallelism=n;"))?;
+                Ok(Command::OptsParallelism(n))
+            }
+            "SPAS" => {
+                let n = if rest.is_empty() { 1 } else {
+                    rest.parse().map_err(|_| ParseError::BadArgs("SPAS wants a count"))?
+                };
+                if n == 0 {
+                    return Err(ParseError::BadArgs("SPAS wants a positive count"));
+                }
+                Ok(Command::Spas(n))
+            }
+            "SPOR" => {
+                let addrs: Result<Vec<std::net::SocketAddr>, _> =
+                    rest.split(',').map(|a| a.trim().parse()).collect();
+                match addrs {
+                    Ok(v) if !v.is_empty() => Ok(Command::Spor(v)),
+                    _ => Err(ParseError::BadArgs("SPOR wants host:port[,host:port...]")),
+                }
+            }
+            "SIZE" if !rest.is_empty() => Ok(Command::Size(rest.to_string())),
+            "CKSM" => {
+                let mut it = rest.split_whitespace();
+                let algo = it.next().ok_or(ParseError::BadArgs("CKSM algo"))?;
+                if !algo.eq_ignore_ascii_case("CRC32") {
+                    return Err(ParseError::BadArgs("only CRC32 supported"));
+                }
+                let offset =
+                    it.next().and_then(|s| s.parse().ok()).ok_or(ParseError::BadArgs("offset"))?;
+                let length =
+                    it.next().and_then(|s| s.parse().ok()).ok_or(ParseError::BadArgs("length"))?;
+                let path = it.collect::<Vec<_>>().join(" ");
+                if path.is_empty() {
+                    return Err(ParseError::BadArgs("path"));
+                }
+                Ok(Command::Cksm { offset, length, path })
+            }
+            "RETR" if !rest.is_empty() => Ok(Command::Retr(rest.to_string())),
+            "ERET" => {
+                let mut it = rest.split_whitespace();
+                if it.next() != Some("P") {
+                    return Err(ParseError::BadArgs("only ERET P supported"));
+                }
+                let offset =
+                    it.next().and_then(|s| s.parse().ok()).ok_or(ParseError::BadArgs("offset"))?;
+                let length =
+                    it.next().and_then(|s| s.parse().ok()).ok_or(ParseError::BadArgs("length"))?;
+                let path = it.collect::<Vec<_>>().join(" ");
+                if path.is_empty() {
+                    return Err(ParseError::BadArgs("path"));
+                }
+                Ok(Command::EretPartial { offset, length, path })
+            }
+            "STOR" => {
+                let (path, size) =
+                    rest.rsplit_once(' ').ok_or(ParseError::BadArgs("STOR <path> <size>"))?;
+                let size = size.parse().map_err(|_| ParseError::BadArgs("size"))?;
+                if path.is_empty() {
+                    return Err(ParseError::BadArgs("path"));
+                }
+                Ok(Command::Stor { path: path.to_string(), size })
+            }
+            "DELE" if !rest.is_empty() => Ok(Command::Dele(rest.to_string())),
+            "NOOP" => Ok(Command::Noop),
+            "QUIT" => Ok(Command::Quit),
+            other => Err(ParseError::Unknown(other.to_string())),
+        }
+    }
+
+    /// Wire form (no CRLF).
+    pub fn format(&self) -> String {
+        match self {
+            Command::AuthGssapi => "AUTH GSSAPI".into(),
+            Command::Adat(tok) => format!("ADAT {tok}"),
+            Command::TypeImage => "TYPE I".into(),
+            Command::Mode(m) => format!("MODE {m}"),
+            Command::Sbuf(n) => format!("SBUF {n}"),
+            Command::OptsParallelism(n) => format!("OPTS RETR Parallelism={n};"),
+            Command::Spas(n) => format!("SPAS {n}"),
+            Command::Spor(addrs) => format!(
+                "SPOR {}",
+                addrs.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(",")
+            ),
+            Command::Size(p) => format!("SIZE {p}"),
+            Command::Cksm { offset, length, path } => format!("CKSM CRC32 {offset} {length} {path}"),
+            Command::Retr(p) => format!("RETR {p}"),
+            Command::EretPartial { offset, length, path } => format!("ERET P {offset} {length} {path}"),
+            Command::Stor { path, size } => format!("STOR {path} {size}"),
+            Command::Dele(p) => format!("DELE {p}"),
+            Command::Noop => "NOOP".into(),
+            Command::Quit => "QUIT".into(),
+        }
+    }
+}
+
+/// A server reply: 3-digit code + text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    pub code: u16,
+    pub text: String,
+}
+
+impl Reply {
+    pub fn new(code: u16, text: impl Into<String>) -> Self {
+        Reply { code, text: text.into() }
+    }
+
+    pub fn is_positive(&self) -> bool {
+        (200..400).contains(&self.code) || (100..200).contains(&self.code)
+    }
+
+    pub fn format(&self) -> String {
+        format!("{} {}", self.code, self.text)
+    }
+
+    pub fn parse(line: &str) -> Option<Reply> {
+        let line = line.trim_end();
+        let (code, text) = line.split_at(line.len().min(3));
+        let code: u16 = code.parse().ok()?;
+        Some(Reply { code, text: text.trim_start().to_string() })
+    }
+}
+
+/// Well-known reply constructors.
+pub mod replies {
+    use super::Reply;
+
+    pub fn ready(nonce: u64) -> Reply {
+        Reply::new(220, format!("GDMP GridFTP server ready; GSI nonce={nonce:016x}"))
+    }
+    pub fn adat_continue() -> Reply {
+        Reply::new(334, "ADAT must follow")
+    }
+    pub fn auth_ok(token: &str) -> Reply {
+        Reply::new(235, format!("ADAT={token}"))
+    }
+    pub fn ok(what: &str) -> Reply {
+        Reply::new(200, what.to_string())
+    }
+    pub fn opening() -> Reply {
+        Reply::new(150, "Opening extended-mode data connection")
+    }
+    pub fn complete() -> Reply {
+        Reply::new(226, "Transfer complete")
+    }
+    pub fn size(n: u64) -> Reply {
+        Reply::new(213, n.to_string())
+    }
+    pub fn cksm(crc: u32) -> Reply {
+        Reply::new(213, format!("{crc:08x}"))
+    }
+    pub fn spas(ports: &[u16]) -> Reply {
+        let list: Vec<String> = ports.iter().map(u16::to_string).collect();
+        Reply::new(229, format!("Entering Striped Passive Mode ({})", list.join(",")))
+    }
+    pub fn deleted() -> Reply {
+        Reply::new(250, "File deleted")
+    }
+    pub fn bye() -> Reply {
+        Reply::new(221, "Goodbye")
+    }
+    pub fn not_found(path: &str) -> Reply {
+        Reply::new(550, format!("{path}: no such file"))
+    }
+    pub fn denied(why: &str) -> Reply {
+        Reply::new(535, format!("authentication failed: {why}"))
+    }
+    pub fn bad_sequence(why: &str) -> Reply {
+        Reply::new(503, format!("bad sequence: {why}"))
+    }
+    pub fn syntax(why: &str) -> Reply {
+        Reply::new(500, format!("syntax error: {why}"))
+    }
+
+    /// Extract the port list from a 229 SPAS reply.
+    pub fn parse_spas_ports(r: &Reply) -> Option<Vec<u16>> {
+        let open = r.text.find('(')?;
+        let close = r.text.rfind(')')?;
+        r.text[open + 1..close]
+            .split(',')
+            .map(|p| p.trim().parse().ok())
+            .collect()
+    }
+
+    /// Extract the nonce from the 220 greeting.
+    pub fn parse_nonce(r: &Reply) -> Option<u64> {
+        let idx = r.text.find("nonce=")?;
+        u64::from_str_radix(&r.text[idx + 6..idx + 22], 16).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_format_roundtrip() {
+        let cmds = [
+            Command::AuthGssapi,
+            Command::Adat("deadbeef".into()),
+            Command::TypeImage,
+            Command::Mode('E'),
+            Command::Sbuf(1_048_576),
+            Command::OptsParallelism(8),
+            Command::Spas(4),
+            Command::Spor(vec!["127.0.0.1:4001".parse().unwrap(), "127.0.0.1:4002".parse().unwrap()]),
+            Command::Size("x.db".into()),
+            Command::Cksm { offset: 0, length: -1, path: "x.db".into() },
+            Command::Retr("data/run 1.db".into()),
+            Command::EretPartial { offset: 100, length: 500, path: "x.db".into() },
+            Command::Stor { path: "y.db".into(), size: 12345 },
+            Command::Dele("y.db".into()),
+            Command::Noop,
+            Command::Quit,
+        ];
+        for c in cmds {
+            assert_eq!(Command::parse(&c.format()).unwrap(), c, "roundtrip {c:?}");
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_on_verbs() {
+        assert_eq!(Command::parse("quit").unwrap(), Command::Quit);
+        assert_eq!(Command::parse("mode e").unwrap(), Command::Mode('E'));
+        assert_eq!(
+            Command::parse("opts RETR parallelism=3;").unwrap(),
+            Command::OptsParallelism(3)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(matches!(Command::parse(""), Err(ParseError::Empty)));
+        assert!(matches!(Command::parse("FROB x"), Err(ParseError::Unknown(_))));
+        assert!(matches!(Command::parse("SBUF lots"), Err(ParseError::BadArgs(_))));
+        assert!(matches!(Command::parse("MODE X"), Err(ParseError::BadArgs(_))));
+        assert!(matches!(Command::parse("SPAS 0"), Err(ParseError::BadArgs(_))));
+        assert!(matches!(Command::parse("SPOR"), Err(ParseError::BadArgs(_))));
+        assert!(matches!(Command::parse("SPOR notanaddr"), Err(ParseError::BadArgs(_))));
+        assert!(matches!(Command::parse("ERET X 1 2 f"), Err(ParseError::BadArgs(_))));
+        assert!(matches!(Command::parse("AUTH KERBEROS"), Err(ParseError::BadArgs(_))));
+    }
+
+    #[test]
+    fn reply_roundtrip_and_polarity() {
+        let r = replies::size(42);
+        let back = Reply::parse(&r.format()).unwrap();
+        assert_eq!(back, r);
+        assert!(back.is_positive());
+        assert!(!replies::not_found("x").is_positive());
+        assert!(replies::opening().is_positive());
+    }
+
+    #[test]
+    fn spas_port_extraction() {
+        let r = replies::spas(&[40001, 40002, 40003]);
+        assert_eq!(replies::parse_spas_ports(&r).unwrap(), vec![40001, 40002, 40003]);
+        assert!(replies::parse_spas_ports(&Reply::new(229, "nope")).is_none());
+    }
+
+    #[test]
+    fn nonce_extraction() {
+        let r = replies::ready(0xdead_beef_1234_5678);
+        assert_eq!(replies::parse_nonce(&r), Some(0xdead_beef_1234_5678));
+    }
+
+    #[test]
+    fn stor_with_spaces_in_path() {
+        // rsplit_once: the last token is the size, everything before is path.
+        let c = Command::parse("STOR my file.db 999").unwrap();
+        assert_eq!(c, Command::Stor { path: "my file.db".into(), size: 999 });
+    }
+}

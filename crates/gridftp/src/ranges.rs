@@ -1,0 +1,213 @@
+//! Byte-range bookkeeping for restartable transfers.
+//!
+//! GridFTP's reliability features (restart markers, partial file transfer,
+//! extended retrieve) all reduce to tracking which byte ranges of a file
+//! have arrived. [`ByteRanges`] is that set, with the merge/complement
+//! operations the protocol needs.
+
+use std::fmt;
+
+/// A set of disjoint, sorted, non-adjacent half-open ranges `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ByteRanges {
+    runs: Vec<(u64, u64)>,
+}
+
+impl ByteRanges {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert `[start, end)`, merging with neighbours.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        assert!(start <= end, "inverted range {start}..{end}");
+        if start == end {
+            return;
+        }
+        // Find insertion window: all runs overlapping or adjacent to [start, end).
+        let mut new_start = start;
+        let mut new_end = end;
+        let mut i = 0;
+        while i < self.runs.len() && self.runs[i].1 < start {
+            i += 1;
+        }
+        let mut j = i;
+        while j < self.runs.len() && self.runs[j].0 <= end {
+            new_start = new_start.min(self.runs[j].0);
+            new_end = new_end.max(self.runs[j].1);
+            j += 1;
+        }
+        self.runs.splice(i..j, std::iter::once((new_start, new_end)));
+    }
+
+    /// Total bytes covered.
+    pub fn covered(&self) -> u64 {
+        self.runs.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// True when `[0, total)` is fully covered.
+    pub fn is_complete(&self, total: u64) -> bool {
+        total == 0 || (self.runs.len() == 1 && self.runs[0] == (0, total))
+    }
+
+    pub fn contains(&self, offset: u64) -> bool {
+        self.runs.iter().any(|&(s, e)| s <= offset && offset < e)
+    }
+
+    /// The gaps in `[0, total)` — what a restarted transfer must re-fetch.
+    pub fn missing(&self, total: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cursor = 0;
+        for &(s, e) in &self.runs {
+            if s >= total {
+                break;
+            }
+            if cursor < s {
+                out.push((cursor, s.min(total)));
+            }
+            cursor = cursor.max(e);
+        }
+        if cursor < total {
+            out.push((cursor, total));
+        }
+        out
+    }
+
+    pub fn runs(&self) -> &[(u64, u64)] {
+        &self.runs
+    }
+
+    /// Serialize as a GridFTP restart marker: `start-end,start-end,...`.
+    pub fn to_marker(&self) -> String {
+        self.runs
+            .iter()
+            .map(|(s, e)| format!("{s}-{e}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Parse a restart marker produced by [`ByteRanges::to_marker`].
+    pub fn from_marker(s: &str) -> Option<ByteRanges> {
+        let mut r = ByteRanges::new();
+        if s.trim().is_empty() {
+            return Some(r);
+        }
+        for part in s.split(',') {
+            let (a, b) = part.trim().split_once('-')?;
+            let (a, b) = (a.parse().ok()?, b.parse().ok()?);
+            if a > b {
+                return None;
+            }
+            r.insert(a, b);
+        }
+        Some(r)
+    }
+}
+
+impl fmt::Display for ByteRanges {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_marker())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_merge() {
+        let mut r = ByteRanges::new();
+        r.insert(10, 20);
+        r.insert(30, 40);
+        assert_eq!(r.runs(), &[(10, 20), (30, 40)]);
+        r.insert(20, 30); // bridges the gap
+        assert_eq!(r.runs(), &[(10, 40)]);
+        assert_eq!(r.covered(), 30);
+    }
+
+    #[test]
+    fn overlapping_inserts() {
+        let mut r = ByteRanges::new();
+        r.insert(0, 100);
+        r.insert(50, 150);
+        r.insert(25, 75); // fully inside
+        assert_eq!(r.runs(), &[(0, 150)]);
+    }
+
+    #[test]
+    fn adjacent_runs_merge() {
+        let mut r = ByteRanges::new();
+        r.insert(0, 10);
+        r.insert(10, 20);
+        assert_eq!(r.runs(), &[(0, 20)]);
+    }
+
+    #[test]
+    fn empty_insert_is_noop() {
+        let mut r = ByteRanges::new();
+        r.insert(5, 5);
+        assert!(r.runs().is_empty());
+        assert_eq!(r.covered(), 0);
+    }
+
+    #[test]
+    fn completeness() {
+        let mut r = ByteRanges::new();
+        assert!(r.is_complete(0));
+        assert!(!r.is_complete(10));
+        r.insert(0, 10);
+        assert!(r.is_complete(10));
+        assert!(!r.is_complete(11));
+    }
+
+    #[test]
+    fn missing_gaps() {
+        let mut r = ByteRanges::new();
+        r.insert(10, 20);
+        r.insert(40, 50);
+        assert_eq!(r.missing(60), vec![(0, 10), (20, 40), (50, 60)]);
+        assert_eq!(r.missing(15), vec![(0, 10)]);
+        let full: ByteRanges = {
+            let mut x = ByteRanges::new();
+            x.insert(0, 60);
+            x
+        };
+        assert!(full.missing(60).is_empty());
+    }
+
+    #[test]
+    fn contains_point() {
+        let mut r = ByteRanges::new();
+        r.insert(10, 20);
+        assert!(r.contains(10));
+        assert!(r.contains(19));
+        assert!(!r.contains(20));
+        assert!(!r.contains(9));
+    }
+
+    #[test]
+    fn marker_roundtrip() {
+        let mut r = ByteRanges::new();
+        r.insert(0, 1000);
+        r.insert(5000, 9000);
+        let m = r.to_marker();
+        assert_eq!(m, "0-1000,5000-9000");
+        assert_eq!(ByteRanges::from_marker(&m).unwrap(), r);
+        assert_eq!(ByteRanges::from_marker("").unwrap(), ByteRanges::new());
+        assert!(ByteRanges::from_marker("9-3").is_none());
+        assert!(ByteRanges::from_marker("abc").is_none());
+    }
+
+    #[test]
+    fn out_of_order_inserts_normalize() {
+        let mut a = ByteRanges::new();
+        a.insert(40, 50);
+        a.insert(0, 10);
+        a.insert(20, 30);
+        let mut b = ByteRanges::new();
+        b.insert(0, 10);
+        b.insert(20, 30);
+        b.insert(40, 50);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,207 @@
+//! Simulated WAN transfers: the GridFTP data path over `gdmp-simnet`.
+//!
+//! The paper's testbed — a 45 Mb/s, 125 ms production link between CERN
+//! and ANL, shared with other traffic — is reproduced here as a
+//! [`WanProfile`]: a bottleneck link plus a population of window-limited
+//! background flows (the untuned TCP traffic a production link of the era
+//! carried). A GridFTP session of `n` parallel streams with a given socket
+//! buffer is simulated packet-by-packet against that contention.
+
+use gdmp_simnet::link::LinkSpec;
+use gdmp_simnet::network::{FlowSpec, Network, SessionResult};
+use gdmp_simnet::time::{SimDuration, SimTime};
+
+/// The simulated wide-area environment between two sites.
+#[derive(Debug, Clone, Copy)]
+pub struct WanProfile {
+    pub link: LinkSpec,
+    /// Long-lived cross-traffic flows sharing the bottleneck.
+    pub background_flows: u32,
+    /// Socket buffer of the background flows (untuned 64 KB typical).
+    pub background_buffer: u64,
+    /// Stagger between parallel stream opens (avoids phase lock; real
+    /// clients open sockets milliseconds apart).
+    pub stream_stagger: SimDuration,
+    /// Warm-up before the session starts, letting cross traffic reach
+    /// steady state.
+    pub warmup: SimDuration,
+    /// Control-channel round trips before data flows (auth + SPAS + RETR).
+    pub control_rtts: u32,
+}
+
+impl WanProfile {
+    /// The paper's CERN↔ANL production path.
+    pub fn cern_anl_production() -> Self {
+        WanProfile {
+            link: LinkSpec::cern_anl(),
+            background_flows: 8,
+            background_buffer: 64 * 1024,
+            stream_stagger: SimDuration::from_millis(137),
+            warmup: SimDuration::from_secs(5),
+            control_rtts: 8,
+        }
+    }
+
+    /// An uncontended link (for unit tests and LAN-like scenarios).
+    pub fn clean(link: LinkSpec) -> Self {
+        WanProfile {
+            link,
+            background_flows: 0,
+            background_buffer: 64 * 1024,
+            stream_stagger: SimDuration::from_millis(10),
+            warmup: SimDuration::ZERO,
+            control_rtts: 8,
+        }
+    }
+
+    /// Round-trip time of the path.
+    pub fn rtt(&self) -> SimDuration {
+        self.link.propagation * 2
+    }
+
+    /// Simulate one GridFTP retrieval of `bytes` over `streams` parallel
+    /// TCP connections with the given socket buffer.
+    pub fn simulate_transfer(&self, bytes: u64, streams: u32, buffer: u64) -> SimTransferReport {
+        assert!(streams >= 1, "at least one stream");
+        let mut net = Network::single_link(self.link);
+        for b in 0..self.background_flows {
+            net.add_flow(
+                FlowSpec::background(self.background_buffer)
+                    .open_at(SimTime(u64::from(b) * 137_000_000)),
+            );
+        }
+        let session_open = SimTime::ZERO + self.warmup;
+        let per = bytes / u64::from(streams);
+        let mut ids = Vec::with_capacity(streams as usize);
+        for s in 0..u64::from(streams) {
+            let sz = if s == u64::from(streams) - 1 {
+                bytes - per * (u64::from(streams) - 1)
+            } else {
+                per
+            };
+            ids.push(net.add_flow(
+                FlowSpec::transfer(sz, buffer).open_at(session_open + self.stream_stagger * s),
+            ));
+        }
+        let results = net.run();
+        let session: Vec<_> = ids.iter().map(|i| results[i.0]).collect();
+        let agg = SessionResult::aggregate(&session)
+            .expect("all session flows are finite and complete");
+        let data_time = agg.finished.since(agg.started);
+        let setup = SimDuration(self.rtt().nanos() * u64::from(self.control_rtts));
+        SimTransferReport {
+            bytes,
+            streams,
+            buffer,
+            data_time,
+            setup_time: setup,
+            retransmitted_segments: agg.retransmitted_segments,
+            timeouts: agg.timeouts,
+        }
+    }
+}
+
+/// Outcome of one simulated transfer.
+#[derive(Debug, Clone, Copy)]
+pub struct SimTransferReport {
+    pub bytes: u64,
+    pub streams: u32,
+    pub buffer: u64,
+    /// Wall time of the data phase (first stream open → last byte acked).
+    pub data_time: SimDuration,
+    /// Control-channel setup overhead.
+    pub setup_time: SimDuration,
+    pub retransmitted_segments: u64,
+    pub timeouts: u64,
+}
+
+impl SimTransferReport {
+    /// Data-phase throughput in Mb/s — what Figures 5 and 6 plot.
+    pub fn throughput_mbps(&self) -> f64 {
+        self.bytes as f64 * 8.0 / self.data_time.as_secs_f64() / 1e6
+    }
+
+    /// End-to-end duration including control setup.
+    pub fn total_time(&self) -> SimDuration {
+        self.setup_time + self.data_time
+    }
+
+    /// End-to-end throughput including setup (what an application sees).
+    pub fn effective_mbps(&self) -> f64 {
+        self.bytes as f64 * 8.0 / self.total_time().as_secs_f64() / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn clean_link_single_stream_window_limited() {
+        let p = WanProfile::clean(LinkSpec::cern_anl());
+        let r = p.simulate_transfer(25 * MB, 1, 64 * 1024);
+        let t = r.throughput_mbps();
+        assert!((2.5..4.5).contains(&t), "expected ~4 Mb/s window-limited, got {t:.2}");
+    }
+
+    #[test]
+    fn parallel_streams_scale_on_contended_link() {
+        let p = WanProfile::cern_anl_production();
+        let one = p.simulate_transfer(25 * MB, 1, 64 * 1024).throughput_mbps();
+        let eight = p.simulate_transfer(25 * MB, 8, 64 * 1024).throughput_mbps();
+        assert!(
+            eight > 3.0 * one,
+            "8 untuned streams ({eight:.1}) should far exceed 1 ({one:.1})"
+        );
+    }
+
+    #[test]
+    fn tuned_buffer_beats_untuned_single_stream() {
+        let p = WanProfile::cern_anl_production();
+        let untuned = p.simulate_transfer(50 * MB, 1, 64 * 1024).throughput_mbps();
+        let tuned = p.simulate_transfer(50 * MB, 1, 1024 * 1024).throughput_mbps();
+        assert!(
+            tuned > 1.5 * untuned,
+            "tuned single stream ({tuned:.1}) should beat untuned ({untuned:.1})"
+        );
+    }
+
+    #[test]
+    fn small_file_is_slow_start_bound() {
+        let p = WanProfile::cern_anl_production();
+        let small = p.simulate_transfer(MB, 4, 1024 * 1024).throughput_mbps();
+        let large = p.simulate_transfer(50 * MB, 4, 1024 * 1024).throughput_mbps();
+        assert!(
+            small < large / 2.0,
+            "1 MB file ({small:.1}) cannot amortize slow start like 50 MB ({large:.1})"
+        );
+    }
+
+    #[test]
+    fn setup_overhead_scales_with_rtt() {
+        let p = WanProfile::cern_anl_production();
+        let r = p.simulate_transfer(MB, 1, 64 * 1024);
+        assert_eq!(r.setup_time.nanos(), p.rtt().nanos() * 8);
+        assert!(r.effective_mbps() < r.throughput_mbps());
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let p = WanProfile::cern_anl_production();
+        let a = p.simulate_transfer(10 * MB, 3, 256 * 1024);
+        let b = p.simulate_transfer(10 * MB, 3, 256 * 1024);
+        assert_eq!(a.data_time, b.data_time);
+        assert_eq!(a.retransmitted_segments, b.retransmitted_segments);
+    }
+
+    #[test]
+    fn uneven_split_conserves_bytes() {
+        // 10 MB over 3 streams: 3,333,333 ×2 + 3,333,334.
+        let p = WanProfile::clean(LinkSpec::cern_anl());
+        let r = p.simulate_transfer(10 * MB, 3, 256 * 1024);
+        assert_eq!(r.bytes, 10 * MB);
+        assert!(r.throughput_mbps() > 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! The file store a GridFTP server serves from.
+//!
+//! GDMP adapts its per-site disk pool to this trait; tests use the simple
+//! in-memory implementation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+/// What a server needs from its storage backend.
+pub trait FileStore: Send + Sync + 'static {
+    fn get(&self, name: &str) -> Option<Bytes>;
+    fn put(&self, name: &str, data: Bytes) -> Result<(), String>;
+    fn delete(&self, name: &str) -> Result<(), String>;
+    fn size(&self, name: &str) -> Option<u64>;
+}
+
+/// In-memory store, shared across server threads.
+#[derive(Debug, Default, Clone)]
+pub struct MemStore {
+    files: Arc<RwLock<HashMap<String, Bytes>>>,
+}
+
+impl MemStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with(files: &[(&str, Bytes)]) -> Self {
+        let s = Self::new();
+        for (n, d) in files {
+            s.put(n, d.clone()).expect("fresh store accepts files");
+        }
+        s
+    }
+
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<_> = self.files.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+impl FileStore for MemStore {
+    fn get(&self, name: &str) -> Option<Bytes> {
+        self.files.read().get(name).cloned()
+    }
+
+    fn put(&self, name: &str, data: Bytes) -> Result<(), String> {
+        self.files.write().insert(name.to_string(), data);
+        Ok(())
+    }
+
+    fn delete(&self, name: &str) -> Result<(), String> {
+        self.files
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| format!("no such file: {name}"))
+    }
+
+    fn size(&self, name: &str) -> Option<u64> {
+        self.files.read().get(name).map(|d| d.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memstore_crud() {
+        let s = MemStore::new();
+        assert!(s.get("a").is_none());
+        s.put("a", Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(s.size("a"), Some(5));
+        assert_eq!(s.get("a").unwrap(), Bytes::from_static(b"hello"));
+        s.delete("a").unwrap();
+        assert!(s.delete("a").is_err());
+    }
+
+    #[test]
+    fn memstore_is_shared_across_clones() {
+        let s = MemStore::new();
+        let s2 = s.clone();
+        s.put("x", Bytes::from_static(b"1")).unwrap();
+        assert!(s2.get("x").is_some());
+    }
+}

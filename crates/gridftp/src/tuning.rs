@@ -1,0 +1,97 @@
+//! TCP tuning tools (Section 6's methodology).
+//!
+//! "To determine the optimal TCP buffer size, we use the following standard
+//! formula: `optimal TCP buffer = RTT × (speed of bottleneck link)`. The
+//! RTT is measured using ping, and the speed of the bottleneck link using
+//! pipechar. A simple method for the optimal number of parallel streams is
+//! not yet known; we typically run multiple iperf tests with various
+//! numbers of streams and compare the results."
+
+use gdmp_simnet::probe::{optimal_buffer_bytes, ping, pipechar};
+use gdmp_simnet::time::SimDuration;
+
+use crate::sim::WanProfile;
+
+/// The product of the tuning workflow.
+#[derive(Debug, Clone)]
+pub struct TuningAdvice {
+    /// Measured round-trip time (ping).
+    pub rtt: SimDuration,
+    /// Measured bottleneck bandwidth (pipechar), bits/second.
+    pub bottleneck_bps: f64,
+    /// `RTT × bottleneck` in bytes.
+    pub optimal_buffer: u64,
+    /// Best stream count found by the iperf-style sweep.
+    pub recommended_streams: u32,
+    /// The sweep itself: `(streams, Mb/s)`.
+    pub sweep: Vec<(u32, f64)>,
+}
+
+/// Measure the path and sweep stream counts, as the paper's authors did.
+///
+/// `probe_bytes` sets the size of each iperf-style trial transfer.
+pub fn tune(profile: &WanProfile, probe_bytes: u64, max_streams: u32) -> TuningAdvice {
+    let rtt = ping(&profile.link, 10).rtt;
+    let bottleneck = pipechar(&profile.link).bottleneck_bps;
+    let buffer = optimal_buffer_bytes(rtt, bottleneck);
+    let mut sweep = Vec::new();
+    let mut best = (1u32, f64::MIN);
+    for n in 1..=max_streams {
+        let tput = profile.simulate_transfer(probe_bytes, n, buffer).throughput_mbps();
+        sweep.push((n, tput));
+        if tput > best.1 {
+            best = (n, tput);
+        }
+    }
+    TuningAdvice {
+        rtt,
+        bottleneck_bps: bottleneck,
+        optimal_buffer: buffer,
+        recommended_streams: best.0,
+        sweep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdmp_simnet::link::LinkSpec;
+
+    #[test]
+    fn advice_matches_paper_formula() {
+        let p = WanProfile::cern_anl_production();
+        let advice = tune(&p, 10 * 1024 * 1024, 4);
+        // 45 Mb/s × ~125 ms ≈ 703 KB.
+        assert!((650_000..760_000).contains(&advice.optimal_buffer), "{}", advice.optimal_buffer);
+        assert!((advice.bottleneck_bps - 45e6).abs() / 45e6 < 0.02);
+        assert_eq!(advice.sweep.len(), 4);
+        assert!(advice.recommended_streams >= 1 && advice.recommended_streams <= 4);
+    }
+
+    #[test]
+    fn paper_finding_four_to_eight_streams_good() {
+        // "We usually find that 4-8 streams is optimal": with tuned buffers
+        // on the production profile, going beyond a few streams must not
+        // help much. Compare 4 vs 1.
+        let p = WanProfile::cern_anl_production();
+        let advice = tune(&p, 20 * 1024 * 1024, 5);
+        let one = advice.sweep[0].1;
+        let four = advice.sweep[3].1;
+        assert!(four > one, "parallelism should help: 1→{one:.1}, 4→{four:.1}");
+    }
+
+    #[test]
+    fn clean_fast_link_needs_no_parallelism() {
+        let p = WanProfile::clean(LinkSpec {
+            rate_bps: 100_000_000,
+            propagation: SimDuration::from_micros(500),
+            queue_capacity: 512,
+        });
+        let advice = tune(&p, 5 * 1024 * 1024, 3);
+        // On a clean low-RTT link one tuned stream is already near line
+        // rate; extra streams gain little (< 30%).
+        let one = advice.sweep[0].1;
+        let three = advice.sweep[2].1;
+        assert!(three < one * 1.3, "1 stream {one:.1} vs 3 streams {three:.1}");
+    }
+}

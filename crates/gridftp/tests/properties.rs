@@ -1,0 +1,125 @@
+//! Property tests for the protocol machinery: framing, ranges, commands,
+//! CRC, and partition/reassembly under arbitrary inputs.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use gdmp_gridftp::block::{partition, Block, BlockDecoder, Reassembler};
+use gdmp_gridftp::crc::crc32;
+use gdmp_gridftp::protocol::{Command, Reply};
+use gdmp_gridftp::ranges::ByteRanges;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any partition of any data over any channel count reassembles to the
+    /// original, regardless of block size and delivery interleaving.
+    #[test]
+    fn partition_reassemble_roundtrip(
+        data in proptest::collection::vec(any::<u8>(), 0..8192),
+        block_size in 1usize..1500,
+        channels in 1usize..8,
+        order_seed in any::<u64>(),
+    ) {
+        let data = Bytes::from(data);
+        let parts = partition(&data, block_size, channels);
+        // Flatten and shuffle deterministically by the seed.
+        let mut all: Vec<Block> = parts.into_iter().flatten().collect();
+        let mut s = order_seed | 1;
+        for i in (1..all.len()).rev() {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            all.swap(i, (s as usize) % (i + 1));
+        }
+        let mut r = Reassembler::new(data.len() as u64, channels);
+        for b in &all {
+            r.accept(b).unwrap();
+        }
+        prop_assert!(r.is_complete());
+        prop_assert_eq!(r.into_bytes(), data);
+    }
+
+    /// The block decoder never panics on arbitrary byte streams, fed in
+    /// arbitrary fragmentation.
+    #[test]
+    fn decoder_never_panics(
+        wire in proptest::collection::vec(any::<u8>(), 0..4096),
+        chunk in 1usize..64,
+    ) {
+        let mut d = BlockDecoder::new();
+        for c in wire.chunks(chunk) {
+            d.feed(c);
+            while let Ok(Some(_)) = d.next_block() {}
+        }
+    }
+
+    /// ByteRanges: inserting arbitrary ranges keeps runs disjoint, sorted,
+    /// non-adjacent; covered() equals the measure of the union.
+    #[test]
+    fn ranges_invariants(ops in proptest::collection::vec((0u64..500, 0u64..100), 0..64)) {
+        let mut r = ByteRanges::new();
+        let mut model = vec![false; 700];
+        for (start, len) in ops {
+            r.insert(start, start + len);
+            for m in model.iter_mut().take((start + len) as usize).skip(start as usize) {
+                *m = true;
+            }
+        }
+        // Runs sorted, disjoint, non-adjacent.
+        for w in r.runs().windows(2) {
+            prop_assert!(w[0].1 < w[1].0, "runs {:?} not separated", r.runs());
+        }
+        for &(s, e) in r.runs() {
+            prop_assert!(s < e);
+        }
+        let covered_model = model.iter().filter(|&&b| b).count() as u64;
+        prop_assert_eq!(r.covered(), covered_model);
+        // missing() is the exact complement within the domain.
+        let total = 700u64;
+        let missing_model = total - covered_model;
+        let missing: u64 = r.missing(total).iter().map(|(s, e)| e - s).sum();
+        prop_assert_eq!(missing, missing_model);
+    }
+
+    /// Restart-marker serialization round-trips.
+    #[test]
+    fn marker_roundtrip(ops in proptest::collection::vec((0u64..10_000, 1u64..500), 1..20)) {
+        let mut r = ByteRanges::new();
+        for (s, l) in ops {
+            r.insert(s, s + l);
+        }
+        let back = ByteRanges::from_marker(&r.to_marker()).unwrap();
+        prop_assert_eq!(back, r);
+    }
+
+    /// Command parsing never panics on arbitrary lines, and every parsed
+    /// command re-parses from its own formatting.
+    #[test]
+    fn command_parse_total(line in ".{0,120}") {
+        if let Ok(cmd) = Command::parse(&line) {
+            let reformatted = Command::parse(&cmd.format()).unwrap();
+            prop_assert_eq!(reformatted, cmd);
+        }
+    }
+
+    /// Reply parsing is total and round-trips for valid codes.
+    #[test]
+    fn reply_roundtrip(code in 100u16..600, text in "[ -~]{0,64}") {
+        let r = Reply::new(code, text.trim().to_string());
+        let back = Reply::parse(&r.format()).unwrap();
+        prop_assert_eq!(back.code, r.code);
+        prop_assert_eq!(back.text, r.text);
+    }
+
+    /// CRC is order-sensitive and chunking-invariant.
+    #[test]
+    fn crc_chunking_invariant(
+        data in proptest::collection::vec(any::<u8>(), 1..4096),
+        split in 1usize..4096,
+    ) {
+        let split = split.min(data.len());
+        let mut inc = gdmp_gridftp::crc::Crc32::new();
+        inc.update(&data[..split]);
+        inc.update(&data[split..]);
+        prop_assert_eq!(inc.finalize(), crc32(&data));
+    }
+}

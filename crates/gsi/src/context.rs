@@ -1,0 +1,234 @@
+//! GSS-API-style mutual authentication and per-message protection.
+//!
+//! GDMP's Request Manager and GridFTP's control channel both establish a
+//! security context before any command flows: each side presents its
+//! credential chain, validates the peer's against the trusted CAs, and
+//! proves possession of its leaf key by signing a challenge. The
+//! established [`SecurityContext`] then provides message integrity codes
+//! (MICs) for the session.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cert::KeyPair;
+use crate::hash::{concat_fields, keyed_digest};
+use crate::name::DistinguishedName;
+use crate::proxy::{CredentialChain, ProxyError};
+use crate::GsiTime;
+
+/// Errors during context establishment or message verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SecError {
+    Proxy(ProxyError),
+    ChallengeFailed,
+    BadMic,
+}
+
+impl std::fmt::Display for SecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SecError::Proxy(e) => write!(f, "credential rejected: {e}"),
+            SecError::ChallengeFailed => write!(f, "peer failed proof-of-possession challenge"),
+            SecError::BadMic => write!(f, "message integrity check failed"),
+        }
+    }
+}
+
+impl std::error::Error for SecError {}
+
+impl From<ProxyError> for SecError {
+    fn from(e: ProxyError) -> Self {
+        SecError::Proxy(e)
+    }
+}
+
+/// The token one side sends during the handshake: its chain plus a signed
+/// response to the peer's challenge.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AuthToken {
+    pub chain: Vec<crate::cert::Certificate>,
+    pub challenge_response: u64,
+}
+
+/// Produce the handshake token: prove possession of the leaf key by signing
+/// the peer's challenge nonce.
+pub fn make_token(cred: &CredentialChain, peer_challenge: u64) -> AuthToken {
+    AuthToken {
+        chain: cred.chain.clone(),
+        challenge_response: cred.leaf_keys.sign(&peer_challenge.to_le_bytes()),
+    }
+}
+
+/// Verify a peer's token: validate the chain against the CA and check the
+/// challenge response against the leaf public key. Returns the peer's grid
+/// identity (the end-entity DN, not the proxy DN).
+pub fn verify_token(
+    token: &AuthToken,
+    my_challenge: u64,
+    ca_public: u64,
+    now: GsiTime,
+) -> Result<DistinguishedName, SecError> {
+    // Reconstruct a chain-only credential for validation; leaf keys are the
+    // peer's secret, so we validate structure + challenge proof instead.
+    let leaf = token.chain.last().ok_or(SecError::Proxy(ProxyError::BrokenChain("empty chain")))?;
+    if !KeyPair::verify(leaf.public_key, &my_challenge.to_le_bytes(), token.challenge_response) {
+        return Err(SecError::ChallengeFailed);
+    }
+    // Validate certificate structure: reuse CredentialChain validation with
+    // a placeholder key pair matched to the leaf (possession already proven
+    // by the challenge).
+    let pseudo = CredentialChain {
+        chain: token.chain.clone(),
+        leaf_keys: KeyPair::from_public(leaf.public_key),
+    };
+    pseudo.validate(ca_public, now)?;
+    Ok(token.chain[0].subject.clone())
+}
+
+/// An established, mutually authenticated session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecurityContext {
+    /// Grid identity of the local party.
+    pub local: DistinguishedName,
+    /// Grid identity of the authenticated peer.
+    pub peer: DistinguishedName,
+    /// Shared session key for MICs (derived from both challenges).
+    session_key: u64,
+}
+
+impl SecurityContext {
+    /// Assemble a context from handshake parts exchanged over a real
+    /// transport (each side calls this with the same nonce pair).
+    pub fn from_handshake(
+        local: DistinguishedName,
+        peer: DistinguishedName,
+        nonce_a: u64,
+        nonce_b: u64,
+    ) -> SecurityContext {
+        SecurityContext {
+            local,
+            peer,
+            session_key: keyed_digest(nonce_a ^ nonce_b, b"session"),
+        }
+    }
+
+    /// Run both halves of the handshake in one call (the simulation has no
+    /// separate transport for handshake tokens). Returns the two contexts
+    /// `(initiator, acceptor)`.
+    pub fn establish(
+        initiator: &CredentialChain,
+        acceptor: &CredentialChain,
+        ca_public: u64,
+        now: GsiTime,
+        nonce_seed: u64,
+    ) -> Result<(SecurityContext, SecurityContext), SecError> {
+        let challenge_i = keyed_digest(nonce_seed, b"initiator-challenge");
+        let challenge_a = keyed_digest(nonce_seed, b"acceptor-challenge");
+
+        let token_i = make_token(initiator, challenge_a);
+        let token_a = make_token(acceptor, challenge_i);
+
+        let peer_of_acceptor = verify_token(&token_i, challenge_a, ca_public, now)?;
+        let peer_of_initiator = verify_token(&token_a, challenge_i, ca_public, now)?;
+
+        let session_key = keyed_digest(challenge_i ^ challenge_a, b"session");
+        Ok((
+            SecurityContext {
+                local: initiator.identity().clone(),
+                peer: peer_of_initiator,
+                session_key,
+            },
+            SecurityContext {
+                local: acceptor.identity().clone(),
+                peer: peer_of_acceptor,
+                session_key,
+            },
+        ))
+    }
+
+    /// Message integrity code over `message`.
+    pub fn mic(&self, message: &[u8]) -> u64 {
+        keyed_digest(self.session_key, &concat_fields(&[self.local.to_bytes().as_slice(), message]))
+    }
+
+    /// Verify a MIC produced by the peer for `message`.
+    pub fn verify_mic(&self, message: &[u8], mic: u64) -> Result<(), SecError> {
+        let expect =
+            keyed_digest(self.session_key, &concat_fields(&[self.peer.to_bytes().as_slice(), message]));
+        if expect == mic {
+            Ok(())
+        } else {
+            Err(SecError::BadMic)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::CertificateAuthority;
+
+    fn grid() -> (CertificateAuthority, CredentialChain, CredentialChain) {
+        let ca =
+            CertificateAuthority::new(DistinguishedName::user("cern.ch", "CERN CA"), 1, 0, 1_000_000);
+        let ak = KeyPair::from_seed(2);
+        let alice = CredentialChain::end_entity(
+            ca.issue(DistinguishedName::user("cern.ch", "alice"), ak.public, 0, 900_000),
+            ak,
+        );
+        let sk = KeyPair::from_seed(3);
+        let server = CredentialChain::end_entity(
+            ca.issue(DistinguishedName::host("anl.gov", "gdmp.anl.gov"), sk.public, 0, 900_000),
+            sk,
+        );
+        (ca, alice, server)
+    }
+
+    #[test]
+    fn mutual_auth_succeeds_with_proxies() {
+        let (ca, alice, server) = grid();
+        let proxy = alice.delegate(10, 50, 43_200, 3).unwrap();
+        let (ctx_i, ctx_a) = SecurityContext::establish(&proxy, &server, ca.public_key(), 100, 7)
+            .expect("handshake");
+        // The server sees alice, not the proxy DN.
+        assert_eq!(ctx_a.peer.common_name(), Some("alice"));
+        assert_eq!(ctx_i.peer.common_name(), Some("host/gdmp.anl.gov"));
+    }
+
+    #[test]
+    fn mic_roundtrip_and_tamper() {
+        let (ca, alice, server) = grid();
+        let (ctx_i, ctx_a) =
+            SecurityContext::establish(&alice, &server, ca.public_key(), 100, 7).unwrap();
+        let mic = ctx_i.mic(b"GET lfn://higgs/file1");
+        assert_eq!(ctx_a.verify_mic(b"GET lfn://higgs/file1", mic), Ok(()));
+        assert_eq!(ctx_a.verify_mic(b"GET lfn://higgs/file2", mic), Err(SecError::BadMic));
+    }
+
+    #[test]
+    fn expired_proxy_fails_handshake() {
+        let (ca, alice, server) = grid();
+        let proxy = alice.delegate(10, 0, 100, 3).unwrap();
+        let err = SecurityContext::establish(&proxy, &server, ca.public_key(), 500, 7).unwrap_err();
+        assert!(matches!(err, SecError::Proxy(_)));
+    }
+
+    #[test]
+    fn foreign_ca_rejected() {
+        let (_, alice, server) = grid();
+        let other =
+            CertificateAuthority::new(DistinguishedName::user("evil.org", "Evil CA"), 99, 0, 1_000_000);
+        let err =
+            SecurityContext::establish(&alice, &server, other.public_key(), 100, 7).unwrap_err();
+        assert!(matches!(err, SecError::Proxy(_)));
+    }
+
+    #[test]
+    fn mic_direction_matters() {
+        let (ca, alice, server) = grid();
+        let (ctx_i, _ctx_a) =
+            SecurityContext::establish(&alice, &server, ca.public_key(), 100, 7).unwrap();
+        // A context cannot verify its *own* MIC as if it came from the peer.
+        let mic = ctx_i.mic(b"hello");
+        assert_eq!(ctx_i.verify_mic(b"hello", mic), Err(SecError::BadMic));
+    }
+}

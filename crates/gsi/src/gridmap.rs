@@ -1,0 +1,161 @@
+//! The gridmap file: authorization of authenticated identities.
+//!
+//! GSI separates authentication (who are you, globally) from authorization
+//! (what may you do here). Each GDMP site holds a gridmap mapping grid DNs
+//! to local accounts, plus per-operation access control for the four GDMP
+//! client services (subscribe, publish, fetch catalog, transfer files).
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::name::DistinguishedName;
+
+/// The operations a GDMP site authorizes individually (Section 4.1 lists
+/// the four client services; `Admin` covers catalog repair and deletion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operation {
+    Subscribe,
+    Publish,
+    FetchCatalog,
+    Transfer,
+    Admin,
+}
+
+impl Operation {
+    pub const ALL: [Operation; 5] = [
+        Operation::Subscribe,
+        Operation::Publish,
+        Operation::FetchCatalog,
+        Operation::Transfer,
+        Operation::Admin,
+    ];
+}
+
+/// Authorization outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthzError {
+    UnknownIdentity(DistinguishedName),
+    Denied { who: DistinguishedName, op: Operation },
+}
+
+impl std::fmt::Display for AuthzError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuthzError::UnknownIdentity(dn) => write!(f, "no gridmap entry for {dn}"),
+            AuthzError::Denied { who, op } => write!(f, "{who} not authorized for {op:?}"),
+        }
+    }
+}
+
+impl std::error::Error for AuthzError {}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Entry {
+    local_user: String,
+    allowed: HashSet<Operation>,
+}
+
+/// A site's gridmap: DN → (local account, allowed operations).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GridMap {
+    entries: HashMap<DistinguishedName, Entry>,
+}
+
+impl GridMap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Map `dn` to `local_user` with the given operations.
+    pub fn add(&mut self, dn: DistinguishedName, local_user: &str, ops: &[Operation]) {
+        self.entries.insert(
+            dn,
+            Entry { local_user: local_user.to_string(), allowed: ops.iter().copied().collect() },
+        );
+    }
+
+    /// Map `dn` with every operation allowed.
+    pub fn add_full(&mut self, dn: DistinguishedName, local_user: &str) {
+        self.add(dn, local_user, &Operation::ALL);
+    }
+
+    pub fn remove(&mut self, dn: &DistinguishedName) -> bool {
+        self.entries.remove(dn).is_some()
+    }
+
+    /// Authorize `dn` for `op`; on success return the local account name.
+    pub fn authorize(&self, dn: &DistinguishedName, op: Operation) -> Result<&str, AuthzError> {
+        let entry = self
+            .entries
+            .get(dn)
+            .ok_or_else(|| AuthzError::UnknownIdentity(dn.clone()))?;
+        if entry.allowed.contains(&op) {
+            Ok(&entry.local_user)
+        } else {
+            Err(AuthzError::Denied { who: dn.clone(), op })
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alice() -> DistinguishedName {
+        DistinguishedName::user("cern.ch", "alice")
+    }
+
+    #[test]
+    fn authorize_known_user() {
+        let mut gm = GridMap::new();
+        gm.add(alice(), "alice_local", &[Operation::Subscribe, Operation::Transfer]);
+        assert_eq!(gm.authorize(&alice(), Operation::Transfer), Ok("alice_local"));
+    }
+
+    #[test]
+    fn deny_missing_operation() {
+        let mut gm = GridMap::new();
+        gm.add(alice(), "alice_local", &[Operation::Subscribe]);
+        assert!(matches!(
+            gm.authorize(&alice(), Operation::Publish),
+            Err(AuthzError::Denied { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_identity_rejected() {
+        let gm = GridMap::new();
+        assert!(matches!(
+            gm.authorize(&alice(), Operation::Subscribe),
+            Err(AuthzError::UnknownIdentity(_))
+        ));
+    }
+
+    #[test]
+    fn removal_revokes() {
+        let mut gm = GridMap::new();
+        gm.add_full(alice(), "alice_local");
+        assert!(gm.authorize(&alice(), Operation::Admin).is_ok());
+        assert!(gm.remove(&alice()));
+        assert!(gm.authorize(&alice(), Operation::Admin).is_err());
+        assert!(!gm.remove(&alice()));
+    }
+
+    #[test]
+    fn full_access_covers_all_ops() {
+        let mut gm = GridMap::new();
+        gm.add_full(alice(), "a");
+        for op in Operation::ALL {
+            assert!(gm.authorize(&alice(), op).is_ok());
+        }
+    }
+}

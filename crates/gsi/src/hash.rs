@@ -1,0 +1,69 @@
+//! Toy keyed digest used for the simulated signatures.
+//!
+//! FNV-1a over the message, folded with the key. Deterministic, fast, and
+//! with exactly the property the simulation needs: any change to message or
+//! key changes the digest with overwhelming probability.
+
+/// 64-bit FNV-1a.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Keyed digest: key is mixed in before and after the message so neither
+/// prefix nor suffix extension trivially collides.
+pub fn keyed_digest(key: u64, data: &[u8]) -> u64 {
+    let mut h = fnv1a(&key.to_le_bytes());
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= key.rotate_left(17);
+    h.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Fold several fields into one digest input.
+pub fn concat_fields(fields: &[&[u8]]) -> Vec<u8> {
+    let total: usize = fields.iter().map(|f| f.len() + 8).sum();
+    let mut out = Vec::with_capacity(total);
+    for f in fields {
+        // Length-prefix each field so ("ab","c") != ("a","bc").
+        out.extend_from_slice(&(f.len() as u64).to_le_bytes());
+        out.extend_from_slice(f);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_vector() {
+        // FNV-1a("") is the offset basis.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+
+    #[test]
+    fn keyed_digest_depends_on_key_and_data() {
+        let d = keyed_digest(1, b"hello");
+        assert_ne!(d, keyed_digest(2, b"hello"));
+        assert_ne!(d, keyed_digest(1, b"hellp"));
+        assert_eq!(d, keyed_digest(1, b"hello"));
+    }
+
+    #[test]
+    fn concat_fields_is_injective_on_boundaries() {
+        assert_ne!(
+            concat_fields(&[b"ab", b"c"]),
+            concat_fields(&[b"a", b"bc"]),
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! # gdmp-gsi — simulated Grid Security Infrastructure
+//!
+//! GDMP authenticates every client request and every GridFTP channel with
+//! GSI: X.509 certificates signed by trusted CAs, short-lived *proxy*
+//! certificates for single sign-on, delegation chains, and a gridmap file
+//! mapping distinguished names to local accounts.
+//!
+//! This crate reproduces that trust **structure** — certificate chains,
+//! expiry, proxy delegation depth, mutual authentication, per-operation
+//! authorization — over a deliberately toy signature scheme.
+//!
+//! ## ⚠️ Not cryptography
+//!
+//! The "signatures" here are keyed hashes with no cryptographic strength,
+//! sufficient only to make *honest-but-buggy* code fail the same way real
+//! GSI would (wrong issuer, expired proxy, over-deep delegation, tampered
+//! token). Do not use this crate to protect anything.
+
+pub mod cert;
+pub mod context;
+pub mod gridmap;
+pub mod hash;
+pub mod name;
+pub mod proxy;
+
+pub use cert::{Certificate, CertificateAuthority, KeyPair, ValidationError};
+pub use context::{SecError, SecurityContext};
+pub use gridmap::{GridMap, Operation};
+pub use name::DistinguishedName;
+pub use proxy::{CredentialChain, ProxyError};
+
+/// Simulated wall-clock seconds used for certificate lifetimes. The grid
+/// clock is supplied by callers; this crate never reads real time.
+pub type GsiTime = u64;

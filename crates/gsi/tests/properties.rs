@@ -1,0 +1,108 @@
+//! Property tests for the GSI simulation: delegation chains of arbitrary
+//! depth validate correctly, tampering is always detected, and DN parsing
+//! is total.
+
+use proptest::prelude::*;
+
+use gdmp_gsi::cert::{CertificateAuthority, KeyPair};
+use gdmp_gsi::context::SecurityContext;
+use gdmp_gsi::name::DistinguishedName;
+use gdmp_gsi::proxy::{CredentialChain, ProxyError};
+
+fn ca() -> CertificateAuthority {
+    CertificateAuthority::new(DistinguishedName::user("grid", "Prop CA"), 1, 0, 1_000_000)
+}
+
+fn user(ca: &CertificateAuthority, seed: u64) -> CredentialChain {
+    let keys = KeyPair::from_seed(seed);
+    CredentialChain::end_entity(
+        ca.issue(DistinguishedName::user("cern.ch", "alice"), keys.public, 0, 900_000),
+        keys,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A delegation chain of any permitted depth validates; one step past
+    /// the limit is refused.
+    #[test]
+    fn delegation_depth_respected(limit in 0u32..6, extra in 0u32..3) {
+        let ca = ca();
+        let mut cred = user(&ca, 2);
+        // First proxy sets the budget; each further proxy consumes one.
+        let depth = limit + 1; // proxies we can create in total
+        let mut created = 0u32;
+        for i in 0..depth + extra {
+            match cred.delegate(100 + u64::from(i), 0, 1000, limit) {
+                Ok(next) => {
+                    created += 1;
+                    cred = next;
+                    prop_assert_eq!(cred.validate(ca.public_key(), 10), Ok(()));
+                }
+                Err(ProxyError::DepthExceeded) => break,
+                Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+            }
+        }
+        prop_assert!(created <= depth, "created {created} proxies with budget {depth}");
+        prop_assert!(created >= depth.min(1), "could not create the first proxy");
+    }
+
+    /// Flipping any certificate field of any chain member breaks
+    /// validation.
+    #[test]
+    fn tampering_always_detected(
+        hops in 1usize..4,
+        victim_choice in any::<u8>(),
+        field in 0u8..4,
+    ) {
+        let ca = ca();
+        let mut cred = user(&ca, 2);
+        for i in 0..hops {
+            cred = cred.delegate(200 + i as u64, 0, 1000, 8).unwrap();
+        }
+        prop_assert_eq!(cred.validate(ca.public_key(), 10), Ok(()));
+        let victim = usize::from(victim_choice) % cred.chain.len();
+        match field {
+            0 => cred.chain[victim].public_key ^= 1,
+            1 => cred.chain[victim].valid_to += 1,
+            2 => cred.chain[victim].delegation_limit ^= 1,
+            _ => cred.chain[victim].signature ^= 1,
+        }
+        prop_assert!(
+            cred.validate(ca.public_key(), 10).is_err(),
+            "tampered field {field} on cert {victim} went undetected"
+        );
+    }
+
+    /// DN parsing never panics, and every successfully parsed DN
+    /// round-trips through Display.
+    #[test]
+    fn dn_parse_total(s in ".{0,80}") {
+        if let Ok(dn) = DistinguishedName::parse(&s) {
+            let re = DistinguishedName::parse(&dn.to_string()).unwrap();
+            prop_assert_eq!(re, dn);
+        }
+    }
+
+    /// Contexts established at any valid time agree on MICs both ways,
+    /// and never validate each other's messages as their own.
+    #[test]
+    fn mic_agreement(now in 1u64..899_000, nonce in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let ca = ca();
+        let alice = user(&ca, 2);
+        let bob_keys = KeyPair::from_seed(3);
+        let bob = CredentialChain::end_entity(
+            ca.issue(DistinguishedName::user("anl.gov", "bob"), bob_keys.public, 0, 900_000),
+            bob_keys,
+        );
+        let (ci, ca_ctx) = SecurityContext::establish(&alice, &bob, ca.public_key(), now, nonce).unwrap();
+        let mic = ci.mic(&msg);
+        prop_assert_eq!(ca_ctx.verify_mic(&msg, mic), Ok(()));
+        if !msg.is_empty() {
+            let mut tampered = msg.clone();
+            tampered[0] ^= 1;
+            prop_assert!(ca_ctx.verify_mic(&tampered, mic).is_err());
+        }
+    }
+}

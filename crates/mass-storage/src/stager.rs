@@ -1,0 +1,187 @@
+//! The staging queue: concurrent stage requests contending for tape drives.
+//!
+//! Section 4.4: "A file staging facility is necessary if disk space is
+//! limited and many users request files concurrently." A real MSS serves
+//! stage requests from a queue bounded by its drive count; later requests
+//! wait. [`StagingQueue`] computes per-request completion times for a batch
+//! of requests under that contention — the latency a GDMP server quotes
+//! before starting the disk-to-disk transfer.
+
+use gdmp_simnet::time::{SimDuration, SimTime};
+
+use crate::tape::{TapeError, TapeLibrary};
+
+/// One stage request in a batch.
+#[derive(Debug, Clone)]
+pub struct StageRequest {
+    pub file: String,
+    /// When the request arrives at the MSS.
+    pub arrival: SimTime,
+}
+
+/// The outcome of one request after queueing.
+#[derive(Debug, Clone)]
+pub struct StageCompletion {
+    pub file: String,
+    pub arrival: SimTime,
+    /// When a drive picked the request up.
+    pub started: SimTime,
+    /// When the file was fully on disk.
+    pub completed: SimTime,
+    /// Pure service time (mount + seek + stream) excluding queueing.
+    pub service: SimDuration,
+}
+
+impl StageCompletion {
+    /// Time spent waiting for a drive.
+    pub fn queue_delay(&self) -> SimDuration {
+        self.started.since(self.arrival)
+    }
+
+    /// Total request latency.
+    pub fn latency(&self) -> SimDuration {
+        self.completed.since(self.arrival)
+    }
+}
+
+/// A FIFO staging queue over the library's drives.
+///
+/// Service model: each drive serves one request at a time; a request's
+/// service time is whatever the library charges for the stage (mount if
+/// its tape is cold, seek, stream). Requests are dispatched FIFO to the
+/// earliest-free drive.
+pub struct StagingQueue<'a> {
+    library: &'a mut TapeLibrary,
+    drives: usize,
+}
+
+impl<'a> StagingQueue<'a> {
+    pub fn new(library: &'a mut TapeLibrary, drives: usize) -> Self {
+        assert!(drives > 0, "need at least one drive");
+        StagingQueue { library, drives }
+    }
+
+    /// Serve a batch of requests FIFO (by arrival time, ties by file name).
+    /// Returns completions in service order.
+    pub fn serve(&mut self, mut requests: Vec<StageRequest>) -> Result<Vec<StageCompletion>, TapeError> {
+        requests.sort_by(|a, b| a.arrival.cmp(&b.arrival).then_with(|| a.file.cmp(&b.file)));
+        // Earliest-free time per drive.
+        let mut free_at = vec![SimTime::ZERO; self.drives];
+        let mut out = Vec::with_capacity(requests.len());
+        for req in requests {
+            // Earliest-free drive (deterministic: lowest index wins ties).
+            let (drive, &at) = free_at
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, t)| (**t, *i))
+                .expect("at least one drive");
+            let started = at.max(req.arrival);
+            let (_, service) = self.library.stage(&req.file)?;
+            let completed = started + service;
+            free_at[drive] = completed;
+            out.push(StageCompletion {
+                file: req.file,
+                arrival: req.arrival,
+                started,
+                completed,
+                service,
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::TapeSpec;
+    use bytes::Bytes;
+
+    fn library_with(files: usize, size: usize, drives: usize) -> TapeLibrary {
+        let mut lib = TapeLibrary::new(TapeSpec {
+            mount_time: SimDuration::from_secs(10),
+            seek_bytes_per_sec: 1_000_000_000,
+            stream_bytes_per_sec: 10_000_000,
+            drives,
+            tape_capacity: 1 << 40,
+        });
+        for i in 0..files {
+            lib.archive(&format!("f{i}"), Bytes::from(vec![0u8; size])).unwrap();
+        }
+        lib
+    }
+
+    fn burst(n: usize) -> Vec<StageRequest> {
+        (0..n)
+            .map(|i| StageRequest { file: format!("f{i}"), arrival: SimTime::ZERO })
+            .collect()
+    }
+
+    #[test]
+    fn single_drive_serializes_requests() {
+        let mut lib = library_with(4, 10_000_000, 1);
+        let mut q = StagingQueue::new(&mut lib, 1);
+        let done = q.serve(burst(4)).unwrap();
+        assert_eq!(done.len(), 4);
+        // Each file streams 1 s (10 MB at 10 MB/s); queue delays grow.
+        for w in done.windows(2) {
+            assert!(w[1].started >= w[0].completed, "overlap on a single drive");
+        }
+        assert_eq!(done[0].queue_delay(), SimDuration::ZERO);
+        assert!(done[3].queue_delay() > done[1].queue_delay());
+    }
+
+    #[test]
+    fn more_drives_cut_queueing() {
+        let slow = {
+            let mut lib = library_with(6, 10_000_000, 1);
+            let mut q = StagingQueue::new(&mut lib, 1);
+            let done = q.serve(burst(6)).unwrap();
+            done.iter().map(|c| c.latency().nanos()).max().unwrap()
+        };
+        let fast = {
+            let mut lib = library_with(6, 10_000_000, 3);
+            let mut q = StagingQueue::new(&mut lib, 3);
+            let done = q.serve(burst(6)).unwrap();
+            done.iter().map(|c| c.latency().nanos()).max().unwrap()
+        };
+        assert!(
+            fast * 2 < slow,
+            "3 drives ({fast} ns) should at least halve the 1-drive makespan ({slow} ns)"
+        );
+    }
+
+    #[test]
+    fn late_arrivals_wait_for_their_arrival() {
+        let mut lib = library_with(2, 1_000_000, 2);
+        let mut q = StagingQueue::new(&mut lib, 2);
+        let reqs = vec![
+            StageRequest { file: "f0".into(), arrival: SimTime::ZERO },
+            StageRequest {
+                file: "f1".into(),
+                arrival: SimTime::ZERO + SimDuration::from_secs(100),
+            },
+        ];
+        let done = q.serve(reqs).unwrap();
+        assert_eq!(done[1].started.as_secs_f64(), 100.0, "no time travel");
+        assert_eq!(done[1].queue_delay(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn unknown_file_aborts_batch() {
+        let mut lib = library_with(1, 1000, 1);
+        let mut q = StagingQueue::new(&mut lib, 1);
+        let reqs = vec![StageRequest { file: "ghost".into(), arrival: SimTime::ZERO }];
+        assert!(q.serve(reqs).is_err());
+    }
+
+    #[test]
+    fn fifo_order_is_deterministic_on_ties() {
+        let run = || {
+            let mut lib = library_with(4, 1000, 2);
+            let mut q = StagingQueue::new(&mut lib, 2);
+            q.serve(burst(4)).unwrap().into_iter().map(|c| c.file).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests: the disk pool's accounting invariants hold under
+//! arbitrary operation sequences, and the HRM never loses archived data.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use gdmp_mass_storage::hrm::HierarchicalStorage;
+use gdmp_mass_storage::pool::{DiskPool, EvictionPolicy};
+use gdmp_mass_storage::tape::TapeSpec;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, u16),
+    Get(u8),
+    Pin(u8),
+    Unpin(u8),
+    Remove(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), 1u16..400).prop_map(|(n, s)| Op::Put(n, s)),
+        any::<u8>().prop_map(Op::Get),
+        any::<u8>().prop_map(Op::Pin),
+        any::<u8>().prop_map(Op::Unpin),
+        any::<u8>().prop_map(Op::Remove),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Used bytes never exceed capacity; used always equals the sum of
+    /// resident file sizes; pinned files never vanish.
+    #[test]
+    fn pool_accounting_invariants(
+        capacity in 500u64..3000,
+        ops in proptest::collection::vec(arb_op(), 1..128),
+        policy in prop_oneof![Just(EvictionPolicy::Lru), Just(EvictionPolicy::Fifo)],
+    ) {
+        let mut pool = DiskPool::new(capacity, policy);
+        let mut pinned: std::collections::HashMap<String, u32> = Default::default();
+        for op in ops {
+            match op {
+                Op::Put(n, size) => {
+                    let _ = pool.put(&format!("f{n}"), Bytes::from(vec![0u8; size as usize]));
+                }
+                Op::Get(n) => {
+                    let _ = pool.get(&format!("f{n}"));
+                }
+                Op::Pin(n) => {
+                    let name = format!("f{n}");
+                    if pool.pin(&name).is_ok() {
+                        *pinned.entry(name).or_insert(0) += 1;
+                    }
+                }
+                Op::Unpin(n) => {
+                    let name = format!("f{n}");
+                    if pool.unpin(&name).is_ok() {
+                        let c = pinned.get_mut(&name).expect("unpin succeeded only if pinned");
+                        *c -= 1;
+                        if *c == 0 {
+                            pinned.remove(&name);
+                        }
+                    }
+                }
+                Op::Remove(n) => {
+                    let name = format!("f{n}");
+                    if pool.remove(&name).is_ok() {
+                        prop_assert!(!pinned.contains_key(&name), "removed a pinned file");
+                    }
+                }
+            }
+            // Invariants after every operation:
+            prop_assert!(pool.used() <= pool.capacity());
+            let sum: u64 = pool
+                .file_names()
+                .iter()
+                .map(|f| pool.size_of(f).expect("listed file has a size"))
+                .sum();
+            prop_assert_eq!(pool.used(), sum);
+            for name in pinned.keys() {
+                prop_assert!(pool.contains(name), "pinned file {name} evicted");
+                prop_assert!(pool.is_pinned(name));
+            }
+        }
+    }
+
+    /// Write-through HRM: anything stored with archive=true remains
+    /// retrievable forever, no matter the eviction churn.
+    #[test]
+    fn archived_files_never_lost(
+        pool_capacity in 300u64..1200,
+        files in proptest::collection::vec((any::<u8>(), 50u16..300), 1..40),
+    ) {
+        let mut hrm = HierarchicalStorage::new(
+            pool_capacity,
+            EvictionPolicy::Lru,
+            TapeSpec::classic(),
+        );
+        let mut stored: std::collections::HashMap<String, u8> = Default::default();
+        for (tag, size) in files {
+            let name = format!("f{tag}");
+            if stored.contains_key(&name) {
+                continue;
+            }
+            if size as u64 > pool_capacity {
+                continue;
+            }
+            if hrm.store(&name, Bytes::from(vec![tag; size as usize]), true).is_ok() {
+                stored.insert(name, tag);
+            }
+        }
+        for (name, tag) in &stored {
+            let out = hrm.request(name).unwrap_or_else(|e| panic!("lost {name}: {e}"));
+            prop_assert!(out.data.iter().all(|b| b == tag));
+        }
+    }
+}

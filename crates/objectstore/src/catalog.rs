@@ -1,0 +1,346 @@
+//! The catalog chain of Figure 1.
+//!
+//! Mapping the application-level view to storage happens in three steps:
+//!
+//! 1. **application metadata catalog** ([`TagCatalog`]) — an application
+//!    description (a physics selection tag) resolves to a set of object
+//!    identifiers;
+//! 2. **object-to-file catalog** ([`ObjectFileCatalog`]) — object ids
+//!    resolve to the file names that hold them (the "global view" /
+//!    "large location table" of \[HoSt00\]);
+//! 3. the **file replica catalog** (crate `gdmp-replica-catalog`) — file
+//!    names resolve to physical site locations.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::model::{LogicalOid, ObjectKind};
+
+/// Step 1: named event selections ("the 10⁶ events where the sought-after
+/// phenomenon occurred").
+#[derive(Debug, Clone, Default)]
+pub struct TagCatalog {
+    tags: BTreeMap<String, Vec<u64>>,
+}
+
+impl TagCatalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Define (or replace) a selection tag over event numbers.
+    pub fn define(&mut self, tag: &str, mut events: Vec<u64>) {
+        events.sort_unstable();
+        events.dedup();
+        self.tags.insert(tag.to_string(), events);
+    }
+
+    /// Narrow an existing tag with a predicate, producing a new tag —
+    /// one step of the selection cascade (Section 5.1).
+    pub fn refine<F: FnMut(u64) -> bool>(
+        &mut self,
+        from: &str,
+        to: &str,
+        mut keep: F,
+    ) -> Option<usize> {
+        let events: Vec<u64> = self.tags.get(from)?.iter().copied().filter(|&e| keep(e)).collect();
+        let n = events.len();
+        self.tags.insert(to.to_string(), events);
+        Some(n)
+    }
+
+    pub fn events(&self, tag: &str) -> Option<&[u64]> {
+        self.tags.get(tag).map(Vec::as_slice)
+    }
+
+    /// "The corresponding set of 10⁶ objects of some type X": the object
+    /// ids an analysis step needs, specified up front (Section 5.2).
+    pub fn objects(&self, tag: &str, kind: ObjectKind) -> Option<Vec<LogicalOid>> {
+        Some(self.tags.get(tag)?.iter().map(|&e| LogicalOid::new(e, kind)).collect())
+    }
+
+    pub fn tags(&self) -> Vec<&str> {
+        self.tags.keys().map(String::as_str).collect()
+    }
+}
+
+/// Step 2: the global object→file location table.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectFileCatalog {
+    by_object: HashMap<LogicalOid, BTreeSet<String>>,
+    by_file: BTreeMap<String, Vec<LogicalOid>>,
+    /// Collective lookups served (the scalability-critical operation).
+    pub lookups: u64,
+}
+
+impl ObjectFileCatalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `file` holds `objects` (called when a file is produced,
+    /// replicated in, or created by the object copier).
+    pub fn record_file(&mut self, file: &str, objects: &[LogicalOid]) {
+        let entry = self.by_file.entry(file.to_string()).or_default();
+        for &o in objects {
+            entry.push(o);
+            self.by_object.entry(o).or_default().insert(file.to_string());
+        }
+    }
+
+    /// Remove a file (deleted or retired) from the table.
+    pub fn forget_file(&mut self, file: &str) {
+        if let Some(objects) = self.by_file.remove(file) {
+            for o in objects {
+                if let Some(files) = self.by_object.get_mut(&o) {
+                    files.remove(file);
+                    if files.is_empty() {
+                        self.by_object.remove(&o);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Files holding one object.
+    pub fn files_of(&self, o: LogicalOid) -> Vec<&str> {
+        self.by_object
+            .get(&o)
+            .map(|s| s.iter().map(String::as_str).collect())
+            .unwrap_or_default()
+    }
+
+    /// Objects recorded for one file.
+    pub fn objects_in(&self, file: &str) -> &[LogicalOid] {
+        self.by_file.get(file).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    pub fn file_count(&self) -> usize {
+        self.by_file.len()
+    }
+
+    pub fn object_count(&self) -> usize {
+        self.by_object.len()
+    }
+
+    /// "One single collective lookup operation on the global view"
+    /// (Section 5.2): resolve a whole request at once, returning
+    /// `(file → objects of the request found in it, unresolved objects)`.
+    pub fn collective_lookup(
+        &mut self,
+        wanted: &[LogicalOid],
+    ) -> (BTreeMap<String, Vec<LogicalOid>>, Vec<LogicalOid>) {
+        self.lookups += 1;
+        let mut per_file: BTreeMap<String, Vec<LogicalOid>> = BTreeMap::new();
+        let mut missing = Vec::new();
+        for &o in wanted {
+            match self.by_object.get(&o).and_then(|files| files.iter().next()) {
+                Some(f) => per_file.entry(f.clone()).or_default().push(o),
+                None => missing.push(o),
+            }
+        }
+        (per_file, missing)
+    }
+
+    /// Serializable snapshot of the file→objects table — the contents of
+    /// the "index files" of Section 5.2, which are themselves replicated
+    /// between sites with ordinary file replication.
+    pub fn snapshot(&self) -> Vec<(String, Vec<LogicalOid>)> {
+        self.by_file.iter().map(|(f, o)| (f.clone(), o.clone())).collect()
+    }
+
+    /// Merge a snapshot (from a replicated index file) into this view.
+    /// Files already known locally are skipped. Returns files added.
+    pub fn merge_snapshot(&mut self, snapshot: &[(String, Vec<LogicalOid>)]) -> usize {
+        let mut added = 0;
+        for (file, objects) in snapshot {
+            if !self.by_file.contains_key(file) {
+                self.record_file(file, objects);
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Rebuild a catalog from a snapshot.
+    pub fn from_snapshot(snapshot: &[(String, Vec<LogicalOid>)]) -> Self {
+        let mut c = ObjectFileCatalog::new();
+        c.merge_snapshot(snapshot);
+        c
+    }
+
+    /// Greedy minimum-ish file cover: the smallest set of whole files that
+    /// together contain every wanted object — what *file-level* replication
+    /// would have to ship (Section 5.1's thought experiment). Returns
+    /// `(files, covered, total_bytes_of_cover)` where `bytes_of` gives each
+    /// file's size.
+    pub fn greedy_file_cover<F: Fn(&str) -> u64>(
+        &self,
+        wanted: &[LogicalOid],
+        bytes_of: F,
+    ) -> FileCover {
+        let wanted_set: BTreeSet<LogicalOid> = wanted.iter().copied().collect();
+        let mut uncovered = wanted_set.clone();
+        let mut chosen = Vec::new();
+        let mut total_bytes = 0u64;
+        while !uncovered.is_empty() {
+            // Pick the file covering the most uncovered objects per byte.
+            let best = self
+                .by_file
+                .iter()
+                .filter_map(|(f, objs)| {
+                    let gain = objs.iter().filter(|o| uncovered.contains(o)).count();
+                    if gain == 0 {
+                        return None;
+                    }
+                    let size = bytes_of(f).max(1);
+                    Some((f.clone(), gain, size))
+                })
+                .max_by(|(fa, ga, sa), (fb, gb, sb)| {
+                    // gain/size, deterministic tie-break on name.
+                    let x = (*ga as u128 * *sb as u128).cmp(&(*gb as u128 * *sa as u128));
+                    x.then_with(|| fb.cmp(fa))
+                });
+            match best {
+                None => break, // some objects exist in no file
+                Some((f, _, size)) => {
+                    for o in self.by_file[&f].iter() {
+                        uncovered.remove(o);
+                    }
+                    total_bytes += size;
+                    chosen.push(f);
+                }
+            }
+        }
+        FileCover {
+            files: chosen,
+            uncovered: uncovered.into_iter().collect(),
+            total_bytes,
+        }
+    }
+}
+
+/// Result of [`ObjectFileCatalog::greedy_file_cover`].
+#[derive(Debug, Clone)]
+pub struct FileCover {
+    pub files: Vec<String>,
+    /// Wanted objects not present in any file.
+    pub uncovered: Vec<LogicalOid>,
+    /// Total bytes of the chosen files.
+    pub total_bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lo(e: u64) -> LogicalOid {
+        LogicalOid::new(e, ObjectKind::Aod)
+    }
+
+    #[test]
+    fn tag_define_and_objects() {
+        let mut t = TagCatalog::new();
+        t.define("hot", vec![5, 1, 3, 3]);
+        assert_eq!(t.events("hot").unwrap(), &[1, 3, 5]);
+        let objs = t.objects("hot", ObjectKind::Esd).unwrap();
+        assert_eq!(objs.len(), 3);
+        assert_eq!(objs[0], LogicalOid::new(1, ObjectKind::Esd));
+        assert!(t.events("cold").is_none());
+    }
+
+    #[test]
+    fn cascade_refinement() {
+        let mut t = TagCatalog::new();
+        t.define("all", (0..1000).collect());
+        let n1 = t.refine("all", "step1", |e| e % 10 == 0).unwrap();
+        let n2 = t.refine("step1", "step2", |e| e % 100 == 0).unwrap();
+        assert_eq!(n1, 100);
+        assert_eq!(n2, 10);
+        assert_eq!(t.tags().len(), 3);
+    }
+
+    #[test]
+    fn record_and_lookup() {
+        let mut c = ObjectFileCatalog::new();
+        c.record_file("a.db", &[lo(0), lo(1)]);
+        c.record_file("b.db", &[lo(1), lo(2)]);
+        assert_eq!(c.files_of(lo(1)).len(), 2);
+        assert_eq!(c.files_of(lo(9)).len(), 0);
+        let (per_file, missing) = c.collective_lookup(&[lo(0), lo(2), lo(9)]);
+        assert_eq!(per_file.len(), 2);
+        assert_eq!(missing, vec![lo(9)]);
+        assert_eq!(c.lookups, 1);
+    }
+
+    #[test]
+    fn forget_file_cleans_both_indexes() {
+        let mut c = ObjectFileCatalog::new();
+        c.record_file("a.db", &[lo(0), lo(1)]);
+        c.record_file("b.db", &[lo(1)]);
+        c.forget_file("a.db");
+        assert!(c.files_of(lo(0)).is_empty());
+        assert_eq!(c.files_of(lo(1)), vec!["b.db"]);
+        assert_eq!(c.file_count(), 1);
+        assert_eq!(c.object_count(), 1);
+    }
+
+    #[test]
+    fn greedy_cover_prefers_dense_files() {
+        let mut c = ObjectFileCatalog::new();
+        // One fat file holds everything; two lean files hold halves.
+        c.record_file("fat.db", &[lo(0), lo(1), lo(2), lo(3)]);
+        c.record_file("lean1.db", &[lo(0), lo(1)]);
+        c.record_file("lean2.db", &[lo(2), lo(3)]);
+        let sizes = |f: &str| match f {
+            "fat.db" => 400u64,
+            _ => 100,
+        };
+        // Wanting all 4: two lean files (200 B) beat one fat file (400 B)
+        // on gain/byte (2/100 > 4/400 is a tie → either is acceptable, but
+        // coverage must be complete and ≤ 400 B).
+        let cover = c.greedy_file_cover(&[lo(0), lo(1), lo(2), lo(3)], sizes);
+        assert!(cover.uncovered.is_empty());
+        assert!(cover.total_bytes <= 400);
+        // Wanting only lo(0): a lean file wins on bytes/gain.
+        let cover = c.greedy_file_cover(&[lo(0)], sizes);
+        assert_eq!(cover.files, vec!["lean1.db".to_string()]);
+        assert_eq!(cover.total_bytes, 100);
+    }
+
+    #[test]
+    fn cover_reports_unresolvable_objects() {
+        let mut c = ObjectFileCatalog::new();
+        c.record_file("a.db", &[lo(0)]);
+        let cover = c.greedy_file_cover(&[lo(0), lo(7)], |_| 10);
+        assert_eq!(cover.uncovered, vec![lo(7)]);
+        assert_eq!(cover.files, vec!["a.db".to_string()]);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_and_merge() {
+        let mut c = ObjectFileCatalog::new();
+        c.record_file("a.db", &[lo(0), lo(1)]);
+        c.record_file("b.db", &[lo(2)]);
+        let snap = c.snapshot();
+        let rebuilt = ObjectFileCatalog::from_snapshot(&snap);
+        assert_eq!(rebuilt.file_count(), 2);
+        assert_eq!(rebuilt.files_of(lo(1)), vec!["a.db"]);
+        // Merge is idempotent and additive.
+        let mut other = ObjectFileCatalog::new();
+        other.record_file("b.db", &[lo(2)]);
+        assert_eq!(other.merge_snapshot(&snap), 1, "only a.db is new");
+        assert_eq!(other.merge_snapshot(&snap), 0);
+        assert_eq!(other.object_count(), 3);
+    }
+
+    #[test]
+    fn cover_is_deterministic() {
+        let build = || {
+            let mut c = ObjectFileCatalog::new();
+            c.record_file("x.db", &[lo(0), lo(1)]);
+            c.record_file("y.db", &[lo(0), lo(1)]);
+            c.greedy_file_cover(&[lo(0), lo(1)], |_| 10).files
+        };
+        assert_eq!(build(), build());
+    }
+}

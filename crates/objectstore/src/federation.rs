@@ -1,0 +1,411 @@
+//! The federation: a site's local object persistency layer.
+//!
+//! An Objectivity-style federation is the per-site catalog of attached
+//! database files plus the object lookup that application code navigates
+//! through. Two GDMP touch-points live here:
+//!
+//! * **attach** — the post-processing step that integrates a replicated
+//!   file into the local federation's internal catalog (Section 4.1);
+//! * **navigation failure** — resolving an association whose target's file
+//!   is not attached locally fails, because "the object persistency layer
+//!   at the remote site has no awareness of the files in other sites"
+//!   (Section 2.1).
+
+use std::collections::{BTreeMap, HashMap};
+
+use bytes::Bytes;
+
+use crate::database::{CodecError, DatabaseFile};
+use crate::model::{Association, LogicalOid, Oid, StoredObject};
+use crate::schema::{SchemaError, SchemaRegistry};
+
+/// Federation-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FedError {
+    Codec(CodecError),
+    AlreadyAttached(String),
+    NotAttached(String),
+    UnknownObject(LogicalOid),
+    /// The association exists but its target's file is not attached here —
+    /// the paper's broken-navigation scenario.
+    NavigationFailed { from: LogicalOid, label: String, target: LogicalOid },
+    NoSuchAssociation { from: LogicalOid, label: String },
+    /// Attempt to overwrite an existing (logical, version) pair: objects
+    /// are read-only after creation.
+    ReadOnlyViolation(LogicalOid),
+    /// The file requires schema this federation has not imported yet —
+    /// pre-processing (Section 4.1) was skipped.
+    Schema(SchemaError),
+}
+
+impl std::fmt::Display for FedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FedError::Codec(e) => write!(f, "database image: {e}"),
+            FedError::AlreadyAttached(n) => write!(f, "already attached: {n}"),
+            FedError::NotAttached(n) => write!(f, "not attached: {n}"),
+            FedError::UnknownObject(l) => write!(f, "object not in federation: {l}"),
+            FedError::NavigationFailed { from, label, target } => write!(
+                f,
+                "navigation {from} --{label}--> {target} failed: target's file not attached"
+            ),
+            FedError::NoSuchAssociation { from, label } => {
+                write!(f, "object {from} has no association {label:?}")
+            }
+            FedError::ReadOnlyViolation(l) => {
+                write!(f, "object {l} is read-only; store a new version instead")
+            }
+            FedError::Schema(e) => write!(f, "schema: {e} (run pre-processing first)"),
+        }
+    }
+}
+
+impl std::error::Error for FedError {}
+
+impl From<CodecError> for FedError {
+    fn from(e: CodecError) -> Self {
+        FedError::Codec(e)
+    }
+}
+
+impl From<SchemaError> for FedError {
+    fn from(e: SchemaError) -> Self {
+        FedError::Schema(e)
+    }
+}
+
+/// A site's federation of attached database files.
+#[derive(Debug, Clone, Default)]
+pub struct Federation {
+    pub name: String,
+    next_db_id: u32,
+    attached: BTreeMap<String, DatabaseFile>,
+    /// logical → (file name, physical oid, version): highest version wins.
+    index: HashMap<LogicalOid, (String, Oid, u32)>,
+    /// The type descriptors this federation knows (attach precondition).
+    pub schema: SchemaRegistry,
+    /// Reads served through `get`/`navigate` (I/O accounting).
+    pub lookups: u64,
+}
+
+impl Federation {
+    pub fn new(name: &str) -> Self {
+        Federation {
+            name: name.to_string(),
+            next_db_id: 1,
+            schema: SchemaRegistry::hep_baseline(),
+            ..Default::default()
+        }
+    }
+
+    // ---- file lifecycle ----------------------------------------------------
+
+    /// Create a fresh, empty database file in this federation.
+    pub fn create_database(&mut self, file_name: &str) -> Result<(), FedError> {
+        if self.attached.contains_key(file_name) {
+            return Err(FedError::AlreadyAttached(file_name.to_string()));
+        }
+        let db = DatabaseFile::new(self.next_db_id, file_name);
+        self.next_db_id += 1;
+        self.attached.insert(file_name.to_string(), db);
+        Ok(())
+    }
+
+    /// Attach a database image produced elsewhere (GDMP post-processing).
+    /// The file's objects become navigable locally. Returns the file name.
+    pub fn attach(&mut self, image: Bytes) -> Result<String, FedError> {
+        let mut db = DatabaseFile::decode(image)?;
+        if self.attached.contains_key(&db.name) {
+            return Err(FedError::AlreadyAttached(db.name.clone()));
+        }
+        // Schema gate: the file's classes must be known here (Section 4.1
+        // pre-processing installs them).
+        self.schema.satisfies(&db.required_schema)?;
+        // Re-home the database id into this federation's id space.
+        db.db_id = self.next_db_id;
+        self.next_db_id += 1;
+        let name = db.name.clone();
+        for (oid, obj) in db.iter() {
+            Self::index_insert(&mut self.index, &name, oid, obj);
+        }
+        self.attached.insert(name.clone(), db);
+        Ok(name)
+    }
+
+    /// Detach a file (its objects stop being navigable); returns the image.
+    pub fn detach(&mut self, file_name: &str) -> Result<Bytes, FedError> {
+        let mut db = self
+            .attached
+            .remove(file_name)
+            .ok_or_else(|| FedError::NotAttached(file_name.to_string()))?;
+        db.required_schema = self.schema_requirements_of(&db);
+        let image = db.encode();
+        self.reindex();
+        Ok(image)
+    }
+
+    /// Serialize a file without detaching it — the source-side read GDMP
+    /// performs when replicating a (read-only) database file. The image is
+    /// stamped with the schema requirements of the kinds it contains.
+    pub fn export(&self, file_name: &str) -> Result<Bytes, FedError> {
+        let db = self
+            .attached
+            .get(file_name)
+            .ok_or_else(|| FedError::NotAttached(file_name.to_string()))?;
+        let mut stamped = db.clone();
+        stamped.required_schema = self.schema_requirements_of(db);
+        Ok(stamped.encode())
+    }
+
+    /// The `(type, version)` pairs a file needs, per this federation's
+    /// current registry.
+    pub fn schema_requirements_of(&self, db: &DatabaseFile) -> Vec<(String, u32)> {
+        let kinds: std::collections::BTreeSet<&'static str> =
+            db.iter().map(|(_, o)| o.logical.kind.name()).collect();
+        kinds
+            .into_iter()
+            .map(|k| (k.to_string(), self.schema.version_of(k).unwrap_or(1)))
+            .collect()
+    }
+
+    pub fn is_attached(&self, file_name: &str) -> bool {
+        self.attached.contains_key(file_name)
+    }
+
+    /// Attached file names, sorted.
+    pub fn files(&self) -> Vec<String> {
+        self.attached.keys().cloned().collect()
+    }
+
+    pub fn file(&self, file_name: &str) -> Option<&DatabaseFile> {
+        self.attached.get(file_name)
+    }
+
+    // ---- objects -----------------------------------------------------------
+
+    /// Store a new object into an attached file. Read-only rule: the same
+    /// (logical, version) may not be stored twice in this federation.
+    pub fn store(
+        &mut self,
+        file_name: &str,
+        container: u32,
+        obj: StoredObject,
+    ) -> Result<Oid, FedError> {
+        // Check read-only violation against every attached copy.
+        if let Some((_, _, v)) = self.index.get(&obj.logical) {
+            if *v >= obj.version {
+                return Err(FedError::ReadOnlyViolation(obj.logical));
+            }
+        }
+        let db = self
+            .attached
+            .get_mut(file_name)
+            .ok_or_else(|| FedError::NotAttached(file_name.to_string()))?;
+        let logical = obj.logical;
+        let version = obj.version;
+        let oid = db.insert(container, obj);
+        self.index.insert(logical, (file_name.to_string(), oid, version));
+        Ok(oid)
+    }
+
+    /// Fetch the (latest version of the) object with this logical id.
+    pub fn get(&mut self, logical: LogicalOid) -> Result<&StoredObject, FedError> {
+        self.lookups += 1;
+        let (file, oid, _) = self
+            .index
+            .get(&logical)
+            .ok_or(FedError::UnknownObject(logical))?;
+        Ok(self
+            .attached
+            .get(file)
+            .and_then(|db| db.get(*oid))
+            .expect("index points at attached object"))
+    }
+
+    pub fn contains(&self, logical: LogicalOid) -> bool {
+        self.index.contains_key(&logical)
+    }
+
+    /// Which attached file holds the object.
+    pub fn file_of(&self, logical: LogicalOid) -> Option<&str> {
+        self.index.get(&logical).map(|(f, _, _)| f.as_str())
+    }
+
+    /// Follow the association `label` from `from`. Fails with
+    /// [`FedError::NavigationFailed`] when the target's file is not
+    /// attached here — the coupled-files problem of Section 2.1.
+    pub fn navigate(&mut self, from: LogicalOid, label: &str) -> Result<&StoredObject, FedError> {
+        let assoc: Association = {
+            let obj = self.get(from)?;
+            obj.assocs
+                .iter()
+                .find(|a| a.label == label)
+                .cloned()
+                .ok_or_else(|| FedError::NoSuchAssociation { from, label: label.to_string() })?
+        };
+        if !self.contains(assoc.target) {
+            return Err(FedError::NavigationFailed { from, label: label.to_string(), target: assoc.target });
+        }
+        self.get(assoc.target)
+    }
+
+    /// Total objects reachable in this federation.
+    pub fn object_count(&self) -> usize {
+        self.index.len()
+    }
+
+    fn index_insert(
+        index: &mut HashMap<LogicalOid, (String, Oid, u32)>,
+        file: &str,
+        oid: Oid,
+        obj: &StoredObject,
+    ) {
+        match index.get(&obj.logical) {
+            Some((_, _, v)) if *v >= obj.version => {}
+            _ => {
+                index.insert(obj.logical, (file.to_string(), oid, obj.version));
+            }
+        }
+    }
+
+    fn reindex(&mut self) {
+        self.index.clear();
+        for (name, db) in &self.attached {
+            for (oid, obj) in db.iter() {
+                Self::index_insert(&mut self.index, name, oid, obj);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{standard_assocs, synth_payload, ObjectKind};
+
+    fn obj(event: u64, kind: ObjectKind) -> StoredObject {
+        let logical = LogicalOid::new(event, kind);
+        StoredObject {
+            logical,
+            version: 1,
+            payload: synth_payload(logical, 1, kind.nominal_size().min(512)),
+            assocs: standard_assocs(logical),
+        }
+    }
+
+    fn fed_with_aods(events: std::ops::Range<u64>) -> Federation {
+        let mut fed = Federation::new("cms");
+        fed.create_database("aod.db").unwrap();
+        for e in events {
+            fed.store("aod.db", 0, obj(e, ObjectKind::Aod)).unwrap();
+        }
+        fed
+    }
+
+    #[test]
+    fn store_and_get() {
+        let mut fed = fed_with_aods(0..10);
+        let o = fed.get(LogicalOid::new(3, ObjectKind::Aod)).unwrap();
+        assert_eq!(o.logical.event, 3);
+        assert_eq!(fed.object_count(), 10);
+        assert!(matches!(
+            fed.get(LogicalOid::new(99, ObjectKind::Aod)),
+            Err(FedError::UnknownObject(_))
+        ));
+    }
+
+    #[test]
+    fn read_only_rule_blocks_same_version() {
+        let mut fed = fed_with_aods(0..1);
+        let dup = obj(0, ObjectKind::Aod);
+        assert!(matches!(
+            fed.store("aod.db", 0, dup),
+            Err(FedError::ReadOnlyViolation(_))
+        ));
+        // A newer version is the sanctioned way to change content.
+        let mut v2 = obj(0, ObjectKind::Aod);
+        v2.version = 2;
+        fed.store("aod.db", 0, v2).unwrap();
+        assert_eq!(fed.get(LogicalOid::new(0, ObjectKind::Aod)).unwrap().version, 2);
+    }
+
+    #[test]
+    fn detach_attach_roundtrip_preserves_objects() {
+        let mut fed = fed_with_aods(0..5);
+        let image = fed.detach("aod.db").unwrap();
+        assert_eq!(fed.object_count(), 0);
+        let mut other = Federation::new("lyon");
+        let name = other.attach(image).unwrap();
+        assert_eq!(name, "aod.db");
+        assert_eq!(other.object_count(), 5);
+        assert_eq!(other.get(LogicalOid::new(4, ObjectKind::Aod)).unwrap().logical.event, 4);
+    }
+
+    #[test]
+    fn double_attach_rejected() {
+        let mut fed = fed_with_aods(0..2);
+        let image = fed.export("aod.db").unwrap();
+        assert!(matches!(fed.attach(image), Err(FedError::AlreadyAttached(_))));
+    }
+
+    #[test]
+    fn export_does_not_detach() {
+        let fed = fed_with_aods(0..2);
+        let img = fed.export("aod.db").unwrap();
+        assert!(!img.is_empty());
+        assert!(fed.is_attached("aod.db"));
+    }
+
+    #[test]
+    fn navigation_works_when_both_files_attached() {
+        let mut fed = fed_with_aods(0..3);
+        fed.create_database("esd.db").unwrap();
+        for e in 0..3 {
+            fed.store("esd.db", 0, obj(e, ObjectKind::Esd)).unwrap();
+        }
+        let esd = fed.navigate(LogicalOid::new(1, ObjectKind::Aod), "esd").unwrap();
+        assert_eq!(esd.logical, LogicalOid::new(1, ObjectKind::Esd));
+    }
+
+    #[test]
+    fn navigation_fails_without_associated_file() {
+        // The Section 2.1 scenario: AOD file replicated alone; ESD absent.
+        let mut fed = fed_with_aods(0..3);
+        let err = fed.navigate(LogicalOid::new(1, ObjectKind::Aod), "esd").unwrap_err();
+        assert!(matches!(err, FedError::NavigationFailed { .. }));
+    }
+
+    #[test]
+    fn navigation_unknown_label() {
+        let mut fed = fed_with_aods(0..1);
+        assert!(matches!(
+            fed.navigate(LogicalOid::new(0, ObjectKind::Aod), "bogus"),
+            Err(FedError::NoSuchAssociation { .. })
+        ));
+    }
+
+    #[test]
+    fn detach_reindexes_remaining_copies() {
+        // Same logical object in two files (replica within a site, e.g.
+        // after object replication created an extraction file).
+        let mut fed = fed_with_aods(0..1);
+        let img = {
+            let mut tmp = Federation::new("t");
+            tmp.create_database("copy.db").unwrap();
+            tmp.store("copy.db", 0, obj(0, ObjectKind::Aod)).unwrap();
+            tmp.export("copy.db").unwrap()
+        };
+        fed.attach(img).unwrap();
+        // Still resolvable after dropping either file.
+        fed.detach("aod.db").unwrap();
+        assert!(fed.contains(LogicalOid::new(0, ObjectKind::Aod)));
+        assert_eq!(fed.file_of(LogicalOid::new(0, ObjectKind::Aod)), Some("copy.db"));
+    }
+
+    #[test]
+    fn create_database_name_collision() {
+        let mut fed = Federation::new("x");
+        fed.create_database("a.db").unwrap();
+        assert!(matches!(fed.create_database("a.db"), Err(FedError::AlreadyAttached(_))));
+    }
+}

@@ -1,0 +1,233 @@
+//! Schema registry: typed object descriptors with versioning.
+//!
+//! Section 4.1's pre-processing step exists because a replicated database
+//! file can only be attached where the schema it was written under is
+//! known: "this step prepares the destination site for replication, for
+//! example by ... introducing new schema in a database management system
+//! so that the files that are to be replicated can be integrated easily
+//! into the existing Objectivity federation."
+//!
+//! A [`SchemaRegistry`] holds the type descriptors a federation knows;
+//! database files record which `(type, version)` pairs they require, and
+//! attaching fails until the destination has imported them.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Field types of a persistent class (enough structure to make version
+/// evolution meaningful).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FieldType {
+    U64,
+    F64,
+    Text,
+    Blob,
+    /// Reference to another persistent object.
+    OidRef,
+}
+
+/// One persistent class description.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TypeDescriptor {
+    pub name: String,
+    pub version: u32,
+    pub fields: Vec<(String, FieldType)>,
+}
+
+impl TypeDescriptor {
+    pub fn new(name: &str, version: u32, fields: &[(&str, FieldType)]) -> Self {
+        TypeDescriptor {
+            name: name.to_string(),
+            version,
+            fields: fields.iter().map(|(n, t)| ((*n).to_string(), *t)).collect(),
+        }
+    }
+}
+
+/// Schema errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// Registering an older (or conflicting same-version) descriptor.
+    VersionConflict { name: String, have: u32, offered: u32 },
+    /// A file requires types/versions this registry lacks.
+    Missing(Vec<(String, u32)>),
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemaError::VersionConflict { name, have, offered } => {
+                write!(f, "schema {name}: have v{have}, offered v{offered}")
+            }
+            SchemaError::Missing(m) => write!(f, "missing schema: {m:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// The set of type descriptors a federation knows.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchemaRegistry {
+    types: BTreeMap<String, TypeDescriptor>,
+}
+
+impl SchemaRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The baseline HEP schema every fresh federation knows: the four
+    /// event-object classes at version 1.
+    pub fn hep_baseline() -> Self {
+        let mut r = SchemaRegistry::new();
+        for kind in crate::model::ObjectKind::ALL {
+            r.register(TypeDescriptor::new(
+                kind.name(),
+                1,
+                &[("event", FieldType::U64), ("payload", FieldType::Blob), ("upstream", FieldType::OidRef)],
+            ))
+            .expect("fresh registry accepts baseline");
+        }
+        r
+    }
+
+    /// Register a descriptor. Newer versions replace older ones;
+    /// re-registering the identical descriptor is a no-op; anything else
+    /// is a conflict.
+    pub fn register(&mut self, desc: TypeDescriptor) -> Result<(), SchemaError> {
+        match self.types.get(&desc.name) {
+            None => {
+                self.types.insert(desc.name.clone(), desc);
+                Ok(())
+            }
+            Some(have) if have.version < desc.version => {
+                self.types.insert(desc.name.clone(), desc);
+                Ok(())
+            }
+            Some(have) if *have == desc => Ok(()),
+            Some(have) => Err(SchemaError::VersionConflict {
+                name: desc.name.clone(),
+                have: have.version,
+                offered: desc.version,
+            }),
+        }
+    }
+
+    pub fn get(&self, name: &str) -> Option<&TypeDescriptor> {
+        self.types.get(name)
+    }
+
+    pub fn version_of(&self, name: &str) -> Option<u32> {
+        self.types.get(name).map(|d| d.version)
+    }
+
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// Check that every `(name, version)` requirement is met (same or
+    /// newer version known).
+    pub fn satisfies(&self, required: &[(String, u32)]) -> Result<(), SchemaError> {
+        let missing: Vec<(String, u32)> = required
+            .iter()
+            .filter(|(name, v)| self.version_of(name).map_or(true, |have| have < *v))
+            .cloned()
+            .collect();
+        if missing.is_empty() {
+            Ok(())
+        } else {
+            Err(SchemaError::Missing(missing))
+        }
+    }
+
+    /// Import every descriptor from `other` that is newer than (or absent
+    /// from) this registry — the pre-processing "introduce new schema"
+    /// step. Returns how many descriptors changed.
+    pub fn import_from(&mut self, other: &SchemaRegistry) -> usize {
+        let mut changed = 0;
+        for desc in other.types.values() {
+            let newer = self
+                .version_of(&desc.name)
+                .map_or(true, |have| have < desc.version);
+            if newer {
+                self.types.insert(desc.name.clone(), desc.clone());
+                changed += 1;
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aod_v(version: u32) -> TypeDescriptor {
+        TypeDescriptor::new("aod", version, &[("event", FieldType::U64)])
+    }
+
+    #[test]
+    fn baseline_covers_all_kinds() {
+        let r = SchemaRegistry::hep_baseline();
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.version_of("aod"), Some(1));
+        assert_eq!(r.version_of("raw"), Some(1));
+        assert!(r.get("tag").unwrap().fields.len() >= 2);
+    }
+
+    #[test]
+    fn register_upgrades_but_never_downgrades() {
+        let mut r = SchemaRegistry::new();
+        r.register(aod_v(1)).unwrap();
+        r.register(aod_v(3)).unwrap();
+        assert_eq!(r.version_of("aod"), Some(3));
+        assert!(matches!(
+            r.register(aod_v(2)),
+            Err(SchemaError::VersionConflict { have: 3, offered: 2, .. })
+        ));
+        // Identical re-registration is fine (idempotent schema load).
+        r.register(aod_v(3)).unwrap();
+    }
+
+    #[test]
+    fn same_version_different_shape_conflicts() {
+        let mut r = SchemaRegistry::new();
+        r.register(aod_v(1)).unwrap();
+        let different =
+            TypeDescriptor::new("aod", 1, &[("event", FieldType::U64), ("extra", FieldType::F64)]);
+        assert!(matches!(r.register(different), Err(SchemaError::VersionConflict { .. })));
+    }
+
+    #[test]
+    fn satisfies_checks_versions() {
+        let mut r = SchemaRegistry::new();
+        r.register(aod_v(2)).unwrap();
+        r.satisfies(&[("aod".into(), 1)]).unwrap();
+        r.satisfies(&[("aod".into(), 2)]).unwrap();
+        let err = r.satisfies(&[("aod".into(), 3), ("esd".into(), 1)]).unwrap_err();
+        match err {
+            SchemaError::Missing(m) => assert_eq!(m.len(), 2),
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn import_brings_registry_up_to_date() {
+        let mut dst = SchemaRegistry::hep_baseline();
+        let mut src = SchemaRegistry::hep_baseline();
+        src.register(aod_v(2)).unwrap();
+        src.register(TypeDescriptor::new("jet", 1, &[("pt", FieldType::F64)])).unwrap();
+        let changed = dst.import_from(&src);
+        assert_eq!(changed, 2, "aod upgrade + new jet type");
+        assert_eq!(dst.version_of("aod"), Some(2));
+        assert_eq!(dst.version_of("jet"), Some(1));
+        // Second import is a no-op.
+        assert_eq!(dst.import_from(&src), 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! # gdmp-replica-catalog — Globus Replica Catalog and GDMP catalog service
+//!
+//! Reproduces Section 3.1 and Section 4.2 of the paper:
+//!
+//! * [`ldap`] — the simulated LDAP directory the catalog is stored in
+//!   (DN tree, multi-valued attributes, scoped search, RFC 2254 filters);
+//! * [`catalog`] — the Globus Replica Catalog objects: collections,
+//!   locations, logical file entries, and `locate` (all physical replicas
+//!   of a logical file — "the heart of the system");
+//! * [`service`] — GDMP's high-level wrapper: unique global namespace,
+//!   auto-created entries, sanity checks, metadata filters;
+//! * [`replicated`] — the paper's future work, prototyped: an LDAP
+//!   replica cluster with eager write propagation, read load-sharing,
+//!   failure and resynchronization.
+
+pub mod catalog;
+pub mod ldap;
+pub mod replicated;
+pub mod service;
+
+pub use catalog::{CatalogError, PhysicalLocation, ReplicaCatalog};
+pub use ldap::{Directory, Filter, LdapDn, LdapError, Scope};
+pub use replicated::{ClusterError, DirectoryCluster};
+pub use service::{FileMeta, ReplicaCatalogService, ReplicaInfo};

@@ -1,0 +1,118 @@
+//! Property tests: directory/catalog invariants hold under arbitrary
+//! operation sequences.
+
+use proptest::prelude::*;
+
+use gdmp_replica_catalog::ldap::{attrs, Directory, Filter, LdapDn, Scope};
+use gdmp_replica_catalog::{FileMeta, ReplicaCatalogService};
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_.-]{0,12}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Publishing any set of names (with duplicates filtered by the service)
+    /// keeps the namespace globally unique, and every published file is
+    /// locatable at its publishing site.
+    #[test]
+    fn namespace_stays_unique(names in proptest::collection::vec(name_strategy(), 1..24)) {
+        let mut svc = ReplicaCatalogService::new("GDMP", "cms").unwrap();
+        let meta = FileMeta { size: 1, modified: 0, crc32: 0, file_type: "flat".into() };
+        let mut published = Vec::new();
+        for n in &names {
+            match svc.publish(Some(n), "cern", "gsiftp://cern.ch/d", &meta) {
+                Ok(lfn) => published.push(lfn),
+                Err(_) => prop_assert!(published.contains(n), "rejected a non-duplicate name"),
+            }
+        }
+        let mut sorted = published.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), published.len(), "duplicate LFN registered");
+        for lfn in &published {
+            let locs = svc.locate(lfn).unwrap();
+            prop_assert_eq!(locs.len(), 1);
+        }
+    }
+
+    /// Auto-generated names never collide, even interleaved with
+    /// user-chosen names that mimic the generator's format.
+    #[test]
+    fn autogen_never_collides(k in 1usize..32) {
+        let mut svc = ReplicaCatalogService::new("GDMP", "cms").unwrap();
+        let meta = FileMeta { size: 1, modified: 0, crc32: 0, file_type: "flat".into() };
+        // Squat on the first few generator outputs.
+        svc.publish(Some("lfn.00000000"), "cern", "u://x", &meta).unwrap();
+        svc.publish(Some("lfn.00000002"), "cern", "u://x", &meta).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        seen.insert("lfn.00000000".to_string());
+        seen.insert("lfn.00000002".to_string());
+        for _ in 0..k {
+            let lfn = svc.publish(None, "cern", "u://x", &meta).unwrap();
+            prop_assert!(seen.insert(lfn), "generator produced a duplicate");
+        }
+    }
+
+    /// A subtree search never returns entries outside the base, and a Base
+    /// search returns at most one entry.
+    #[test]
+    fn search_respects_scope(leaves in proptest::collection::vec(name_strategy(), 1..16)) {
+        let mut d = Directory::new();
+        let root = LdapDn::parse("rc=GDMP").unwrap();
+        d.add(root.clone(), attrs(&[("objectclass", "root")])).unwrap();
+        let a = root.child("lc", "a");
+        let b = root.child("lc", "b");
+        d.add(a.clone(), attrs(&[("objectclass", "col")])).unwrap();
+        d.add(b.clone(), attrs(&[("objectclass", "col")])).unwrap();
+        for (i, leaf) in leaves.iter().enumerate() {
+            let parent = if i % 2 == 0 { &a } else { &b };
+            // Duplicate leaf names under the same parent are rejected; fine.
+            let _ = d.add(parent.child("lf", leaf), attrs(&[("objectclass", "file")]));
+        }
+        for hit in d.search(&a, Scope::Subtree, &Filter::True) {
+            prop_assert!(hit.dn.is_under(&a));
+        }
+        prop_assert!(d.search(&b, Scope::Base, &Filter::True).len() <= 1);
+        let one = d.search(&root, Scope::OneLevel, &Filter::True);
+        prop_assert_eq!(one.len(), 2);
+    }
+
+    /// Filter algebra: `(!(f))` matches exactly the complement of `f` over
+    /// any entry set; `(&(f)(!(f)))` matches nothing.
+    #[test]
+    fn filter_complement(values in proptest::collection::vec(name_strategy(), 1..20)) {
+        let f = Filter::parse("(name=a*)").unwrap();
+        let not_f = Filter::parse("(!(name=a*))").unwrap();
+        let contradiction = Filter::parse("(&(name=a*)(!(name=a*)))").unwrap();
+        for v in &values {
+            let entry = attrs(&[("name", v)]);
+            prop_assert_ne!(f.matches(&entry), not_f.matches(&entry));
+            prop_assert!(!contradiction.matches(&entry));
+        }
+    }
+
+    /// remove_replica is idempotent-safe and retires files exactly when the
+    /// last replica disappears.
+    #[test]
+    fn replica_lifecycle(sites in proptest::collection::hash_set("[a-z]{3,6}", 1..6)) {
+        let sites: Vec<String> = sites.into_iter().collect();
+        let mut svc = ReplicaCatalogService::new("GDMP", "cms").unwrap();
+        let meta = FileMeta { size: 1, modified: 0, crc32: 0, file_type: "flat".into() };
+        svc.publish(Some("f.db"), &sites[0], "u://0", &meta).unwrap();
+        for (i, s) in sites.iter().enumerate().skip(1) {
+            svc.add_replica("f.db", s, &format!("u://{i}")).unwrap();
+        }
+        prop_assert_eq!(svc.locate("f.db").unwrap().len(), sites.len());
+        for (i, s) in sites.iter().enumerate() {
+            svc.remove_replica("f.db", s).unwrap();
+            let remaining = sites.len() - i - 1;
+            if remaining > 0 {
+                prop_assert_eq!(svc.locate("f.db").unwrap().len(), remaining);
+            } else {
+                prop_assert!(svc.locate("f.db").is_err());
+            }
+        }
+    }
+}

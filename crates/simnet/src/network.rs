@@ -1,0 +1,694 @@
+//! Network assembly: links + TCP flows + the event loop.
+//!
+//! A [`Network`] owns one or more bottleneck [`Link`]s and a set of flows.
+//! Each flow is a TCP connection (sender at the source site, receiver at the
+//! destination) assigned to one link. The forward path crosses the link's
+//! queue; the ACK path is pure delay. Running the network to completion
+//! yields per-flow and per-link statistics.
+
+use std::collections::HashMap;
+
+use crate::engine::EventQueue;
+use crate::link::{Link, LinkAction, LinkSpec};
+use crate::packet::{wire, wire_bytes_for, FlowId, LinkId, Packet, Path};
+use crate::tcp::{Ack, Receiver, Sender, SenderConfig};
+use crate::time::{SimDuration, SimTime};
+
+/// Specification of one TCP flow.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowSpec {
+    /// Payload bytes to transfer; `None` = unbounded background flow.
+    pub bytes: Option<u64>,
+    /// Socket buffer (receive window) in bytes. The paper's untuned default
+    /// is 64 KB; its tuned value is 1 MB.
+    pub buffer_bytes: u64,
+    /// When the connection is opened.
+    pub open_at: SimTime,
+    /// The links the flow's data path crosses, in order (e.g. an access
+    /// link then the WAN bottleneck). ACKs return over pure delay equal to
+    /// the path's total propagation.
+    pub path: Path,
+}
+
+impl FlowSpec {
+    /// A finite transfer with the given socket buffer on link 0.
+    pub fn transfer(bytes: u64, buffer_bytes: u64) -> Self {
+        FlowSpec {
+            bytes: Some(bytes),
+            buffer_bytes,
+            open_at: SimTime::ZERO,
+            path: Path::single(LinkId(0)),
+        }
+    }
+
+    /// An unbounded cross-traffic flow on link 0.
+    pub fn background(buffer_bytes: u64) -> Self {
+        FlowSpec {
+            bytes: None,
+            buffer_bytes,
+            open_at: SimTime::ZERO,
+            path: Path::single(LinkId(0)),
+        }
+    }
+
+    pub fn open_at(mut self, at: SimTime) -> Self {
+        self.open_at = at;
+        self
+    }
+
+    pub fn on_link(mut self, link: LinkId) -> Self {
+        self.path = Path::single(link);
+        self
+    }
+
+    /// Route the flow over a multi-hop path.
+    pub fn via(mut self, hops: &[LinkId]) -> Self {
+        self.path = Path::of(hops);
+        self
+    }
+}
+
+/// Outcome of one completed (or still-running background) flow.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowResult {
+    pub spec: FlowSpec,
+    /// When data transmission began (after the handshake).
+    pub started: Option<SimTime>,
+    pub finished: Option<SimTime>,
+    pub bytes_acked: u64,
+    pub fast_retransmits: u64,
+    pub timeouts: u64,
+    pub segments_sent: u64,
+    pub segments_retransmitted: u64,
+}
+
+impl FlowResult {
+    /// Goodput in bits per second over the flow's own active interval
+    /// (including the connection handshake), or `None` if unfinished.
+    pub fn throughput_bps(&self) -> Option<f64> {
+        let finished = self.finished?;
+        let bytes = self.spec.bytes?;
+        let span = finished.since(self.spec.open_at).as_secs_f64();
+        if span == 0.0 {
+            return None;
+        }
+        Some(bytes as f64 * 8.0 / span)
+    }
+}
+
+/// Global knobs for a simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkConfig {
+    /// Minimum retransmission timeout (1 s was typical for the paper era).
+    pub min_rto: SimDuration,
+    /// Initial congestion window, segments.
+    pub initial_cwnd: f64,
+    /// Hard stop: no simulation may run longer than this.
+    pub max_sim_time: SimDuration,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            min_rto: SimDuration::from_secs(1),
+            initial_cwnd: 2.0,
+            max_sim_time: SimDuration::from_secs(3_600),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    /// Connection handshake complete; sender may begin.
+    FlowStart(FlowId),
+    /// A packet finished serializing on `link`.
+    TxDone { link: LinkId, packet: Packet },
+    /// A packet propagated to the next hop of its path.
+    HopArrival(Packet),
+    /// A data packet reached the receiver.
+    DataArrival(Packet),
+    /// An ACK reached the sender.
+    AckArrival { flow: FlowId, ack: Ack },
+    /// Retransmission timer.
+    Rto { flow: FlowId, gen: u64 },
+}
+
+struct Flow {
+    spec: FlowSpec,
+    sender: Sender,
+    receiver: Receiver,
+    total_bytes: Option<u64>,
+    /// Most recently scheduled (deadline, generation), to avoid scheduling
+    /// duplicate timer events for an unchanged timer.
+    scheduled_timer: Option<(SimTime, u64)>,
+}
+
+/// The assembled simulation.
+pub struct Network {
+    cfg: NetworkConfig,
+    links: Vec<Link>,
+    flows: Vec<Flow>,
+    queue: EventQueue<Event>,
+    /// Optional per-flow congestion-window trace (time, cwnd).
+    cwnd_traces: Option<HashMap<usize, Vec<(SimTime, f64)>>>,
+}
+
+impl Network {
+    pub fn new(cfg: NetworkConfig) -> Self {
+        Network {
+            cfg,
+            links: Vec::new(),
+            flows: Vec::new(),
+            queue: EventQueue::new(),
+            cwnd_traces: None,
+        }
+    }
+
+    /// A network with default config and a single link.
+    pub fn single_link(spec: LinkSpec) -> Self {
+        let mut net = Network::new(NetworkConfig::default());
+        net.add_link(spec);
+        net
+    }
+
+    /// Record congestion-window samples for every flow.
+    pub fn enable_cwnd_trace(&mut self) {
+        self.cwnd_traces = Some(HashMap::new());
+    }
+
+    pub fn add_link(&mut self, spec: LinkSpec) -> LinkId {
+        self.links.push(Link::new(spec));
+        LinkId(self.links.len() - 1)
+    }
+
+    pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
+        for hop in spec.path.iter() {
+            assert!(hop.0 < self.links.len(), "flow references unknown link {hop:?}");
+        }
+        let id = FlowId(self.flows.len());
+        let segments = spec.bytes.map(crate::packet::segments_for);
+        let rwnd = (spec.buffer_bytes / u64::from(wire::MSS)).max(1);
+        let sender = Sender::new(SenderConfig {
+            total_segments: segments,
+            rwnd_segments: rwnd,
+            initial_cwnd: self.cfg.initial_cwnd,
+            min_rto: self.cfg.min_rto,
+        });
+        self.flows.push(Flow {
+            spec,
+            sender,
+            receiver: Receiver::new(),
+            total_bytes: spec.bytes,
+            scheduled_timer: None,
+        });
+        // Handshake: SYN + SYN/ACK cross the propagation path once each
+        // before the first data segment (data rides the third segment).
+        let rtt = self.path_propagation(&spec) * 2;
+        self.queue.schedule(spec.open_at + rtt, Event::FlowStart(id));
+        id
+    }
+
+    /// Drive the simulation until every finite flow completes (or the
+    /// configured time limit is hit). Returns per-flow results.
+    pub fn run(&mut self) -> Vec<FlowResult> {
+        let deadline = SimTime::ZERO + self.cfg.max_sim_time;
+        while let Some((now, event)) = self.queue.pop() {
+            if now > deadline {
+                break;
+            }
+            self.dispatch(now, event);
+            if self.all_finite_flows_done() {
+                break;
+            }
+        }
+        self.results()
+    }
+
+    fn all_finite_flows_done(&self) -> bool {
+        self.flows
+            .iter()
+            .filter(|f| f.total_bytes.is_some())
+            .all(|f| f.sender.is_complete())
+    }
+
+    fn dispatch(&mut self, now: SimTime, event: Event) {
+        match event {
+            Event::FlowStart(fid) => {
+                let txs = self.flows[fid.0].sender.on_start(now);
+                self.transmit(fid, &txs, now);
+                self.sync_timer(fid, now);
+            }
+            Event::TxDone { link, packet } => {
+                let prop = self.links[link.0].spec.propagation;
+                let path = self.flows[packet.flow.0].spec.path;
+                if usize::from(packet.hop) + 1 < path.len() {
+                    // More hops: propagate to the next router's queue.
+                    let mut next = packet;
+                    next.hop += 1;
+                    self.queue.schedule(now + prop, Event::HopArrival(next));
+                } else {
+                    self.queue.schedule(now + prop, Event::DataArrival(packet));
+                }
+                if let LinkAction::StartTx { packet, done } = self.links[link.0].tx_complete(now) {
+                    self.queue.schedule(done, Event::TxDone { link, packet });
+                }
+            }
+            Event::HopArrival(pkt) => {
+                let link_id = self.flows[pkt.flow.0].spec.path.hop(usize::from(pkt.hop));
+                if let LinkAction::StartTx { packet, done } = self.links[link_id.0].offer(pkt, now)
+                {
+                    self.queue.schedule(done, Event::TxDone { link: link_id, packet });
+                }
+            }
+            Event::DataArrival(pkt) => {
+                let spec = self.flows[pkt.flow.0].spec;
+                let ack = {
+                    let flow = &mut self.flows[pkt.flow.0];
+                    flow.receiver.on_segment(pkt.seq, pkt.sent_at, pkt.retransmit)
+                };
+                // ACK path: pure propagation delay back to the sender.
+                let prop = self.path_propagation(&spec);
+                self.queue.schedule(now + prop, Event::AckArrival { flow: pkt.flow, ack });
+            }
+            Event::AckArrival { flow, ack } => {
+                let txs = self.flows[flow.0].sender.on_ack(ack, now);
+                self.transmit(flow, &txs, now);
+                self.sync_timer(flow, now);
+                self.trace_cwnd(flow, now);
+            }
+            Event::Rto { flow, gen } => {
+                let txs = self.flows[flow.0].sender.on_rto(gen, now);
+                self.transmit(flow, &txs, now);
+                self.sync_timer(flow, now);
+                self.trace_cwnd(flow, now);
+            }
+        }
+    }
+
+    /// Offer segments to the flow's link; drops are silent (the sender
+    /// discovers them through missing ACKs, as on a real drop-tail router).
+    fn transmit(&mut self, fid: FlowId, txs: &[crate::tcp::Tx], now: SimTime) {
+        if txs.is_empty() {
+            return;
+        }
+        let spec = self.flows[fid.0].spec;
+        let first = spec.path.hop(0);
+        for tx in txs {
+            let wire_bytes = match self.flows[fid.0].total_bytes {
+                Some(total) => wire_bytes_for(tx.seq, total),
+                None => wire::FULL_FRAME,
+            };
+            let pkt = Packet {
+                flow: fid,
+                seq: tx.seq,
+                wire_bytes,
+                retransmit: tx.retransmit,
+                enqueued_at: now,
+                sent_at: now,
+                hop: 0,
+            };
+            if let LinkAction::StartTx { packet, done } = self.links[first.0].offer(pkt, now) {
+                self.queue.schedule(done, Event::TxDone { link: first, packet });
+            }
+        }
+    }
+
+    /// Schedule the sender's retransmission timer if it was (re)armed.
+    fn sync_timer(&mut self, fid: FlowId, _now: SimTime) {
+        let flow = &mut self.flows[fid.0];
+        let timer = flow.sender.timer();
+        if let Some((deadline, gen)) = timer {
+            if flow.scheduled_timer != timer {
+                flow.scheduled_timer = timer;
+                self.queue.schedule(deadline, Event::Rto { flow: fid, gen });
+            }
+        }
+    }
+
+    fn trace_cwnd(&mut self, fid: FlowId, now: SimTime) {
+        let cwnd = self.flows[fid.0].sender.cwnd();
+        if let Some(traces) = &mut self.cwnd_traces {
+            traces.entry(fid.0).or_default().push((now, cwnd));
+        }
+    }
+
+    pub fn results(&self) -> Vec<FlowResult> {
+        self.flows
+            .iter()
+            .map(|f| {
+                let acked_segments = f.sender.segments_acked();
+                let bytes_acked = match f.total_bytes {
+                    Some(total) => total.min(acked_segments * u64::from(wire::MSS)),
+                    None => acked_segments * u64::from(wire::MSS),
+                };
+                FlowResult {
+                    spec: f.spec,
+                    started: f.sender.started_at(),
+                    finished: f.sender.finished_at(),
+                    bytes_acked,
+                    fast_retransmits: f.sender.stats.fast_retransmits,
+                    timeouts: f.sender.stats.timeouts,
+                    segments_sent: f.sender.stats.segments_sent,
+                    segments_retransmitted: f.sender.stats.segments_retransmitted,
+                }
+            })
+            .collect()
+    }
+
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0]
+    }
+
+    /// Total one-way propagation of a flow's path.
+    fn path_propagation(&self, spec: &FlowSpec) -> SimDuration {
+        spec.path
+            .iter()
+            .map(|l| self.links[l.0].spec.propagation)
+            .fold(SimDuration::ZERO, |a, b| a + b)
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    pub fn events_processed(&self) -> u64 {
+        self.queue.processed()
+    }
+
+    /// Congestion-window trace of one flow, if tracing was enabled.
+    pub fn cwnd_trace(&self, fid: FlowId) -> Option<&[(SimTime, f64)]> {
+        self.cwnd_traces.as_ref()?.get(&fid.0).map(Vec::as_slice)
+    }
+}
+
+/// Aggregate session statistics for a group of flows that together carry one
+/// logical transfer (e.g. the parallel streams of a GridFTP session).
+#[derive(Debug, Clone, Copy)]
+pub struct SessionResult {
+    pub total_bytes: u64,
+    pub started: SimTime,
+    pub finished: SimTime,
+    pub retransmitted_segments: u64,
+    pub timeouts: u64,
+}
+
+impl SessionResult {
+    /// Combine the results of the given flows (all must be finished).
+    pub fn aggregate(flows: &[FlowResult]) -> Option<SessionResult> {
+        let mut total = 0u64;
+        let mut start = SimTime::NEVER;
+        let mut end = SimTime::ZERO;
+        let mut retx = 0;
+        let mut timeouts = 0;
+        for f in flows {
+            total += f.spec.bytes?;
+            start = start.min(f.spec.open_at);
+            end = end.max(f.finished?);
+            retx += f.segments_retransmitted;
+            timeouts += f.timeouts;
+        }
+        Some(SessionResult {
+            total_bytes: total,
+            started: start,
+            finished: end,
+            retransmitted_segments: retx,
+            timeouts,
+        })
+    }
+
+    /// End-to-end throughput of the session in bits per second.
+    pub fn throughput_bps(&self) -> f64 {
+        let span = self.finished.since(self.started).as_secs_f64();
+        if span == 0.0 {
+            0.0
+        } else {
+            self.total_bytes as f64 * 8.0 / span
+        }
+    }
+
+    pub fn throughput_mbps(&self) -> f64 {
+        self.throughput_bps() / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1024 * 1024;
+
+    fn lan() -> LinkSpec {
+        LinkSpec {
+            rate_bps: 100_000_000,
+            propagation: SimDuration::from_micros(100),
+            queue_capacity: 512,
+        }
+    }
+
+    #[test]
+    fn single_flow_completes_and_conserves_bytes() {
+        let mut net = Network::single_link(lan());
+        let f = net.add_flow(FlowSpec::transfer(MB, 1024 * 1024));
+        let results = net.run();
+        let r = &results[f.0];
+        assert!(r.finished.is_some());
+        assert_eq!(r.bytes_acked, MB);
+        assert!(r.throughput_bps().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn lan_transfer_approaches_link_rate() {
+        // Big buffer, short RTT, no competition: should get most of 100 Mb/s.
+        let mut net = Network::single_link(lan());
+        net.add_flow(FlowSpec::transfer(10 * MB, 4 * MB));
+        let results = net.run();
+        let tput = results[0].throughput_bps().unwrap();
+        assert!(tput > 70e6, "throughput {:.1} Mb/s too low", tput / 1e6);
+        assert!(tput <= 100e6, "throughput exceeds link rate");
+    }
+
+    #[test]
+    fn window_limited_wan_matches_rwnd_over_rtt() {
+        // 64 KB buffer over 125 ms RTT: ~4.2 Mb/s ceiling (the paper's
+        // untuned single-stream regime).
+        let mut net = Network::single_link(LinkSpec::cern_anl());
+        net.add_flow(FlowSpec::transfer(25 * MB, 64 * 1024));
+        let results = net.run();
+        let tput = results[0].throughput_bps().unwrap();
+        let ceiling = 64.0 * 1024.0 * 8.0 / 0.125;
+        assert!(tput < ceiling * 1.05, "tput {:.2e} above window ceiling {ceiling:.2e}", tput);
+        assert!(tput > ceiling * 0.7, "tput {:.2e} far below window ceiling {ceiling:.2e}", tput);
+    }
+
+    #[test]
+    fn two_flows_share_fairly() {
+        let mut net = Network::single_link(LinkSpec {
+            rate_bps: 10_000_000,
+            propagation: SimDuration::from_millis(20),
+            queue_capacity: 64,
+        });
+        net.add_flow(FlowSpec::transfer(5 * MB, MB));
+        net.add_flow(FlowSpec::transfer(5 * MB, MB));
+        let results = net.run();
+        let t0 = results[0].throughput_bps().unwrap();
+        let t1 = results[1].throughput_bps().unwrap();
+        let ratio = t0.max(t1) / t0.min(t1);
+        assert!(ratio < 1.6, "unfair split: {t0:.2e} vs {t1:.2e}");
+    }
+
+    #[test]
+    fn tiny_queue_forces_retransmissions_but_completes() {
+        let mut net = Network::single_link(LinkSpec {
+            rate_bps: 10_000_000,
+            propagation: SimDuration::from_millis(30),
+            queue_capacity: 8,
+        });
+        let f = net.add_flow(FlowSpec::transfer(4 * MB, 2 * MB));
+        let results = net.run();
+        let r = &results[f.0];
+        assert!(r.finished.is_some(), "flow did not complete");
+        assert!(
+            r.segments_retransmitted > 0,
+            "expected losses with an 8-packet queue"
+        );
+        assert_eq!(r.bytes_acked, 4 * MB);
+    }
+
+    #[test]
+    fn deterministic_repeat_runs() {
+        let run = || {
+            let mut net = Network::single_link(LinkSpec::cern_anl());
+            net.add_flow(FlowSpec::transfer(MB, 64 * 1024));
+            net.add_flow(FlowSpec::background(MB).open_at(SimTime(1000)));
+            let r = net.run();
+            (r[0].finished, r[0].segments_sent, net.events_processed())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn background_flow_steals_bandwidth() {
+        // Low-BDP link: sharing effects dominate loss-episode noise.
+        let link = LinkSpec {
+            rate_bps: 10_000_000,
+            propagation: SimDuration::from_millis(10),
+            queue_capacity: 64,
+        };
+        let solo = {
+            let mut net = Network::single_link(link);
+            net.add_flow(FlowSpec::transfer(5 * MB, MB));
+            net.run()[0].throughput_bps().unwrap()
+        };
+        let contended = {
+            let mut net = Network::single_link(link);
+            net.add_flow(FlowSpec::transfer(5 * MB, MB));
+            for _ in 0..4 {
+                net.add_flow(FlowSpec::background(MB));
+            }
+            net.run()[0].throughput_bps().unwrap()
+        };
+        assert!(
+            contended < solo * 0.75,
+            "cross traffic should reduce throughput: solo={:.1} contended={:.1} Mb/s",
+            solo / 1e6,
+            contended / 1e6
+        );
+    }
+
+    #[test]
+    fn session_aggregate_spans_all_streams() {
+        let mut net = Network::single_link(LinkSpec::cern_anl());
+        let specs: Vec<_> = (0..4).map(|_| FlowSpec::transfer(MB, 256 * 1024)).collect();
+        for s in &specs {
+            net.add_flow(*s);
+        }
+        let results = net.run();
+        let sess = SessionResult::aggregate(&results).unwrap();
+        assert_eq!(sess.total_bytes, 4 * MB);
+        assert!(sess.throughput_mbps() > 0.0);
+    }
+
+    #[test]
+    fn parallel_streams_beat_single_with_small_buffers() {
+        // The central mechanism behind Figure 5.
+        let single = {
+            let mut net = Network::single_link(LinkSpec::cern_anl());
+            net.add_flow(FlowSpec::transfer(25 * MB, 64 * 1024));
+            SessionResult::aggregate(&net.run()).unwrap().throughput_bps()
+        };
+        let four = {
+            let mut net = Network::single_link(LinkSpec::cern_anl());
+            for _ in 0..4 {
+                net.add_flow(FlowSpec::transfer(25 * MB / 4, 64 * 1024));
+            }
+            SessionResult::aggregate(&net.run()).unwrap().throughput_bps()
+        };
+        assert!(
+            four > single * 2.5,
+            "4 streams {:.1} Mb/s should far exceed 1 stream {:.1} Mb/s",
+            four / 1e6,
+            single / 1e6
+        );
+    }
+
+    #[test]
+    fn cwnd_trace_records_growth() {
+        let mut net = Network::single_link(lan());
+        net.enable_cwnd_trace();
+        let f = net.add_flow(FlowSpec::transfer(MB, MB));
+        net.run();
+        let trace = net.cwnd_trace(f).unwrap();
+        assert!(!trace.is_empty());
+        assert!(trace.iter().any(|(_, c)| *c > 2.0), "cwnd never grew");
+    }
+
+    #[test]
+    fn multihop_path_limited_by_slowest_link() {
+        // 10 Mb/s access link feeding a 100 Mb/s backbone: throughput is
+        // capped by the access link.
+        let mut net = Network::new(NetworkConfig::default());
+        let access = net.add_link(LinkSpec {
+            rate_bps: 10_000_000,
+            propagation: SimDuration::from_millis(1),
+            queue_capacity: 64,
+        });
+        let backbone = net.add_link(LinkSpec {
+            rate_bps: 100_000_000,
+            propagation: SimDuration::from_millis(20),
+            queue_capacity: 512,
+        });
+        let f = net.add_flow(FlowSpec::transfer(5 * MB, 2 * MB).via(&[access, backbone]));
+        let results = net.run();
+        let tput = results[f.0].throughput_bps().unwrap();
+        assert!(tput <= 10e6 * 1.001, "exceeded access rate: {tput:.2e}");
+        assert!(tput > 5e6, "far below access rate: {tput:.2e}");
+        assert_eq!(results[f.0].bytes_acked, 5 * MB);
+    }
+
+    #[test]
+    fn multihop_rtt_sums_propagation() {
+        // Handshake + window-limited rate reflect the summed path delay.
+        let mut net = Network::new(NetworkConfig::default());
+        let a = net.add_link(LinkSpec {
+            rate_bps: 1_000_000_000,
+            propagation: SimDuration::from_millis(30),
+            queue_capacity: 512,
+        });
+        let b = net.add_link(LinkSpec {
+            rate_bps: 1_000_000_000,
+            propagation: SimDuration::from_millis(32),
+            queue_capacity: 512,
+        });
+        // Window-limited: 64 KB buffer over 124 ms RTT ≈ 4.2 Mb/s.
+        let f = net.add_flow(FlowSpec::transfer(4 * MB, 64 * 1024).via(&[a, b]));
+        let results = net.run();
+        let tput = results[f.0].throughput_bps().unwrap();
+        let ceiling = 64.0 * 1024.0 * 8.0 / 0.124;
+        assert!(
+            (ceiling * 0.6..ceiling * 1.05).contains(&tput),
+            "tput {tput:.2e} vs window ceiling {ceiling:.2e}"
+        );
+    }
+
+    #[test]
+    fn two_access_links_share_one_backbone() {
+        // Two hosts with 20 Mb/s NICs feed a 30 Mb/s backbone: aggregate
+        // is backbone-limited; each flow gets a share.
+        let mut net = Network::new(NetworkConfig::default());
+        let n1 = net.add_link(LinkSpec {
+            rate_bps: 20_000_000,
+            propagation: SimDuration::from_millis(1),
+            queue_capacity: 128,
+        });
+        let n2 = net.add_link(LinkSpec {
+            rate_bps: 20_000_000,
+            propagation: SimDuration::from_millis(1),
+            queue_capacity: 128,
+        });
+        let wan = net.add_link(LinkSpec {
+            rate_bps: 30_000_000,
+            propagation: SimDuration::from_millis(25),
+            queue_capacity: 256,
+        });
+        let f1 = net.add_flow(FlowSpec::transfer(8 * MB, 2 * MB).via(&[n1, wan]));
+        let f2 = net.add_flow(
+            FlowSpec::transfer(8 * MB, 2 * MB)
+                .via(&[n2, wan])
+                .open_at(SimTime(50_000_000)),
+        );
+        let results = net.run();
+        let t1 = results[f1.0].throughput_bps().unwrap();
+        let t2 = results[f2.0].throughput_bps().unwrap();
+        assert!(t1 + t2 < 30e6 * 1.05, "aggregate {:.1e} exceeds backbone", t1 + t2);
+        assert!(t1 > 3e6 && t2 > 3e6, "starvation: {t1:.2e} / {t2:.2e}");
+    }
+
+    #[test]
+    fn empty_flow_finishes_without_traffic() {
+        let mut net = Network::single_link(lan());
+        let f = net.add_flow(FlowSpec::transfer(0, MB));
+        let results = net.run();
+        assert!(results[f.0].finished.is_some());
+        assert_eq!(net.link(LinkId(0)).packets_transmitted, 0);
+    }
+}

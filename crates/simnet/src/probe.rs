@@ -1,0 +1,119 @@
+//! Path characterization probes.
+//!
+//! Section 6 of the paper determines the optimal TCP buffer from
+//! `RTT × bottleneck bandwidth`, measuring RTT with `ping` and the
+//! bottleneck with `pipechar` (LBNL's packet-dispersion tool). These are
+//! the simulated equivalents, operating on a [`LinkSpec`] the way the real
+//! tools operate on a path: by observing packet timing, not by reading
+//! configuration.
+
+use crate::link::{Link, LinkAction, LinkSpec};
+use crate::packet::{FlowId, Packet};
+use crate::time::{SimDuration, SimTime};
+
+/// Result of a simulated `ping`: ICMP echo over the path.
+#[derive(Debug, Clone, Copy)]
+pub struct PingReport {
+    pub rtt: SimDuration,
+    pub samples: u32,
+}
+
+/// Measure the round-trip time of an idle path, as `ping` would: a small
+/// packet serialized onto the link, propagated, plus the pure-delay return.
+pub fn ping(spec: &LinkSpec, samples: u32) -> PingReport {
+    assert!(samples > 0);
+    // 64-byte ICMP echo; reply crosses the reverse (uncongested) path.
+    let ser = SimDuration::serialization(64, spec.rate_bps);
+    let rtt = ser + spec.propagation * 2;
+    PingReport { rtt, samples }
+}
+
+/// Result of a simulated `pipechar`/packet-pair bottleneck probe.
+#[derive(Debug, Clone, Copy)]
+pub struct PipecharReport {
+    /// Estimated bottleneck rate in bits per second.
+    pub bottleneck_bps: f64,
+    pub probe_packets: u32,
+}
+
+/// Estimate the bottleneck bandwidth by packet-pair dispersion: send
+/// back-to-back full-size packets through the (otherwise idle) link and
+/// observe the spacing of their arrivals. The dispersion equals the
+/// bottleneck serialization time of the second packet.
+pub fn pipechar(spec: &LinkSpec) -> PipecharReport {
+    const PROBE_BYTES: u32 = 1500;
+    let mut link = Link::new(*spec);
+    let mk = |seq: u64| Packet {
+        flow: FlowId(usize::MAX),
+        seq,
+        wire_bytes: PROBE_BYTES,
+        retransmit: false,
+        enqueued_at: SimTime::ZERO,
+        sent_at: SimTime::ZERO,
+        hop: 0,
+    };
+    // Offer both packets at t=0; the first transmits immediately, the second
+    // queues behind it.
+    let LinkAction::StartTx { done: d1, .. } = link.offer(mk(0), SimTime::ZERO) else {
+        unreachable!("idle link must transmit immediately");
+    };
+    assert_eq!(link.offer(mk(1), SimTime::ZERO), LinkAction::Idle);
+    let LinkAction::StartTx { done: d2, .. } = link.tx_complete(d1) else {
+        unreachable!("queued probe must start");
+    };
+    // Arrival spacing at the far end equals d2 - d1 (same propagation).
+    let dispersion = d2.since(d1).as_secs_f64();
+    PipecharReport {
+        bottleneck_bps: f64::from(PROBE_BYTES) * 8.0 / dispersion,
+        probe_packets: 2,
+    }
+}
+
+/// The paper's tuning formula: `optimal TCP buffer = RTT × bottleneck`.
+/// Inputs come from [`ping`] and [`pipechar`]; output is in bytes.
+pub fn optimal_buffer_bytes(rtt: SimDuration, bottleneck_bps: f64) -> u64 {
+    (rtt.as_secs_f64() * bottleneck_bps / 8.0).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_measures_configured_rtt() {
+        let spec = LinkSpec::cern_anl();
+        let report = ping(&spec, 10);
+        // 125 ms propagation RTT plus a tiny serialization component.
+        let ms = report.rtt.as_secs_f64() * 1e3;
+        assert!((125.0..126.0).contains(&ms), "rtt={ms}ms");
+    }
+
+    #[test]
+    fn pipechar_recovers_bottleneck_rate() {
+        let spec = LinkSpec::cern_anl();
+        let report = pipechar(&spec);
+        let err = (report.bottleneck_bps - 45e6).abs() / 45e6;
+        assert!(err < 0.01, "estimated {:.2} Mb/s", report.bottleneck_bps / 1e6);
+    }
+
+    #[test]
+    fn optimal_buffer_matches_paper_bdp() {
+        // 45 Mb/s × 125 ms ≈ 703 KB — the paper tunes to 1 MB, i.e. ≥ BDP.
+        let spec = LinkSpec::cern_anl();
+        let buf = optimal_buffer_bytes(ping(&spec, 3).rtt, pipechar(&spec).bottleneck_bps);
+        assert!((690_000..720_000).contains(&buf), "buffer={buf}");
+        assert!(buf < 1024 * 1024, "1 MB tuned buffer exceeds the optimum");
+    }
+
+    #[test]
+    fn pipechar_on_fast_link() {
+        let spec = LinkSpec {
+            rate_bps: 1_000_000_000,
+            propagation: SimDuration::from_micros(50),
+            queue_capacity: 16,
+        };
+        let report = pipechar(&spec);
+        let err = (report.bottleneck_bps - 1e9).abs() / 1e9;
+        assert!(err < 0.01);
+    }
+}

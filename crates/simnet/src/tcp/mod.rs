@@ -1,0 +1,10 @@
+//! Packet-level TCP model: NewReno sender, cumulative-ACK receiver, and
+//! Jacobson/Karels RTT estimation.
+
+pub mod receiver;
+pub mod rtt;
+pub mod sender;
+
+pub use receiver::{Ack, Receiver};
+pub use rtt::RttEstimator;
+pub use sender::{Sender, SenderConfig, SenderStats, Tx};

@@ -1,0 +1,162 @@
+//! Property-based tests for the simulator's core invariants.
+
+use proptest::prelude::*;
+
+use gdmp_simnet::link::LinkSpec;
+use gdmp_simnet::network::{FlowSpec, Network};
+use gdmp_simnet::queue::{DropTailQueue, Enqueue};
+use gdmp_simnet::tcp::Receiver;
+use gdmp_simnet::time::{SimDuration, SimTime};
+
+fn arb_link() -> impl Strategy<Value = LinkSpec> {
+    (1u64..=1000, 1u64..=200, 16usize..=512).prop_map(|(mbps, delay_ms, queue)| LinkSpec {
+        rate_bps: mbps * 1_000_000,
+        propagation: SimDuration::from_millis(delay_ms),
+        queue_capacity: queue,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every finite transfer completes and delivers exactly its size, no
+    /// matter the link and buffer parameters.
+    #[test]
+    fn transfer_conserves_bytes(
+        link in arb_link(),
+        bytes in 1u64..=4_000_000,
+        buffer_kb in 8u64..=2048,
+    ) {
+        let mut net = Network::single_link(link);
+        let f = net.add_flow(FlowSpec::transfer(bytes, buffer_kb * 1024));
+        let results = net.run();
+        let r = &results[f.0];
+        prop_assert!(r.finished.is_some(), "flow did not complete");
+        prop_assert_eq!(r.bytes_acked, bytes);
+    }
+
+    /// Throughput never exceeds the physical link rate.
+    #[test]
+    fn throughput_bounded_by_link(
+        link in arb_link(),
+        bytes in 100_000u64..=4_000_000,
+        buffer_kb in 8u64..=2048,
+    ) {
+        let mut net = Network::single_link(link);
+        let f = net.add_flow(FlowSpec::transfer(bytes, buffer_kb * 1024));
+        let results = net.run();
+        let tput = results[f.0].throughput_bps().unwrap();
+        prop_assert!(tput <= link.rate_bps as f64 * 1.0001,
+            "tput {} exceeds rate {}", tput, link.rate_bps);
+    }
+
+    /// Two identical runs produce identical outcomes (determinism).
+    #[test]
+    fn runs_are_deterministic(
+        link in arb_link(),
+        bytes in 1u64..=2_000_000,
+        streams in 1usize..=6,
+    ) {
+        let run = || {
+            let mut net = Network::single_link(link);
+            for i in 0..streams {
+                net.add_flow(
+                    FlowSpec::transfer(bytes / streams as u64 + 1, 128 * 1024)
+                        .open_at(SimTime(i as u64 * 10_000_000)),
+                );
+            }
+            let r = net.run();
+            (
+                r.iter().map(|f| f.finished).collect::<Vec<_>>(),
+                r.iter().map(|f| f.segments_sent).collect::<Vec<_>>(),
+                net.events_processed(),
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// The receiver's cumulative ACK is monotone non-decreasing and reaches
+    /// the total once every segment has arrived, in any arrival order.
+    #[test]
+    fn receiver_acks_monotone_and_complete(order in Just(()).prop_flat_map(|_| {
+        proptest::collection::vec(0u64..64, 1..256)
+    })) {
+        // `order` is an arbitrary multiset of segment numbers 0..64; append
+        // one guaranteed copy of each so delivery certainly completes.
+        let mut r = Receiver::new();
+        let mut last = 0;
+        let mut deliver = order;
+        deliver.extend(0..64);
+        for seq in deliver {
+            let ack = r.on_segment(seq, SimTime::ZERO, false);
+            prop_assert!(ack.ackno >= last, "cumulative ACK went backwards");
+            last = ack.ackno;
+        }
+        prop_assert_eq!(r.rcv_nxt(), 64);
+        prop_assert_eq!(r.reorder_depth(), 0);
+    }
+
+    /// A drop-tail queue never holds more than its capacity and never
+    /// reorders packets.
+    #[test]
+    fn queue_bounded_and_fifo(
+        capacity in 1usize..64,
+        ops in proptest::collection::vec(any::<bool>(), 1..512),
+    ) {
+        use gdmp_simnet::packet::{FlowId, Packet};
+        let mut q = DropTailQueue::new(capacity);
+        let mut next_seq = 0u64;
+        let mut expected_front = 0u64;
+        for push in ops {
+            if push {
+                let pkt = Packet {
+                    flow: FlowId(0),
+                    seq: next_seq,
+                    wire_bytes: 1500,
+                    retransmit: false,
+                    enqueued_at: SimTime::ZERO,
+                    sent_at: SimTime::ZERO,
+                    hop: 0,
+                };
+                if q.push(pkt) == Enqueue::Accepted {
+                    next_seq += 1;
+                }
+                prop_assert!(q.len() <= capacity);
+            } else if let Some(pkt) = q.pop() {
+                prop_assert_eq!(pkt.seq, expected_front, "FIFO violated");
+                expected_front = pkt.seq + 1;
+            }
+        }
+    }
+}
+
+/// Parallel streams never yield less aggregate throughput than a fifth of
+/// the best single stream (sanity: no catastrophic self-interference).
+#[test]
+fn parallel_streams_no_catastrophe() {
+    let link = LinkSpec::cern_anl();
+    let total = 10 * 1024 * 1024u64;
+    let single = {
+        let mut net = Network::single_link(link);
+        net.add_flow(FlowSpec::transfer(total, 64 * 1024));
+        net.run()[0].throughput_bps().unwrap()
+    };
+    for n in [2u64, 4, 8] {
+        let mut net = Network::single_link(link);
+        let mut ids = Vec::new();
+        for i in 0..n {
+            ids.push(net.add_flow(
+                FlowSpec::transfer(total / n, 64 * 1024).open_at(SimTime(i * 137_000_000)),
+            ));
+        }
+        let results = net.run();
+        let flows: Vec<_> = ids.iter().map(|i| results[i.0]).collect();
+        let agg = gdmp_simnet::network::SessionResult::aggregate(&flows)
+            .unwrap()
+            .throughput_bps();
+        assert!(
+            agg > single / 5.0,
+            "{n} streams collapsed: {agg:.0} vs single {single:.0}"
+        );
+    }
+}

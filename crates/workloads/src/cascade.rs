@@ -1,0 +1,159 @@
+//! The physics analysis cascade of Section 5.1.
+//!
+//! "One might start with a set of 10⁹ stored events ... and narrow this
+//! down in a number of steps to a smaller set \[of\] 10⁴ events... The
+//! subsequent data analysis steps will thus examine smaller and smaller
+//! sets (10⁹ down to 10⁴) of larger and larger (100 byte to 10 MB)
+//! objects." The cascade generator reproduces that shape at a laptop
+//! scale factor.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use gdmp_objectstore::{LogicalOid, ObjectKind};
+
+/// One selection step: keep `fraction` of the surviving events and read
+/// objects of `reads` kind to decide the next cut.
+#[derive(Debug, Clone, Copy)]
+pub struct CascadeStep {
+    pub fraction: f64,
+    pub reads: ObjectKind,
+}
+
+/// A whole analysis cascade.
+#[derive(Debug, Clone)]
+pub struct CascadeSpec {
+    /// Events in the initial sample (the paper's 10⁹, scaled down).
+    pub initial_events: u64,
+    pub steps: Vec<CascadeStep>,
+    pub seed: u64,
+}
+
+impl CascadeSpec {
+    /// The canonical cascade shape: tag scan → AOD cut → ESD cut → RAW
+    /// examination, each step keeping ~10% and escalating object size.
+    pub fn canonical(initial_events: u64, seed: u64) -> Self {
+        CascadeSpec {
+            initial_events,
+            steps: vec![
+                CascadeStep { fraction: 0.1, reads: ObjectKind::Tag },
+                CascadeStep { fraction: 0.1, reads: ObjectKind::Aod },
+                CascadeStep { fraction: 0.1, reads: ObjectKind::Esd },
+                CascadeStep { fraction: 0.1, reads: ObjectKind::Raw },
+            ],
+            seed,
+        }
+    }
+
+    /// Run the cascade: returns, per step, the events surviving *into* the
+    /// step and the objects the step must read. The physics is stochastic;
+    /// a fresh selection is uncorrelated with anyone else's ("the
+    /// physicist just selected ... a completely fresh event set which
+    /// nobody else has worked on yet").
+    pub fn run(&self) -> Vec<StepResult> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut survivors: Vec<u64> = (0..self.initial_events).collect();
+        let mut out = Vec::with_capacity(self.steps.len());
+        for step in &self.steps {
+            let reads: Vec<LogicalOid> =
+                survivors.iter().map(|&e| LogicalOid::new(e, step.reads)).collect();
+            // Independent Bernoulli survival per event.
+            let next: Vec<u64> = survivors
+                .iter()
+                .copied()
+                .filter(|_| rng.gen::<f64>() < step.fraction)
+                .collect();
+            out.push(StepResult {
+                entered: survivors.len() as u64,
+                survived: next.len() as u64,
+                reads,
+                kind: step.reads,
+            });
+            survivors = next;
+        }
+        out
+    }
+}
+
+/// Result of one cascade step.
+#[derive(Debug, Clone)]
+pub struct StepResult {
+    /// Events entering the step.
+    pub entered: u64,
+    /// Events surviving the cut.
+    pub survived: u64,
+    /// Objects the step reads (one per entering event).
+    pub reads: Vec<LogicalOid>,
+    pub kind: ObjectKind,
+}
+
+impl StepResult {
+    /// Bytes the step reads at nominal object sizes.
+    pub fn bytes_read(&self) -> u64 {
+        self.entered * self.kind.nominal_size() as u64
+    }
+
+    /// Selection fraction relative to the initial sample.
+    pub fn selectivity(&self, initial: u64) -> f64 {
+        self.entered as f64 / initial as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_shape_narrows_by_decades() {
+        let spec = CascadeSpec::canonical(100_000, 1);
+        let steps = spec.run();
+        assert_eq!(steps.len(), 4);
+        assert_eq!(steps[0].entered, 100_000);
+        // Each step keeps ~10% (binomial noise allowed).
+        for w in steps.windows(2) {
+            let ratio = w[1].entered as f64 / w[0].entered as f64;
+            assert!((0.05..0.2).contains(&ratio), "ratio {ratio}");
+        }
+        // Object sizes escalate while sets shrink.
+        assert!(steps[0].kind.nominal_size() < steps[3].kind.nominal_size());
+    }
+
+    #[test]
+    fn reads_match_entering_events() {
+        let spec = CascadeSpec::canonical(1000, 2);
+        let steps = spec.run();
+        for s in &steps {
+            assert_eq!(s.reads.len() as u64, s.entered);
+            assert!(s.reads.iter().all(|o| o.kind == s.kind));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_fresh_per_physicist() {
+        let a = CascadeSpec::canonical(10_000, 7).run();
+        let b = CascadeSpec::canonical(10_000, 7).run();
+        let c = CascadeSpec::canonical(10_000, 8).run();
+        assert_eq!(a[2].reads, b[2].reads);
+        // A different physicist selects a (statistically) different set.
+        assert_ne!(a[2].reads, c[2].reads);
+    }
+
+    #[test]
+    fn middle_step_is_the_papers_thought_experiment() {
+        // Section 5.1: "after isolating 10⁶ events, the physicist will now
+        // need the corresponding set of 10⁶ objects of some type X".
+        // Scaled: after two 10% cuts of 10⁵ events, ~10³ ESD objects.
+        let spec = CascadeSpec::canonical(100_000, 3);
+        let steps = spec.run();
+        let esd_step = &steps[2];
+        assert_eq!(esd_step.kind, ObjectKind::Esd);
+        assert!((500..2_000).contains(&esd_step.entered), "{}", esd_step.entered);
+    }
+
+    #[test]
+    fn bytes_read_uses_nominal_sizes() {
+        let spec = CascadeSpec::canonical(1000, 4);
+        let steps = spec.run();
+        assert_eq!(steps[0].bytes_read(), 1000 * 100); // tags: 100 B each
+    }
+}

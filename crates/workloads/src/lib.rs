@@ -1,0 +1,20 @@
+//! # gdmp-workloads — synthetic workload generators
+//!
+//! The paper's evaluation inputs, reproducible at laptop scale:
+//!
+//! * [`cascade`] — the Section 5.1 physics analysis cascade (10⁹ → 10⁴
+//!   events, 100 B → 1 MB objects, scaled);
+//! * [`population`] — event-store population with object→file placement
+//!   policies (clustered, mixed, striped);
+//! * [`transfer`] — the Figure 5/6 parameter grids;
+//! * [`zipf`] — Zipf access sampling for cache workloads.
+
+pub mod cascade;
+pub mod population;
+pub mod transfer;
+pub mod zipf;
+
+pub use cascade::{CascadeSpec, CascadeStep, StepResult};
+pub use population::{Placement, Population};
+pub use transfer::{FigureSweep, MB};
+pub use zipf::Zipf;

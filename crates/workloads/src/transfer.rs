@@ -1,0 +1,72 @@
+//! The transfer workloads of Section 6: the exact file sizes, buffer
+//! settings, and stream counts of Figures 5 and 6.
+
+/// One figure's parameter grid.
+#[derive(Debug, Clone)]
+pub struct FigureSweep {
+    /// File sizes in bytes (the paper's 1/25/50/100 MB).
+    pub file_sizes: Vec<u64>,
+    /// Stream counts (1..=10 in the paper).
+    pub streams: Vec<u32>,
+    /// Socket buffer in bytes.
+    pub buffer: u64,
+    pub label: &'static str,
+}
+
+pub const MB: u64 = 1024 * 1024;
+
+impl FigureSweep {
+    /// Figure 5: untuned (64 KB) buffers.
+    pub fn figure5() -> Self {
+        FigureSweep {
+            file_sizes: vec![MB, 25 * MB, 50 * MB, 100 * MB],
+            streams: (1..=10).collect(),
+            buffer: 64 * 1024,
+            label: "Figure 5 (untuned 64 KB buffers)",
+        }
+    }
+
+    /// Figure 6: tuned 1 MB buffers.
+    pub fn figure6() -> Self {
+        FigureSweep { buffer: MB, label: "Figure 6 (tuned 1 MB buffers)", ..Self::figure5() }
+    }
+
+    /// A reduced grid for fast test runs.
+    pub fn quick(buffer: u64) -> Self {
+        FigureSweep {
+            file_sizes: vec![MB, 25 * MB],
+            streams: vec![1, 4, 8],
+            buffer,
+            label: "quick sweep",
+        }
+    }
+
+    pub fn points(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.file_sizes
+            .iter()
+            .flat_map(move |&f| self.streams.iter().map(move |&s| (f, s)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_matches_paper_grid() {
+        let f = FigureSweep::figure5();
+        assert_eq!(f.file_sizes, vec![MB, 25 * MB, 50 * MB, 100 * MB]);
+        assert_eq!(f.streams.len(), 10);
+        assert_eq!(f.buffer, 64 * 1024);
+        assert_eq!(f.points().count(), 40);
+    }
+
+    #[test]
+    fn figure6_differs_only_in_buffer() {
+        let a = FigureSweep::figure5();
+        let b = FigureSweep::figure6();
+        assert_eq!(a.file_sizes, b.file_sizes);
+        assert_eq!(a.streams, b.streams);
+        assert_eq!(b.buffer, MB);
+    }
+}

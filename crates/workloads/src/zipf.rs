@@ -1,0 +1,98 @@
+//! Zipf-distributed sampling.
+//!
+//! The paper motivates replication with web-caching results on Zipf-like
+//! access distributions \[Bres99\]: most accesses hit few objects. The
+//! sampler is used for access-pattern workloads in the cache benches.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A Zipf(α) sampler over ranks `0..n` (rank 0 most popular).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Precompute the CDF for `n` items with exponent `alpha` (> 0).
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "need at least one item");
+        assert!(alpha > 0.0, "alpha must be positive");
+        let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(alpha)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        // Guard against floating point droop at the tail.
+        *weights.last_mut().expect("n > 0") = 1.0;
+        Zipf { cdf: weights }
+    }
+
+    /// Draw one rank.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn head_dominates() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 should dwarf rank 500.
+        assert!(counts[0] > 50 * counts[500].max(1), "{} vs {}", counts[0], counts[500]);
+        // Top 10% of ranks should take the majority of accesses at α=1.
+        let head: usize = counts[..100].iter().sum();
+        assert!(head > 10_000, "head={head}");
+    }
+
+    #[test]
+    fn all_ranks_reachable() {
+        let z = Zipf::new(5, 0.5);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 5];
+        for _ in 0..5_000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = Zipf::new(100, 1.2);
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+
+    #[test]
+    fn single_item_always_rank_zero() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+}

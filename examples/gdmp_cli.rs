@@ -1,0 +1,139 @@
+//! The GDMP client command set as a scriptable CLI, mirroring the tools
+//! physicists ran against production GDMP (Section 4.1's four services:
+//! subscribe, publish, get-catalog, transfer — plus object replication).
+//!
+//! Runs a scripted session against an in-process grid:
+//!
+//! ```text
+//! cargo run -p gdmp-examples --bin gdmp_cli                 # demo script
+//! cargo run -p gdmp-examples --bin gdmp_cli -- script.gdmp  # your script
+//! ```
+//!
+//! Script syntax (one command per line, `#` comments):
+//!
+//! ```text
+//! site <name> <org>             # create a site
+//! trust-all                     # mutual gridmap entries everywhere
+//! subscribe <consumer> <producer>
+//! publish <site> <lfn> <size-bytes>
+//! replicate <dst> <lfn>
+//! replicate-pending <dst>
+//! get-catalog <dst> <from>
+//! locate <lfn>
+//! clock
+//! ```
+
+use bytes::Bytes;
+use gdmp::{Grid, SiteConfig};
+
+const DEMO: &str = "\
+# A two-site demo session
+site cern cern.ch
+site anl anl.gov
+trust-all
+subscribe anl cern
+publish cern run01.dat 2097152
+publish cern run02.dat 4194304
+replicate-pending anl
+locate run01.dat
+locate run02.dat
+clock
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let script = match args.first() {
+        Some(path) => std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }),
+        None => DEMO.to_string(),
+    };
+    let mut grid = Grid::new("cli");
+    let mut seed = 100u64;
+    for (lineno, line) in script.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        println!("gdmp> {line}");
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let result = run_command(&mut grid, &parts, &mut seed);
+        if let Err(e) = result {
+            eprintln!("error at line {}: {e}", lineno + 1);
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_command(grid: &mut Grid, parts: &[&str], seed: &mut u64) -> Result<(), String> {
+    match parts {
+        ["site", name, org] => {
+            *seed += 1;
+            grid.add_site(SiteConfig::named(name, org, *seed));
+            println!("  site {name} ({org}) created");
+            Ok(())
+        }
+        ["trust-all"] => {
+            grid.trust_all();
+            println!("  gridmap entries installed for every site pair");
+            Ok(())
+        }
+        ["subscribe", consumer, producer] => {
+            grid.subscribe(consumer, producer).map_err(|e| e.to_string())?;
+            println!("  {consumer} subscribed to {producer}");
+            Ok(())
+        }
+        ["publish", site, lfn, size] => {
+            let size: usize = size.parse().map_err(|_| "bad size".to_string())?;
+            let data = Bytes::from(vec![(*seed % 251) as u8; size]);
+            let meta = grid.publish_file(site, lfn, data, "flat").map_err(|e| e.to_string())?;
+            println!("  published {lfn}: {} bytes, crc32 {:08x}", meta.size, meta.crc32);
+            Ok(())
+        }
+        ["replicate", dst, lfn] => {
+            let r = grid.replicate(dst, lfn).map_err(|e| e.to_string())?;
+            println!(
+                "  {} {} → {}: {:.1}s, {} attempt(s)",
+                r.lfn,
+                r.from,
+                r.to,
+                r.total_time().as_secs_f64(),
+                r.attempts
+            );
+            Ok(())
+        }
+        ["replicate-pending", dst] => {
+            let reports = grid.replicate_pending(dst).map_err(|e| e.to_string())?;
+            for r in &reports {
+                println!(
+                    "  {} {} → {}: {:.1}s ({:.1} Mb/s)",
+                    r.lfn,
+                    r.from,
+                    r.to,
+                    r.total_time().as_secs_f64(),
+                    r.effective_mbps()
+                );
+            }
+            println!("  {} file(s) replicated", reports.len());
+            Ok(())
+        }
+        ["get-catalog", dst, from] => {
+            let n = grid.recover_catalog(dst, from).map_err(|e| e.to_string())?;
+            println!("  {n} missing file(s) queued from {from}'s catalog");
+            Ok(())
+        }
+        ["locate", lfn] => {
+            let locs = grid.catalog.locate(lfn).map_err(|e| e.to_string())?;
+            for l in &locs {
+                println!("  {} @ {}", l.location, l.pfn);
+            }
+            Ok(())
+        }
+        ["clock"] => {
+            println!("  grid clock: {}", grid.now());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}

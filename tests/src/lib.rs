@@ -1,0 +1,41 @@
+//! Shared helpers for cross-crate integration tests.
+
+use gdmp_gsi::cert::{CertificateAuthority, KeyPair};
+use gdmp_gsi::name::DistinguishedName;
+use gdmp_gsi::proxy::CredentialChain;
+
+/// A CA plus host + user credentials, the standard test-grid PKI.
+pub struct TestPki {
+    pub ca: CertificateAuthority,
+    pub host: CredentialChain,
+    pub user_proxy: CredentialChain,
+}
+
+impl TestPki {
+    pub fn new() -> TestPki {
+        let ca = CertificateAuthority::new(
+            DistinguishedName::user("grid", "Integration CA"),
+            0xBEEF,
+            0,
+            1_000_000,
+        );
+        let hk = KeyPair::from_seed(21);
+        let host = CredentialChain::end_entity(
+            ca.issue(DistinguishedName::host("cern.ch", "gdmp.cern.ch"), hk.public, 0, 900_000),
+            hk,
+        );
+        let uk = KeyPair::from_seed(22);
+        let user = CredentialChain::end_entity(
+            ca.issue(DistinguishedName::user("cern.ch", "alice"), uk.public, 0, 900_000),
+            uk,
+        );
+        let user_proxy = user.delegate(23, 0, 43_200, 2).expect("proxy");
+        TestPki { ca, host, user_proxy }
+    }
+}
+
+impl Default for TestPki {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,151 @@
+//! Chaos testing: random operation sequences against a full grid, with
+//! random fault injection, checking global invariants after every step.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use gdmp::{FaultPlan, GdmpError, Grid, SiteConfig};
+use gdmp_gridftp::crc::crc32;
+use gdmp_simnet::time::SimTime;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Publish { site: u8, size: u16 },
+    Replicate { dst: u8, lfn: u8 },
+    InjectFault { lfn: u8, abort: bool, fraction: u8 },
+    Evict { site: u8, lfn: u8 },
+    Recover { dst: u8, from: u8 },
+    Pending { dst: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), 64u16..8192).prop_map(|(site, size)| Op::Publish { site, size }),
+        (any::<u8>(), any::<u8>()).prop_map(|(dst, lfn)| Op::Replicate { dst, lfn }),
+        (any::<u8>(), any::<bool>(), any::<u8>())
+            .prop_map(|(lfn, abort, fraction)| Op::InjectFault { lfn, abort, fraction }),
+        (any::<u8>(), any::<u8>()).prop_map(|(site, lfn)| Op::Evict { site, lfn }),
+        (any::<u8>(), any::<u8>()).prop_map(|(dst, from)| Op::Recover { dst, from }),
+        any::<u8>().prop_map(|dst| Op::Pending { dst }),
+    ]
+}
+
+const SITES: [&str; 3] = ["anl", "cern", "lyon"];
+
+fn site_of(i: u8) -> &'static str {
+    SITES[usize::from(i) % SITES.len()]
+}
+
+fn lfn_of(i: u8) -> String {
+    format!("chaos{:02}.dat", i % 12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever happens: the clock never goes backwards, no file stays
+    /// pinned between operations, delivered files always match their
+    /// published CRC, and subscription queues never hold files the site
+    /// already has.
+    #[test]
+    fn grid_invariants_under_chaos(ops in proptest::collection::vec(arb_op(), 1..40)) {
+        let mut grid = Grid::new("chaos");
+        for (i, s) in SITES.iter().enumerate() {
+            grid.add_site(SiteConfig::named(s, &format!("{s}.org"), 50 + i as u64));
+        }
+        grid.trust_all();
+        grid.subscribe("anl", "cern").unwrap();
+        let mut published: Vec<(String, u32)> = Vec::new(); // (lfn, crc)
+        let mut last_clock = SimTime::ZERO;
+
+        for op in ops {
+            match op {
+                Op::Publish { site, size } => {
+                    let lfn = lfn_of(size as u8);
+                    if published.iter().any(|(l, _)| *l == lfn) {
+                        continue; // unique namespace; skip duplicates
+                    }
+                    let data = Bytes::from(vec![size as u8; usize::from(size)]);
+                    let crc = crc32(&data);
+                    match grid.publish_file(site_of(site), &lfn, data, "flat") {
+                        Ok(_) => published.push((lfn, crc)),
+                        Err(e) => return Err(TestCaseError::fail(format!("publish: {e}"))),
+                    }
+                }
+                Op::Replicate { dst, lfn } => {
+                    let lfn = lfn_of(lfn);
+                    match grid.replicate(site_of(dst), &lfn) {
+                        Ok(r) => prop_assert!(r.bytes_moved >= r.bytes),
+                        Err(
+                            GdmpError::NotPublished(_)
+                            | GdmpError::AlreadyReplicated { .. }
+                            | GdmpError::TransferFailed { .. },
+                        ) => {}
+                        Err(e) => return Err(TestCaseError::fail(format!("replicate: {e}"))),
+                    }
+                }
+                Op::InjectFault { lfn, abort, fraction } => {
+                    let plan = if abort {
+                        FaultPlan {
+                            abort_attempts: 1 + u32::from(fraction % 3),
+                            abort_fraction: f64::from(fraction) / 255.0,
+                            corrupt_attempts: 0,
+                        }
+                    } else {
+                        FaultPlan::corrupt_first(1 + u32::from(fraction % 2))
+                    };
+                    grid.inject_fault(&lfn_of(lfn), plan);
+                }
+                Op::Evict { site, lfn } => {
+                    // Random disk-pressure eviction (tape copy survives).
+                    let site = site_of(site);
+                    let lfn = lfn_of(lfn);
+                    let _ = grid.site_mut(site).unwrap().storage.pool.remove(&lfn);
+                }
+                Op::Recover { dst, from } => {
+                    let (dst, from) = (site_of(dst), site_of(from));
+                    if dst != from {
+                        grid.recover_catalog(dst, from).unwrap();
+                    }
+                }
+                Op::Pending { dst } => {
+                    // Pending replication may legitimately fail mid-batch
+                    // (injected faults); any error must still leave the
+                    // grid clean, which the invariants below check.
+                    let _ = grid.replicate_pending(site_of(dst));
+                }
+            }
+
+            // ---- invariants ------------------------------------------
+            let now = grid.now();
+            prop_assert!(now >= last_clock, "clock went backwards");
+            last_clock = now;
+            for s in SITES {
+                let holdings = grid.catalog.site_files(s).unwrap_or_default();
+                let site = grid.site(s).unwrap();
+                for f in site.storage.pool.file_names() {
+                    prop_assert!(
+                        !site.storage.pool.is_pinned(&f),
+                        "{f} left pinned at {s}"
+                    );
+                }
+                // Import queue never holds files the site already has.
+                for notice in &site.import_queue {
+                    prop_assert!(
+                        !holdings.contains(&notice.lfn),
+                        "{s} queued {} it already holds",
+                        notice.lfn
+                    );
+                }
+            }
+            // Every successfully delivered file matches its published CRC.
+            for (lfn, crc) in &published {
+                for s in SITES {
+                    if let Some(data) = grid.site(s).unwrap().storage.pool.peek(lfn) {
+                        prop_assert_eq!(crc32(&data), *crc, "corrupt {} at {}", lfn, s);
+                    }
+                }
+            }
+        }
+    }
+}
