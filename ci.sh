@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate. The registry is offline (vendored shims via [patch.crates-io]),
+# so every cargo invocation runs with --offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --offline --workspace --release
+
+echo "==> cargo test"
+cargo test --offline --workspace -q
+
+echo "CI OK"

@@ -24,9 +24,7 @@ fn bench_blocks(c: &mut Criterion) {
     let mut g = c.benchmark_group("extended_block_mode");
     let data = Bytes::from(vec![7u8; 1 << 20]);
     g.throughput(Throughput::Bytes(data.len() as u64));
-    g.bench_function("partition_4ch_64k", |b| {
-        b.iter(|| partition(black_box(&data), 64 * 1024, 4))
-    });
+    g.bench_function("partition_4ch_64k", |b| b.iter(|| partition(black_box(&data), 64 * 1024, 4)));
     g.bench_function("reassemble_4ch_64k", |b| {
         let parts = partition(&data, 64 * 1024, 4);
         b.iter(|| {
@@ -86,12 +84,16 @@ fn bench_objectstore(c: &mut Criterion) {
         fed.create_database("d.db").unwrap();
         for e in 0..2_000u64 {
             let logical = LogicalOid::new(e, ObjectKind::Aod);
-            fed.store("d.db", (e % 8) as u32, StoredObject {
-                logical,
-                version: 1,
-                payload: synth_payload(logical, 1, 512),
-                assocs: vec![],
-            })
+            fed.store(
+                "d.db",
+                (e % 8) as u32,
+                StoredObject {
+                    logical,
+                    version: 1,
+                    payload: synth_payload(logical, 1, 512),
+                    assocs: vec![],
+                },
+            )
             .unwrap();
         }
         fed

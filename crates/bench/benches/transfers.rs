@@ -19,11 +19,9 @@ fn bench_fig_points(c: &mut Criterion) {
     let profile = WanProfile::cern_anl_production();
     for &streams in &[1u32, 4, 8] {
         for &(label, buffer) in &[("untuned64k", 64 * 1024u64), ("tuned1M", MB)] {
-            g.bench_with_input(
-                BenchmarkId::new(label, streams),
-                &streams,
-                |b, &n| b.iter(|| profile.simulate_transfer(black_box(5 * MB), n, buffer)),
-            );
+            g.bench_with_input(BenchmarkId::new(label, streams), &streams, |b, &n| {
+                b.iter(|| profile.simulate_transfer(black_box(5 * MB), n, buffer))
+            });
         }
     }
     g.finish();

@@ -3,45 +3,59 @@
 //! ```text
 //! cargo run -p gdmp-bench --release --bin figures -- all
 //! cargo run -p gdmp-bench --release --bin figures -- fig5
+//! cargo run -p gdmp-bench --release --bin figures -- fig2 --trace
+//! cargo run -p gdmp-bench --release --bin figures -- all --json > figures.jsonl
 //! ```
 //!
 //! Subcommands: `fig1 fig2 fig5 fig6 tuning buffer objrep objcost staging stripe placement motivation all`.
+//! Flags: `--json` emits machine-readable JSON lines instead of tables;
+//! `--trace` appends the telemetry dump (spans, metrics, flight recorder)
+//! of the grid-driven experiments (`fig1`, `fig2`).
 
 use gdmp::{Grid, ObjectReplicationConfig, SiteConfig};
 use gdmp_bench::figures::{fig_sweep, render, shape};
-use gdmp_bench::tables;
+use gdmp_bench::{tables, Cell, Report};
 use gdmp_objectstore::{LogicalOid, ObjectKind};
 use gdmp_workloads::{FigureSweep, Placement, Population, MB};
 
+struct Opts {
+    report: Report,
+    trace: bool,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let which = args.first().map(String::as_str).unwrap_or("all");
+    let json = args.iter().any(|a| a == "--json");
+    let trace = args.iter().any(|a| a == "--trace");
+    let which =
+        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).next().unwrap_or("all");
+    let mut o = Opts { report: Report::new(json), trace };
     match which {
-        "fig1" => fig1(),
-        "fig2" => fig2(),
-        "fig5" => figure(FigureSweep::figure5(), 23.0, 9),
-        "fig6" => figure(FigureSweep::figure6(), 23.0, 3),
-        "tuning" => tuning(),
-        "buffer" => buffer(),
-        "objrep" => objrep(),
-        "objcost" => objcost(),
-        "staging" => staging(),
-        "stripe" => stripe(),
-        "placement" => placement(),
-        "motivation" => motivation(),
+        "fig1" => fig1(&mut o),
+        "fig2" => fig2(&mut o),
+        "fig5" => figure(&mut o, FigureSweep::figure5(), 23.0, 9),
+        "fig6" => figure(&mut o, FigureSweep::figure6(), 23.0, 3),
+        "tuning" => tuning(&mut o),
+        "buffer" => buffer(&mut o),
+        "objrep" => objrep(&mut o),
+        "objcost" => objcost(&mut o),
+        "staging" => staging(&mut o),
+        "stripe" => stripe(&mut o),
+        "placement" => placement(&mut o),
+        "motivation" => motivation(&mut o),
         "all" => {
-            fig1();
-            fig2();
-            figure(FigureSweep::figure5(), 23.0, 9);
-            figure(FigureSweep::figure6(), 23.0, 3);
-            tuning();
-            buffer();
-            objrep();
-            objcost();
-            staging();
-            stripe();
-            placement();
-            motivation();
+            fig1(&mut o);
+            fig2(&mut o);
+            figure(&mut o, FigureSweep::figure5(), 23.0, 9);
+            figure(&mut o, FigureSweep::figure6(), 23.0, 3);
+            tuning(&mut o);
+            buffer(&mut o);
+            objrep(&mut o);
+            objcost(&mut o);
+            staging(&mut o);
+            stripe(&mut o);
+            placement(&mut o);
+            motivation(&mut o);
         }
         other => {
             eprintln!("unknown experiment {other:?}; see module docs");
@@ -50,162 +64,224 @@ fn main() {
     }
 }
 
-fn figure(sweep: FigureSweep, paper_peak: f64, paper_peak_streams: u32) {
-    println!("==============================================================");
+fn figure(o: &mut Opts, sweep: FigureSweep, paper_peak: f64, paper_peak_streams: u32) {
+    let r = &mut o.report;
+    r.section(sweep.label);
     let rows = fig_sweep(&sweep);
-    print!("{}", render(&sweep, &rows));
+    if r.is_json() {
+        r.table(
+            &["file_bytes", "streams", "buffer", "mbps", "retransmitted_segments", "timeouts"],
+            &rows
+                .iter()
+                .map(|x| {
+                    vec![
+                        Cell::from(x.file_bytes),
+                        Cell::from(x.streams),
+                        Cell::from(x.buffer),
+                        Cell::f(x.mbps, 1),
+                        Cell::from(x.retransmitted_segments),
+                        Cell::from(x.timeouts),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+    } else {
+        r.block(&render(&sweep, &rows));
+    }
     let s = shape(&sweep, &rows);
-    println!(
+    r.note(&format!(
         "shape: peak {:.1} Mb/s at {} streams (paper: ~{:.0} Mb/s at ~{} streams); \
          1 stream {:.1} Mb/s; 1 MB file mean {:.1} Mb/s",
-        s.peak_mbps, s.peak_streams, paper_peak, paper_peak_streams, s.single_mbps, s.small_file_mean
-    );
-    println!();
+        s.peak_mbps,
+        s.peak_streams,
+        paper_peak,
+        paper_peak_streams,
+        s.single_mbps,
+        s.small_file_mean
+    ));
+    r.end_section();
 }
 
-fn tuning() {
-    println!("==============================================================");
-    println!("Section 6 tuning conclusions (25 MB file, CERN↔ANL profile)");
+fn tuning(o: &mut Opts) {
+    let r = &mut o.report;
+    r.section("Section 6 tuning conclusions (25 MB file, CERN↔ANL profile)");
     let t = tables::tuning_table(25 * MB, 10);
-    println!("  optimal buffer (RTT × bottleneck): {} bytes (paper: ~703 KB)", t.optimal_buffer_bytes);
-    println!("  tuned 2-3 streams vs 1 tuned: +{:.0}% (paper: ~+25%)", t.tuned_2_3_gain_over_1 * 100.0);
+    r.note(&format!(
+        "  optimal buffer (RTT × bottleneck): {} bytes (paper: ~703 KB)",
+        t.optimal_buffer_bytes
+    ));
+    r.note(&format!(
+        "  tuned 2-3 streams vs 1 tuned: +{:.0}% (paper: ~+25%)",
+        t.tuned_2_3_gain_over_1 * 100.0
+    ));
     match t.untuned_streams_matching_two_tuned {
-        Some(n) => println!("  untuned streams matching 2 tuned: {n} (paper: ~10 untuned ≈ 2-3 tuned)"),
-        None => println!("  untuned streams never matched 2 tuned within the sweep"),
+        Some(n) => r.note(&format!(
+            "  untuned streams matching 2 tuned: {n} (paper: ~10 untuned ≈ 2-3 tuned)"
+        )),
+        None => r.note("  untuned streams never matched 2 tuned within the sweep"),
     }
-    println!("  untuned by streams: {:?}", rounded(&t.untuned_by_streams));
-    println!("  tuned   by streams: {:?}", rounded(&t.tuned_by_streams));
-    println!();
+    let rows: Vec<Vec<Cell>> = t
+        .untuned_by_streams
+        .iter()
+        .zip(&t.tuned_by_streams)
+        .map(|((n, u), (_, tu))| vec![Cell::from(*n), Cell::f(*u, 1), Cell::f(*tu, 1)])
+        .collect();
+    r.table(&["streams", "untuned Mb/s", "tuned Mb/s"], &rows);
+    r.end_section();
 }
 
-fn rounded(v: &[(u32, f64)]) -> Vec<(u32, f64)> {
-    v.iter().map(|(n, t)| (*n, (t * 10.0).round() / 10.0)).collect()
+fn buffer(o: &mut Opts) {
+    let r = &mut o.report;
+    r.section("Buffer-size sweep, 1 stream, 25 MB file (knee ≈ RTT × bottleneck)");
+    let rows: Vec<Vec<Cell>> = tables::buffer_sweep(25 * MB)
+        .iter()
+        .map(|x| vec![Cell::from(x.buffer / 1024), Cell::f(x.mbps, 1)])
+        .collect();
+    r.table(&["buffer KB", "Mb/s"], &rows);
+    r.end_section();
 }
 
-fn buffer() {
-    println!("==============================================================");
-    println!("Buffer-size sweep, 1 stream, 25 MB file (knee ≈ RTT × bottleneck)");
-    println!("{:>10} | {:>8}", "buffer", "Mb/s");
-    for r in tables::buffer_sweep(25 * MB) {
-        println!("{:>7} KB | {:>8.1}", r.buffer / 1024, r.mbps);
-    }
-    println!();
-}
-
-fn objrep() {
-    println!("==============================================================");
-    println!("Section 5.1: file-level vs object-level replication (1 KB AODs,");
-    println!("10 000 events in 100-event files, clustered placement)");
-    println!(
-        "{:>11} | {:>7} | {:>13} | {:>13} | {:>7} | {:>9}",
-        "selectivity", "objects", "file-level B", "object-lvl B", "ratio", "objrep s"
+fn objrep(o: &mut Opts) {
+    let r = &mut o.report;
+    r.section(
+        "Section 5.1: file-level vs object-level replication (1 KB AODs,\n\
+         10 000 events in 100-event files, clustered placement)",
     );
     let rows = tables::objrep_table(
         10_000,
         &[1.0, 0.3, 0.1, 0.03, 0.01, 0.003],
         Placement::ByKindChunks { events_per_file: 100 },
     );
-    for r in &rows {
-        println!(
-            "{:>11.3} | {:>7} | {:>13} | {:>13} | {:>7.1} | {:>9.1}",
-            r.selectivity, r.objects, r.file_level_bytes, r.object_level_bytes, r.ratio,
-            r.objrep_makespan_s
-        );
-    }
-    println!("(paper: at sparse selections no usable file set exists; object");
-    println!(" replication ships only the selected ~bytes)");
-    println!();
-}
-
-fn objcost() {
-    println!("==============================================================");
-    println!("Section 5.3: object replication server cost (1 000 of 2 000 AODs)");
-    println!(
-        "{:>12} | {:>16} | {:>11} | {:>12} | {:>12}",
-        "copier MB/s", "cpu s / net MB", "pipelined s", "sequential s", "copier-bound"
+    let cells: Vec<Vec<Cell>> = rows
+        .iter()
+        .map(|x| {
+            vec![
+                Cell::f(x.selectivity, 3),
+                Cell::from(x.objects),
+                Cell::from(x.file_level_bytes),
+                Cell::from(x.object_level_bytes),
+                Cell::f(x.ratio, 1),
+                Cell::f(x.objrep_makespan_s, 1),
+            ]
+        })
+        .collect();
+    r.table(
+        &["selectivity", "objects", "file-level B", "object-lvl B", "ratio", "objrep s"],
+        &cells,
     );
-    for r in tables::objcost_table(&[500_000, 2_000_000, 10_000_000, 30_000_000, 100_000_000]) {
-        println!(
-            "{:>12.1} | {:>16.3} | {:>11.1} | {:>12.1} | {:>12}",
-            r.copier_bytes_per_sec as f64 / 1e6,
-            r.cpu_s_per_net_mb,
-            r.pipelined_s,
-            r.sequential_s,
-            r.copier_bound
-        );
-    }
-    println!("(paper: a powerful-enough copier host is not a bottleneck; it");
-    println!(" costs extra CPU/disk I/O per network byte vs file replication)");
-    println!();
+    r.note("(paper: at sparse selections no usable file set exists; object");
+    r.note(" replication ships only the selected ~bytes)");
+    r.end_section();
 }
 
-fn staging() {
-    println!("==============================================================");
-    println!("Section 4.4: staging behaviour (4 MB file)");
-    println!("{:>11} | {:>12} | {:>10}", "residence", "stage s", "total s");
-    for r in tables::staging_table(4) {
-        println!("{:>11} | {:>12.1} | {:>10.1}", r.residence, r.stage_latency_s, r.total_time_s);
-    }
-    println!();
+fn objcost(o: &mut Opts) {
+    let r = &mut o.report;
+    r.section("Section 5.3: object replication server cost (1 000 of 2 000 AODs)");
+    let cells: Vec<Vec<Cell>> =
+        tables::objcost_table(&[500_000, 2_000_000, 10_000_000, 30_000_000, 100_000_000])
+            .iter()
+            .map(|x| {
+                vec![
+                    Cell::f(x.copier_bytes_per_sec as f64 / 1e6, 1),
+                    Cell::f(x.cpu_s_per_net_mb, 3),
+                    Cell::f(x.pipelined_s, 1),
+                    Cell::f(x.sequential_s, 1),
+                    Cell::from(x.copier_bound),
+                ]
+            })
+            .collect();
+    r.table(
+        &["copier MB/s", "cpu s / net MB", "pipelined s", "sequential s", "copier-bound"],
+        &cells,
+    );
+    r.note("(paper: a powerful-enough copier host is not a bottleneck; it");
+    r.note(" costs extra CPU/disk I/O per network byte vs file replication)");
+    r.end_section();
 }
 
-fn motivation() {
-    println!("==============================================================");
-    println!("§2.1 motivation: per-object remote access (AMS over WAN) vs");
-    println!("object replication + local access");
-    println!("{:>8} | {:>12} | {:>18} | {:>8}", "objects", "remote s", "replicate+local s", "speedup");
-    for r in tables::motivation_table(&[10, 100, 1_000, 10_000]) {
-        println!(
-            "{:>8} | {:>12.1} | {:>18.1} | {:>7.1}x",
-            r.objects, r.remote_access_s, r.replicate_then_local_s, r.speedup
-        );
-    }
-    println!("(replication pays once; navigational remote access pays one WAN");
-    println!(" round trip per object — [SaMo00], [YoMo00])");
-    println!();
+fn staging(o: &mut Opts) {
+    let r = &mut o.report;
+    r.section("Section 4.4: staging behaviour (4 MB file)");
+    let cells: Vec<Vec<Cell>> = tables::staging_table(4)
+        .iter()
+        .map(|x| {
+            vec![Cell::from(x.residence), Cell::f(x.stage_latency_s, 1), Cell::f(x.total_time_s, 1)]
+        })
+        .collect();
+    r.table(&["residence", "stage s", "total s"], &cells);
+    r.end_section();
 }
 
-fn placement() {
-    println!("==============================================================");
-    println!("Placement ablation (§5.1: 'smart initial placement ... can raise");
-    println!("the probability, but not by very much'): file/object byte ratio");
-    println!("at 1% selectivity under three placement policies");
-    println!("{:>22} | {:>7}", "placement", "ratio");
+fn motivation(o: &mut Opts) {
+    let r = &mut o.report;
+    r.section(
+        "§2.1 motivation: per-object remote access (AMS over WAN) vs\n\
+         object replication + local access",
+    );
+    let cells: Vec<Vec<Cell>> = tables::motivation_table(&[10, 100, 1_000, 10_000])
+        .iter()
+        .map(|x| {
+            vec![
+                Cell::from(x.objects),
+                Cell::f(x.remote_access_s, 1),
+                Cell::f(x.replicate_then_local_s, 1),
+                Cell::f(x.speedup, 1),
+            ]
+        })
+        .collect();
+    r.table(&["objects", "remote s", "replicate+local s", "speedup x"], &cells);
+    r.note("(replication pays once; navigational remote access pays one WAN");
+    r.note(" round trip per object — [SaMo00], [YoMo00])");
+    r.end_section();
+}
+
+fn placement(o: &mut Opts) {
+    let r = &mut o.report;
+    r.section(
+        "Placement ablation (§5.1: 'smart initial placement ... can raise\n\
+         the probability, but not by very much'): file/object byte ratio\n\
+         at 1% selectivity under three placement policies",
+    );
+    let mut cells = Vec::new();
     for (label, placement) in [
         ("clustered (100/file)", Placement::ByKindChunks { events_per_file: 100 }),
         ("clustered (20/file)", Placement::ByKindChunks { events_per_file: 20 }),
         ("striped (100 files)", Placement::Striped { files: 100 }),
     ] {
         let rows = tables::objrep_table(10_000, &[0.01], placement);
-        println!("{:>22} | {:>7.1}", label, rows[0].ratio);
+        cells.push(vec![Cell::from(label), Cell::f(rows[0].ratio, 1)]);
     }
-    println!("(even the friendliest placement cannot make whole files dense");
-    println!(" in a fresh sparse selection)");
-    println!();
+    r.table(&["placement", "ratio"], &cells);
+    r.note("(even the friendliest placement cannot make whole files dense");
+    r.note(" in a fresh sparse selection)");
+    r.end_section();
 }
 
-fn stripe() {
-    println!("==============================================================");
-    println!("Striped transfer (m hosts → 1, 10 Mb/s NICs, shared 45 Mb/s WAN,");
-    println!("20 MB file, 2 streams per node)");
-    println!("{:>6} | {:>8}", "nodes", "Mb/s");
-    for r in tables::stripe_table(20 * MB, 2) {
-        println!("{:>6} | {:>8.1}", r.nodes, r.mbps);
-    }
-    println!("(GridFTP feature list: 'striped data transfer (m hosts to n");
-    println!(" hosts)'; one box cannot drive the WAN alone — §5.3)");
-    println!();
+fn stripe(o: &mut Opts) {
+    let r = &mut o.report;
+    r.section(
+        "Striped transfer (m hosts → 1, 10 Mb/s NICs, shared 45 Mb/s WAN,\n\
+         20 MB file, 2 streams per node)",
+    );
+    let cells: Vec<Vec<Cell>> = tables::stripe_table(20 * MB, 2)
+        .iter()
+        .map(|x| vec![Cell::from(x.nodes), Cell::f(x.mbps, 1)])
+        .collect();
+    r.table(&["nodes", "Mb/s"], &cells);
+    r.note("(GridFTP feature list: 'striped data transfer (m hosts to n");
+    r.note(" hosts)'; one box cannot drive the WAN alone — §5.3)");
+    r.end_section();
 }
 
 /// Figure 1 as an executable walk-through: application description →
 /// object ids → file names → physical locations.
-fn fig1() {
-    println!("==============================================================");
-    println!("Figure 1: the catalog mapping chain (executable walk-through)");
+fn fig1(o: &mut Opts) {
+    o.report.section("Figure 1: the catalog mapping chain (executable walk-through)");
     let mut grid = Grid::new("cms");
     grid.add_site(SiteConfig::named("cern", "cern.ch", 1));
     grid.add_site(SiteConfig::named("anl", "anl.gov", 2));
     grid.trust_all();
+    let reg = if o.trace { grid.enable_telemetry() } else { gdmp_telemetry::Registry::disabled() };
     Population::aod(1_000, 100).scaled(0.01).build(&mut grid, "cern").expect("population");
 
     // Application metadata catalog: a selection tag.
@@ -213,64 +289,70 @@ fn fig1() {
     grid.site_mut("cern").unwrap().tags.define("golden", events);
     let tags = &grid.site("cern").unwrap().tags;
     let objects = tags.objects("golden", ObjectKind::Aod).expect("tag defined");
-    println!("  application description: tag \"golden\"");
-    println!("  → set of object identifiers: {} logical oids (via tag catalog)", objects.len());
+    o.report.note("  application description: tag \"golden\"");
+    o.report.note(&format!(
+        "  → set of object identifiers: {} logical oids (via tag catalog)",
+        objects.len()
+    ));
 
     // Object→file catalog.
     let (per_file, missing) = grid.object_view.collective_lookup(&objects);
     assert!(missing.is_empty());
-    println!("  → set of file names: {} files (via object→file catalog)", per_file.len());
+    o.report.note(&format!(
+        "  → set of file names: {} files (via object→file catalog)",
+        per_file.len()
+    ));
 
     // File replica catalog.
     let mut locations = 0;
     for file in per_file.keys() {
         locations += grid.catalog.locate(file).expect("published").len();
     }
-    println!("  → set of file locations: {locations} physical replicas (via replica catalog)");
-    println!();
+    o.report.note(&format!(
+        "  → set of file locations: {locations} physical replicas (via replica catalog)"
+    ));
+    o.report.telemetry(&reg);
+    o.report.end_section();
 }
 
 /// Figure 2 as an executable trace: file replication vs object replication
 /// of the same event selection.
-fn fig2() {
-    println!("==============================================================");
-    println!("Figure 2: file replication (top) vs object replication (bottom)");
+fn fig2(o: &mut Opts) {
+    o.report.section("Figure 2: file replication (top) vs object replication (bottom)");
     let mut grid = Grid::new("cms");
     grid.add_site(SiteConfig::named("cern", "cern.ch", 1));
     grid.add_site(SiteConfig::named("anl", "anl.gov", 2));
     grid.trust_all();
+    let reg = if o.trace { grid.enable_telemetry() } else { gdmp_telemetry::Registry::disabled() };
     let files = Population::aod(500, 100).scaled(0.1).build(&mut grid, "cern").expect("population");
 
     // Top: file replication of one whole database file.
     let r = grid.replicate("anl", &files[0]).expect("file replication");
-    println!(
+    o.report.note(&format!(
         "  file replication:   {} ({} bytes) cern → anl in {:.1}s; attached at anl: {}",
         r.lfn,
         r.bytes,
         r.total_time().as_secs_f64(),
         grid.site("anl").unwrap().federation.is_attached(&r.lfn),
-    );
+    ));
 
     // Bottom: object replication of a sparse selection.
     let wanted: Vec<LogicalOid> =
         (100..500).step_by(25).map(|e| LogicalOid::new(e, ObjectKind::Aod)).collect();
-    let o = grid
+    let obj = grid
         .object_replicate("anl", &wanted, ObjectReplicationConfig::default())
         .expect("object replication");
-    println!(
+    o.report.note(&format!(
         "  object replication: {} objects via copier → {} extraction file(s), {} bytes, {:.1}s",
-        o.objects_moved,
-        o.chunk_files.len(),
-        o.bytes_moved,
-        o.makespan.as_secs_f64(),
-    );
-    println!(
+        obj.objects_moved,
+        obj.chunk_files.len(),
+        obj.bytes_moved,
+        obj.makespan.as_secs_f64(),
+    ));
+    o.report.note(&format!(
         "  destination reads both through the same persistency layer: {}",
-        grid.site_mut("anl")
-            .unwrap()
-            .federation
-            .get(LogicalOid::new(125, ObjectKind::Aod))
-            .is_ok()
-    );
-    println!();
+        grid.site_mut("anl").unwrap().federation.get(LogicalOid::new(125, ObjectKind::Aod)).is_ok()
+    ));
+    o.report.telemetry(&reg);
+    o.report.end_section();
 }

@@ -76,10 +76,7 @@ pub fn shape(sweep: &FigureSweep, rows: &[FigRow]) -> FigShape {
     let largest = *sweep.file_sizes.iter().max().expect("non-empty");
     let smallest = *sweep.file_sizes.iter().min().expect("non-empty");
     let big: Vec<&FigRow> = rows.iter().filter(|r| r.file_bytes == largest).collect();
-    let peak = big
-        .iter()
-        .max_by(|a, b| a.mbps.total_cmp(&b.mbps))
-        .expect("non-empty");
+    let peak = big.iter().max_by(|a, b| a.mbps.total_cmp(&b.mbps)).expect("non-empty");
     let single = big.iter().find(|r| r.streams == 1).expect("streams include 1");
     let small: Vec<f64> =
         rows.iter().filter(|r| r.file_bytes == smallest).map(|r| r.mbps).collect();

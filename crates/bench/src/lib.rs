@@ -5,9 +5,11 @@
 //! Criterion benches reuse the same code for component micro-benchmarks.
 
 pub mod figures;
+pub mod report;
 pub mod tables;
 
 pub use figures::{fig_sweep, FigRow};
+pub use report::{Cell, Report};
 pub use tables::{
     buffer_sweep, motivation_table, objcost_table, objrep_table, staging_table, stripe_table,
     tuning_table, BufferRow, MotivationRow, ObjCostRow, ObjRepRow, StageRow, StripeRow,

@@ -1,0 +1,196 @@
+//! Experiment output: one streaming emitter that renders each figure as
+//! either aligned human tables or machine-readable JSON lines.
+//!
+//! Every cell keeps its native type until the moment of rendering, so the
+//! `--json` mode of the `figures` binary emits real numbers (not
+//! pre-formatted strings) while the human mode reproduces the paper-style
+//! tables. JSON output reuses `gdmp-telemetry`'s deterministic writer, so
+//! experiment rows and telemetry dumps can share one stream.
+
+use gdmp_telemetry::json::JsonObject;
+use gdmp_telemetry::Registry;
+
+/// One typed table cell.
+#[derive(Debug, Clone)]
+pub enum Cell {
+    Str(String),
+    U64(u64),
+    /// Float with the number of decimals used in human rendering (JSON
+    /// emits the full value).
+    F64(f64, usize),
+    Bool(bool),
+}
+
+impl From<&str> for Cell {
+    fn from(v: &str) -> Cell {
+        Cell::Str(v.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(v: String) -> Cell {
+        Cell::Str(v)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(v: u64) -> Cell {
+        Cell::U64(v)
+    }
+}
+
+impl From<u32> for Cell {
+    fn from(v: u32) -> Cell {
+        Cell::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for Cell {
+    fn from(v: usize) -> Cell {
+        Cell::U64(v as u64)
+    }
+}
+
+impl From<bool> for Cell {
+    fn from(v: bool) -> Cell {
+        Cell::Bool(v)
+    }
+}
+
+impl Cell {
+    /// Float cell with `decimals` digits in human output.
+    pub fn f(value: f64, decimals: usize) -> Cell {
+        Cell::F64(value, decimals)
+    }
+
+    fn human(&self) -> String {
+        match self {
+            Cell::Str(s) => s.clone(),
+            Cell::U64(n) => n.to_string(),
+            Cell::F64(x, d) => format!("{x:.d$}", d = d),
+            Cell::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+/// Streaming report writer. Sections, notes, and tables print as they are
+/// produced (the sweeps behind them can take minutes).
+pub struct Report {
+    json: bool,
+    section: String,
+}
+
+impl Report {
+    /// `json = false`: aligned human tables. `json = true`: JSON lines.
+    pub fn new(json: bool) -> Report {
+        Report { json, section: String::new() }
+    }
+
+    pub fn is_json(&self) -> bool {
+        self.json
+    }
+
+    /// Start a named section; subsequent rows carry it as context.
+    pub fn section(&mut self, title: &str) {
+        self.section = title.to_string();
+        if self.json {
+            println!("{}", JsonObject::new().str("record", "section").str("title", title).finish());
+        } else {
+            println!("==============================================================");
+            println!("{title}");
+        }
+    }
+
+    /// Free-form commentary (paper comparisons, caveats). Suppressed from
+    /// JSON output only in content, not in presence: machine consumers get
+    /// it as a `note` record they can ignore.
+    pub fn note(&self, text: &str) {
+        if self.json {
+            println!(
+                "{}",
+                JsonObject::new()
+                    .str("record", "note")
+                    .str("section", &self.section)
+                    .str("text", text)
+                    .finish()
+            );
+        } else {
+            println!("{text}");
+        }
+    }
+
+    /// Emit one table. Human mode aligns every column to its widest cell
+    /// (right-aligned, `|`-separated, in the paper's layout); JSON mode
+    /// emits one object per row keyed by the column headers.
+    pub fn table(&self, headers: &[&str], rows: &[Vec<Cell>]) {
+        if self.json {
+            for row in rows {
+                let mut obj = JsonObject::new().str("record", "row").str("section", &self.section);
+                for (h, cell) in headers.iter().zip(row) {
+                    obj = match cell {
+                        Cell::Str(s) => obj.str(h, s),
+                        Cell::U64(n) => obj.u64(h, *n),
+                        Cell::F64(x, _) => obj.f64(h, *x),
+                        Cell::Bool(b) => obj.raw(h, if *b { "true" } else { "false" }),
+                    };
+                }
+                println!("{}", obj.finish());
+            }
+            return;
+        }
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let rendered: Vec<Vec<String>> =
+            rows.iter().map(|r| r.iter().map(Cell::human).collect()).collect();
+        for row in &rendered {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line: Vec<String> =
+            headers.iter().zip(&widths).map(|(h, w)| format!("{h:>w$}")).collect();
+        println!("{}", line.join(" | "));
+        for row in &rendered {
+            let line: Vec<String> =
+                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+            println!("{}", line.join(" | "));
+        }
+    }
+
+    /// Pre-rendered block (e.g. the figure-5 grid). Human mode prints it
+    /// verbatim; JSON mode wraps it in a `block` record.
+    pub fn block(&self, text: &str) {
+        if self.json {
+            println!(
+                "{}",
+                JsonObject::new()
+                    .str("record", "block")
+                    .str("section", &self.section)
+                    .str("text", text)
+                    .finish()
+            );
+        } else {
+            print!("{text}");
+        }
+    }
+
+    /// Dump a telemetry registry into the report: the human summary table
+    /// and span tree, or the registry's own deterministic JSON lines.
+    pub fn telemetry(&self, reg: &Registry) {
+        if !reg.is_enabled() {
+            return;
+        }
+        if self.json {
+            print!("{}", reg.export_json_lines());
+        } else {
+            println!("--- telemetry ---");
+            print!("{}", reg.summary());
+        }
+    }
+
+    /// End a section (human output separates sections with a blank line).
+    pub fn end_section(&self) {
+        if !self.json {
+            println!();
+        }
+    }
+}

@@ -38,11 +38,8 @@ pub fn tuning_table(file_bytes: u64, max_streams: u32) -> TuningReport {
     let two_tuned = tuned.iter().find(|(n, _)| *n == 2).map(|(_, t)| *t).unwrap_or(0.0);
     let matching = untuned.iter().find(|(_, t)| *t >= two_tuned).map(|(n, _)| *n);
     let one_tuned = tuned[0].1;
-    let best_23 = tuned
-        .iter()
-        .filter(|(n, _)| *n == 2 || *n == 3)
-        .map(|(_, t)| *t)
-        .fold(f64::MIN, f64::max);
+    let best_23 =
+        tuned.iter().filter(|(n, _)| *n == 2 || *n == 3).map(|(_, t)| *t).fold(f64::MIN, f64::max);
     let advice = tuning::tune(&profile, 10 * MB, 1);
     TuningReport {
         untuned_by_streams: untuned,
@@ -99,11 +96,7 @@ pub struct ObjRepRow {
 /// The sparse-selection experiment: a population of AOD objects clustered
 /// into files; selections of decreasing density replicated to a second
 /// site both ways.
-pub fn objrep_table(
-    events: u64,
-    selectivities: &[f64],
-    placement: Placement,
-) -> Vec<ObjRepRow> {
+pub fn objrep_table(events: u64, selectivities: &[f64], placement: Placement) -> Vec<ObjRepRow> {
     let mut out = Vec::new();
     for &sel in selectivities {
         // A fresh grid per point: replication has state.
@@ -173,11 +166,8 @@ pub fn objcost_table(copier_speeds_bytes_per_sec: &[u64]) -> Vec<ObjCostRow> {
         population.build(&mut grid, "cern").expect("population builds");
         let wanted: Vec<LogicalOid> =
             (0..2_000).step_by(2).map(|e| LogicalOid::new(e, ObjectKind::Aod)).collect();
-        let copier = CopierSpec {
-            bytes_per_sec: speed,
-            per_object_ns: 20_000,
-            max_file_bytes: 256 * 1024,
-        };
+        let copier =
+            CopierSpec { bytes_per_sec: speed, per_object_ns: 20_000, max_file_bytes: 256 * 1024 };
         let piped = grid
             .object_replicate("anl", &wanted, ObjectReplicationConfig { copier, pipelined: true })
             .expect("objrep");
@@ -279,7 +269,9 @@ pub fn motivation_table(counts: &[usize]) -> Vec<MotivationRow> {
         grid.add_site(SiteConfig::named("anl", "anl.gov", 2));
         grid.trust_all();
         let events = (n as u64).max(1);
-        Population::aod(events, events.min(1000)).scaled(0.1).build(&mut grid, "cern")
+        Population::aod(events, events.min(1000))
+            .scaled(0.1)
+            .build(&mut grid, "cern")
             .expect("population builds");
         let wanted: Vec<LogicalOid> =
             (0..events).map(|e| LogicalOid::new(e, ObjectKind::Aod)).collect();

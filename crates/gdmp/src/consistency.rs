@@ -39,10 +39,8 @@ pub fn associated_closure(fed: &Federation, file: &str) -> BTreeSet<String> {
     }
     while let Some(current) = queue.pop_front() {
         let Some(db) = fed.file(&current) else { continue };
-        let targets: Vec<_> = db
-            .iter()
-            .flat_map(|(_, o)| o.assocs.iter().map(|a| a.target))
-            .collect();
+        let targets: Vec<_> =
+            db.iter().flat_map(|(_, o)| o.assocs.iter().map(|a| a.target)).collect();
         for t in targets {
             if let Some(holder) = fed.file_of(t) {
                 if !closure.contains(holder) {

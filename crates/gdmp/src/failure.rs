@@ -101,7 +101,11 @@ mod tests {
 
     #[test]
     fn fraction_is_clamped() {
-        let mut s = FaultState::new(FaultPlan { abort_attempts: 1, abort_fraction: 7.0, corrupt_attempts: 0 });
+        let mut s = FaultState::new(FaultPlan {
+            abort_attempts: 1,
+            abort_fraction: 7.0,
+            corrupt_attempts: 0,
+        });
         assert_eq!(s.next_verdict(), Verdict::Abort { fraction: 1.0 });
     }
 }

@@ -19,6 +19,7 @@ use gdmp_gsi::name::DistinguishedName;
 use gdmp_objectstore::ObjectFileCatalog;
 use gdmp_replica_catalog::service::{FileMeta, ReplicaCatalogService};
 use gdmp_simnet::time::{SimDuration, SimTime};
+use gdmp_telemetry::Registry;
 
 use crate::error::{GdmpError, Result};
 use crate::failure::{FaultPlan, FaultState, Verdict};
@@ -102,6 +103,10 @@ pub struct Grid {
     pub rpc_count: u64,
     /// Sequence number for object-replication extraction files.
     pub(crate) objrep_seq: u64,
+    /// Telemetry sink shared by the grid, its sites, and their storage.
+    /// Disabled (every call a no-op) unless [`Grid::enable_telemetry`] or
+    /// [`Grid::set_telemetry`] is called.
+    telemetry: Registry,
 }
 
 impl Grid {
@@ -129,17 +134,44 @@ impl Grid {
             nonce_counter: 1,
             rpc_count: 0,
             objrep_seq: 0,
+            telemetry: Registry::default(),
         }
+    }
+
+    // ---- telemetry ----------------------------------------------------
+
+    /// Switch on telemetry with a fresh registry, propagate it to every
+    /// existing site (and their storage), and return a handle for reading
+    /// the collected spans, metrics, and flight-recorder events. Sites
+    /// added later inherit it automatically.
+    pub fn enable_telemetry(&mut self) -> Registry {
+        let reg = Registry::new();
+        self.set_telemetry(reg.clone());
+        reg
+    }
+
+    /// Attach an externally created registry (e.g. one shared across
+    /// several grids for merged metrics).
+    pub fn set_telemetry(&mut self, reg: Registry) {
+        for site in self.sites.values_mut() {
+            site.set_telemetry(reg.clone());
+        }
+        self.telemetry = reg;
+    }
+
+    /// The grid's telemetry registry (disabled unless enabled explicitly).
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
     }
 
     // ---- assembly -----------------------------------------------------
 
-    pub fn add_site(&mut self, cfg: SiteConfig) {
-        assert!(
-            !self.sites.contains_key(&cfg.name),
-            "site {} already exists",
-            cfg.name
-        );
+    pub fn add_site(&mut self, mut cfg: SiteConfig) {
+        assert!(!self.sites.contains_key(&cfg.name), "site {} already exists", cfg.name);
+        // Sites inherit the grid's registry unless the config brought its own.
+        if self.telemetry.is_enabled() && !cfg.telemetry.is_enabled() {
+            cfg.telemetry = self.telemetry.clone();
+        }
         let site = Site::new(&cfg, &self.ca);
         self.sites.insert(cfg.name.clone(), site);
     }
@@ -148,11 +180,7 @@ impl Grid {
     pub fn trust(&mut self, callee: &str, caller: &str) {
         let caller_id = self.site(caller).expect("caller exists").identity().clone();
         let local_user = format!("{caller}_svc");
-        self.sites
-            .get_mut(callee)
-            .expect("callee exists")
-            .gridmap
-            .add_full(caller_id, &local_user);
+        self.sites.get_mut(callee).expect("callee exists").gridmap.add_full(caller_id, &local_user);
     }
 
     /// Mutual full trust between every pair of sites.
@@ -177,10 +205,7 @@ impl Grid {
     }
 
     pub fn profile_between(&self, a: &str, b: &str) -> WanProfile {
-        self.profiles
-            .get(&(a.to_string(), b.to_string()))
-            .copied()
-            .unwrap_or(self.default_profile)
+        self.profiles.get(&(a.to_string(), b.to_string())).copied().unwrap_or(self.default_profile)
     }
 
     pub fn site(&self, name: &str) -> Result<&Site> {
@@ -223,10 +248,8 @@ impl Grid {
         // Mutual authentication between the two site credentials.
         self.nonce_counter += 1;
         let nonce = self.nonce_counter;
-        let (caller_cred, callee_cred) = (
-            self.sites[from].credential.clone(),
-            self.sites[to].credential.clone(),
-        );
+        let (caller_cred, callee_cred) =
+            (self.sites[from].credential.clone(), self.sites[to].credential.clone());
         let (_ctx_i, ctx_a) = SecurityContext::establish(
             &caller_cred,
             &callee_cred,
@@ -235,16 +258,27 @@ impl Grid {
             nonce,
         )?;
         // One control round trip on the WAN.
+        let reg = self.telemetry.clone();
+        let span = reg.span_start("rpc", self.clock.nanos());
+        reg.span_note(span, "from", from);
+        reg.span_note(span, "to", to);
+        reg.span_note(span, "kind", req.kind());
+        reg.counter_add("rpc_total", &[("kind", req.kind())], 1);
         let rtt = self.profile_between(from, to).rtt();
         self.clock += rtt;
         self.rpc_count += 1;
         let peer = ctx_a.peer.clone();
-        let (resp, latency) = self
-            .sites
-            .get_mut(to)
-            .expect("checked above")
-            .handle(&peer, req)?;
+        let result = self.sites.get_mut(to).expect("checked above").handle(&peer, req);
+        let (resp, latency) = match result {
+            Ok(pair) => pair,
+            Err(e) => {
+                reg.span_note(span, "error", e.to_string());
+                reg.span_end(span, self.clock.nanos());
+                return Err(e);
+            }
+        };
         self.clock += latency;
+        reg.span_end(span, self.clock.nanos());
         Ok(resp)
     }
 
@@ -268,28 +302,44 @@ impl Grid {
         data: Bytes,
         file_type: &str,
     ) -> Result<FileMeta> {
+        let reg = self.telemetry.clone();
+        let span = reg.span_start("publish", self.clock.nanos());
+        reg.span_note(span, "site", site_name);
+        reg.span_note(span, "lfn", lfn);
+        reg.span_note(span, "bytes", data.len() as u64);
         let meta = FileMeta {
             size: data.len() as u64,
             modified: self.gsi_now(),
             crc32: crc32(&data),
             file_type: file_type.to_string(),
         };
-        let url_prefix = {
-            let site = self.site_mut(site_name)?;
-            site.storage.store(lfn, data, true)?;
-            site.url_prefix.clone()
-        };
-        self.catalog.publish(Some(lfn), site_name, &url_prefix, &meta)?;
-        let notice =
-            FileNotice { lfn: lfn.to_string(), meta: meta.clone(), origin: site_name.to_string() };
-        self.site_mut(site_name)?.export_catalog.push(notice.clone());
-        // Notify every subscriber (one RPC each).
-        let subscribers: Vec<String> =
-            self.site(site_name)?.subscribers.iter().cloned().collect();
-        for sub in subscribers {
-            self.rpc(site_name, &sub, Request::Notify { notices: vec![notice.clone()] })?;
+        let result = (|| {
+            let url_prefix = {
+                let site = self.site_mut(site_name)?;
+                site.storage.store(lfn, data, true)?;
+                site.url_prefix.clone()
+            };
+            self.catalog.publish(Some(lfn), site_name, &url_prefix, &meta)?;
+            let notice = FileNotice {
+                lfn: lfn.to_string(),
+                meta: meta.clone(),
+                origin: site_name.to_string(),
+            };
+            self.site_mut(site_name)?.export_catalog.push(notice.clone());
+            // Notify every subscriber (one RPC each).
+            let subscribers: Vec<String> =
+                self.site(site_name)?.subscribers.iter().cloned().collect();
+            reg.span_note(span, "subscribers", subscribers.len() as u64);
+            for sub in subscribers {
+                self.rpc(site_name, &sub, Request::Notify { notices: vec![notice.clone()] })?;
+            }
+            Ok(meta)
+        })();
+        if result.is_ok() {
+            reg.counter_add("files_published", &[("site", site_name)], 1);
         }
-        Ok(meta)
+        reg.span_end(span, self.clock.nanos());
+        result
     }
 
     /// Publish an Objectivity database file straight out of the site's
@@ -321,8 +371,7 @@ impl Grid {
     /// Inject a fault plan for transfers of `lfn` sourced from `site` only
     /// (models a flaky path or bad disks at one replica).
     pub fn inject_fault_at(&mut self, lfn: &str, site: &str, plan: FaultPlan) {
-        self.faults
-            .insert((lfn.to_string(), Some(site.to_string())), FaultState::new(plan));
+        self.faults.insert((lfn.to_string(), Some(site.to_string())), FaultState::new(plan));
     }
 
     /// Install a pluggable error-recovery strategy (Section 4.3's future
@@ -361,13 +410,61 @@ impl Grid {
         let started_at = self.clock;
         let info = self.catalog.info(lfn).map_err(|_| GdmpError::NotPublished(lfn.to_string()))?;
         if info.replicas.iter().any(|r| r.location == dst) {
-            return Err(GdmpError::AlreadyReplicated { lfn: lfn.to_string(), site: dst.to_string() });
+            return Err(GdmpError::AlreadyReplicated {
+                lfn: lfn.to_string(),
+                site: dst.to_string(),
+            });
         }
         if !self.sites.contains_key(dst) {
             return Err(GdmpError::NoSuchSite(dst.to_string()));
         }
+        let reg = self.telemetry.clone();
+        let root = reg.span_start("replicate", started_at.nanos());
+        reg.span_note(root, "lfn", lfn);
+        reg.span_note(root, "dst", dst);
+        let result = self.replicate_flow(dst, lfn, &info, started_at, &reg);
+        match &result {
+            Ok(r) => {
+                reg.span_note(root, "src", r.from.as_str());
+                reg.span_note(root, "attempts", u64::from(r.attempts));
+                reg.span_note(root, "bytes_moved", r.bytes_moved);
+                reg.counter_add("replications_total", &[("result", "ok")], 1);
+                reg.observe("replicate_duration_ns", &[], r.total_time().nanos());
+                reg.record(
+                    self.clock.nanos(),
+                    "replicated",
+                    format!("{lfn} {} -> {dst} ({} B)", r.from, r.bytes),
+                );
+            }
+            Err(e) => {
+                reg.span_note(root, "error", e.to_string());
+                reg.counter_add("replications_total", &[("result", "failed")], 1);
+                reg.record(self.clock.nanos(), "replicate_failed", format!("{lfn} -> {dst}: {e}"));
+            }
+        }
+        // Scope-close: this also ends any child span an error path leaked.
+        reg.span_end(root, self.clock.nanos());
+        result
+    }
+
+    /// The pipeline body of [`Grid::replicate`]; the caller owns the root
+    /// telemetry span and outcome accounting.
+    fn replicate_flow(
+        &mut self,
+        dst: &str,
+        lfn: &str,
+        info: &gdmp_replica_catalog::service::ReplicaInfo,
+        started_at: SimTime,
+        reg: &Registry,
+    ) -> Result<ReplicationReport> {
         // Replica selection: rank sources by estimated cost.
-        let estimates = crate::selection::estimate_sources(self, dst, &info)?;
+        let select_span = reg.span_start("select_source", self.clock.nanos());
+        let estimates = crate::selection::estimate_sources(self, dst, info)?;
+        reg.span_note(select_span, "candidates", estimates.len() as u64);
+        if let Some(best) = estimates.first() {
+            reg.span_note(select_span, "best", best.site.as_str());
+        }
+        reg.span_end(select_span, self.clock.nanos());
         if estimates.is_empty() {
             return Err(GdmpError::NotPublished(lfn.to_string()));
         }
@@ -388,42 +485,70 @@ impl Grid {
             // Ask this source to make the file disk-resident (stage if
             // needed). The RPC costs one RTT; the rest is staging latency.
             {
+                let stage_span = reg.span_start("staging", self.clock.nanos());
+                reg.span_note(stage_span, "source", source.as_str());
                 let before = self.clock;
                 let rtt = self.profile_between(dst, &source).rtt();
                 match self.rpc(dst, &source, Request::PrepareFile { lfn: lfn.to_string() })? {
                     Response::FileReady { was_staged, .. } => {
                         let total = self.clock.since(before);
-                        stage_latency =
-                            stage_latency + SimDuration(total.nanos().saturating_sub(rtt.nanos()));
+                        let staged_for = SimDuration(total.nanos().saturating_sub(rtt.nanos()));
+                        stage_latency = stage_latency + staged_for;
                         staged_any |= was_staged;
+                        reg.span_note(stage_span, "was_staged", was_staged);
+                        reg.observe("stage_latency_ns", &[], staged_for.nanos());
                     }
                     other => panic!("PrepareFile returned {other:?}"),
                 }
+                reg.span_end(stage_span, self.clock.nanos());
             }
             // Pre-processing (Section 4.1, file-type specific): Objectivity
             // files need the source's schema installed at the destination
             // before the post-transfer attach can succeed.
             if info.meta.file_type == "objectivity" {
+                let pre_span = reg.span_start("preprocess", self.clock.nanos());
+                reg.span_note(pre_span, "step", "schema_import");
                 let src_schema = self.site(&source)?.federation.schema.clone();
                 self.site_mut(dst)?.federation.schema.import_from(&src_schema);
+                reg.span_end(pre_span, self.clock.nanos());
             }
             // Pin at the source for the duration of the attempts.
             self.site_mut(&source)?.storage.pool.pin(lfn)?;
             let profile = self.profile_between(&source, dst);
             let params = self.params;
+            let pair_labels = [("src", source.as_str()), ("dst", dst)];
             loop {
                 attempts_total += 1;
                 attempts_on_source += 1;
-                let report =
-                    profile.simulate_transfer(remaining.max(1), params.streams, params.buffer);
+                let xfer_span = reg.span_start("transfer", self.clock.nanos());
+                reg.span_note(xfer_span, "source", source.as_str());
+                reg.span_note(xfer_span, "attempt", u64::from(attempts_total));
+                reg.span_note(xfer_span, "bytes_requested", remaining);
+                let report = profile.simulate_transfer_telemetry(
+                    remaining.max(1),
+                    params.streams,
+                    params.buffer,
+                    reg,
+                );
                 setup_time = setup_time + report.setup_time;
+                reg.counter_add(
+                    "transfer_retransmits",
+                    &pair_labels,
+                    report.retransmitted_segments,
+                );
                 let verdict = self.fault_verdict(lfn, &source);
                 let kind = match verdict {
                     Verdict::Clean => {
                         self.clock += report.setup_time + report.data_time;
                         data_time = data_time + report.data_time;
                         bytes_moved += remaining;
+                        reg.counter_add("transfer_bytes", &pair_labels, remaining);
+                        reg.span_note(xfer_span, "outcome", "clean");
+                        reg.span_end(xfer_span, self.clock.nanos());
+                        let crc_span = reg.span_start("crc_verify", self.clock.nanos());
                         self.clock += SimDuration::from_millis(1); // CRC pass
+                        reg.span_note(crc_span, "passed", true);
+                        reg.span_end(crc_span, self.clock.nanos());
                         let data = self
                             .site(&source)?
                             .storage
@@ -443,6 +568,16 @@ impl Grid {
                         data_time = data_time + partial_time;
                         bytes_moved += got;
                         remaining -= got.min(remaining);
+                        reg.counter_add("transfer_bytes", &pair_labels, got);
+                        reg.counter_add("restart_events", &pair_labels, 1);
+                        reg.span_note(xfer_span, "outcome", "aborted");
+                        reg.span_note(xfer_span, "bytes_salvaged", got);
+                        reg.span_end(xfer_span, self.clock.nanos());
+                        reg.record(
+                            self.clock.nanos(),
+                            "transfer_abort",
+                            format!("{lfn} from {source}: {got} of {} B salvaged", got + remaining),
+                        );
                         FailureKind::Aborted
                     }
                     Verdict::Corrupt => {
@@ -452,6 +587,14 @@ impl Grid {
                         data_time = data_time + report.data_time;
                         bytes_moved += remaining;
                         remaining = size;
+                        reg.counter_add("crc_failures", &pair_labels, 1);
+                        reg.span_note(xfer_span, "outcome", "corrupt");
+                        reg.span_end(xfer_span, self.clock.nanos());
+                        reg.record(
+                            self.clock.nanos(),
+                            "crc_failure",
+                            format!("{lfn} from {source}: attempt {attempts_total} discarded"),
+                        );
                         FailureKind::Corrupted
                     }
                 };
@@ -462,12 +605,24 @@ impl Grid {
                     sources_remaining: (estimates.len() - 1 - src_i) as u32,
                     kind,
                 };
-                match self.decide_recovery(&ctx) {
+                let action = self.decide_recovery(&ctx);
+                let verdict_label = match action {
+                    RecoveryAction::RetrySameSource => "retry_same_source",
+                    RecoveryAction::FailoverToNextSource => "failover",
+                    RecoveryAction::GiveUp => "give_up",
+                };
+                reg.counter_add("recovery_verdicts", &[("action", verdict_label)], 1);
+                match action {
                     RecoveryAction::RetrySameSource => continue,
                     RecoveryAction::FailoverToNextSource => {
                         self.site_mut(&source)?.storage.pool.unpin(lfn)?;
                         src_i += 1;
                         attempts_on_source = 0;
+                        reg.record(
+                            self.clock.nanos(),
+                            "failover",
+                            format!("{lfn}: leaving {source} after {attempts_total} attempts"),
+                        );
                         if src_i >= estimates.len() {
                             return Err(GdmpError::TransferFailed {
                                 lfn: lfn.to_string(),
@@ -492,26 +647,43 @@ impl Grid {
         // Deliver the actual bytes: verify CRC, reserve space, copy.
         let actual_crc = crc32(&data);
         if actual_crc != info.meta.crc32 {
+            reg.counter_add("crc_failures", &[("src", source.as_str()), ("dst", dst)], 1);
             return Err(GdmpError::IntegrityFailure { lfn: lfn.to_string() });
         }
         {
+            let reserve_span = reg.span_start("space_reserve", self.clock.nanos());
+            reg.span_note(reserve_span, "bytes", size);
             let dst_site = self.site_mut(dst)?;
             let reservation = dst_site.storage.pool.allocate(size)?;
             dst_site.storage.pool.put_reserved(reservation, lfn, data.clone())?;
+            reg.span_end(reserve_span, self.clock.nanos());
         }
 
         // Post-processing per file type (attach to federation, ...).
-        self.post_process(dst, lfn, &info.meta.file_type, &data)?;
+        {
+            let post_span = reg.span_start("post_process", self.clock.nanos());
+            reg.span_note(post_span, "file_type", info.meta.file_type.as_str());
+            self.post_process(dst, lfn, &info.meta.file_type, &data)?;
+            reg.span_end(post_span, self.clock.nanos());
+        }
 
         // Make the new replica visible to the grid.
+        let register_span = reg.span_start("catalog_register", self.clock.nanos());
         let url = self.site(dst)?.url_prefix.clone();
         self.catalog.add_replica(lfn, dst, &url)?;
-        let notice = FileNotice { lfn: lfn.to_string(), meta: info.meta.clone(), origin: source.clone() };
+        let notice =
+            FileNotice { lfn: lfn.to_string(), meta: info.meta.clone(), origin: source.clone() };
         {
             let dst_site = self.site_mut(dst)?;
             dst_site.export_catalog.push(notice);
             dst_site.import_queue.retain(|n| n.lfn != lfn);
+            reg.gauge_set(
+                "site_import_queue_depth",
+                &[("site", dst)],
+                dst_site.import_queue.len() as i64,
+            );
         }
+        reg.span_end(register_span, self.clock.nanos());
 
         let report = ReplicationReport {
             lfn: lfn.to_string(),
@@ -557,6 +729,10 @@ impl Grid {
     /// file not yet held locally.
     pub fn replicate_pending(&mut self, dst: &str) -> Result<Vec<ReplicationReport>> {
         let pending: Vec<FileNotice> = self.site(dst)?.import_queue.clone();
+        let reg = self.telemetry.clone();
+        let span = reg.span_start("replicate_pending", self.clock.nanos());
+        reg.span_note(span, "dst", dst);
+        reg.span_note(span, "pending", pending.len() as u64);
         let mut out = Vec::new();
         for notice in pending {
             match self.replicate(dst, &notice.lfn) {
@@ -564,18 +740,31 @@ impl Grid {
                 Err(GdmpError::AlreadyReplicated { .. }) => {
                     self.site_mut(dst)?.import_queue.retain(|n| n.lfn != notice.lfn);
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    reg.span_end(span, self.clock.nanos());
+                    return Err(e);
+                }
             }
         }
+        reg.span_note(span, "replicated", out.len() as u64);
+        reg.span_end(span, self.clock.nanos());
         Ok(out)
     }
 
     /// Failure recovery (Section 4.1): fetch a remote site's catalog and
     /// enqueue everything we miss.
     pub fn recover_catalog(&mut self, dst: &str, from: &str) -> Result<usize> {
-        let files = match self.rpc(dst, from, Request::GetCatalog)? {
-            Response::Catalog { files } => files,
-            other => panic!("GetCatalog returned {other:?}"),
+        let reg = self.telemetry.clone();
+        let span = reg.span_start("recover_catalog", self.clock.nanos());
+        reg.span_note(span, "dst", dst);
+        reg.span_note(span, "from", from);
+        let files = match self.rpc(dst, from, Request::GetCatalog) {
+            Ok(Response::Catalog { files }) => files,
+            Ok(other) => panic!("GetCatalog returned {other:?}"),
+            Err(e) => {
+                reg.span_end(span, self.clock.nanos());
+                return Err(e);
+            }
         };
         let mut added = 0;
         let dst_holdings = self.catalog.site_files(dst).unwrap_or_default();
@@ -587,6 +776,9 @@ impl Grid {
                 added += 1;
             }
         }
+        reg.span_note(span, "enqueued", added as u64);
+        reg.counter_add("catalog_recoveries", &[("dst", dst)], 1);
+        reg.span_end(span, self.clock.nanos());
         Ok(added)
     }
 }

@@ -36,7 +36,9 @@ pub use failure::{FaultPlan, FaultState, Verdict};
 pub use grid::{Grid, ReplicationReport, TransferParams};
 pub use message::{FileNotice, Request, Response};
 pub use objrep::{ObjectReplicationConfig, ObjectReplicationReport};
-pub use plugins::{FileTypePlugin, FlatFilePlugin, ObjectivityPlugin, OraclePlugin, PluginRegistry};
+pub use plugins::{
+    FileTypePlugin, FlatFilePlugin, ObjectivityPlugin, OraclePlugin, PluginRegistry,
+};
 pub use recovery::{
     CorruptionAverse, FailoverRetry, FailureCtx, FailureKind, RecoveryAction, RecoveryStrategy,
     SimpleRetry,

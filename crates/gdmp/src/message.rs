@@ -41,9 +41,14 @@ pub enum Request {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Response {
     Ok,
-    Catalog { files: Vec<FileNotice> },
+    Catalog {
+        files: Vec<FileNotice>,
+    },
     /// File is on disk, ready for transfer; staging latency already paid.
-    FileReady { size: u64, was_staged: bool },
+    FileReady {
+        size: u64,
+        was_staged: bool,
+    },
     Echo(String),
 }
 
@@ -57,6 +62,18 @@ impl Request {
             Request::GetCatalog => Operation::FetchCatalog,
             Request::PrepareFile { .. } => Operation::Transfer,
             Request::Echo(_) => Operation::FetchCatalog,
+        }
+    }
+
+    /// Stable short name of the request variant, used as a telemetry label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Subscribe { .. } => "Subscribe",
+            Request::Unsubscribe { .. } => "Unsubscribe",
+            Request::Notify { .. } => "Notify",
+            Request::GetCatalog => "GetCatalog",
+            Request::PrepareFile { .. } => "PrepareFile",
+            Request::Echo(_) => "Echo",
         }
     }
 }
@@ -76,10 +93,7 @@ mod tests {
             Request::Subscribe { subscriber: "x".into() }.required_operation(),
             Operation::Subscribe
         );
-        assert_eq!(
-            Request::Notify { notices: vec![] }.required_operation(),
-            Operation::Publish
-        );
+        assert_eq!(Request::Notify { notices: vec![] }.required_operation(), Operation::Publish);
         assert_eq!(Request::GetCatalog.required_operation(), Operation::FetchCatalog);
         assert_eq!(
             Request::PrepareFile { lfn: "f".into() }.required_operation(),

@@ -68,6 +68,35 @@ impl Grid {
         wanted: &[LogicalOid],
         cfg: ObjectReplicationConfig,
     ) -> Result<ObjectReplicationReport> {
+        let reg = self.telemetry().clone();
+        let root = reg.span_start("object_replicate", self.now().nanos());
+        reg.span_note(root, "dst", dst);
+        reg.span_note(root, "requested", wanted.len() as u64);
+        let result = self.object_replicate_flow(dst, wanted, cfg, &reg);
+        match &result {
+            Ok(r) => {
+                reg.span_note(root, "objects_moved", r.objects_moved as u64);
+                reg.span_note(root, "bytes_moved", r.bytes_moved);
+                reg.counter_add("objrep_cycles", &[("result", "ok")], 1);
+                reg.counter_add("objrep_objects_moved", &[], r.objects_moved as u64);
+                reg.counter_add("objrep_bytes_moved", &[], r.bytes_moved);
+            }
+            Err(e) => {
+                reg.span_note(root, "error", e.to_string());
+                reg.counter_add("objrep_cycles", &[("result", "failed")], 1);
+            }
+        }
+        reg.span_end(root, self.now().nanos());
+        result
+    }
+
+    fn object_replicate_flow(
+        &mut self,
+        dst: &str,
+        wanted: &[LogicalOid],
+        cfg: ObjectReplicationConfig,
+        reg: &gdmp_telemetry::Registry,
+    ) -> Result<ObjectReplicationReport> {
         let started_at = self.now();
         if !self.site_names().contains(&dst.to_string()) {
             return Err(GdmpError::NoSuchSite(dst.to_string()));
@@ -142,9 +171,7 @@ impl Grid {
                 .map(|r| r.location.clone())
                 .filter(|s| s != dst)
                 .find(|s| {
-                    self.site(s)
-                        .map(|site| site.federation.is_attached(&file))
-                        .unwrap_or(false)
+                    self.site(s).map(|site| site.federation.is_attached(&file)).unwrap_or(false)
                 })
                 .ok_or(GdmpError::ObjectsUnavailable(objects.len()))?;
             per_source.entry(source).or_default().extend(objects);
@@ -164,6 +191,9 @@ impl Grid {
         self.objrep_seq += 1;
         let seq = self.objrep_seq;
         for (source, objects) in per_source {
+            let src_span = reg.span_start("object_extract", self.now().nanos());
+            reg.span_note(src_span, "source", source.as_str());
+            reg.span_note(src_span, "objects", objects.len() as u64);
             let prefix = format!("objx.{seq}.{source}.to.{dst}");
             // Pre-processing: the destination must know the source's schema
             // before extraction files can be attached.
@@ -187,7 +217,12 @@ impl Grid {
             for chunk in &chunks {
                 let image = chunk.encode();
                 copy_times.push(copier.cost(chunk.object_count(), chunk.payload_bytes()));
-                let r = profile.simulate_transfer(image.len() as u64, params.streams, params.buffer);
+                let r = profile.simulate_transfer_telemetry(
+                    image.len() as u64,
+                    params.streams,
+                    params.buffer,
+                    reg,
+                );
                 xfer_times.push(r.setup_time + r.data_time);
                 transfer_time = transfer_time + r.data_time;
                 bytes_moved += image.len() as u64;
@@ -209,7 +244,9 @@ impl Grid {
                 {
                     let dst_site = self.site_mut(dst)?;
                     dst_site.storage.store(&chunk.name, image, false)?;
-                    dst_site.federation.attach(dst_site.storage.pool.peek(&chunk.name).expect("just stored"))?;
+                    dst_site
+                        .federation
+                        .attach(dst_site.storage.pool.peek(&chunk.name).expect("just stored"))?;
                     dst_site.export_catalog.push(FileNotice {
                         lfn: chunk.name.clone(),
                         meta: meta.clone(),
@@ -224,6 +261,8 @@ impl Grid {
             // Step 5: nothing persists at the source — the extraction files
             // were streamed out and deleted ("the new file can be deleted
             // at the source site").
+            reg.span_note(src_span, "chunks", chunks.len() as u64);
+            reg.span_end(src_span, self.now().nanos());
             sources.push(source);
         }
 
@@ -355,10 +394,7 @@ mod tests {
     fn single_chunk_gains_nothing() {
         let copy = vec![d(3.0)];
         let xfer = vec![d(4.0)];
-        assert_eq!(
-            pipeline_makespan(&copy, &xfer, true),
-            pipeline_makespan(&copy, &xfer, false)
-        );
+        assert_eq!(pipeline_makespan(&copy, &xfer, true), pipeline_makespan(&copy, &xfer, false));
     }
 
     #[test]

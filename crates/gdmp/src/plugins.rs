@@ -148,12 +148,15 @@ mod tests {
         let mut db = DatabaseFile::new(1, name);
         for e in 0..n {
             let logical = LogicalOid::new(e, ObjectKind::Aod);
-            db.insert(0, StoredObject {
-                logical,
-                version: 1,
-                payload: synth_payload(logical, 1, 64),
-                assocs: vec![],
-            });
+            db.insert(
+                0,
+                StoredObject {
+                    logical,
+                    version: 1,
+                    payload: synth_payload(logical, 1, 64),
+                    assocs: vec![],
+                },
+            );
         }
         db.encode()
     }
@@ -220,9 +223,6 @@ mod tests {
         let mut fed = Federation::new("x");
         let mut d = Vec::new();
         let mut ctx = PluginCtx { federation: &mut fed, discovered_objects: &mut d };
-        assert!(reg
-            .for_type("flat")
-            .post_process(&mut ctx, "f", &Bytes::new())
-            .is_err());
+        assert!(reg.for_type("flat").post_process(&mut ctx, "f", &Bytes::new()).is_err());
     }
 }

@@ -167,10 +167,7 @@ mod tests {
             s.decide(&ctx(1, 1, 2, FailureKind::Corrupted)),
             RecoveryAction::FailoverToNextSource
         );
-        assert_eq!(
-            s.decide(&ctx(1, 1, 2, FailureKind::Aborted)),
-            RecoveryAction::RetrySameSource
-        );
+        assert_eq!(s.decide(&ctx(1, 1, 2, FailureKind::Aborted)), RecoveryAction::RetrySameSource);
         assert_eq!(
             s.decide(&ctx(1, 1, 0, FailureKind::Corrupted)),
             RecoveryAction::RetrySameSource

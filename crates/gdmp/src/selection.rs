@@ -56,8 +56,7 @@ pub fn estimate_sources(grid: &Grid, dst: &str, info: &ReplicaInfo) -> Result<Ve
         // Share estimate: n streams of window-limited throughput, capped by
         // an equal share of the link against background flows.
         let params = grid.params;
-        let per_stream =
-            window_limited_bps(params.buffer, profile.rtt(), profile.link.rate_bps);
+        let per_stream = window_limited_bps(params.buffer, profile.rtt(), profile.link.rate_bps);
         let fair_share = profile.link.rate_bps as f64
             / f64::from(profile.background_flows + params.streams).max(1.0)
             * f64::from(params.streams);
@@ -131,7 +130,8 @@ mod tests {
         let mut g = grid();
         g.publish_file("cern", "small.dat", Bytes::from(vec![0u8; 1024]), "flat").unwrap();
         g.publish_file("cern", "big.dat", Bytes::from(vec![0u8; 8 * 1024 * 1024]), "flat").unwrap();
-        let small = estimate_sources(&g, "anl", &g.catalog.clone().info("small.dat").unwrap()).unwrap();
+        let small =
+            estimate_sources(&g, "anl", &g.catalog.clone().info("small.dat").unwrap()).unwrap();
         let big = estimate_sources(&g, "anl", &g.catalog.clone().info("big.dat").unwrap()).unwrap();
         assert!(big[0].est_transfer > small[0].est_transfer * 100);
     }

@@ -11,6 +11,7 @@ use gdmp_mass_storage::pool::EvictionPolicy;
 use gdmp_mass_storage::tape::TapeSpec;
 use gdmp_objectstore::{Federation, TagCatalog};
 use gdmp_simnet::time::SimDuration;
+use gdmp_telemetry::Registry;
 
 use crate::error::{GdmpError, Result};
 use crate::message::{FileNotice, Request, Response};
@@ -29,6 +30,9 @@ pub struct SiteConfig {
     pub tape: TapeSpec,
     /// Key seed (deterministic certificates).
     pub key_seed: u64,
+    /// Telemetry sink for this site's server and storage; the no-op
+    /// disabled registry by default, so existing call sites are unaffected.
+    pub telemetry: Registry,
 }
 
 impl SiteConfig {
@@ -41,11 +45,18 @@ impl SiteConfig {
             eviction: EvictionPolicy::Lru,
             tape: TapeSpec::classic(),
             key_seed,
+            telemetry: Registry::default(),
         }
     }
 
     pub fn with_pool(mut self, bytes: u64) -> Self {
         self.pool_capacity = bytes;
+        self
+    }
+
+    /// Attach a telemetry registry shared by this site's handlers and HRM.
+    pub fn with_telemetry(mut self, reg: Registry) -> Self {
+        self.telemetry = reg;
         self
     }
 }
@@ -72,6 +83,8 @@ pub struct Site {
     /// Objects discovered by post-processing, pending merge into the
     /// grid-wide object view.
     pub discovered_objects: Vec<(String, Vec<gdmp_objectstore::LogicalOid>)>,
+    /// Telemetry sink (disabled by default; shared with `storage`).
+    pub telemetry: Registry,
 }
 
 impl Site {
@@ -80,11 +93,13 @@ impl Site {
         let keys = KeyPair::from_seed(cfg.key_seed);
         let dn = DistinguishedName::host(&cfg.org, &format!("gdmp.{}", cfg.org));
         let cert = ca.issue(dn, keys.public, 0, u64::MAX / 2);
+        let mut storage = HierarchicalStorage::new(cfg.pool_capacity, cfg.eviction, cfg.tape);
+        storage.set_telemetry(cfg.telemetry.clone());
         Site {
             name: cfg.name.clone(),
             url_prefix: format!("gsiftp://gdmp.{}/data", cfg.org),
             federation: Federation::new(&cfg.name),
-            storage: HierarchicalStorage::new(cfg.pool_capacity, cfg.eviction, cfg.tape),
+            storage,
             gridmap: GridMap::new(),
             credential: CredentialChain::end_entity(cert, keys),
             subscribers: BTreeSet::new(),
@@ -93,7 +108,15 @@ impl Site {
             tags: TagCatalog::new(),
             plugins: PluginRegistry::new(),
             discovered_objects: Vec::new(),
+            telemetry: cfg.telemetry.clone(),
         }
+    }
+
+    /// Attach (or replace) the telemetry registry after construction,
+    /// propagating it to the storage layer.
+    pub fn set_telemetry(&mut self, reg: Registry) {
+        self.storage.set_telemetry(reg.clone());
+        self.telemetry = reg;
     }
 
     /// The grid identity of this site's server.
@@ -108,7 +131,11 @@ impl Site {
 
     /// Serve one authenticated, authorized request. Returns the response
     /// and any storage latency incurred (the caller charges the clock).
-    pub fn handle(&mut self, peer: &DistinguishedName, req: Request) -> Result<(Response, SimDuration)> {
+    pub fn handle(
+        &mut self,
+        peer: &DistinguishedName,
+        req: Request,
+    ) -> Result<(Response, SimDuration)> {
         self.authorize(peer, req.required_operation())?;
         match req {
             Request::Subscribe { subscriber } => {
@@ -120,19 +147,26 @@ impl Site {
                 Ok((Response::Ok, SimDuration::ZERO))
             }
             Request::Notify { notices } => {
+                self.telemetry.counter_add(
+                    "site_notices_received",
+                    &[("site", &self.name)],
+                    notices.len() as u64,
+                );
                 self.import_queue.extend(notices);
+                self.telemetry.gauge_set(
+                    "site_import_queue_depth",
+                    &[("site", &self.name)],
+                    self.import_queue.len() as i64,
+                );
                 Ok((Response::Ok, SimDuration::ZERO))
             }
-            Request::GetCatalog => Ok((
-                Response::Catalog { files: self.export_catalog.clone() },
-                SimDuration::ZERO,
-            )),
+            Request::GetCatalog => {
+                Ok((Response::Catalog { files: self.export_catalog.clone() }, SimDuration::ZERO))
+            }
             Request::PrepareFile { lfn } => {
                 let outcome = self.storage.request(&lfn)?;
-                let was_staged = matches!(
-                    outcome.residence,
-                    gdmp_mass_storage::hrm::Residence::StagedFromTape
-                );
+                let was_staged =
+                    matches!(outcome.residence, gdmp_mass_storage::hrm::Residence::StagedFromTape);
                 Ok((
                     Response::FileReady { size: outcome.data.len() as u64, was_staged },
                     outcome.latency,

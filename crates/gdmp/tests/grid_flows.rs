@@ -7,9 +7,7 @@ use gdmp::{
     ConsistencyPolicy, FaultPlan, GdmpError, Grid, ObjectReplicationConfig, Request, SiteConfig,
 };
 use gdmp_gridftp::crc::crc32;
-use gdmp_objectstore::{
-    standard_assocs, synth_payload, LogicalOid, ObjectKind, StoredObject,
-};
+use gdmp_objectstore::{standard_assocs, synth_payload, LogicalOid, ObjectKind, StoredObject};
 
 const MB: u64 = 1024 * 1024;
 
@@ -26,17 +24,28 @@ fn flat(bytes: usize, tag: u8) -> Bytes {
     Bytes::from(vec![tag; bytes])
 }
 
-fn store_events(grid: &mut Grid, site: &str, file: &str, events: std::ops::Range<u64>, kind: ObjectKind, payload: usize) {
+fn store_events(
+    grid: &mut Grid,
+    site: &str,
+    file: &str,
+    events: std::ops::Range<u64>,
+    kind: ObjectKind,
+    payload: usize,
+) {
     let fed = &mut grid.site_mut(site).unwrap().federation;
     fed.create_database(file).unwrap();
     for e in events {
         let logical = LogicalOid::new(e, kind);
-        fed.store(file, 0, StoredObject {
-            logical,
-            version: 1,
-            payload: synth_payload(logical, 1, payload),
-            assocs: standard_assocs(logical),
-        })
+        fed.store(
+            file,
+            0,
+            StoredObject {
+                logical,
+                version: 1,
+                payload: synth_payload(logical, 1, payload),
+                assocs: standard_assocs(logical),
+            },
+        )
         .unwrap();
     }
 }
@@ -166,10 +175,7 @@ fn duplicate_replication_rejected() {
     let mut grid = three_site_grid();
     grid.publish_file("cern", "once.dat", flat(1000, 1), "flat").unwrap();
     grid.replicate("anl", "once.dat").unwrap();
-    assert!(matches!(
-        grid.replicate("anl", "once.dat"),
-        Err(GdmpError::AlreadyReplicated { .. })
-    ));
+    assert!(matches!(grid.replicate("anl", "once.dat"), Err(GdmpError::AlreadyReplicated { .. })));
 }
 
 #[test]
@@ -220,9 +226,8 @@ fn associated_closure_policy_keeps_navigation_alive() {
     }
 
     // AssociatedClosure to a fresh site: both files arrive, navigation works.
-    let reports = grid
-        .replicate_with_policy("lyon", "aod.db", ConsistencyPolicy::AssociatedClosure)
-        .unwrap();
+    let reports =
+        grid.replicate_with_policy("lyon", "aod.db", ConsistencyPolicy::AssociatedClosure).unwrap();
     assert_eq!(reports.len(), 2, "closure must drag esd.db along");
     let lyon = grid.site_mut("lyon").unwrap();
     let esd = lyon.federation.navigate(LogicalOid::new(3, ObjectKind::Aod), "esd").unwrap();
@@ -237,11 +242,10 @@ fn object_replication_moves_exactly_the_selection() {
     grid.publish_database("cern", "bulk.db").unwrap();
 
     // The physicist wants every 10th event at ANL.
-    let wanted: Vec<_> = (0..200).step_by(10).map(|e| LogicalOid::new(e, ObjectKind::Aod)).collect();
+    let wanted: Vec<_> =
+        (0..200).step_by(10).map(|e| LogicalOid::new(e, ObjectKind::Aod)).collect();
     let before = grid.now();
-    let report = grid
-        .object_replicate("anl", &wanted, ObjectReplicationConfig::default())
-        .unwrap();
+    let report = grid.object_replicate("anl", &wanted, ObjectReplicationConfig::default()).unwrap();
     assert_eq!(report.objects_moved, 20);
     assert_eq!(report.already_present, 0);
     assert_eq!(report.sources, vec!["cern".to_string()]);
@@ -269,9 +273,7 @@ fn object_replication_chunks_are_first_class_replicas() {
     store_events(&mut grid, "cern", "bulk.db", 0..50, ObjectKind::Aod, 1024);
     grid.publish_database("cern", "bulk.db").unwrap();
     let wanted: Vec<_> = (0..10).map(|e| LogicalOid::new(e, ObjectKind::Aod)).collect();
-    let report = grid
-        .object_replicate("anl", &wanted, ObjectReplicationConfig::default())
-        .unwrap();
+    let report = grid.object_replicate("anl", &wanted, ObjectReplicationConfig::default()).unwrap();
     assert!(!report.chunk_files.is_empty());
     // The extraction file is registered in the replica catalog at ANL...
     let locs = grid.catalog.locate(&report.chunk_files[0]).unwrap();
@@ -279,9 +281,7 @@ fn object_replication_chunks_are_first_class_replicas() {
     assert_eq!(locs[0].location, "anl");
     // ...and the global view can serve future object requests from it:
     // replicating the same objects to Lyon pulls from ANL's chunk.
-    let r2 = grid
-        .object_replicate("lyon", &wanted, ObjectReplicationConfig::default())
-        .unwrap();
+    let r2 = grid.object_replicate("lyon", &wanted, ObjectReplicationConfig::default()).unwrap();
     assert_eq!(r2.sources, vec!["anl".to_string()]);
 }
 
@@ -351,12 +351,11 @@ fn file_level_cover_ships_more_bytes_for_sparse_selections() {
         grid.publish_database("cern", &name).unwrap();
     }
     // Sparse selection: every 50th object → touches every file.
-    let wanted: Vec<_> = (0..1000).step_by(50).map(|e| LogicalOid::new(e, ObjectKind::Aod)).collect();
+    let wanted: Vec<_> =
+        (0..1000).step_by(50).map(|e| LogicalOid::new(e, ObjectKind::Aod)).collect();
     let cover = grid.file_level_cover(&wanted);
     assert!(cover.uncovered.is_empty());
-    let objrep = grid
-        .object_replicate("anl", &wanted, ObjectReplicationConfig::default())
-        .unwrap();
+    let objrep = grid.object_replicate("anl", &wanted, ObjectReplicationConfig::default()).unwrap();
     assert!(
         cover.total_bytes > 10 * objrep.bytes_moved,
         "file-level cover {} bytes vs object-level {} bytes",
@@ -460,10 +459,16 @@ fn failover_gives_up_when_all_sources_broken() {
     }));
     grid.publish_file("cern", "doomed.dat", flat(1000, 7), "flat").unwrap();
     grid.replicate("anl", "doomed.dat").unwrap();
-    grid.inject_fault_at("doomed.dat", "cern",
-        FaultPlan { abort_attempts: 100, abort_fraction: 0.0, corrupt_attempts: 0 });
-    grid.inject_fault_at("doomed.dat", "anl",
-        FaultPlan { abort_attempts: 100, abort_fraction: 0.0, corrupt_attempts: 0 });
+    grid.inject_fault_at(
+        "doomed.dat",
+        "cern",
+        FaultPlan { abort_attempts: 100, abort_fraction: 0.0, corrupt_attempts: 0 },
+    );
+    grid.inject_fault_at(
+        "doomed.dat",
+        "anl",
+        FaultPlan { abort_attempts: 100, abort_fraction: 0.0, corrupt_attempts: 0 },
+    );
     let err = grid.replicate("lyon", "doomed.dat").unwrap_err();
     assert!(matches!(err, GdmpError::TransferFailed { .. }));
 }
@@ -498,7 +503,11 @@ fn pre_processing_installs_schema_before_attach() {
         .unwrap()
         .federation
         .schema
-        .register(TypeDescriptor::new("aod", 2, &[("event", FieldType::U64), ("btag", FieldType::F64)]))
+        .register(TypeDescriptor::new(
+            "aod",
+            2,
+            &[("event", FieldType::U64), ("btag", FieldType::F64)],
+        ))
         .unwrap();
     store_events(&mut grid, "cern", "v2.db", 0..10, ObjectKind::Aod, 64);
     grid.publish_database("cern", "v2.db").unwrap();

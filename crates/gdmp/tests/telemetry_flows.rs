@@ -1,0 +1,149 @@
+//! Telemetry integration: the span tree and metrics a replication flow
+//! emits, and the determinism contract — two identical runs export
+//! byte-identical JSON lines.
+
+use bytes::Bytes;
+use gdmp::{FaultPlan, Grid, SiteConfig};
+use gdmp_telemetry::{MetricValue, Registry};
+
+const MB: u64 = 1024 * 1024;
+
+fn two_site_grid() -> (Grid, Registry) {
+    let mut grid = Grid::new("cms");
+    grid.add_site(SiteConfig::named("cern", "cern.ch", 11));
+    grid.add_site(SiteConfig::named("anl", "anl.gov", 12));
+    grid.trust_all();
+    let reg = grid.enable_telemetry();
+    (grid, reg)
+}
+
+fn publish_and_replicate(grid: &mut Grid) {
+    grid.subscribe("anl", "cern").unwrap();
+    grid.publish_file("cern", "run1.dat", Bytes::from(vec![7u8; 2 * MB as usize]), "flat").unwrap();
+    let reports = grid.replicate_pending("anl").unwrap();
+    assert_eq!(reports.len(), 1);
+}
+
+#[test]
+fn replicate_emits_expected_span_tree() {
+    let (mut grid, reg) = two_site_grid();
+    publish_and_replicate(&mut grid);
+
+    let spans = reg.spans();
+    let find = |name: &str| {
+        spans
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("no `{name}` span in {spans:?}"))
+            .clone()
+    };
+
+    // The Data Mover pipeline, nested under one replicate root.
+    let pending = find("replicate_pending");
+    let replicate = find("replicate");
+    assert_eq!(replicate.parent, Some(pending.id));
+    for stage in [
+        "select_source",
+        "staging",
+        "transfer",
+        "crc_verify",
+        "space_reserve",
+        "post_process",
+        "catalog_register",
+    ] {
+        let s = find(stage);
+        assert_eq!(s.parent, Some(replicate.id), "`{stage}` hangs off the replicate span");
+        assert!(s.end_ns.is_some(), "`{stage}` span was closed");
+    }
+    // The PrepareFile RPC nests under the staging stage.
+    let rpc = spans
+        .iter()
+        .find(|s| {
+            s.name == "rpc"
+                && s.fields
+                    .iter()
+                    .any(|(k, v)| k == "kind" && format!("{v:?}").contains("PrepareFile"))
+        })
+        .expect("PrepareFile rpc span");
+    assert_eq!(rpc.parent, Some(find("staging").id));
+
+    // Every span closed, start times never exceed end times.
+    for s in &spans {
+        let end = s.end_ns.expect("all spans closed after the flow");
+        assert!(end >= s.start_ns, "span {} runs backwards", s.name);
+    }
+}
+
+#[test]
+fn replicate_counts_bytes_rpcs_and_staging() {
+    let (mut grid, reg) = two_site_grid();
+    publish_and_replicate(&mut grid);
+
+    // Bytes per site pair match the file size.
+    assert_eq!(reg.counter_value("transfer_bytes", &[("src", "cern"), ("dst", "anl")]), 2 * MB);
+    // Every RPC kind the flow used is counted, and the total matches the
+    // grid's own Request Manager counter.
+    let snapshot = reg.metrics_snapshot();
+    let rpc_total: u64 = snapshot
+        .iter()
+        .filter(|(name, _, _)| name == "rpc_total")
+        .map(|(_, _, v)| match v {
+            MetricValue::Counter(n) => *n,
+            other => panic!("rpc_total is a counter, got {other:?}"),
+        })
+        .sum();
+    assert_eq!(rpc_total, grid.rpc_count);
+    assert!(reg.counter_value("rpc_total", &[("kind", "PrepareFile")]) >= 1);
+    // The freshly published file sat on disk: a disk-hit staging request.
+    assert_eq!(reg.counter_value("hrm_requests", &[("residence", "disk")]), 1);
+    assert_eq!(reg.counter_value("replications_total", &[("result", "ok")]), 1);
+    // The WAN simulation contributed packet-level series.
+    assert!(
+        snapshot.iter().any(|(name, _, _)| name == "simnet_packets_transmitted"),
+        "simnet metrics flow into the same registry"
+    );
+}
+
+#[test]
+fn faults_surface_as_restart_events_and_recovery_verdicts() {
+    let (mut grid, reg) = two_site_grid();
+    grid.subscribe("anl", "cern").unwrap();
+    grid.publish_file("cern", "flaky.dat", Bytes::from(vec![3u8; MB as usize]), "flat").unwrap();
+    grid.inject_fault(
+        "flaky.dat",
+        FaultPlan { abort_attempts: 2, abort_fraction: 0.5, ..Default::default() },
+    );
+    grid.replicate("anl", "flaky.dat").unwrap();
+
+    assert_eq!(reg.counter_value("restart_events", &[("src", "cern"), ("dst", "anl")]), 2);
+    assert_eq!(reg.counter_value("recovery_verdicts", &[("action", "retry_same_source")]), 2);
+    // The flight recorder kept the aborts.
+    let aborts = reg.recent_events().iter().filter(|e| e.kind == "transfer_abort").count();
+    assert_eq!(aborts, 2);
+}
+
+#[test]
+fn identical_runs_export_byte_identical_json() {
+    let run = || {
+        let (mut grid, reg) = two_site_grid();
+        publish_and_replicate(&mut grid);
+        grid.recover_catalog("anl", "cern").unwrap();
+        reg.export_json_lines()
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "telemetry export must be deterministic");
+}
+
+#[test]
+fn disabled_grid_telemetry_records_nothing() {
+    let mut grid = Grid::new("cms");
+    grid.add_site(SiteConfig::named("cern", "cern.ch", 11));
+    grid.add_site(SiteConfig::named("anl", "anl.gov", 12));
+    grid.trust_all();
+    publish_and_replicate(&mut grid);
+    assert!(!grid.telemetry().is_enabled());
+    assert!(grid.telemetry().spans().is_empty());
+    assert!(grid.telemetry().metrics_snapshot().is_empty());
+}

@@ -192,7 +192,11 @@ impl Reassembler {
         }
         let len = block.payload.len() as u64;
         if block.offset + len > self.size {
-            return Err(ReassemblyError::OutOfBounds { offset: block.offset, len, size: self.size });
+            return Err(ReassemblyError::OutOfBounds {
+                offset: block.offset,
+                len,
+                size: self.size,
+            });
         }
         self.data[block.offset as usize..(block.offset + len) as usize]
             .copy_from_slice(&block.payload);

@@ -40,9 +40,15 @@ pub enum ClientError {
     Auth(String),
     /// Transfer ended with bytes missing; the ranges received so far are
     /// included so the caller can restart.
-    Stalled { received: ByteRanges, partial: Bytes },
+    Stalled {
+        received: ByteRanges,
+        partial: Bytes,
+    },
     /// CRC mismatch after transfer.
-    Corrupt { expected: u32, actual: u32 },
+    Corrupt {
+        expected: u32,
+        actual: u32,
+    },
     Protocol(String),
 }
 
@@ -182,9 +188,7 @@ impl GridFtpClient {
         self.expect_completion()?;
         let mut reasm = Reassembler::new(size, ports.len());
         for b in &blocks {
-            reasm
-                .accept(b)
-                .map_err(|e| ClientError::Protocol(e.to_string()))?;
+            reasm.accept(b).map_err(|e| ClientError::Protocol(e.to_string()))?;
         }
         if !reasm.is_complete() {
             let (partial, received) = reasm.into_partial();
@@ -200,11 +204,15 @@ impl GridFtpClient {
 
     /// Retrieve one byte range (`ERET P`): the building block for partial
     /// transfer and restart.
-    pub fn get_partial(&mut self, path: &str, offset: u64, length: u64) -> Result<Bytes, ClientError> {
+    pub fn get_partial(
+        &mut self,
+        path: &str,
+        offset: u64,
+        length: u64,
+    ) -> Result<Bytes, ClientError> {
         let channels = self.cfg.parallelism.max(1);
         let ports = self.spas(channels)?;
-        let opening =
-            self.command(&Command::EretPartial { offset, length, path: path.into() })?;
+        let opening = self.command(&Command::EretPartial { offset, length, path: path.into() })?;
         if opening.code != 150 {
             return Err(ClientError::Refused(opening));
         }

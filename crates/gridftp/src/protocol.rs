@@ -104,7 +104,9 @@ impl Command {
                 Ok(Command::OptsParallelism(n))
             }
             "SPAS" => {
-                let n = if rest.is_empty() { 1 } else {
+                let n = if rest.is_empty() {
+                    1
+                } else {
                     rest.parse().map_err(|_| ParseError::BadArgs("SPAS wants a count"))?
                 };
                 if n == 0 {
@@ -184,9 +186,13 @@ impl Command {
                 addrs.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(",")
             ),
             Command::Size(p) => format!("SIZE {p}"),
-            Command::Cksm { offset, length, path } => format!("CKSM CRC32 {offset} {length} {path}"),
+            Command::Cksm { offset, length, path } => {
+                format!("CKSM CRC32 {offset} {length} {path}")
+            }
             Command::Retr(p) => format!("RETR {p}"),
-            Command::EretPartial { offset, length, path } => format!("ERET P {offset} {length} {path}"),
+            Command::EretPartial { offset, length, path } => {
+                format!("ERET P {offset} {length} {path}")
+            }
             Command::Stor { path, size } => format!("STOR {path} {size}"),
             Command::Dele(p) => format!("DELE {p}"),
             Command::Noop => "NOOP".into(),
@@ -278,10 +284,7 @@ pub mod replies {
     pub fn parse_spas_ports(r: &Reply) -> Option<Vec<u16>> {
         let open = r.text.find('(')?;
         let close = r.text.rfind(')')?;
-        r.text[open + 1..close]
-            .split(',')
-            .map(|p| p.trim().parse().ok())
-            .collect()
+        r.text[open + 1..close].split(',').map(|p| p.trim().parse().ok()).collect()
     }
 
     /// Extract the nonce from the 220 greeting.
@@ -305,7 +308,10 @@ mod tests {
             Command::Sbuf(1_048_576),
             Command::OptsParallelism(8),
             Command::Spas(4),
-            Command::Spor(vec!["127.0.0.1:4001".parse().unwrap(), "127.0.0.1:4002".parse().unwrap()]),
+            Command::Spor(vec![
+                "127.0.0.1:4001".parse().unwrap(),
+                "127.0.0.1:4002".parse().unwrap(),
+            ]),
             Command::Size("x.db".into()),
             Command::Cksm { offset: 0, length: -1, path: "x.db".into() },
             Command::Retr("data/run 1.db".into()),

@@ -79,11 +79,7 @@ impl ByteRanges {
 
     /// Serialize as a GridFTP restart marker: `start-end,start-end,...`.
     pub fn to_marker(&self) -> String {
-        self.runs
-            .iter()
-            .map(|(s, e)| format!("{s}-{e}"))
-            .collect::<Vec<_>>()
-            .join(",")
+        self.runs.iter().map(|(s, e)| format!("{s}-{e}")).collect::<Vec<_>>().join(",")
     }
 
     /// Parse a restart marker produced by [`ByteRanges::to_marker`].

@@ -112,10 +112,7 @@ pub(crate) fn hex_decode(s: &str) -> Option<Vec<u8>> {
     if s.len() % 2 != 0 {
         return None;
     }
-    (0..s.len())
-        .step_by(2)
-        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok())
-        .collect()
+    (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok()).collect()
 }
 
 struct Session {
@@ -336,11 +333,7 @@ impl Session {
         for t in threads {
             failed |= t.join().map(|r| r.is_err()).unwrap_or(true);
         }
-        Ok(if failed {
-            Reply::new(426, "data connection failed")
-        } else {
-            replies::complete()
-        })
+        Ok(if failed { Reply::new(426, "data connection failed") } else { replies::complete() })
     }
 
     /// Receive a STOR over the striped-passive channels.
@@ -371,10 +364,9 @@ impl Session {
                         break;
                     }
                     dec.feed(&buf[..n]);
-                    while let Some(b) = dec
-                        .next_block()
-                        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?
-                    {
+                    while let Some(b) = dec.next_block().map_err(|e| {
+                        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                    })? {
                         let done = b.is_eod();
                         out.push(b);
                         if done {

@@ -10,6 +10,7 @@
 use gdmp_simnet::link::LinkSpec;
 use gdmp_simnet::network::{FlowSpec, Network, SessionResult};
 use gdmp_simnet::time::{SimDuration, SimTime};
+use gdmp_telemetry::Registry;
 
 /// The simulated wide-area environment between two sites.
 #[derive(Debug, Clone, Copy)]
@@ -62,8 +63,22 @@ impl WanProfile {
     /// Simulate one GridFTP retrieval of `bytes` over `streams` parallel
     /// TCP connections with the given socket buffer.
     pub fn simulate_transfer(&self, bytes: u64, streams: u32, buffer: u64) -> SimTransferReport {
+        self.simulate_transfer_telemetry(bytes, streams, buffer, &Registry::disabled())
+    }
+
+    /// [`WanProfile::simulate_transfer`] with a telemetry sink: the network
+    /// simulation publishes link/flow statistics into `reg`, and the
+    /// session outcome is recorded as GridFTP-level metrics.
+    pub fn simulate_transfer_telemetry(
+        &self,
+        bytes: u64,
+        streams: u32,
+        buffer: u64,
+        reg: &Registry,
+    ) -> SimTransferReport {
         assert!(streams >= 1, "at least one stream");
         let mut net = Network::single_link(self.link);
+        net.set_telemetry(reg.clone());
         for b in 0..self.background_flows {
             net.add_flow(
                 FlowSpec::background(self.background_buffer)
@@ -85,10 +100,19 @@ impl WanProfile {
         }
         let results = net.run();
         let session: Vec<_> = ids.iter().map(|i| results[i.0]).collect();
-        let agg = SessionResult::aggregate(&session)
-            .expect("all session flows are finite and complete");
+        let agg =
+            SessionResult::aggregate(&session).expect("all session flows are finite and complete");
         let data_time = agg.finished.since(agg.started);
         let setup = SimDuration(self.rtt().nanos() * u64::from(self.control_rtts));
+        if reg.is_enabled() {
+            let streams_label = streams.to_string();
+            let labels = [("streams", streams_label.as_str())];
+            reg.counter_add("gridftp_sessions", &labels, 1);
+            reg.counter_add("gridftp_bytes", &labels, bytes);
+            reg.counter_add("gridftp_retransmitted_segments", &labels, agg.retransmitted_segments);
+            reg.counter_add("gridftp_timeouts", &labels, agg.timeouts);
+            reg.observe("gridftp_data_time_ns", &[], data_time.nanos());
+        }
         SimTransferReport {
             bytes,
             streams,
@@ -151,10 +175,7 @@ mod tests {
         let p = WanProfile::cern_anl_production();
         let one = p.simulate_transfer(25 * MB, 1, 64 * 1024).throughput_mbps();
         let eight = p.simulate_transfer(25 * MB, 8, 64 * 1024).throughput_mbps();
-        assert!(
-            eight > 3.0 * one,
-            "8 untuned streams ({eight:.1}) should far exceed 1 ({one:.1})"
-        );
+        assert!(eight > 3.0 * one, "8 untuned streams ({eight:.1}) should far exceed 1 ({one:.1})");
     }
 
     #[test]

@@ -54,11 +54,7 @@ impl FileStore for MemStore {
     }
 
     fn delete(&self, name: &str) -> Result<(), String> {
-        self.files
-            .write()
-            .remove(name)
-            .map(|_| ())
-            .ok_or_else(|| format!("no such file: {name}"))
+        self.files.write().remove(name).map(|_| ()).ok_or_else(|| format!("no such file: {name}"))
     }
 
     fn size(&self, name: &str) -> Option<u64> {

@@ -80,11 +80,13 @@ impl StripedProfile {
                 } else {
                     per_stream
                 };
-                ids.push(net.add_flow(
-                    FlowSpec::transfer(sz, buffer)
-                        .via(&[access, wan])
-                        .open_at(SimTime::ZERO + self.stream_stagger * opened),
-                ));
+                ids.push(
+                    net.add_flow(
+                        FlowSpec::transfer(sz, buffer)
+                            .via(&[access, wan])
+                            .open_at(SimTime::ZERO + self.stream_stagger * opened),
+                    ),
+                );
                 opened += 1;
             }
         }
@@ -130,10 +132,7 @@ mod tests {
         let three = p.simulate(20 * MB, 3, 4, MB).throughput_mbps();
         // One host is NIC-capped near 10 Mb/s; three hosts share the WAN.
         assert!(one < 10.5, "single host exceeded its NIC: {one:.1}");
-        assert!(
-            three > 1.6 * one,
-            "3-node striping ({three:.1}) should beat one node ({one:.1})"
-        );
+        assert!(three > 1.6 * one, "3-node striping ({three:.1}) should beat one node ({one:.1})");
     }
 
     #[test]

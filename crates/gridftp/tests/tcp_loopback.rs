@@ -20,12 +20,8 @@ struct Grid {
 }
 
 fn grid() -> Grid {
-    let ca = CertificateAuthority::new(
-        DistinguishedName::user("cern.ch", "CERN CA"),
-        1,
-        0,
-        1_000_000,
-    );
+    let ca =
+        CertificateAuthority::new(DistinguishedName::user("cern.ch", "CERN CA"), 1, 0, 1_000_000);
     let sk = KeyPair::from_seed(2);
     let server_cred = CredentialChain::end_entity(
         ca.issue(DistinguishedName::host("cern.ch", "gdmp.cern.ch"), sk.public, 0, 900_000),
@@ -190,12 +186,8 @@ fn unauthenticated_clients_rejected() {
     let g = grid();
     let (server, _) = start_server(&g, &[("f.db", sample(10))]);
     // A client whose credential was signed by a different CA must fail.
-    let evil_ca = CertificateAuthority::new(
-        DistinguishedName::user("evil.org", "Evil CA"),
-        99,
-        0,
-        1_000_000,
-    );
+    let evil_ca =
+        CertificateAuthority::new(DistinguishedName::user("evil.org", "Evil CA"), 99, 0, 1_000_000);
     let ek = KeyPair::from_seed(66);
     let evil_cred = CredentialChain::end_entity(
         evil_ca.issue(DistinguishedName::user("evil.org", "mallory"), ek.public, 0, 900_000),
@@ -359,8 +351,7 @@ fn third_party_missing_source_file() {
     let (dst_server, _) = start_server(&g, &[]);
     let mut src = client(&g, &src_server, 1);
     let mut dst = client(&g, &dst_server, 1);
-    let err =
-        gdmp_gridftp::client::third_party_copy(&mut src, &mut dst, "ghost.db", "ghost.db", 1)
-            .unwrap_err();
+    let err = gdmp_gridftp::client::third_party_copy(&mut src, &mut dst, "ghost.db", "ghost.db", 1)
+        .unwrap_err();
     assert!(matches!(err, ClientError::Refused(_)));
 }

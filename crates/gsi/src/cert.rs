@@ -238,7 +238,12 @@ mod tests {
     #[test]
     fn wrong_issuer_key_rejected() {
         let ca1 = ca();
-        let ca2 = CertificateAuthority::new(DistinguishedName::user("anl.gov", "ANL CA"), 43, 0, 1_000_000);
+        let ca2 = CertificateAuthority::new(
+            DistinguishedName::user("anl.gov", "ANL CA"),
+            43,
+            0,
+            1_000_000,
+        );
         let cert = ca1.issue(DistinguishedName::user("cern.ch", "alice"), 1, 0, 500);
         assert_eq!(cert.validate(ca2.public_key(), 100), Err(ValidationError::BadSignature));
     }

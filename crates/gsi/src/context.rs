@@ -104,11 +104,7 @@ impl SecurityContext {
         nonce_a: u64,
         nonce_b: u64,
     ) -> SecurityContext {
-        SecurityContext {
-            local,
-            peer,
-            session_key: keyed_digest(nonce_a ^ nonce_b, b"session"),
-        }
+        SecurityContext { local, peer, session_key: keyed_digest(nonce_a ^ nonce_b, b"session") }
     }
 
     /// Run both halves of the handshake in one call (the simulation has no
@@ -152,8 +148,10 @@ impl SecurityContext {
 
     /// Verify a MIC produced by the peer for `message`.
     pub fn verify_mic(&self, message: &[u8], mic: u64) -> Result<(), SecError> {
-        let expect =
-            keyed_digest(self.session_key, &concat_fields(&[self.peer.to_bytes().as_slice(), message]));
+        let expect = keyed_digest(
+            self.session_key,
+            &concat_fields(&[self.peer.to_bytes().as_slice(), message]),
+        );
         if expect == mic {
             Ok(())
         } else {
@@ -168,8 +166,12 @@ mod tests {
     use crate::cert::CertificateAuthority;
 
     fn grid() -> (CertificateAuthority, CredentialChain, CredentialChain) {
-        let ca =
-            CertificateAuthority::new(DistinguishedName::user("cern.ch", "CERN CA"), 1, 0, 1_000_000);
+        let ca = CertificateAuthority::new(
+            DistinguishedName::user("cern.ch", "CERN CA"),
+            1,
+            0,
+            1_000_000,
+        );
         let ak = KeyPair::from_seed(2);
         let alice = CredentialChain::end_entity(
             ca.issue(DistinguishedName::user("cern.ch", "alice"), ak.public, 0, 900_000),
@@ -215,8 +217,12 @@ mod tests {
     #[test]
     fn foreign_ca_rejected() {
         let (_, alice, server) = grid();
-        let other =
-            CertificateAuthority::new(DistinguishedName::user("evil.org", "Evil CA"), 99, 0, 1_000_000);
+        let other = CertificateAuthority::new(
+            DistinguishedName::user("evil.org", "Evil CA"),
+            99,
+            0,
+            1_000_000,
+        );
         let err =
             SecurityContext::establish(&alice, &server, other.public_key(), 100, 7).unwrap_err();
         assert!(matches!(err, SecError::Proxy(_)));

@@ -86,10 +86,7 @@ impl GridMap {
 
     /// Authorize `dn` for `op`; on success return the local account name.
     pub fn authorize(&self, dn: &DistinguishedName, op: Operation) -> Result<&str, AuthzError> {
-        let entry = self
-            .entries
-            .get(dn)
-            .ok_or_else(|| AuthzError::UnknownIdentity(dn.clone()))?;
+        let entry = self.entries.get(dn).ok_or_else(|| AuthzError::UnknownIdentity(dn.clone()))?;
         if entry.allowed.contains(&op) {
             Ok(&entry.local_user)
         } else {

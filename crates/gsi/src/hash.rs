@@ -61,9 +61,6 @@ mod tests {
 
     #[test]
     fn concat_fields_is_injective_on_boundaries() {
-        assert_ne!(
-            concat_fields(&[b"ab", b"c"]),
-            concat_fields(&[b"a", b"bc"]),
-        );
+        assert_ne!(concat_fields(&[b"ab", b"c"]), concat_fields(&[b"a", b"bc"]),);
     }
 }

@@ -42,9 +42,8 @@ impl DistinguishedName {
             if part.is_empty() {
                 return Err(DnError::EmptyComponent);
             }
-            let (k, v) = part
-                .split_once('=')
-                .ok_or_else(|| DnError::MissingEquals(part.to_string()))?;
+            let (k, v) =
+                part.split_once('=').ok_or_else(|| DnError::MissingEquals(part.to_string()))?;
             components.push((k.trim().to_string(), v.trim().to_string()));
         }
         Ok(DistinguishedName { components })
@@ -74,11 +73,7 @@ impl DistinguishedName {
 
     /// The common name (last CN component), if any.
     pub fn common_name(&self) -> Option<&str> {
-        self.components
-            .iter()
-            .rev()
-            .find(|(k, _)| k == "CN")
-            .map(|(_, v)| v.as_str())
+        self.components.iter().rev().find(|(k, _)| k == "CN").map(|(_, v)| v.as_str())
     }
 
     /// Append a component, used for proxy naming (`CN=proxy`).
@@ -105,6 +100,18 @@ impl DistinguishedName {
     /// Canonical byte encoding for signing.
     pub fn to_bytes(&self) -> Vec<u8> {
         self.to_string().into_bytes()
+    }
+}
+
+/// DNs key gridmaps; serialize them as their canonical `/K=V/...` string so
+/// DN-keyed maps render as plain JSON objects.
+impl serde::MapKey for DistinguishedName {
+    fn to_key(&self) -> String {
+        self.to_string()
+    }
+
+    fn from_key(key: &str) -> Result<Self, serde::DeError> {
+        DistinguishedName::parse(key).map_err(|e| serde::DeError::custom(e.to_string()))
     }
 }
 

@@ -156,8 +156,12 @@ mod tests {
     use crate::cert::CertificateAuthority;
 
     fn setup() -> (CertificateAuthority, CredentialChain) {
-        let ca =
-            CertificateAuthority::new(DistinguishedName::user("cern.ch", "CERN CA"), 1, 0, 1_000_000);
+        let ca = CertificateAuthority::new(
+            DistinguishedName::user("cern.ch", "CERN CA"),
+            1,
+            0,
+            1_000_000,
+        );
         let keys = KeyPair::from_seed(2);
         let cert = ca.issue(DistinguishedName::user("cern.ch", "alice"), keys.public, 0, 900_000);
         (ca, CredentialChain::end_entity(cert, keys))
@@ -208,32 +212,28 @@ mod tests {
         let mut proxy = cred.delegate(3, 0, 1000, 1).unwrap();
         // Swap in a different leaf key pair (stolen-key scenario).
         proxy.leaf_keys = KeyPair::from_seed(99);
-        assert!(matches!(
-            proxy.validate(ca.public_key(), 10),
-            Err(ProxyError::BrokenChain(_))
-        ));
+        assert!(matches!(proxy.validate(ca.public_key(), 10), Err(ProxyError::BrokenChain(_))));
     }
 
     #[test]
     fn chain_must_start_at_end_entity() {
         let (ca, cred) = setup();
         let proxy = cred.delegate(3, 0, 1000, 1).unwrap();
-        let headless = CredentialChain {
-            chain: proxy.chain[1..].to_vec(),
-            leaf_keys: proxy.leaf_keys,
-        };
-        assert!(matches!(
-            headless.validate(ca.public_key(), 10),
-            Err(ProxyError::BrokenChain(_))
-        ));
+        let headless =
+            CredentialChain { chain: proxy.chain[1..].to_vec(), leaf_keys: proxy.leaf_keys };
+        assert!(matches!(headless.validate(ca.public_key(), 10), Err(ProxyError::BrokenChain(_))));
     }
 
     #[test]
     fn proxy_for_wrong_identity_rejected() {
         let (ca, cred) = setup();
         let mallory_keys = KeyPair::from_seed(66);
-        let mallory =
-            ca.issue(DistinguishedName::user("cern.ch", "mallory"), mallory_keys.public, 0, 900_000);
+        let mallory = ca.issue(
+            DistinguishedName::user("cern.ch", "mallory"),
+            mallory_keys.public,
+            0,
+            900_000,
+        );
         let mut proxy = cred.delegate(3, 0, 1000, 1).unwrap();
         // Graft alice's proxy onto mallory's end-entity cert.
         proxy.chain[0] = mallory;

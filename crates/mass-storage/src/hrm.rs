@@ -7,6 +7,7 @@
 
 use bytes::Bytes;
 use gdmp_simnet::time::SimDuration;
+use gdmp_telemetry::Registry;
 
 use crate::pool::{DiskPool, EvictionPolicy, PoolError};
 use crate::tape::{TapeError, TapeLibrary, TapeSpec};
@@ -76,6 +77,8 @@ pub struct HierarchicalStorage {
     pub pool: DiskPool,
     pub tape: TapeLibrary,
     pub stats: HrmStats,
+    /// Telemetry sink; disabled (no-op) unless attached.
+    telemetry: Registry,
 }
 
 impl HierarchicalStorage {
@@ -84,13 +87,25 @@ impl HierarchicalStorage {
             pool: DiskPool::new(pool_capacity, policy),
             tape: TapeLibrary::new(tape_spec),
             stats: HrmStats::default(),
+            telemetry: Registry::default(),
         }
+    }
+
+    /// Attach a telemetry registry; staging requests will record hit/stage
+    /// counters and a staging-latency histogram into it.
+    pub fn set_telemetry(&mut self, reg: Registry) {
+        self.telemetry = reg;
     }
 
     /// Store a new file on disk; when `archive` is set it is also written
     /// through to tape (so eviction from the pool is safe). Returns the
     /// archival latency (zero for disk-only files).
-    pub fn store(&mut self, name: &str, data: Bytes, archive: bool) -> Result<SimDuration, HrmError> {
+    pub fn store(
+        &mut self,
+        name: &str,
+        data: Bytes,
+        archive: bool,
+    ) -> Result<SimDuration, HrmError> {
         self.pool.put(name, data.clone())?;
         if archive {
             Ok(self.tape.archive(name, data)?)
@@ -104,7 +119,12 @@ impl HierarchicalStorage {
     pub fn request(&mut self, name: &str) -> Result<StageOutcome, HrmError> {
         if let Some(data) = self.pool.get(name) {
             self.stats.disk_hits += 1;
-            return Ok(StageOutcome { residence: Residence::DiskHit, latency: SimDuration::ZERO, data });
+            self.telemetry.counter_add("hrm_requests", &[("residence", "disk")], 1);
+            return Ok(StageOutcome {
+                residence: Residence::DiskHit,
+                latency: SimDuration::ZERO,
+                data,
+            });
         }
         if !self.tape.contains(name) {
             return Err(HrmError::Unknown(name.to_string()));
@@ -114,6 +134,8 @@ impl HierarchicalStorage {
         self.pool.put(name, data.clone())?;
         self.stats.stage_requests += 1;
         self.stats.total_stage_latency_ns += latency.nanos();
+        self.telemetry.counter_add("hrm_requests", &[("residence", "tape")], 1);
+        self.telemetry.observe("hrm_stage_latency_ns", &[], latency.nanos());
         Ok(StageOutcome { residence: Residence::StagedFromTape, latency, data })
     }
 

@@ -22,9 +22,15 @@ pub enum EvictionPolicy {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PoolError {
     /// Even after evicting everything unpinned the request cannot fit.
-    InsufficientSpace { requested: u64, evictable: u64 },
+    InsufficientSpace {
+        requested: u64,
+        evictable: u64,
+    },
     /// The file is larger than the whole pool.
-    TooLarge { size: u64, capacity: u64 },
+    TooLarge {
+        size: u64,
+        capacity: u64,
+    },
     NoSuchFile(String),
     AlreadyExists(String),
     /// Unpin without a matching pin.
@@ -212,10 +218,7 @@ impl DiskPool {
     }
 
     pub fn unpin(&mut self, name: &str) -> Result<(), PoolError> {
-        let e = self
-            .files
-            .get_mut(name)
-            .ok_or_else(|| PoolError::NoSuchFile(name.to_string()))?;
+        let e = self.files.get_mut(name).ok_or_else(|| PoolError::NoSuchFile(name.to_string()))?;
         if e.pins == 0 {
             return Err(PoolError::NotPinned(name.to_string()));
         }

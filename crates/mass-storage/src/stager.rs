@@ -63,7 +63,10 @@ impl<'a> StagingQueue<'a> {
 
     /// Serve a batch of requests FIFO (by arrival time, ties by file name).
     /// Returns completions in service order.
-    pub fn serve(&mut self, mut requests: Vec<StageRequest>) -> Result<Vec<StageCompletion>, TapeError> {
+    pub fn serve(
+        &mut self,
+        mut requests: Vec<StageRequest>,
+    ) -> Result<Vec<StageCompletion>, TapeError> {
         requests.sort_by(|a, b| a.arrival.cmp(&b.arrival).then_with(|| a.file.cmp(&b.file)));
         // Earliest-free time per drive.
         let mut free_at = vec![SimTime::ZERO; self.drives];
@@ -112,9 +115,7 @@ mod tests {
     }
 
     fn burst(n: usize) -> Vec<StageRequest> {
-        (0..n)
-            .map(|i| StageRequest { file: format!("f{i}"), arrival: SimTime::ZERO })
-            .collect()
+        (0..n).map(|i| StageRequest { file: format!("f{i}"), arrival: SimTime::ZERO }).collect()
     }
 
     #[test]

@@ -120,17 +120,14 @@ impl TapeLibrary {
         }
         let size = data.len() as u64;
         // First tape with room; open a new tape when all are full.
-        let tape = match self
-            .tape_fill
-            .iter()
-            .position(|&fill| fill + size <= self.spec.tape_capacity)
-        {
-            Some(t) => t,
-            None => {
-                self.tape_fill.push(0);
-                self.tape_fill.len() - 1
-            }
-        };
+        let tape =
+            match self.tape_fill.iter().position(|&fill| fill + size <= self.spec.tape_capacity) {
+                Some(t) => t,
+                None => {
+                    self.tape_fill.push(0);
+                    self.tape_fill.len() - 1
+                }
+            };
         let offset = self.tape_fill[tape];
         self.tape_fill[tape] += size;
         self.stats.bytes_written += size;
@@ -142,14 +139,13 @@ impl TapeLibrary {
     /// Read a file back; returns the data and the total staging latency
     /// (mount if needed + seek + stream).
     pub fn stage(&mut self, name: &str) -> Result<(Bytes, SimDuration), TapeError> {
-        let f = self
-            .files
-            .get(name)
-            .ok_or_else(|| TapeError::NoSuchFile(name.to_string()))?
-            .clone();
+        let f =
+            self.files.get(name).ok_or_else(|| TapeError::NoSuchFile(name.to_string()))?.clone();
         let mount = self.mount(f.tape);
-        let seek = SimDuration::from_secs_f64(f.offset as f64 / self.spec.seek_bytes_per_sec as f64);
-        let stream = SimDuration::serialization(f.data.len() as u64, self.spec.stream_bytes_per_sec * 8);
+        let seek =
+            SimDuration::from_secs_f64(f.offset as f64 / self.spec.seek_bytes_per_sec as f64);
+        let stream =
+            SimDuration::serialization(f.data.len() as u64, self.spec.stream_bytes_per_sec * 8);
         self.stats.reads += 1;
         self.stats.bytes_read += f.data.len() as u64;
         Ok((f.data, mount + seek + stream))
@@ -157,10 +153,7 @@ impl TapeLibrary {
 
     /// Remove a file from the archive.
     pub fn delete(&mut self, name: &str) -> Result<(), TapeError> {
-        self.files
-            .remove(name)
-            .map(|_| ())
-            .ok_or_else(|| TapeError::NoSuchFile(name.to_string()))
+        self.files.remove(name).map(|_| ()).ok_or_else(|| TapeError::NoSuchFile(name.to_string()))
     }
 
     /// Ensure `tape` is mounted; returns the cost (zero when already in a
@@ -226,7 +219,7 @@ mod tests {
         t.archive("a", Bytes::from(vec![1u8; 100])).unwrap();
         t.archive("b", Bytes::from(vec![1u8; 950])).unwrap(); // spills to tape 1
         t.archive("c", Bytes::from(vec![1u8; 950])).unwrap(); // tape 2
-        // Drives: 2. Tapes 1 and 2 are mounted now; tape 0 was dismounted.
+                                                              // Drives: 2. Tapes 1 and 2 are mounted now; tape 0 was dismounted.
         let (_, latency) = t.stage("a").unwrap();
         assert!(latency.as_secs_f64() >= 60.0, "expected mount cost, got {latency}");
         // Immediately staging again is cheap.
@@ -286,7 +279,7 @@ mod tests {
         t.archive("t0", Bytes::from(vec![0u8; 900])).unwrap(); // tape 0
         t.archive("t1", Bytes::from(vec![0u8; 900])).unwrap(); // tape 1
         t.archive("t2", Bytes::from(vec![0u8; 900])).unwrap(); // tape 2
-        // Two drives: most recently used tapes stay mounted.
+                                                               // Two drives: most recently used tapes stay mounted.
         assert_eq!(t.mounted_tapes(), vec![1, 2]);
         t.stage("t0").unwrap(); // mounts tape 0, evicting LRU (tape 1)
         assert_eq!(t.mounted_tapes(), vec![0, 2]);

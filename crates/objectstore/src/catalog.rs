@@ -103,10 +103,7 @@ impl ObjectFileCatalog {
 
     /// Files holding one object.
     pub fn files_of(&self, o: LogicalOid) -> Vec<&str> {
-        self.by_object
-            .get(&o)
-            .map(|s| s.iter().map(String::as_str).collect())
-            .unwrap_or_default()
+        self.by_object.get(&o).map(|s| s.iter().map(String::as_str).collect()).unwrap_or_default()
     }
 
     /// Objects recorded for one file.
@@ -211,11 +208,7 @@ impl ObjectFileCatalog {
                 }
             }
         }
-        FileCover {
-            files: chosen,
-            uncovered: uncovered.into_iter().collect(),
-            total_bytes,
-        }
+        FileCover { files: chosen, uncovered: uncovered.into_iter().collect(), total_bytes }
     }
 }
 

@@ -33,11 +33,7 @@ impl CopierSpec {
     /// A well-provisioned 2001 disk server: 30 MB/s, 20 µs per object,
     /// 1 GB chunks.
     pub fn classic() -> Self {
-        CopierSpec {
-            bytes_per_sec: 30_000_000,
-            per_object_ns: 20_000,
-            max_file_bytes: 1 << 30,
-        }
+        CopierSpec { bytes_per_sec: 30_000_000, per_object_ns: 20_000, max_file_bytes: 1 << 30 }
     }
 }
 
@@ -158,7 +154,8 @@ mod tests {
     #[test]
     fn extracts_exactly_the_selection() {
         let mut f = fed(100, ObjectKind::Aod, 1000);
-        let wanted: Vec<_> = (0..100).step_by(7).map(|e| LogicalOid::new(e, ObjectKind::Aod)).collect();
+        let wanted: Vec<_> =
+            (0..100).step_by(7).map(|e| LogicalOid::new(e, ObjectKind::Aod)).collect();
         let (files, stats) = copier(1 << 30).extract(&mut f, &wanted, "sel").unwrap();
         assert_eq!(stats.objects_copied, wanted.len());
         assert_eq!(files.len(), 1);

@@ -101,11 +101,7 @@ impl DatabaseFile {
 
     /// Total payload bytes (the dominant term of the file size).
     pub fn payload_bytes(&self) -> u64 {
-        self.containers
-            .values()
-            .flat_map(|c| &c.objects)
-            .map(StoredObject::size_bytes)
-            .sum()
+        self.containers.values().flat_map(|c| &c.objects).map(StoredObject::size_bytes).sum()
     }
 
     // ---- codec -------------------------------------------------------------
@@ -259,8 +255,14 @@ mod tests {
     fn insert_assigns_sequential_slots() {
         let mut db = DatabaseFile::new(1, "x.db");
         let l = LogicalOid::new(0, ObjectKind::Tag);
-        let o1 = db.insert(0, StoredObject { logical: l, version: 1, payload: Bytes::new(), assocs: vec![] });
-        let o2 = db.insert(0, StoredObject { logical: l, version: 2, payload: Bytes::new(), assocs: vec![] });
+        let o1 = db.insert(
+            0,
+            StoredObject { logical: l, version: 1, payload: Bytes::new(), assocs: vec![] },
+        );
+        let o2 = db.insert(
+            0,
+            StoredObject { logical: l, version: 2, payload: Bytes::new(), assocs: vec![] },
+        );
         assert_eq!((o1.slot, o2.slot), (0, 1));
         assert_eq!(db.get(o2).unwrap().version, 2);
         assert!(db.get(Oid { db: 2, container: 0, slot: 0 }).is_none());
@@ -282,10 +284,7 @@ mod tests {
         let img = sample().encode();
         for cut in [0, 4, 8, 20, img.len() - 1] {
             let maimed = img.slice(0..cut);
-            assert!(
-                DatabaseFile::decode(maimed).is_err(),
-                "truncation at {cut} must fail"
-            );
+            assert!(DatabaseFile::decode(maimed).is_err(), "truncation at {cut} must fail");
         }
     }
 

@@ -28,8 +28,15 @@ pub enum FedError {
     UnknownObject(LogicalOid),
     /// The association exists but its target's file is not attached here —
     /// the paper's broken-navigation scenario.
-    NavigationFailed { from: LogicalOid, label: String, target: LogicalOid },
-    NoSuchAssociation { from: LogicalOid, label: String },
+    NavigationFailed {
+        from: LogicalOid,
+        label: String,
+        target: LogicalOid,
+    },
+    NoSuchAssociation {
+        from: LogicalOid,
+        label: String,
+    },
     /// Attempt to overwrite an existing (logical, version) pair: objects
     /// are read-only after creation.
     ReadOnlyViolation(LogicalOid),
@@ -162,10 +169,7 @@ impl Federation {
     pub fn schema_requirements_of(&self, db: &DatabaseFile) -> Vec<(String, u32)> {
         let kinds: std::collections::BTreeSet<&'static str> =
             db.iter().map(|(_, o)| o.logical.kind.name()).collect();
-        kinds
-            .into_iter()
-            .map(|k| (k.to_string(), self.schema.version_of(k).unwrap_or(1)))
-            .collect()
+        kinds.into_iter().map(|k| (k.to_string(), self.schema.version_of(k).unwrap_or(1))).collect()
     }
 
     pub fn is_attached(&self, file_name: &str) -> bool {
@@ -211,10 +215,7 @@ impl Federation {
     /// Fetch the (latest version of the) object with this logical id.
     pub fn get(&mut self, logical: LogicalOid) -> Result<&StoredObject, FedError> {
         self.lookups += 1;
-        let (file, oid, _) = self
-            .index
-            .get(&logical)
-            .ok_or(FedError::UnknownObject(logical))?;
+        let (file, oid, _) = self.index.get(&logical).ok_or(FedError::UnknownObject(logical))?;
         Ok(self
             .attached
             .get(file)
@@ -244,7 +245,11 @@ impl Federation {
                 .ok_or_else(|| FedError::NoSuchAssociation { from, label: label.to_string() })?
         };
         if !self.contains(assoc.target) {
-            return Err(FedError::NavigationFailed { from, label: label.to_string(), target: assoc.target });
+            return Err(FedError::NavigationFailed {
+                from,
+                label: label.to_string(),
+                target: assoc.target,
+            });
         }
         self.get(assoc.target)
     }
@@ -318,10 +323,7 @@ mod tests {
     fn read_only_rule_blocks_same_version() {
         let mut fed = fed_with_aods(0..1);
         let dup = obj(0, ObjectKind::Aod);
-        assert!(matches!(
-            fed.store("aod.db", 0, dup),
-            Err(FedError::ReadOnlyViolation(_))
-        ));
+        assert!(matches!(fed.store("aod.db", 0, dup), Err(FedError::ReadOnlyViolation(_))));
         // A newer version is the sanctioned way to change content.
         let mut v2 = obj(0, ObjectKind::Aod);
         v2.version = 2;

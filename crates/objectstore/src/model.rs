@@ -32,7 +32,8 @@ pub enum ObjectKind {
 }
 
 impl ObjectKind {
-    pub const ALL: [ObjectKind; 4] = [ObjectKind::Tag, ObjectKind::Aod, ObjectKind::Esd, ObjectKind::Raw];
+    pub const ALL: [ObjectKind; 4] =
+        [ObjectKind::Tag, ObjectKind::Aod, ObjectKind::Esd, ObjectKind::Raw];
 
     /// Nominal object size in bytes (the Section 5.1 tiers, scaled so the
     /// simulations stay laptop-sized; ratios preserved).

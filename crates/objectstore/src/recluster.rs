@@ -49,13 +49,7 @@ pub fn trace_page_reads(db: &DatabaseFile, page_bytes: u64, trace: &Trace) -> us
     let layout = page_of(db, page_bytes);
     trace
         .iter()
-        .map(|query| {
-            query
-                .iter()
-                .filter_map(|o| layout.get(o))
-                .collect::<BTreeSet<_>>()
-                .len()
-        })
+        .map(|query| query.iter().filter_map(|o| layout.get(o)).collect::<BTreeSet<_>>().len())
         .sum()
 }
 
@@ -107,7 +101,11 @@ impl ReclusterGain {
 }
 
 /// Evaluate reclustering of `db` for `trace` at the given page size.
-pub fn evaluate(db: &DatabaseFile, page_bytes: u64, trace: &Trace) -> (DatabaseFile, ReclusterGain) {
+pub fn evaluate(
+    db: &DatabaseFile,
+    page_bytes: u64,
+    trace: &Trace,
+) -> (DatabaseFile, ReclusterGain) {
     let before = trace_page_reads(db, page_bytes, trace);
     let clustered = recluster(db, trace);
     let after = trace_page_reads(&clustered, page_bytes, trace);
@@ -123,12 +121,15 @@ mod tests {
         let mut db = DatabaseFile::new(1, "t.db");
         for e in 0..n {
             let logical = LogicalOid::new(e, ObjectKind::Aod);
-            db.insert(0, StoredObject {
-                logical,
-                version: 1,
-                payload: synth_payload(logical, 1, payload),
-                assocs: vec![],
-            });
+            db.insert(
+                0,
+                StoredObject {
+                    logical,
+                    version: 1,
+                    payload: synth_payload(logical, 1, payload),
+                    assocs: vec![],
+                },
+            );
         }
         db
     }

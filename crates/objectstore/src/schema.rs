@@ -86,7 +86,11 @@ impl SchemaRegistry {
             r.register(TypeDescriptor::new(
                 kind.name(),
                 1,
-                &[("event", FieldType::U64), ("payload", FieldType::Blob), ("upstream", FieldType::OidRef)],
+                &[
+                    ("event", FieldType::U64),
+                    ("payload", FieldType::Blob),
+                    ("upstream", FieldType::OidRef),
+                ],
             ))
             .expect("fresh registry accepts baseline");
         }
@@ -152,9 +156,7 @@ impl SchemaRegistry {
     pub fn import_from(&mut self, other: &SchemaRegistry) -> usize {
         let mut changed = 0;
         for desc in other.types.values() {
-            let newer = self
-                .version_of(&desc.name)
-                .map_or(true, |have| have < desc.version);
+            let newer = self.version_of(&desc.name).map_or(true, |have| have < desc.version);
             if newer {
                 self.types.insert(desc.name.clone(), desc.clone());
                 changed += 1;

@@ -18,7 +18,13 @@ fn arb_kind() -> impl Strategy<Value = ObjectKind> {
 }
 
 fn arb_object() -> impl Strategy<Value = StoredObject> {
-    (0u64..10_000, arb_kind(), 1u32..4, 0usize..512, proptest::collection::vec((".*", 0u64..100, arb_kind()), 0..3))
+    (
+        0u64..10_000,
+        arb_kind(),
+        1u32..4,
+        0usize..512,
+        proptest::collection::vec((".*", 0u64..100, arb_kind()), 0..3),
+    )
         .prop_map(|(event, kind, version, plen, assocs)| {
             let logical = LogicalOid::new(event, kind);
             StoredObject {

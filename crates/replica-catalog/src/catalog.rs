@@ -127,10 +127,11 @@ impl ReplicaCatalog {
 
     pub fn list_collections(&mut self) -> Vec<String> {
         self.dir
-            .search(&self.root, Scope::OneLevel, &Filter::Equals(
-                "objectclass".into(),
-                "GlobusReplicaCollection".into(),
-            ))
+            .search(
+                &self.root,
+                Scope::OneLevel,
+                &Filter::Equals("objectclass".into(), "GlobusReplicaCollection".into()),
+            )
             .into_iter()
             .filter_map(|r| r.dn.rdn().map(|(_, v)| v.to_string()))
             .collect()
@@ -154,7 +155,11 @@ impl ReplicaCatalog {
 
     /// Remove logical file names from a collection (and from every location
     /// in it, keeping the catalog consistent).
-    pub fn remove_filenames(&mut self, collection: &str, lfns: &[&str]) -> Result<(), CatalogError> {
+    pub fn remove_filenames(
+        &mut self,
+        collection: &str,
+        lfns: &[&str],
+    ) -> Result<(), CatalogError> {
         let dn = self.require_collection(collection)?;
         for lfn in lfns {
             self.dir.remove_value(&dn, "filename", lfn)?;
@@ -201,7 +206,11 @@ impl ReplicaCatalog {
         Ok(())
     }
 
-    pub fn delete_location(&mut self, collection: &str, location: &str) -> Result<(), CatalogError> {
+    pub fn delete_location(
+        &mut self,
+        collection: &str,
+        location: &str,
+    ) -> Result<(), CatalogError> {
         self.require_collection(collection)?;
         self.dir
             .delete(&self.location_dn(collection, location))
@@ -213,10 +222,11 @@ impl ReplicaCatalog {
         let dn = self.require_collection(collection)?;
         Ok(self
             .dir
-            .search(&dn, Scope::OneLevel, &Filter::Equals(
-                "objectclass".into(),
-                "GlobusReplicaLocation".into(),
-            ))
+            .search(
+                &dn,
+                Scope::OneLevel,
+                &Filter::Equals("objectclass".into(), "GlobusReplicaLocation".into()),
+            )
             .into_iter()
             .filter_map(|r| r.dn.rdn().map(|(_, v)| v.to_string()))
             .collect())
@@ -270,10 +280,8 @@ impl ReplicaCatalog {
     ) -> Result<Vec<String>, CatalogError> {
         self.require_collection(collection)?;
         let dn = self.location_dn(collection, location);
-        let a = self
-            .dir
-            .get(&dn)
-            .ok_or_else(|| CatalogError::NoSuchLocation(location.to_string()))?;
+        let a =
+            self.dir.get(&dn).ok_or_else(|| CatalogError::NoSuchLocation(location.to_string()))?;
         Ok(a.get("filename").map(|v| v.iter().cloned().collect()).unwrap_or_default())
     }
 
@@ -353,7 +361,11 @@ impl ReplicaCatalog {
     // ---- the heart of the system -------------------------------------------
 
     /// All physical locations of a logical file.
-    pub fn locate(&mut self, collection: &str, lfn: &str) -> Result<Vec<PhysicalLocation>, CatalogError> {
+    pub fn locate(
+        &mut self,
+        collection: &str,
+        lfn: &str,
+    ) -> Result<Vec<PhysicalLocation>, CatalogError> {
         self.require_collection(collection)?;
         if !self.contains_filename(collection, lfn) {
             return Err(CatalogError::NotInCollection(lfn.to_string()));
@@ -363,11 +375,8 @@ impl ReplicaCatalog {
             let dn = self.location_dn(collection, &loc);
             let Some(a) = self.dir.get(&dn) else { continue };
             if a.get("filename").is_some_and(|v| v.contains(lfn)) {
-                let url_prefix = a
-                    .get("url")
-                    .and_then(|v| v.iter().next())
-                    .cloned()
-                    .unwrap_or_default();
+                let url_prefix =
+                    a.get("url").and_then(|v| v.iter().next()).cloned().unwrap_or_default();
                 out.push(PhysicalLocation {
                     location: loc.clone(),
                     pfn: format!("{}/{}", url_prefix.trim_end_matches('/'), lfn),
@@ -413,14 +422,8 @@ mod tests {
     #[test]
     fn locate_unknown_file_errors() {
         let mut rc = seeded();
-        assert!(matches!(
-            rc.locate("higgs", "nope.db"),
-            Err(CatalogError::NotInCollection(_))
-        ));
-        assert!(matches!(
-            rc.locate("zee", "run1.db"),
-            Err(CatalogError::NoSuchCollection(_))
-        ));
+        assert!(matches!(rc.locate("higgs", "nope.db"), Err(CatalogError::NotInCollection(_))));
+        assert!(matches!(rc.locate("zee", "run1.db"), Err(CatalogError::NoSuchCollection(_))));
     }
 
     #[test]
@@ -449,15 +452,12 @@ mod tests {
         rc.create_logical_file_entry("higgs", "run2.db", &[("size", "5000")]).unwrap();
         let a = rc.logical_file_attributes("higgs", "run1.db").unwrap();
         assert!(a["size"].contains("1000"));
-        let hits = rc
-            .search_logical_files("higgs", &Filter::parse("(size=5000)").unwrap())
-            .unwrap();
+        let hits =
+            rc.search_logical_files("higgs", &Filter::parse("(size=5000)").unwrap()).unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].0, "run2.db");
         // Wildcard search over names.
-        let all = rc
-            .search_logical_files("higgs", &Filter::parse("(name=run*)").unwrap())
-            .unwrap();
+        let all = rc.search_logical_files("higgs", &Filter::parse("(name=run*)").unwrap()).unwrap();
         assert_eq!(all.len(), 2);
     }
 
@@ -485,10 +485,7 @@ mod tests {
         assert!(matches!(rc.create_collection(""), Err(CatalogError::InvalidName(_))));
         assert!(matches!(rc.create_collection("a,b"), Err(CatalogError::InvalidName(_))));
         rc.create_collection("ok").unwrap();
-        assert!(matches!(
-            rc.add_filenames("ok", &["bad name"]),
-            Err(CatalogError::InvalidName(_))
-        ));
+        assert!(matches!(rc.add_filenames("ok", &["bad name"]), Err(CatalogError::InvalidName(_))));
     }
 
     #[test]

@@ -28,9 +28,7 @@ impl LdapDn {
         }
         let mut rdns = Vec::new();
         for part in s.split(',') {
-            let (k, v) = part
-                .split_once('=')
-                .ok_or_else(|| LdapError::InvalidDn(s.to_string()))?;
+            let (k, v) = part.split_once('=').ok_or_else(|| LdapError::InvalidDn(s.to_string()))?;
             let (k, v) = (k.trim(), v.trim());
             if k.is_empty() || v.is_empty() {
                 return Err(LdapError::InvalidDn(s.to_string()));
@@ -70,6 +68,18 @@ impl LdapDn {
     pub fn is_under(&self, other: &LdapDn) -> bool {
         self.rdns.len() >= other.rdns.len()
             && self.rdns[self.rdns.len() - other.rdns.len()..] == other.rdns[..]
+    }
+}
+
+/// DNs key the directory's entry map; serialize them as their canonical
+/// `attr=value,...` string so DN-keyed maps render as plain JSON objects.
+impl serde::MapKey for LdapDn {
+    fn to_key(&self) -> String {
+        self.to_string()
+    }
+
+    fn from_key(key: &str) -> Result<Self, serde::DeError> {
+        LdapDn::parse(key).map_err(|e| serde::DeError::custom(e.to_string()))
     }
 }
 
@@ -168,9 +178,9 @@ impl Filter {
         match self {
             Filter::True => true,
             Filter::Present(a) => attrs.contains_key(a),
-            Filter::Equals(a, pattern) => attrs
-                .get(a)
-                .is_some_and(|vals| vals.iter().any(|v| wildcard_match(pattern, v))),
+            Filter::Equals(a, pattern) => {
+                attrs.get(a).is_some_and(|vals| vals.iter().any(|v| wildcard_match(pattern, v)))
+            }
             Filter::And(fs) => fs.iter().all(|f| f.matches(attrs)),
             Filter::Or(fs) => fs.iter().any(|f| f.matches(attrs)),
             Filter::Not(f) => !f.matches(attrs),
@@ -355,10 +365,7 @@ impl Directory {
 
     /// Add a value to a (possibly new) attribute of an existing entry.
     pub fn add_value(&mut self, dn: &LdapDn, attr: &str, value: &str) -> Result<(), LdapError> {
-        let e = self
-            .entries
-            .get_mut(dn)
-            .ok_or_else(|| LdapError::NoSuchEntry(dn.to_string()))?;
+        let e = self.entries.get_mut(dn).ok_or_else(|| LdapError::NoSuchEntry(dn.to_string()))?;
         self.write_ops += 1;
         e.entry(attr.to_string()).or_default().insert(value.to_string());
         Ok(())
@@ -366,11 +373,13 @@ impl Directory {
 
     /// Remove a value; removes the attribute when its last value goes.
     /// Returns whether the value was present.
-    pub fn remove_value(&mut self, dn: &LdapDn, attr: &str, value: &str) -> Result<bool, LdapError> {
-        let e = self
-            .entries
-            .get_mut(dn)
-            .ok_or_else(|| LdapError::NoSuchEntry(dn.to_string()))?;
+    pub fn remove_value(
+        &mut self,
+        dn: &LdapDn,
+        attr: &str,
+        value: &str,
+    ) -> Result<bool, LdapError> {
+        let e = self.entries.get_mut(dn).ok_or_else(|| LdapError::NoSuchEntry(dn.to_string()))?;
         self.write_ops += 1;
         let Some(vals) = e.get_mut(attr) else { return Ok(false) };
         let removed = vals.remove(value);
@@ -387,10 +396,7 @@ impl Directory {
         attr: &str,
         values: &[&str],
     ) -> Result<(), LdapError> {
-        let e = self
-            .entries
-            .get_mut(dn)
-            .ok_or_else(|| LdapError::NoSuchEntry(dn.to_string()))?;
+        let e = self.entries.get_mut(dn).ok_or_else(|| LdapError::NoSuchEntry(dn.to_string()))?;
         self.write_ops += 1;
         if values.is_empty() {
             e.remove(attr);
@@ -469,18 +475,14 @@ mod tests {
     #[test]
     fn add_requires_parent() {
         let mut d = Directory::new();
-        let err = d
-            .add(LdapDn::parse("lc=x,rc=GDMP").unwrap(), Attributes::new())
-            .unwrap_err();
+        let err = d.add(LdapDn::parse("lc=x,rc=GDMP").unwrap(), Attributes::new()).unwrap_err();
         assert!(matches!(err, LdapError::NoSuchParent(_)));
     }
 
     #[test]
     fn add_rejects_duplicates() {
         let mut d = seeded();
-        let err = d
-            .add(LdapDn::parse("lc=higgs,rc=GDMP").unwrap(), Attributes::new())
-            .unwrap_err();
+        let err = d.add(LdapDn::parse("lc=higgs,rc=GDMP").unwrap(), Attributes::new()).unwrap_err();
         assert!(matches!(err, LdapError::AlreadyExists(_)));
     }
 
@@ -502,10 +504,7 @@ mod tests {
 
     #[test]
     fn filter_parsing() {
-        assert_eq!(
-            Filter::parse("(name=f1)").unwrap(),
-            Filter::Equals("name".into(), "f1".into())
-        );
+        assert_eq!(Filter::parse("(name=f1)").unwrap(), Filter::Equals("name".into(), "f1".into()));
         assert_eq!(Filter::parse("(name=*)").unwrap(), Filter::Present("name".into()));
         let f = Filter::parse("(&(objectclass=GlobusFile)(!(size=2048)))").unwrap();
         assert!(matches!(f, Filter::And(_)));

@@ -74,10 +74,7 @@ impl DirectoryCluster {
     }
 
     fn primary_index(&self) -> Result<usize, ClusterError> {
-        self.replicas
-            .iter()
-            .position(|r| r.alive)
-            .ok_or(ClusterError::NoReplicasLeft)
+        self.replicas.iter().position(|r| r.alive).ok_or(ClusterError::NoReplicasLeft)
     }
 
     /// Apply a write to every live replica; all must agree on the result
@@ -238,8 +235,7 @@ mod tests {
     fn failure_redirects_reads_and_writes() {
         let mut c = seeded(3);
         c.fail(0).unwrap();
-        c.add(LdapDn::parse("lc=late,rc=GDMP").unwrap(), attrs(&[("objectclass", "col")]))
-            .unwrap();
+        c.add(LdapDn::parse("lc=late,rc=GDMP").unwrap(), attrs(&[("objectclass", "col")])).unwrap();
         for _ in 0..10 {
             c.search(&LdapDn::ROOT, Scope::Subtree, &Filter::True).unwrap();
         }

@@ -123,7 +123,12 @@ impl ReplicaCatalogService {
     }
 
     /// Register an *additional* replica of an already-published file.
-    pub fn add_replica(&mut self, lfn: &str, site: &str, url_prefix: &str) -> Result<(), CatalogError> {
+    pub fn add_replica(
+        &mut self,
+        lfn: &str,
+        site: &str,
+        url_prefix: &str,
+    ) -> Result<(), CatalogError> {
         if !self.catalog.contains_filename(&self.collection, lfn) {
             return Err(CatalogError::NotInCollection(lfn.to_string()));
         }

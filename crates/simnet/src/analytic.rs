@@ -15,7 +15,12 @@ pub fn window_limited_bps(buffer_bytes: u64, rtt: SimDuration, link_rate_bps: u6
 }
 
 /// Aggregate ceiling of `n` window-limited parallel streams sharing a link.
-pub fn parallel_ceiling_bps(n: u32, buffer_bytes: u64, rtt: SimDuration, link_rate_bps: u64) -> f64 {
+pub fn parallel_ceiling_bps(
+    n: u32,
+    buffer_bytes: u64,
+    rtt: SimDuration,
+    link_rate_bps: u64,
+) -> f64 {
     let per = window_limited_bps(buffer_bytes, rtt, link_rate_bps);
     (per * f64::from(n)).min(link_rate_bps as f64)
 }

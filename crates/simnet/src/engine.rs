@@ -51,12 +51,7 @@ impl<E> Default for EventQueue<E> {
 
 impl<E> EventQueue<E> {
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-            now: SimTime::ZERO,
-            processed: 0,
-        }
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO, processed: 0 }
     }
 
     /// The time of the most recently popped event.

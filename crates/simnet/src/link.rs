@@ -112,7 +112,8 @@ impl Link {
                 if self.first_tx.is_none() {
                     self.first_tx = Some(now);
                 }
-                let done = now + SimDuration::serialization(u64::from(pkt.wire_bytes), self.spec.rate_bps);
+                let done =
+                    now + SimDuration::serialization(u64::from(pkt.wire_bytes), self.spec.rate_bps);
                 self.last_tx = done;
                 LinkAction::StartTx { packet: pkt, done }
             }

@@ -8,6 +8,8 @@
 
 use std::collections::HashMap;
 
+use gdmp_telemetry::Registry;
+
 use crate::engine::EventQueue;
 use crate::link::{Link, LinkAction, LinkSpec};
 use crate::packet::{wire, wire_bytes_for, FlowId, LinkId, Packet, Path};
@@ -151,6 +153,10 @@ pub struct Network {
     queue: EventQueue<Event>,
     /// Optional per-flow congestion-window trace (time, cwnd).
     cwnd_traces: Option<HashMap<usize, Vec<(SimTime, f64)>>>,
+    /// Telemetry sink (disabled by default); [`Network::run`] publishes
+    /// per-link and per-flow statistics into it once on completion.
+    telemetry: Registry,
+    telemetry_published: bool,
 }
 
 impl Network {
@@ -161,7 +167,15 @@ impl Network {
             flows: Vec::new(),
             queue: EventQueue::new(),
             cwnd_traces: None,
+            telemetry: Registry::default(),
+            telemetry_published: false,
         }
+    }
+
+    /// Attach a telemetry registry; link/flow statistics are published into
+    /// it when the simulation completes.
+    pub fn set_telemetry(&mut self, reg: Registry) {
+        self.telemetry = reg;
     }
 
     /// A network with default config and a single link.
@@ -221,14 +235,66 @@ impl Network {
                 break;
             }
         }
+        self.publish_telemetry();
         self.results()
     }
 
+    /// Publish link and flow statistics into the attached registry.
+    /// Idempotent per network: repeated `run` calls publish only once.
+    fn publish_telemetry(&mut self) {
+        if !self.telemetry.is_enabled() || self.telemetry_published {
+            return;
+        }
+        self.telemetry_published = true;
+        let now = self.queue.now().nanos();
+        for (i, link) in self.links.iter().enumerate() {
+            let id = i.to_string();
+            let labels = [("link", id.as_str())];
+            self.telemetry.counter_add(
+                "simnet_packets_transmitted",
+                &labels,
+                link.packets_transmitted,
+            );
+            self.telemetry.counter_add("simnet_bytes_transmitted", &labels, link.bytes_transmitted);
+            self.telemetry.counter_add("simnet_link_drops", &labels, link.queue.drops);
+            self.telemetry.gauge_set(
+                "simnet_queue_max_depth",
+                &labels,
+                link.queue.max_depth as i64,
+            );
+            if link.queue.drops > 0 {
+                self.telemetry.record(
+                    now,
+                    "link_drops",
+                    format!(
+                        "link {i}: {} dropped of {} offered, peak queue {}",
+                        link.queue.drops,
+                        link.queue.accepted + link.queue.drops,
+                        link.queue.max_depth
+                    ),
+                );
+            }
+        }
+        for flow in &self.flows {
+            let kind = if flow.total_bytes.is_some() { "transfer" } else { "background" };
+            let labels = [("kind", kind)];
+            self.telemetry.counter_add(
+                "simnet_segments_retransmitted",
+                &labels,
+                flow.sender.stats.segments_retransmitted,
+            );
+            self.telemetry.counter_add("simnet_timeouts", &labels, flow.sender.stats.timeouts);
+            self.telemetry.counter_add(
+                "simnet_fast_retransmits",
+                &labels,
+                flow.sender.stats.fast_retransmits,
+            );
+        }
+        self.telemetry.counter_add("simnet_events_processed", &[], self.queue.processed());
+    }
+
     fn all_finite_flows_done(&self) -> bool {
-        self.flows
-            .iter()
-            .filter(|f| f.total_bytes.is_some())
-            .all(|f| f.sender.is_complete())
+        self.flows.iter().filter(|f| f.total_bytes.is_some()).all(|f| f.sender.is_complete())
     }
 
     fn dispatch(&mut self, now: SimTime, event: Event) {
@@ -507,10 +573,7 @@ mod tests {
         let results = net.run();
         let r = &results[f.0];
         assert!(r.finished.is_some(), "flow did not complete");
-        assert!(
-            r.segments_retransmitted > 0,
-            "expected losses with an 8-packet queue"
-        );
+        assert!(r.segments_retransmitted > 0, "expected losses with an 8-packet queue");
         assert_eq!(r.bytes_acked, 4 * MB);
     }
 
@@ -672,15 +735,39 @@ mod tests {
         });
         let f1 = net.add_flow(FlowSpec::transfer(8 * MB, 2 * MB).via(&[n1, wan]));
         let f2 = net.add_flow(
-            FlowSpec::transfer(8 * MB, 2 * MB)
-                .via(&[n2, wan])
-                .open_at(SimTime(50_000_000)),
+            FlowSpec::transfer(8 * MB, 2 * MB).via(&[n2, wan]).open_at(SimTime(50_000_000)),
         );
         let results = net.run();
         let t1 = results[f1.0].throughput_bps().unwrap();
         let t2 = results[f2.0].throughput_bps().unwrap();
         assert!(t1 + t2 < 30e6 * 1.05, "aggregate {:.1e} exceeds backbone", t1 + t2);
         assert!(t1 > 3e6 && t2 > 3e6, "starvation: {t1:.2e} / {t2:.2e}");
+    }
+
+    #[test]
+    fn telemetry_captures_drops_and_retransmits() {
+        let reg = gdmp_telemetry::Registry::new();
+        let mut net = Network::single_link(LinkSpec {
+            rate_bps: 10_000_000,
+            propagation: SimDuration::from_millis(30),
+            queue_capacity: 8,
+        });
+        net.set_telemetry(reg.clone());
+        net.add_flow(FlowSpec::transfer(4 * MB, 2 * MB));
+        let results = net.run();
+        assert!(results[0].segments_retransmitted > 0);
+        assert_eq!(
+            reg.counter_value("simnet_segments_retransmitted", &[("kind", "transfer")]),
+            results[0].segments_retransmitted
+        );
+        assert!(reg.counter_value("simnet_link_drops", &[("link", "0")]) > 0);
+        assert!(reg.counter_value("simnet_events_processed", &[]) > 0);
+        // A second run() call must not double-publish.
+        net.run();
+        assert_eq!(
+            reg.counter_value("simnet_segments_retransmitted", &[("kind", "transfer")]),
+            results[0].segments_retransmitted
+        );
     }
 
     #[test]

@@ -63,10 +63,7 @@ pub fn pipechar(spec: &LinkSpec) -> PipecharReport {
     };
     // Arrival spacing at the far end equals d2 - d1 (same propagation).
     let dispersion = d2.since(d1).as_secs_f64();
-    PipecharReport {
-        bottleneck_bps: f64::from(PROBE_BYTES) * 8.0 / dispersion,
-        probe_packets: 2,
-    }
+    PipecharReport { bottleneck_bps: f64::from(PROBE_BYTES) * 8.0 / dispersion, probe_packets: 2 }
 }
 
 /// The paper's tuning formula: `optimal TCP buffer = RTT × bottleneck`.

@@ -29,12 +29,7 @@ pub struct Receiver {
 
 impl Receiver {
     pub fn new() -> Self {
-        Receiver {
-            rcv_nxt: 0,
-            out_of_order: BTreeSet::new(),
-            dup_acks_sent: 0,
-            spurious: 0,
-        }
+        Receiver { rcv_nxt: 0, out_of_order: BTreeSet::new(), dup_acks_sent: 0, spurious: 0 }
     }
 
     /// Process arrival of segment `seq` (sent at `sent_at`, retransmission
@@ -56,10 +51,7 @@ impl Receiver {
             self.spurious += 1;
             self.dup_acks_sent += 1;
         }
-        Ack {
-            ackno: self.rcv_nxt,
-            ts_echo: if retransmit { None } else { Some(sent_at) },
-        }
+        Ack { ackno: self.rcv_nxt, ts_echo: if retransmit { None } else { Some(sent_at) } }
     }
 
     /// Highest contiguous segment received (next expected).

@@ -42,9 +42,8 @@ impl RttEstimator {
             }
         }
         let srtt = self.srtt.unwrap();
-        self.rto = SimDuration(srtt.nanos() + 4 * self.rttvar.nanos())
-            .max(self.min_rto)
-            .min(self.max_rto);
+        self.rto =
+            SimDuration(srtt.nanos() + 4 * self.rttvar.nanos()).max(self.min_rto).min(self.max_rto);
     }
 
     /// Current retransmission timeout.

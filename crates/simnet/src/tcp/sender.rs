@@ -190,7 +190,8 @@ impl Sender {
             // Window inflation: each dup ACK signals a departed segment.
             self.cwnd += 1.0;
             out.extend(self.send_window());
-        } else if self.dup_acks == 3 && self.snd_una < self.snd_nxt && self.snd_una >= self.recover {
+        } else if self.dup_acks == 3 && self.snd_una < self.snd_nxt && self.snd_una >= self.recover
+        {
             // Fast retransmit / fast recovery. The `recover` guard is the
             // RFC 6582 "bugfix": duplicate ACKs caused by go-back-N resends
             // of already-received segments (after a timeout) must not
@@ -245,10 +246,7 @@ impl Sender {
         let limit = self.cfg.total_segments.unwrap_or(u64::MAX);
         let mut out = Vec::new();
         while self.snd_nxt < limit && self.snd_nxt - self.snd_una < wnd && out.len() < MAX_BURST {
-            out.push(Tx {
-                seq: self.snd_nxt,
-                retransmit: self.snd_nxt < self.highest_sent,
-            });
+            out.push(Tx { seq: self.snd_nxt, retransmit: self.snd_nxt < self.highest_sent });
             self.snd_nxt += 1;
         }
         out

@@ -151,12 +151,7 @@ fn parallel_streams_no_catastrophe() {
         }
         let results = net.run();
         let flows: Vec<_> = ids.iter().map(|i| results[i.0]).collect();
-        let agg = gdmp_simnet::network::SessionResult::aggregate(&flows)
-            .unwrap()
-            .throughput_bps();
-        assert!(
-            agg > single / 5.0,
-            "{n} streams collapsed: {agg:.0} vs single {single:.0}"
-        );
+        let agg = gdmp_simnet::network::SessionResult::aggregate(&flows).unwrap().throughput_bps();
+        assert!(agg > single / 5.0, "{n} streams collapsed: {agg:.0} vs single {single:.0}");
     }
 }

@@ -1,0 +1,135 @@
+//! Minimal deterministic JSON writing. Hand-rolled (this crate has no
+//! dependencies); emits compact objects with fields in the order pushed.
+
+use crate::FieldValue;
+
+pub struct JsonObject {
+    buf: String,
+    first: bool,
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        JsonObject::new()
+    }
+}
+
+impl JsonObject {
+    pub fn new() -> JsonObject {
+        JsonObject { buf: String::from("{"), first: true }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        write_escaped(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        write_escaped(&mut self.buf, value);
+        self
+    }
+
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    pub fn i64(mut self, key: &str, value: i64) -> Self {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    pub fn opt_u64(self, key: &str, value: Option<u64>) -> Self {
+        match value {
+            Some(v) => self.u64(key, v),
+            None => self.raw(key, "null"),
+        }
+    }
+
+    /// A finite float renders shortest-roundtrip (`1.0` style); non-finite
+    /// values render as `null`.
+    pub fn f64(self, key: &str, value: f64) -> Self {
+        self.field(key, &FieldValue::F64(value))
+    }
+
+    pub fn field(self, key: &str, value: &FieldValue) -> Self {
+        match value {
+            FieldValue::Bool(b) => self.raw(key, if *b { "true" } else { "false" }),
+            FieldValue::U64(n) => self.u64(key, *n),
+            FieldValue::I64(n) => self.i64(key, *n),
+            FieldValue::F64(x) => {
+                // `{x:?}` gives a shortest-roundtrip, always-fractional
+                // rendering ("1.0"), deterministic for a given bit pattern.
+                let rendered = if x.is_finite() { format!("{x:?}") } else { "null".to_string() };
+                self.raw(key, &rendered)
+            }
+            FieldValue::Str(s) => self.str(key, s),
+        }
+    }
+
+    pub fn raw(mut self, key: &str, raw_json: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(raw_json);
+        self
+    }
+
+    pub fn u64_array(mut self, key: &str, values: &[u64]) -> Self {
+        self.key(key);
+        self.buf.push('[');
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push_str(&v.to_string());
+        }
+        self.buf.push(']');
+        self
+    }
+
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+pub(crate) fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_renders_compact_json() {
+        let s = JsonObject::new()
+            .str("name", "a\"b")
+            .u64("n", 7)
+            .opt_u64("end", None)
+            .u64_array("xs", &[1, 2])
+            .field("f", &FieldValue::F64(2.0))
+            .finish();
+        assert_eq!(s, r#"{"name":"a\"b","n":7,"end":null,"xs":[1,2],"f":2.0}"#);
+    }
+}

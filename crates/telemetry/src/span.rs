@@ -1,0 +1,116 @@
+//! Span storage: nestable scoped records stamped with sim-time.
+
+use crate::FieldValue;
+
+/// Identifier of one span within a registry. Ids are assigned sequentially
+/// from 1; [`SpanId::NONE`] (0) is the inert id handed out by disabled
+/// registries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    pub const NONE: SpanId = SpanId(0);
+}
+
+/// One completed (or still-open) span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    pub id: SpanId,
+    pub parent: Option<SpanId>,
+    pub name: String,
+    pub start_ns: u64,
+    /// `None` while the span is still open (or was never closed).
+    pub end_ns: Option<u64>,
+    /// Fields in attachment order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl SpanRecord {
+    pub fn duration_ns(&self) -> Option<u64> {
+        self.end_ns.map(|e| e.saturating_sub(self.start_ns))
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct Spans {
+    pub(crate) records: Vec<SpanRecord>,
+    /// Innermost-last stack of open spans; parent of a new span is the top.
+    open: Vec<SpanId>,
+}
+
+impl Spans {
+    pub(crate) fn start(&mut self, name: &str, now_ns: u64) -> SpanId {
+        let id = SpanId(self.records.len() as u64 + 1);
+        self.records.push(SpanRecord {
+            id,
+            parent: self.open.last().copied(),
+            name: name.to_string(),
+            start_ns: now_ns,
+            end_ns: None,
+            fields: Vec::new(),
+        });
+        self.open.push(id);
+        id
+    }
+
+    pub(crate) fn note(&mut self, id: SpanId, key: &str, value: FieldValue) {
+        if let Some(rec) = self.get_mut(id) {
+            rec.fields.push((key.to_string(), value));
+        }
+    }
+
+    pub(crate) fn end(&mut self, id: SpanId, now_ns: u64) {
+        if let Some(rec) = self.get_mut(id) {
+            if rec.end_ns.is_none() {
+                rec.end_ns = Some(now_ns);
+            }
+        }
+        // Ending a span closes its scope: any spans opened inside it that
+        // are still open (leaked by an early return) are force-closed at
+        // the same instant, so they cannot re-parent unrelated later spans.
+        if let Some(pos) = self.open.iter().rposition(|&o| o == id) {
+            for &leaked in self.open[pos + 1..].to_vec().iter() {
+                if let Some(rec) = self.get_mut(leaked) {
+                    if rec.end_ns.is_none() {
+                        rec.end_ns = Some(now_ns);
+                    }
+                }
+            }
+            self.open.truncate(pos);
+        }
+    }
+
+    fn get_mut(&mut self, id: SpanId) -> Option<&mut SpanRecord> {
+        if id == SpanId::NONE {
+            return None;
+        }
+        self.records.get_mut(id.0 as usize - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closing_outer_span_force_closes_leaked_inner() {
+        let mut spans = Spans::default();
+        let a = spans.start("a", 0);
+        let b = spans.start("b", 1);
+        spans.end(a, 2); // outer closes first: b was leaked by an early return
+        assert_eq!(spans.records[b.0 as usize - 1].end_ns, Some(2));
+        let c = spans.start("c", 3);
+        assert_eq!(spans.records[c.0 as usize - 1].parent, None);
+        spans.end(c, 5);
+        assert!(spans.open.is_empty());
+    }
+
+    #[test]
+    fn double_close_keeps_first_end() {
+        let mut spans = Spans::default();
+        let a = spans.start("a", 0);
+        spans.end(a, 7);
+        spans.end(a, 99);
+        assert_eq!(spans.records[0].end_ns, Some(7));
+    }
+}

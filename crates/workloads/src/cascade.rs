@@ -58,11 +58,8 @@ impl CascadeSpec {
             let reads: Vec<LogicalOid> =
                 survivors.iter().map(|&e| LogicalOid::new(e, step.reads)).collect();
             // Independent Bernoulli survival per event.
-            let next: Vec<u64> = survivors
-                .iter()
-                .copied()
-                .filter(|_| rng.gen::<f64>() < step.fraction)
-                .collect();
+            let next: Vec<u64> =
+                survivors.iter().copied().filter(|_| rng.gen::<f64>() < step.fraction).collect();
             out.push(StepResult {
                 entered: survivors.len() as u64,
                 survived: next.len() as u64,

@@ -101,10 +101,7 @@ impl Population {
 
     /// Total payload bytes of the population.
     pub fn total_bytes(&self) -> u64 {
-        self.kinds
-            .iter()
-            .map(|&k| self.events * self.object_size(k) as u64)
-            .sum()
+        self.kinds.iter().map(|&k| self.events * self.object_size(k) as u64).sum()
     }
 }
 

@@ -42,9 +42,7 @@ impl FigureSweep {
     }
 
     pub fn points(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
-        self.file_sizes
-            .iter()
-            .flat_map(move |&f| self.streams.iter().map(move |&s| (f, s)))
+        self.file_sizes.iter().flat_map(move |&f| self.streams.iter().map(move |&s| (f, s)))
     }
 }
 

@@ -40,14 +40,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let data = Bytes::from(vec![i as u8; 4 * 1024 * 1024]);
         grid.publish_file("cern", &format!("run{i:04}.dat"), data, "flat")?;
     }
-    println!("published 3 files; queues: anl={}, lyon={}",
+    println!(
+        "published 3 files; queues: anl={}, lyon={}",
         grid.site("anl")?.import_queue.len(),
-        grid.site("lyon")?.import_queue.len());
+        grid.site("lyon")?.import_queue.len()
+    );
 
     // Lyon (fast link) pulls first.
     for r in grid.replicate_pending("lyon")? {
-        println!("lyon  ← {:5}: {} in {:6.2}s ({:5.1} Mb/s)", r.from, r.lfn,
-            r.total_time().as_secs_f64(), r.effective_mbps());
+        println!(
+            "lyon  ← {:5}: {} in {:6.2}s ({:5.1} Mb/s)",
+            r.from,
+            r.lfn,
+            r.total_time().as_secs_f64(),
+            r.effective_mbps()
+        );
     }
 
     // The transatlantic path is flaky for one file: the Data Mover retries
@@ -72,9 +79,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let missed = grid.recover_catalog("fnal", "cern")?;
     println!("fnal joined late; recovered {missed} files from cern's catalog");
     let reports = grid.replicate_pending("fnal")?;
-    println!("fnal replicated {} files; sources used: {:?}",
+    println!(
+        "fnal replicated {} files; sources used: {:?}",
         reports.len(),
-        reports.iter().map(|r| r.from.clone()).collect::<std::collections::BTreeSet<_>>());
+        reports.iter().map(|r| r.from.clone()).collect::<std::collections::BTreeSet<_>>()
+    );
 
     // Final catalog state: every file should have 4 replicas.
     for i in 0..3 {

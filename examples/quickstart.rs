@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = Bytes::from(vec![42u8; 8 * 1024 * 1024]);
     let meta = grid.publish_file("cern", "run0001.dat", data, "flat")?;
     println!("published run0001.dat: {} bytes, crc32 {:08x}", meta.size, meta.crc32);
-    println!("anl import queue: {:?}", grid.site("anl")?.import_queue.iter().map(|n| &n.lfn).collect::<Vec<_>>());
+    println!(
+        "anl import queue: {:?}",
+        grid.site("anl")?.import_queue.iter().map(|n| &n.lfn).collect::<Vec<_>>()
+    );
 
     // 4. The consumer replicates everything it was notified about.
     let reports = grid.replicate_pending("anl")?;

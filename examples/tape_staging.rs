@@ -20,7 +20,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Publish six 2 MB files: the pool churns, tape keeps everything.
     for i in 0..6 {
-        grid.publish_file("cern", &format!("run{i}.dat"), Bytes::from(vec![i as u8; 2 * MB as usize]), "flat")?;
+        grid.publish_file(
+            "cern",
+            &format!("run{i}.dat"),
+            Bytes::from(vec![i as u8; 2 * MB as usize]),
+            "flat",
+        )?;
     }
     let cern = grid.site("cern")?;
     println!("cern pool after 6 publishes ({} B capacity):", cern.storage.pool.capacity());

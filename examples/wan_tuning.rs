@@ -40,11 +40,16 @@ fn main() {
         let bar = "#".repeat((mbps / 2.0) as usize);
         println!("  {n:>2} streams: {mbps:5.1} Mb/s  {bar}");
     }
-    println!("recommended: {} streams (paper: 'we usually find that 4-8 streams is optimal')",
-        advice.recommended_streams);
+    println!(
+        "recommended: {} streams (paper: 'we usually find that 4-8 streams is optimal')",
+        advice.recommended_streams
+    );
 
     // Show the paper's headline comparison: untuned vs tuned.
-    println!("\nuntuned (64 KB) vs tuned ({} KB) single stream, 25 MB file:", advice.optimal_buffer / 1024);
+    println!(
+        "\nuntuned (64 KB) vs tuned ({} KB) single stream, 25 MB file:",
+        advice.optimal_buffer / 1024
+    );
     let untuned = profile.simulate_transfer(25 * 1024 * 1024, 1, 64 * 1024);
     let tuned = profile.simulate_transfer(25 * 1024 * 1024, 1, advice.optimal_buffer);
     println!("  untuned: {:5.1} Mb/s", untuned.throughput_mbps());

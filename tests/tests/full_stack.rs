@@ -20,12 +20,16 @@ fn populated_federation(events: u64) -> Federation {
     fed.create_database("events.db").unwrap();
     for e in 0..events {
         let logical = LogicalOid::new(e, ObjectKind::Aod);
-        fed.store("events.db", (e % 4) as u32, StoredObject {
-            logical,
-            version: 1,
-            payload: synth_payload(logical, 1, 256),
-            assocs: standard_assocs(logical),
-        })
+        fed.store(
+            "events.db",
+            (e % 4) as u32,
+            StoredObject {
+                logical,
+                version: 1,
+                payload: synth_payload(logical, 1, 256),
+                assocs: standard_assocs(logical),
+            },
+        )
         .unwrap();
     }
     fed
@@ -108,7 +112,8 @@ fn database_file_replication_over_real_tcp() {
 fn object_extraction_over_real_tcp() {
     let pki = TestPki::new();
     let mut src_fed = populated_federation(200);
-    let wanted: Vec<_> = (0..200).step_by(10).map(|e| LogicalOid::new(e, ObjectKind::Aod)).collect();
+    let wanted: Vec<_> =
+        (0..200).step_by(10).map(|e| LogicalOid::new(e, ObjectKind::Aod)).collect();
     let copier = gdmp_objectstore::ObjectCopier::new(gdmp_objectstore::CopierSpec::classic());
     let (chunks, stats) = copier.extract(&mut src_fed, &wanted, "sel").unwrap();
     assert_eq!(stats.objects_copied, 20);

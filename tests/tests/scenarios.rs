@@ -63,9 +63,8 @@ fn cascade_workload_end_to_end() {
     let steps = CascadeSpec::canonical(5_000, 1).run();
     // Replicate the AOD-step reads (step 2) to ANL at object granularity.
     let aod_step = &steps[1];
-    let report = g
-        .object_replicate("anl", &aod_step.reads, ObjectReplicationConfig::default())
-        .unwrap();
+    let report =
+        g.object_replicate("anl", &aod_step.reads, ObjectReplicationConfig::default()).unwrap();
     assert_eq!(report.objects_moved as u64, aod_step.entered);
     // Payload per scaled AOD is ~102 B; framing adds a bounded overhead.
     let payload = aod_step.entered * 102;

@@ -1,0 +1,261 @@
+//! Offline shim of `criterion`: the macro/builder surface the bench targets
+//! use, backed by a simple wall-clock timer. Bench binaries are compiled by
+//! `cargo test` too (harness = false); in that mode cargo does NOT pass
+//! `--bench`, so `criterion_main!` exits immediately and tier-1 stays fast.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{}", name.into(), param))
+    }
+
+    pub fn from_parameter(param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId(s)
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_with_setup<I, O, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, setup: S, routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.iter_with_setup(setup, routine);
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(self, _d: Duration) -> Criterion {
+        self
+    }
+
+    pub fn warm_up_time(self, _d: Duration) -> Criterion {
+        self
+    }
+
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Criterion {
+        let sample_size = self.sample_size;
+        run_one("", &id.into(), None, sample_size, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.into(), self.throughput, self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.into(), self.throughput, self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: &BenchmarkId,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: F,
+) {
+    // One warm-up pass, then `sample_size` timed iterations in one batch.
+    let mut warm = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut warm);
+    let mut b = Bencher { iters: sample_size as u64, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter = b.elapsed.as_secs_f64() / sample_size as f64;
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let mut line = format!("{label:<56} {:>12.3} us/iter", per_iter * 1e6);
+    match throughput {
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            line.push_str(&format!(
+                "  {:>10.1} MiB/s",
+                n as f64 / per_iter / (1024.0 * 1024.0)
+            ));
+        }
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            line.push_str(&format!("  {:>10.0} elem/s", n as f64 / per_iter));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+/// True when the binary was invoked by `cargo bench` (cargo appends
+/// `--bench`); `cargo test` compiles/runs the same binary without it.
+pub fn invoked_as_benchmark() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if !$crate::invoked_as_benchmark() {
+                // Running under `cargo test`: nothing to assert, exit fast.
+                println!("bench harness: skipped (pass --bench to run)");
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,721 @@
+//! Offline shim of `proptest`: a deterministic random-input test harness
+//! exposing the macro/strategy surface this workspace uses. No shrinking —
+//! failures report the case number, and every run draws the same inputs
+//! (the RNG is seeded from the test name), so failures reproduce exactly.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+// ---- RNG ----------------------------------------------------------------
+
+/// Deterministic splitmix64 stream, seeded per test × case.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn deterministic(test_name: &str, case: u64) -> TestRng {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+// ---- errors & config ----------------------------------------------------
+
+/// A failed `prop_assert!` inside a proptest body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+
+    /// Mirror of proptest's `TestCaseError::reject`.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(format!("input rejected: {}", msg.into()))
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+// ---- Strategy -----------------------------------------------------------
+
+/// A recipe for generating values. Object-safe so `prop_oneof!` can mix
+/// arm types behind `dyn Strategy`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { src: self, f }
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { src: self, f }
+    }
+
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { src: self, f, reason }
+    }
+
+    fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    src: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.src.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    src: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.src.generate(rng)).generate(rng)
+    }
+}
+
+pub struct Filter<S, F> {
+    src: S,
+    f: F,
+    reason: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.src.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted 1000 attempts: {}", self.reason);
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// Integer ranges.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                self.start.wrapping_add((u128::from(rng.next_u64()) % span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                lo.wrapping_add((u128::from(rng.next_u64()) % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+// Tuples of strategies.
+macro_rules! impl_tuple_strategy {
+    ($( ($($name:ident : $idx:tt),+) ),+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+);
+
+// ---- any::<T>() ---------------------------------------------------------
+
+pub trait ArbitrarySample: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitrarySample for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Bias ~12% of draws toward boundary values; edges find bugs.
+                match rng.below(8) {
+                    0 => match rng.below(4) {
+                        0 => <$t>::MIN,
+                        1 => <$t>::MAX,
+                        2 => 0 as $t,
+                        _ => 1 as $t,
+                    },
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitrarySample for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbitrarySample for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        char::from_u32((rng.next_u64() % 0xD800) as u32).unwrap_or('a')
+    }
+}
+
+impl ArbitrarySample for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: ArbitrarySample> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: ArbitrarySample>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+// ---- string strategies (regex-lite) -------------------------------------
+
+/// `&'static str` acts as a regex-ish string strategy, like in proptest.
+/// Supported syntax: literals, `.`, `[...]` classes with ranges, and the
+/// quantifiers `*` `+` `?` `{n}` `{m,n}` — the subset our tests use.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_regex_lite(self, rng)
+    }
+}
+
+#[derive(Debug)]
+enum Atom {
+    Class(Vec<(char, char)>),
+}
+
+fn generate_regex_lite(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Class(vec![(' ', '~')])
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in {pattern:?}");
+                i += 1; // `]`
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                i += 2;
+                Atom::Class(vec![(chars[i - 1], chars[i - 1])])
+            }
+            c => {
+                i += 1;
+                Atom::Class(vec![(c, c)])
+            }
+        };
+        // Quantifier.
+        let (lo, hi) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0usize, 8usize)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                let close = chars[i..].iter().position(|&c| c == '}').expect("closing }") + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("quantifier lower bound"),
+                        n.trim().parse().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n: usize = body.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        let count = lo + rng.below((hi - lo + 1) as u64) as usize;
+        let Atom::Class(ranges) = &atom;
+        for _ in 0..count {
+            let total: u64 = ranges.iter().map(|(a, b)| *b as u64 - *a as u64 + 1).sum();
+            let mut pick = rng.below(total.max(1));
+            for (a, b) in ranges {
+                let span = *b as u64 - *a as u64 + 1;
+                if pick < span {
+                    out.push(char::from_u32(*a as u32 + pick as u32).unwrap_or('?'));
+                    break;
+                }
+                pick -= span;
+            }
+        }
+    }
+    out
+}
+
+// ---- collections --------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: ::std::hash::Hash + Eq,
+    {
+        HashSetStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: ::std::hash::Hash + Eq,
+    {
+        type Value = ::std::collections::HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> ::std::collections::HashSet<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let want = self.size.lo + (rng.next_u64() % span) as usize;
+            let mut out = ::std::collections::HashSet::new();
+            for _ in 0..want * 10 + 20 {
+                if out.len() >= want {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let want = self.size.lo + (rng.next_u64() % span) as usize;
+            let mut out = BTreeSet::new();
+            // The element domain may be smaller than `want`; bound the tries.
+            for _ in 0..want * 10 + 20 {
+                if out.len() >= want {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+pub use collection::SizeRange;
+
+// ---- prop_oneof support -------------------------------------------------
+
+/// Uniform choice among boxed alternative strategies.
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    pub fn single<S: Strategy<Value = V> + 'static>(s: S) -> Union<V> {
+        Union { arms: vec![Box::new(s)] }
+    }
+
+    pub fn or<S: Strategy<Value = V> + 'static>(mut self, s: S) -> Union<V> {
+        self.arms.push(Box::new(s));
+        self
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+// Needed so `BTreeSet` shows up for users of the prelude glob in this file.
+#[allow(unused_imports)]
+use BTreeSet as _BTreeSetUsed;
+
+// ---- macros -------------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($first:expr $(, $rest:expr)* $(,)?) => {{
+        let u = $crate::Union::single($first);
+        $(let u = u.or($rest);)*
+        u
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                __l, __r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if __l == __r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                __l, __r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng =
+                    $crate::TestRng::deterministic(stringify!($name), u64::from(__case));
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!(
+                        "proptest {} failed at case {} of {}: {}",
+                        stringify!($name),
+                        __case,
+                        __cfg.cases,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ArbitrarySample,
+        Just, ProptestConfig, Strategy, TestCaseError, TestRng, Union,
+    };
+    /// `use proptest::prelude::*` exposes the crate as `prop` in real
+    /// proptest; mirror that for `prop::collection::vec(...)` call sites.
+    pub use crate as prop;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::deterministic("t", 0);
+        for _ in 0..200 {
+            let (a, b, c) = (1u64..=1000, 1u64..200, 16usize..=512).generate(&mut rng);
+            assert!((1..=1000).contains(&a));
+            assert!((1..200).contains(&b));
+            assert!((16..=512).contains(&c));
+        }
+    }
+
+    #[test]
+    fn regex_lite_shapes() {
+        let mut rng = TestRng::deterministic("r", 3);
+        for _ in 0..100 {
+            let s = "[a-z][a-z0-9_.-]{0,12}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 13, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            let t = "[ -~]{0,64}".generate(&mut rng);
+            assert!(t.len() <= 64);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_surface_works(
+            xs in collection::vec(any::<u8>(), 1..16),
+            which in prop_oneof![Just(0u8), Just(1u8)],
+            name in "[a-z]{1,4}",
+        ) {
+            prop_assert!(!xs.is_empty());
+            prop_assert!(which <= 1, "which={}", which);
+            prop_assert!(!name.is_empty() && name.len() <= 4);
+        }
+    }
+}

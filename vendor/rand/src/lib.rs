@@ -1,0 +1,161 @@
+//! Offline shim of `rand`: a deterministic xoshiro256** `StdRng` behind the
+//! `Rng`/`SeedableRng` trait subset this workspace uses (`seed_from_u64`,
+//! `gen`, `gen_range`, `gen_bool`).
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types samplable from the "standard" distribution (what `rng.gen()` uses).
+pub trait StandardSample {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Uniform draw from `[low, high)`; supports the integer types only.
+    fn gen_range<T: RangeSample>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub trait RangeSample: Sized {
+    fn sample_range<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn sample_range<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "empty range");
+                let span = (high as i128 - low as i128) as u128;
+                low.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (the shim's "standard" RNG).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // Expand the seed with splitmix64, as rand does for small seeds.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_uniform_enough() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let xs: Vec<f64> = (0..100).map(|_| a.gen::<f64>()).collect();
+        let ys: Vec<f64> = (0..100).map(|_| b.gen::<f64>()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((0.35..0.65).contains(&mean), "mean={mean}");
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+        }
+    }
+}

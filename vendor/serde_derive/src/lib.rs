@@ -1,0 +1,376 @@
+//! Offline shim of `serde_derive`: generates `Serialize`/`Deserialize`
+//! impls for the value-tree serde shim by walking the raw token stream —
+//! no `syn`/`quote`, because the build environment has no registry access.
+//!
+//! Supported shapes (everything this workspace derives on): non-generic
+//! structs with named fields, tuple structs, unit structs, and enums whose
+//! variants are unit, tuple, or struct-like. Enums use serde's externally
+//! tagged representation (`"Variant"` / `{"Variant": ...}`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<(String, Shape)>),
+}
+
+struct Def {
+    name: String,
+    kind: Kind,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_def(input);
+    gen_serialize(&def).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_def(input);
+    gen_deserialize(&def).parse().expect("generated Deserialize impl parses")
+}
+
+// ---- parsing ------------------------------------------------------------
+
+fn parse_def(input: TokenStream) -> Def {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic type `{name}`");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => Kind::Struct(parse_struct_shape(&tokens, &mut i)),
+        "enum" => Kind::Enum(parse_enum_variants(&tokens, &mut i)),
+        other => panic!("serde shim derive: cannot derive for `{other}`"),
+    };
+    Def { name, kind }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` and the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) / pub(super)
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_struct_shape(tokens: &[TokenTree], i: &mut usize) -> Shape {
+    match tokens.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_top_level_commas(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+        other => panic!("serde shim derive: unexpected struct body {other:?}"),
+    }
+}
+
+fn parse_enum_variants(tokens: &[TokenTree], i: &mut usize) -> Vec<(String, Shape)> {
+    let body = match tokens.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde shim derive: unexpected enum body {other:?}"),
+    };
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut j = 0;
+    while j < toks.len() {
+        skip_attrs_and_vis(&toks, &mut j);
+        if j >= toks.len() {
+            break;
+        }
+        let vname = match &toks[j] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected variant name, got {other}"),
+        };
+        j += 1;
+        let shape = match toks.get(j) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                j += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                j += 1;
+                Shape::Tuple(count_top_level_commas(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant and the trailing comma.
+        while j < toks.len() {
+            if matches!(&toks[j], TokenTree::Punct(p) if p.as_char() == ',') {
+                j += 1;
+                break;
+            }
+            j += 1;
+        }
+        variants.push((vname, shape));
+    }
+    variants
+}
+
+/// Parse `name: Type, ...` field lists, returning the field names.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut j = 0;
+    while j < toks.len() {
+        skip_attrs_and_vis(&toks, &mut j);
+        if j >= toks.len() {
+            break;
+        }
+        let fname = match &toks[j] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected field name, got {other}"),
+        };
+        j += 1;
+        match &toks[j] {
+            TokenTree::Punct(p) if p.as_char() == ':' => j += 1,
+            other => panic!("serde shim derive: expected `:` after `{fname}`, got {other}"),
+        }
+        // Skip the type: everything until a comma outside angle brackets.
+        let mut angle: i32 = 0;
+        while j < toks.len() {
+            match &toks[j] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    j += 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        fields.push(fname);
+    }
+    fields
+}
+
+/// Number of fields in a tuple body: top-level commas (angle-aware) + 1.
+fn count_top_level_commas(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut angle: i32 = 0;
+    let mut commas = 0;
+    let mut trailing_comma = false;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    commas + usize::from(!trailing_comma)
+}
+
+// ---- code generation ----------------------------------------------------
+
+fn gen_serialize(def: &Def) -> String {
+    let name = &def.name;
+    let body = match &def.kind {
+        Kind::Struct(Shape::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Struct(Shape::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Shape::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    Shape::Unit => format!(
+                        "{name}::{v} => ::serde::Value::String(::std::string::String::from(\"{v}\")),"
+                    ),
+                    Shape::Tuple(1) => format!(
+                        "{name}::{v}(f0) => ::serde::Value::Object(vec![(::std::string::String::from(\"{v}\"), ::serde::Serialize::to_value(f0))]),"
+                    ),
+                    Shape::Tuple(n) => {
+                        let pats: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Serialize::to_value(f{k})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(vec![(::std::string::String::from(\"{v}\"), ::serde::Value::Array(vec![{}]))]),",
+                            pats.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let pats = fields.join(", ");
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {pats} }} => ::serde::Value::Object(vec![(::std::string::String::from(\"{v}\"), ::serde::Value::Object(vec![{}]))]),",
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(def: &Def) -> String {
+    let name = &def.name;
+    let body = match &def.kind {
+        Kind::Struct(Shape::Unit) => format!("{{ let _ = v; Ok({name}) }}"),
+        Kind::Struct(Shape::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| {
+                    format!("::serde::Deserialize::from_value(::serde::element(v, \"{name}\", {k})?)?")
+                })
+                .collect();
+            format!("Ok({name}({}))", items.join(", "))
+        }
+        Kind::Struct(Shape::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::field(v, \"{name}\", \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, s)| matches!(s, Shape::Unit))
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, shape)| match shape {
+                    Shape::Unit => None,
+                    Shape::Tuple(1) => Some(format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(inner)?)),"
+                    )),
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| {
+                                format!(
+                                    "::serde::Deserialize::from_value(::serde::element(inner, \"{name}::{v}\", {k})?)?"
+                                )
+                            })
+                            .collect();
+                        Some(format!("\"{v}\" => Ok({name}::{v}({})),", items.join(", ")))
+                    }
+                    Shape::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(::serde::field(inner, \"{name}::{v}\", \"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => Ok({name}::{v} {{ {} }}),",
+                            items.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::String(s) => match s.as_str() {{\n\
+                         {unit}\n\
+                         other => Err(::serde::DeError::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                         let (tag, inner) = &fields[0];\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                             {tagged}\n\
+                             other => Err(::serde::DeError::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(::serde::unexpected(\"{name}\", \"string or single-key object\", other)),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_variables, clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
