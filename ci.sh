@@ -1,8 +1,20 @@
 #!/usr/bin/env bash
 # Local CI gate. The registry is offline (vendored shims via [patch.crates-io]),
 # so every cargo invocation runs with --offline.
+#
+#   ./ci.sh                fmt + clippy + build + test + benches compile
+#   ./ci.sh --bench-smoke  additionally run the simnet perf baseline once,
+#                          regenerating BENCH_simnet.json
 set -euo pipefail
 cd "$(dirname "$0")"
+
+bench_smoke=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench-smoke) bench_smoke=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -15,5 +27,13 @@ cargo build --offline --workspace --release
 
 echo "==> cargo test"
 cargo test --offline --workspace -q
+
+echo "==> cargo bench --no-run"
+cargo bench --offline --workspace --no-run
+
+if [[ "$bench_smoke" == 1 ]]; then
+  echo "==> bench smoke: simnet perf baseline"
+  cargo run --offline --release -p gdmp-bench --bin bench_simnet
+fi
 
 echo "CI OK"

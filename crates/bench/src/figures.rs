@@ -3,6 +3,8 @@
 use gdmp_gridftp::sim::WanProfile;
 use gdmp_workloads::FigureSweep;
 
+use crate::parallel::{default_workers, par_map};
+
 /// One data point of a throughput figure.
 #[derive(Debug, Clone, Copy, serde::Serialize)]
 pub struct FigRow {
@@ -15,23 +17,28 @@ pub struct FigRow {
 }
 
 /// Run one figure's full parameter grid on the CERN↔ANL production
-/// profile. Deterministic; ~40 packet-level simulations.
+/// profile. Deterministic; ~40 packet-level simulations, fanned out over
+/// worker threads (each point is an independent simulation) and merged
+/// back in grid order, so the rows are byte-identical to a serial run.
 pub fn fig_sweep(sweep: &FigureSweep) -> Vec<FigRow> {
-    let profile = WanProfile::cern_anl_production();
-    sweep
-        .points()
-        .map(|(file_bytes, streams)| {
-            let r = profile.simulate_transfer(file_bytes, streams, sweep.buffer);
-            FigRow {
-                file_bytes,
-                streams,
-                buffer: sweep.buffer,
-                mbps: r.throughput_mbps(),
-                retransmitted_segments: r.retransmitted_segments,
-                timeouts: r.timeouts,
-            }
-        })
-        .collect()
+    fig_sweep_on(sweep, WanProfile::cern_anl_production())
+}
+
+/// [`fig_sweep`] against an explicit profile (e.g. [`WanProfile::exact`]
+/// for a packet-level reference run).
+pub fn fig_sweep_on(sweep: &FigureSweep, profile: WanProfile) -> Vec<FigRow> {
+    let points: Vec<(u64, u32)> = sweep.points().collect();
+    par_map(&points, default_workers(), |&(file_bytes, streams)| {
+        let r = profile.simulate_transfer(file_bytes, streams, sweep.buffer);
+        FigRow {
+            file_bytes,
+            streams,
+            buffer: sweep.buffer,
+            mbps: r.throughput_mbps(),
+            retransmitted_segments: r.retransmitted_segments,
+            timeouts: r.timeouts,
+        }
+    })
 }
 
 /// Render a figure as the paper's table: one row per file size, one column

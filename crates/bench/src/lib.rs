@@ -5,10 +5,12 @@
 //! Criterion benches reuse the same code for component micro-benchmarks.
 
 pub mod figures;
+pub mod parallel;
 pub mod report;
 pub mod tables;
 
-pub use figures::{fig_sweep, FigRow};
+pub use figures::{fig_sweep, fig_sweep_on, FigRow};
+pub use parallel::{default_workers, par_map};
 pub use report::{Cell, Report};
 pub use tables::{
     buffer_sweep, motivation_table, objcost_table, objrep_table, staging_table, stripe_table,

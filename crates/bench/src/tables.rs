@@ -9,6 +9,8 @@ use gdmp_objectstore::{CopierSpec, LogicalOid, ObjectKind};
 use gdmp_simnet::time::SimDuration;
 use gdmp_workloads::{Placement, Population, MB};
 
+use crate::parallel::{default_workers, par_map};
+
 // ---------------------------------------------------------------- tuning
 
 /// The Section 6 conclusions, measured: (a) proper buffer tuning is the
@@ -28,10 +30,11 @@ pub struct TuningReport {
 
 pub fn tuning_table(file_bytes: u64, max_streams: u32) -> TuningReport {
     let profile = WanProfile::cern_anl_production();
+    let streams: Vec<u32> = (1..=max_streams).collect();
     let run = |buffer: u64| -> Vec<(u32, f64)> {
-        (1..=max_streams)
-            .map(|n| (n, profile.simulate_transfer(file_bytes, n, buffer).throughput_mbps()))
-            .collect()
+        par_map(&streams, default_workers(), |&n| {
+            (n, profile.simulate_transfer(file_bytes, n, buffer).throughput_mbps())
+        })
     };
     let untuned = run(64 * 1024);
     let tuned = run(MB);
@@ -63,16 +66,14 @@ pub struct BufferRow {
 /// formula `RTT × bottleneck` predicts (~703 KB on the paper's path).
 pub fn buffer_sweep(file_bytes: u64) -> Vec<BufferRow> {
     let profile = WanProfile::cern_anl_production();
-    [16u64, 32, 64, 128, 256, 512, 704, 1024, 2048, 4096]
-        .iter()
-        .map(|&kb| {
-            let buffer = kb * 1024;
-            BufferRow {
-                buffer,
-                mbps: profile.simulate_transfer(file_bytes, 1, buffer).throughput_mbps(),
-            }
-        })
-        .collect()
+    let kbs = [16u64, 32, 64, 128, 256, 512, 704, 1024, 2048, 4096];
+    par_map(&kbs, default_workers(), |&kb| {
+        let buffer = kb * 1024;
+        BufferRow {
+            buffer,
+            mbps: profile.simulate_transfer(file_bytes, 1, buffer).throughput_mbps(),
+        }
+    })
 }
 
 // ---------------------------------------------------------------- objrep

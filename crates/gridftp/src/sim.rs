@@ -8,7 +8,7 @@
 //! buffer is simulated packet-by-packet against that contention.
 
 use gdmp_simnet::link::LinkSpec;
-use gdmp_simnet::network::{FlowSpec, Network, SessionResult};
+use gdmp_simnet::network::{FastForward, FlowSpec, Network, NetworkConfig, SessionResult};
 use gdmp_simnet::time::{SimDuration, SimTime};
 use gdmp_telemetry::Registry;
 
@@ -20,6 +20,9 @@ pub struct WanProfile {
     pub background_flows: u32,
     /// Socket buffer of the background flows (untuned 64 KB typical).
     pub background_buffer: u64,
+    /// Stagger between background-flow opens, de-phasing the cross
+    /// traffic's windows across the RTT.
+    pub background_stagger: SimDuration,
     /// Stagger between parallel stream opens (avoids phase lock; real
     /// clients open sockets milliseconds apart).
     pub stream_stagger: SimDuration,
@@ -28,6 +31,8 @@ pub struct WanProfile {
     pub warmup: SimDuration,
     /// Control-channel round trips before data flows (auth + SPAS + RETR).
     pub control_rtts: u32,
+    /// Fidelity mode of the underlying simulation (see [`FastForward`]).
+    pub fast_forward: FastForward,
 }
 
 impl WanProfile {
@@ -37,9 +42,11 @@ impl WanProfile {
             link: LinkSpec::cern_anl(),
             background_flows: 8,
             background_buffer: 64 * 1024,
+            background_stagger: SimDuration::from_millis(137),
             stream_stagger: SimDuration::from_millis(137),
             warmup: SimDuration::from_secs(5),
             control_rtts: 8,
+            fast_forward: FastForward::Auto,
         }
     }
 
@@ -49,10 +56,18 @@ impl WanProfile {
             link,
             background_flows: 0,
             background_buffer: 64 * 1024,
+            background_stagger: SimDuration::from_millis(137),
             stream_stagger: SimDuration::from_millis(10),
             warmup: SimDuration::ZERO,
             control_rtts: 8,
+            fast_forward: FastForward::Auto,
         }
+    }
+
+    /// Disable steady-state fast-forwarding: simulate every packet.
+    pub fn exact(mut self) -> Self {
+        self.fast_forward = FastForward::Off;
+        self
     }
 
     /// Round-trip time of the path.
@@ -77,12 +92,16 @@ impl WanProfile {
         reg: &Registry,
     ) -> SimTransferReport {
         assert!(streams >= 1, "at least one stream");
-        let mut net = Network::single_link(self.link);
+        let mut net = Network::new(NetworkConfig {
+            fast_forward: self.fast_forward,
+            ..NetworkConfig::default()
+        });
+        net.add_link(self.link);
         net.set_telemetry(reg.clone());
         for b in 0..self.background_flows {
             net.add_flow(
                 FlowSpec::background(self.background_buffer)
-                    .open_at(SimTime(u64::from(b) * 137_000_000)),
+                    .open_at(SimTime::ZERO + self.background_stagger * u64::from(b)),
             );
         }
         let session_open = SimTime::ZERO + self.warmup;
@@ -121,6 +140,8 @@ impl WanProfile {
             setup_time: setup,
             retransmitted_segments: agg.retransmitted_segments,
             timeouts: agg.timeouts,
+            events_processed: net.events_processed(),
+            events_skipped: net.events_skipped(),
         }
     }
 }
@@ -137,6 +158,10 @@ pub struct SimTransferReport {
     pub setup_time: SimDuration,
     pub retransmitted_segments: u64,
     pub timeouts: u64,
+    /// Simulator events dispatched for this transfer.
+    pub events_processed: u64,
+    /// Events avoided by steady-state fast-forwarding (0 when exact).
+    pub events_skipped: u64,
 }
 
 impl SimTransferReport {
@@ -215,6 +240,58 @@ mod tests {
         let b = p.simulate_transfer(10 * MB, 3, 256 * 1024);
         assert_eq!(a.data_time, b.data_time);
         assert_eq!(a.retransmitted_segments, b.retransmitted_segments);
+    }
+
+    #[test]
+    fn fast_forward_matches_exact_on_quick_grid() {
+        // Auto vs Off across a small streams × buffer grid: byte totals
+        // always agree exactly; throughput agrees within 2 %; loss behaviour
+        // (retransmit counts) is preserved.
+        let p = WanProfile::cern_anl_production();
+        for streams in [1u32, 4] {
+            for buffer in [64 * 1024u64, 1024 * 1024] {
+                let auto = p.simulate_transfer(25 * MB, streams, buffer);
+                let exact = p.exact().simulate_transfer(25 * MB, streams, buffer);
+                assert_eq!(auto.bytes, exact.bytes);
+                assert_eq!(exact.events_skipped, 0);
+                assert_eq!(
+                    auto.retransmitted_segments, exact.retransmitted_segments,
+                    "{streams}x{buffer}: loss behaviour diverged"
+                );
+                let (a, e) = (auto.throughput_mbps(), exact.throughput_mbps());
+                assert!(
+                    (a - e).abs() / e < 0.02,
+                    "{streams}x{buffer}: auto {a:.3} vs exact {e:.3} Mb/s"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_forward_skips_most_events_when_tuned() {
+        // A tuned uncontended bulk transfer is steady state almost
+        // throughout — the analytic path should carry the bulk of it.
+        let p = WanProfile::clean(LinkSpec::cern_anl());
+        let auto = p.simulate_transfer(100 * MB, 1, MB);
+        let exact = p.exact().simulate_transfer(100 * MB, 1, MB);
+        assert!(
+            exact.events_processed >= 10 * auto.events_processed,
+            "expected ≥10x fewer events: exact {} vs auto {}",
+            exact.events_processed,
+            auto.events_processed
+        );
+        let (a, e) = (auto.throughput_mbps(), exact.throughput_mbps());
+        assert!((a - e).abs() / e < 0.02, "auto {a:.3} vs exact {e:.3} Mb/s");
+    }
+
+    #[test]
+    fn fast_forward_is_deterministic() {
+        let p = WanProfile::cern_anl_production();
+        let a = p.simulate_transfer(25 * MB, 4, MB);
+        let b = p.simulate_transfer(25 * MB, 4, MB);
+        assert_eq!(a.data_time, b.data_time);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.events_skipped, b.events_skipped);
     }
 
     #[test]

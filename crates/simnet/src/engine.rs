@@ -94,6 +94,30 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|s| s.at)
     }
+
+    /// Remove and return the earliest event if it is scheduled strictly
+    /// before `t`. Used by fast-forwarding to discard in-flight events
+    /// inside a skipped epoch; does not advance the clock and does not
+    /// count toward [`EventQueue::processed`].
+    pub fn extract_before(&mut self, t: SimTime) -> Option<(SimTime, E)> {
+        if self.heap.peek()?.at >= t {
+            return None;
+        }
+        let s = self.heap.pop()?;
+        Some((s.at, s.event))
+    }
+
+    /// Jump the clock straight to `t` without processing an event. Every
+    /// still-pending event must be at or after `t`, otherwise the monotonic
+    /// clock invariant would break on the next pop.
+    pub fn advance_to(&mut self, t: SimTime) {
+        debug_assert!(t >= self.now, "fast-forward backwards: {t} < {}", self.now);
+        debug_assert!(
+            self.heap.peek().map_or(true, |s| s.at >= t),
+            "fast-forward would jump past a pending event"
+        );
+        self.now = t;
+    }
 }
 
 #[cfg(test)]

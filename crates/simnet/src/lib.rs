@@ -38,6 +38,6 @@ pub mod tcp;
 pub mod time;
 
 pub use link::LinkSpec;
-pub use network::{FlowResult, FlowSpec, Network, NetworkConfig, SessionResult};
+pub use network::{FastForward, FlowResult, FlowSpec, Network, NetworkConfig, SessionResult};
 pub use packet::{FlowId, LinkId};
 pub use time::{SimDuration, SimTime};

@@ -120,6 +120,25 @@ impl Link {
         }
     }
 
+    /// Account for an analytically fast-forwarded epoch ending at `t_end`:
+    /// everything queued at the epoch start completes its transmission
+    /// inside the epoch, plus `extra_packets`/`extra_bytes` of traffic the
+    /// fluid model moved across the link. Leaves the link idle and empty,
+    /// ready for the packet-level restart.
+    pub fn fast_forward(&mut self, extra_bytes: u64, extra_packets: u64, t_end: SimTime) {
+        while let Some(pkt) = self.queue.pop() {
+            self.bytes_transmitted += u64::from(pkt.wire_bytes);
+            self.packets_transmitted += 1;
+        }
+        self.busy = false;
+        self.bytes_transmitted += extra_bytes;
+        self.packets_transmitted += extra_packets;
+        if self.packets_transmitted > 0 && self.first_tx.is_none() {
+            self.first_tx = Some(t_end);
+        }
+        self.last_tx = self.last_tx.max(t_end);
+    }
+
     /// Fraction of the busy interval the link actually spent transmitting.
     pub fn utilization(&self) -> f64 {
         match self.first_tx {

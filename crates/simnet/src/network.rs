@@ -6,13 +6,12 @@
 //! queue; the ACK path is pure delay. Running the network to completion
 //! yields per-flow and per-link statistics.
 
-use std::collections::HashMap;
-
 use gdmp_telemetry::Registry;
 
+use crate::analytic::{fluid_epoch, FluidFlow, FluidLink};
 use crate::engine::EventQueue;
 use crate::link::{Link, LinkAction, LinkSpec};
-use crate::packet::{wire, wire_bytes_for, FlowId, LinkId, Packet, Path};
+use crate::packet::{segments_for, wire, wire_bytes_for, FlowId, LinkId, Packet, Path};
 use crate::tcp::{Ack, Receiver, Sender, SenderConfig};
 use crate::time::{SimDuration, SimTime};
 
@@ -98,6 +97,21 @@ impl FlowResult {
     }
 }
 
+/// Fidelity mode of the event loop.
+///
+/// `Auto` keeps packet-level fidelity through every transient (slow start,
+/// loss recovery, queue growth) and fast-forwards only provably lossless
+/// steady-state epochs through the closed-form window model in
+/// [`crate::analytic`]; `Off` simulates every segment. Both modes are fully
+/// deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FastForward {
+    /// Packet-level simulation of every event.
+    Off,
+    /// Skip quiescent steady-state epochs analytically.
+    Auto,
+}
+
 /// Global knobs for a simulation run.
 #[derive(Debug, Clone, Copy)]
 pub struct NetworkConfig {
@@ -107,6 +121,8 @@ pub struct NetworkConfig {
     pub initial_cwnd: f64,
     /// Hard stop: no simulation may run longer than this.
     pub max_sim_time: SimDuration,
+    /// Steady-state fast-forwarding (see [`FastForward`]).
+    pub fast_forward: FastForward,
 }
 
 impl Default for NetworkConfig {
@@ -115,20 +131,30 @@ impl Default for NetworkConfig {
             min_rto: SimDuration::from_secs(1),
             initial_cwnd: 2.0,
             max_sim_time: SimDuration::from_secs(3_600),
+            fast_forward: FastForward::Auto,
         }
     }
 }
+
+/// Frames of drop-tail headroom a link must keep below its queue capacity
+/// for an epoch to count as provably lossless. Congestion-avoidance ack
+/// clocking bursts at most a couple of frames above the standing queue, so
+/// a small margin suffices; scenarios nearer the cliff (where slow-start
+/// transients really do overflow) stay packet-level.
+const FIT_MARGIN_FRAMES: usize = 4;
 
 #[derive(Debug)]
 enum Event {
     /// Connection handshake complete; sender may begin.
     FlowStart(FlowId),
-    /// A packet finished serializing on `link`.
+    /// A packet finished serializing on `link`. On the final hop this also
+    /// delivers the segment: the receiver's ACK is computed here and
+    /// scheduled to arrive after the remaining data propagation plus the
+    /// full return path, which folds what used to be a separate
+    /// `DataArrival` event into this one.
     TxDone { link: LinkId, packet: Packet },
     /// A packet propagated to the next hop of its path.
     HopArrival(Packet),
-    /// A data packet reached the receiver.
-    DataArrival(Packet),
     /// An ACK reached the sender.
     AckArrival { flow: FlowId, ack: Ack },
     /// Retransmission timer.
@@ -140,9 +166,18 @@ struct Flow {
     sender: Sender,
     receiver: Receiver,
     total_bytes: Option<u64>,
-    /// Most recently scheduled (deadline, generation), to avoid scheduling
-    /// duplicate timer events for an unchanged timer.
-    scheduled_timer: Option<(SimTime, u64)>,
+    /// When the `FlowStart` event fires (open + handshake).
+    start_at: SimTime,
+    /// Zero-load RTT of the path: propagation ×2 plus one full-frame
+    /// serialization per hop.
+    base_rtt: SimDuration,
+    /// Earliest `Rto` event currently sitting in the event queue, if any.
+    /// The timer deadline moves on every ACK; instead of scheduling a heap
+    /// event per re-arm, the pending event is left in place and re-synced
+    /// (against the sender's real deadline and generation) when it pops.
+    pending_rto: Option<SimTime>,
+    /// Still counted in [`Network::incomplete_finite`].
+    counted_incomplete: bool,
 }
 
 /// The assembled simulation.
@@ -151,12 +186,30 @@ pub struct Network {
     links: Vec<Link>,
     flows: Vec<Flow>,
     queue: EventQueue<Event>,
-    /// Optional per-flow congestion-window trace (time, cwnd).
-    cwnd_traces: Option<HashMap<usize, Vec<(SimTime, f64)>>>,
+    /// Finite flows that have not finished yet; the run loop stops at 0.
+    incomplete_finite: usize,
+    /// Optional per-flow congestion-window trace (time, cwnd), indexed by
+    /// `FlowId`.
+    cwnd_traces: Option<Vec<Vec<(SimTime, f64)>>>,
+    /// Events the fast-forward path avoided processing (estimated from the
+    /// per-segment event cost of each skipped segment).
+    events_skipped: u64,
+    /// Number of analytically skipped epochs.
+    ff_epochs: u64,
+    /// Next time the (throttled) quiescence check may run.
+    ff_next_check: SimTime,
+    /// Since when the network has continuously looked quiescent.
+    ff_quiescent_since: Option<SimTime>,
+    /// Min/max zero-load RTT over all flows, for check/settle pacing.
+    ff_rtt_min: SimDuration,
+    ff_rtt_max: SimDuration,
     /// Telemetry sink (disabled by default); [`Network::run`] publishes
     /// per-link and per-flow statistics into it once on completion.
     telemetry: Registry,
     telemetry_published: bool,
+    /// Reusable transmit-instruction buffer: the per-ACK hot path writes
+    /// into it instead of allocating a fresh `Vec` per event.
+    tx_scratch: Vec<crate::tcp::Tx>,
 }
 
 impl Network {
@@ -166,9 +219,17 @@ impl Network {
             links: Vec::new(),
             flows: Vec::new(),
             queue: EventQueue::new(),
+            incomplete_finite: 0,
             cwnd_traces: None,
+            events_skipped: 0,
+            ff_epochs: 0,
+            ff_next_check: SimTime::ZERO,
+            ff_quiescent_since: None,
+            ff_rtt_min: SimDuration(u64::MAX),
+            ff_rtt_max: SimDuration::ZERO,
             telemetry: Registry::default(),
             telemetry_published: false,
+            tx_scratch: Vec::new(),
         }
     }
 
@@ -187,7 +248,7 @@ impl Network {
 
     /// Record congestion-window samples for every flow.
     pub fn enable_cwnd_trace(&mut self) {
-        self.cwnd_traces = Some(HashMap::new());
+        self.cwnd_traces = Some(vec![Vec::new(); self.flows.len()]);
     }
 
     pub fn add_link(&mut self, spec: LinkSpec) -> LinkId {
@@ -208,17 +269,37 @@ impl Network {
             initial_cwnd: self.cfg.initial_cwnd,
             min_rto: self.cfg.min_rto,
         });
+        let base_rtt = spec
+            .path
+            .iter()
+            .map(|l| {
+                let s = self.links[l.0].spec;
+                s.propagation * 2
+                    + SimDuration::serialization(u64::from(wire::FULL_FRAME), s.rate_bps)
+            })
+            .fold(SimDuration::ZERO, |a, b| a + b);
+        self.ff_rtt_min = self.ff_rtt_min.min(base_rtt);
+        self.ff_rtt_max = self.ff_rtt_max.max(base_rtt);
+        // Handshake: SYN + SYN/ACK cross the propagation path once each
+        // before the first data segment (data rides the third segment).
+        let start_at = spec.open_at + self.path_propagation(&spec) * 2;
+        if spec.bytes.is_some() {
+            self.incomplete_finite += 1;
+        }
         self.flows.push(Flow {
             spec,
             sender,
             receiver: Receiver::new(),
             total_bytes: spec.bytes,
-            scheduled_timer: None,
+            start_at,
+            base_rtt,
+            pending_rto: None,
+            counted_incomplete: spec.bytes.is_some(),
         });
-        // Handshake: SYN + SYN/ACK cross the propagation path once each
-        // before the first data segment (data rides the third segment).
-        let rtt = self.path_propagation(&spec) * 2;
-        self.queue.schedule(spec.open_at + rtt, Event::FlowStart(id));
+        if let Some(traces) = &mut self.cwnd_traces {
+            traces.push(Vec::new());
+        }
+        self.queue.schedule(start_at, Event::FlowStart(id));
         id
     }
 
@@ -231,8 +312,11 @@ impl Network {
                 break;
             }
             self.dispatch(now, event);
-            if self.all_finite_flows_done() {
+            if self.incomplete_finite == 0 {
                 break;
+            }
+            if self.cfg.fast_forward == FastForward::Auto && now >= self.ff_next_check {
+                self.maybe_fast_forward(now, deadline);
             }
         }
         self.publish_telemetry();
@@ -291,10 +375,21 @@ impl Network {
             );
         }
         self.telemetry.counter_add("simnet_events_processed", &[], self.queue.processed());
+        self.telemetry.counter_add("simnet_events_skipped", &[], self.events_skipped);
+        self.telemetry.counter_add("simnet_fastforward_epochs", &[], self.ff_epochs);
     }
 
-    fn all_finite_flows_done(&self) -> bool {
-        self.flows.iter().filter(|f| f.total_bytes.is_some()).all(|f| f.sender.is_complete())
+    /// Keep [`Network::incomplete_finite`] in step with the sender's state;
+    /// call after any operation that can complete a flow.
+    fn note_completion(&mut self, fid: FlowId) {
+        let flow = &mut self.flows[fid.0];
+        if flow.counted_incomplete
+            && flow.sender.is_complete()
+            && flow.sender.finished_at().is_some()
+        {
+            flow.counted_incomplete = false;
+            self.incomplete_finite -= 1;
+        }
     }
 
     fn dispatch(&mut self, now: SimTime, event: Event) {
@@ -302,7 +397,8 @@ impl Network {
             Event::FlowStart(fid) => {
                 let txs = self.flows[fid.0].sender.on_start(now);
                 self.transmit(fid, &txs, now);
-                self.sync_timer(fid, now);
+                self.sync_timer(fid);
+                self.note_completion(fid);
             }
             Event::TxDone { link, packet } => {
                 let prop = self.links[link.0].spec.propagation;
@@ -313,7 +409,21 @@ impl Network {
                     next.hop += 1;
                     self.queue.schedule(now + prop, Event::HopArrival(next));
                 } else {
-                    self.queue.schedule(now + prop, Event::DataArrival(packet));
+                    // Final hop: deliver to the receiver here. The receiver
+                    // is touched only by this flow's packets and links are
+                    // FIFO, so computing the ACK at serialization time is
+                    // order-equivalent to a separate arrival event one
+                    // propagation later; the ACK still reaches the sender
+                    // after the remaining data propagation plus the full
+                    // return path.
+                    let fid = packet.flow;
+                    let ack = self.flows[fid.0].receiver.on_segment(
+                        packet.seq,
+                        packet.sent_at,
+                        packet.retransmit,
+                    );
+                    let back = prop + self.path_propagation(&self.flows[fid.0].spec);
+                    self.queue.schedule(now + back, Event::AckArrival { flow: fid, ack });
                 }
                 if let LinkAction::StartTx { packet, done } = self.links[link.0].tx_complete(now) {
                     self.queue.schedule(done, Event::TxDone { link, packet });
@@ -326,27 +436,25 @@ impl Network {
                     self.queue.schedule(done, Event::TxDone { link: link_id, packet });
                 }
             }
-            Event::DataArrival(pkt) => {
-                let spec = self.flows[pkt.flow.0].spec;
-                let ack = {
-                    let flow = &mut self.flows[pkt.flow.0];
-                    flow.receiver.on_segment(pkt.seq, pkt.sent_at, pkt.retransmit)
-                };
-                // ACK path: pure propagation delay back to the sender.
-                let prop = self.path_propagation(&spec);
-                self.queue.schedule(now + prop, Event::AckArrival { flow: pkt.flow, ack });
-            }
             Event::AckArrival { flow, ack } => {
-                let txs = self.flows[flow.0].sender.on_ack(ack, now);
+                let mut txs = std::mem::take(&mut self.tx_scratch);
+                self.flows[flow.0].sender.on_ack_into(ack, now, &mut txs);
                 self.transmit(flow, &txs, now);
-                self.sync_timer(flow, now);
+                self.tx_scratch = txs;
+                self.sync_timer(flow);
                 self.trace_cwnd(flow, now);
+                self.note_completion(flow);
             }
             Event::Rto { flow, gen } => {
+                if self.flows[flow.0].pending_rto == Some(now) {
+                    self.flows[flow.0].pending_rto = None;
+                }
                 let txs = self.flows[flow.0].sender.on_rto(gen, now);
                 self.transmit(flow, &txs, now);
-                self.sync_timer(flow, now);
-                self.trace_cwnd(flow, now);
+                self.sync_timer(flow);
+                if !txs.is_empty() {
+                    self.trace_cwnd(flow, now);
+                }
             }
         }
     }
@@ -379,13 +487,19 @@ impl Network {
         }
     }
 
-    /// Schedule the sender's retransmission timer if it was (re)armed.
-    fn sync_timer(&mut self, fid: FlowId, _now: SimTime) {
+    /// Lazily reconcile the event queue with the sender's retransmission
+    /// timer. The deadline moves on every ACK; instead of pushing one heap
+    /// event per re-arm, an `Rto` event is scheduled only when no pending
+    /// event covers the current deadline. A pending event that pops with a
+    /// stale generation is ignored by the sender and re-synced here, so
+    /// firing semantics are identical to eager re-scheduling at a fraction
+    /// of the event count.
+    fn sync_timer(&mut self, fid: FlowId) {
         let flow = &mut self.flows[fid.0];
-        let timer = flow.sender.timer();
-        if let Some((deadline, gen)) = timer {
-            if flow.scheduled_timer != timer {
-                flow.scheduled_timer = timer;
+        if let Some((deadline, gen)) = flow.sender.timer() {
+            let covered = flow.pending_rto.is_some_and(|p| p <= deadline);
+            if !covered {
+                flow.pending_rto = Some(deadline);
                 self.queue.schedule(deadline, Event::Rto { flow: fid, gen });
             }
         }
@@ -394,7 +508,7 @@ impl Network {
     fn trace_cwnd(&mut self, fid: FlowId, now: SimTime) {
         let cwnd = self.flows[fid.0].sender.cwnd();
         if let Some(traces) = &mut self.cwnd_traces {
-            traces.entry(fid.0).or_default().push((now, cwnd));
+            traces[fid.0].push((now, cwnd));
         }
     }
 
@@ -443,7 +557,241 @@ impl Network {
 
     /// Congestion-window trace of one flow, if tracing was enabled.
     pub fn cwnd_trace(&self, fid: FlowId) -> Option<&[(SimTime, f64)]> {
-        self.cwnd_traces.as_ref()?.get(&fid.0).map(Vec::as_slice)
+        self.cwnd_traces.as_ref()?.get(fid.0).map(Vec::as_slice)
+    }
+
+    /// Events the fast-forward path avoided simulating.
+    pub fn events_skipped(&self) -> u64 {
+        self.events_skipped
+    }
+
+    /// Analytically skipped epochs.
+    pub fn fastforward_epochs(&self) -> u64 {
+        self.ff_epochs
+    }
+
+    /// Throttled quiescence check: runs at most every half of the smallest
+    /// zero-load RTT. An epoch is attempted only after the network has
+    /// looked quiescent continuously for two of the largest RTTs, so every
+    /// transient (slow start, recovery, queue drain) settles at packet
+    /// level before the analytic model takes over.
+    fn maybe_fast_forward(&mut self, now: SimTime, deadline: SimTime) {
+        self.ff_next_check = now + self.ff_rtt_min / 2;
+        if !self.ff_eligible() {
+            self.ff_quiescent_since = None;
+            return;
+        }
+        let settle = self.ff_rtt_max * 2;
+        match self.ff_quiescent_since {
+            None => self.ff_quiescent_since = Some(now),
+            Some(since) if now.since(since) >= settle => {
+                if self.fast_forward_epoch(now, deadline) {
+                    self.ff_quiescent_since = None;
+                } else {
+                    // Too close to a boundary to be worth skipping; back off
+                    // so the fluid model is not re-run every check.
+                    self.ff_next_check = now + settle;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+
+    /// Whether the network as a whole is in a provably lossless steady
+    /// state. Two conditions:
+    ///
+    /// * **Static fit** — on every link, even if every incomplete flow
+    ///   pinned its window at the receive limit, the standing queue would
+    ///   stay [`FIT_MARGIN_FRAMES`] below the drop-tail capacity. Since
+    ///   `cwnd ≤ rwnd` always, no future drop is possible while demand is
+    ///   unchanged.
+    /// * **Per-flow quiescence** — every started flow is in the regime the
+    ///   closed-form model describes (see [`Sender::is_quiescent`]).
+    fn ff_eligible(&self) -> bool {
+        let mut any_active = false;
+        for f in &self.flows {
+            if f.sender.is_complete() || f.sender.started_at().is_none() {
+                continue;
+            }
+            if f.sender.rwnd_segments() < 2 || !f.sender.is_quiescent() {
+                return false;
+            }
+            any_active = true;
+        }
+        if !any_active {
+            return false;
+        }
+        let frame = u64::from(wire::FULL_FRAME);
+        for (li, link) in self.links.iter().enumerate() {
+            let demand: u64 = self
+                .flows
+                .iter()
+                .filter(|f| !f.sender.is_complete())
+                .filter(|f| f.spec.path.iter().any(|h| h.0 == li))
+                .map(|f| f.sender.rwnd_segments().max(2))
+                .sum();
+            let headroom = link.spec.queue_capacity.saturating_sub(FIT_MARGIN_FRAMES) as u64;
+            if demand * frame > link.spec.bdp_bytes() + headroom * frame {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Skip one steady-state epoch analytically. Returns `false` (leaving
+    /// the simulation untouched) when the epoch would be too short to pay
+    /// for itself; otherwise advances the clock to the epoch end, credits
+    /// flows and links with the traffic the fluid model moved, and re-primes
+    /// the ack clock so packet-level simulation resumes seamlessly.
+    fn fast_forward_epoch(&mut self, now: SimTime, deadline: SimTime) -> bool {
+        // The epoch may not run past a pending flow admission: new demand is
+        // a discontinuity the packet-level loop must see.
+        let mut horizon_end = deadline;
+        for f in &self.flows {
+            if f.sender.started_at().is_none() {
+                horizon_end = horizon_end.min(f.start_at);
+            }
+        }
+        if horizon_end <= now {
+            return false;
+        }
+        let mut idx = Vec::new();
+        let mut fluid_flows = Vec::new();
+        for (i, f) in self.flows.iter().enumerate() {
+            if f.sender.is_complete() || f.sender.started_at().is_none() {
+                continue;
+            }
+            let pin = f.sender.rwnd_segments().max(2) as f64;
+            let cwnd = f.sender.cwnd();
+            let pinned = cwnd >= pin;
+            fluid_flows.push(FluidFlow {
+                // A pinned flow sends exactly its (integer) window per RTT;
+                // a climbing one is tracked continuously.
+                wnd: if pinned { f.sender.window_segments() as f64 } else { cwnd },
+                rwnd: pin,
+                growing: !pinned,
+                base_rtt: f.base_rtt.as_secs_f64(),
+                remaining: f.sender.remaining_segments(),
+                path: f.spec.path.iter().map(|l| l.0).collect(),
+            });
+            idx.push(i);
+        }
+        let links: Vec<FluidLink> = self
+            .links
+            .iter()
+            .map(|l| FluidLink {
+                rate_bps: l.spec.rate_bps as f64,
+                bdp_bytes: l.spec.bdp_bytes() as f64,
+            })
+            .collect();
+        let horizon = horizon_end.since(now).as_secs_f64();
+        let plan = fluid_epoch(&fluid_flows, &links, horizon);
+        if plan.duration < (self.ff_rtt_max * 8).as_secs_f64() {
+            return false;
+        }
+        let t_end = (now + SimDuration::from_secs_f64(plan.duration)).min(horizon_end);
+        if t_end <= now {
+            return false;
+        }
+        // The credit must cover every in-flight segment, or the post-epoch
+        // window refill would rewind the connection.
+        for (j, &i) in idx.iter().enumerate() {
+            if plan.credits[j] < self.flows[i].sender.flight() {
+                return false;
+            }
+        }
+        // Point of no return: every event inside the epoch — in-flight
+        // data and ACKs, timer pops — is subsumed by the analytic credit.
+        let mut drained = 0u64;
+        while let Some((_, ev)) = self.queue.extract_before(t_end) {
+            debug_assert!(
+                !matches!(ev, Event::FlowStart(_)),
+                "fast-forward drained a flow admission"
+            );
+            drained += 1;
+        }
+        self.queue.advance_to(t_end);
+        self.events_skipped += drained;
+        let frame = u64::from(wire::FULL_FRAME);
+        let mut link_extra = vec![(0u64, 0u64); self.links.len()];
+        // Synthetic ack bursts are tiled back-to-back across flows: the
+        // aggregate resume traffic then arrives at exactly the bottleneck
+        // rate (one frame per serialization slot), so the post-epoch burst
+        // can never overflow a queue the steady state fitted into.
+        let mut burst_offset = SimDuration::ZERO;
+        for (j, &i) in idx.iter().enumerate() {
+            let fid = FlowId(i);
+            let acked = plan.credits[j];
+            let (gap, gap_bytes, path, flight, una) = {
+                let flow = &mut self.flows[i];
+                let old_nxt = flow.sender.segments_acked() + flow.sender.flight();
+                flow.sender.fast_forward(acked, plan.final_wnd[j], t_end);
+                let new_nxt = flow.sender.segments_acked() + flow.sender.flight();
+                // The refilled window is fictional — those segments never
+                // cross the wire (their ACKs are synthesized below) — so the
+                // receiver advances past them; the first real post-epoch
+                // packet then arrives exactly in order.
+                flow.receiver.fast_forward_to(new_nxt);
+                // Segments in [old_nxt, new_nxt) crossed the path inside the
+                // epoch without ever becoming packets; everything below
+                // old_nxt was transmitted (and link-accounted) for real.
+                let gap = new_nxt - old_nxt;
+                let gap_bytes = match flow.total_bytes {
+                    Some(total) => {
+                        let last = segments_for(total).saturating_sub(1);
+                        let mut b = gap * frame;
+                        if gap > 0 && old_nxt <= last && last < new_nxt {
+                            b = b - frame + u64::from(wire_bytes_for(last, total));
+                        }
+                        b
+                    }
+                    None => gap * frame,
+                };
+                flow.pending_rto = flow.pending_rto.filter(|p| *p >= t_end);
+                (gap, gap_bytes, flow.spec.path, flow.sender.flight(), flow.sender.segments_acked())
+            };
+            for hop in path.iter() {
+                link_extra[hop.0].0 += gap_bytes;
+                link_extra[hop.0].1 += gap;
+            }
+            // Each skipped segment would have cost one TxDone per hop, one
+            // HopArrival per intermediate hop, and one AckArrival.
+            self.events_skipped += gap * 2 * path.len() as u64;
+            if flight > 0 {
+                // Re-prime the ack clock: the refilled window is treated as
+                // in flight, its ACKs arriving back-to-back at the
+                // bottleneck hop's serialization spacing — exactly the real
+                // pattern both when the flow is window-limited (the window
+                // drains as one burst per RTT) and when the link is
+                // saturated (ACKs leave at the link rate). No timestamp
+                // echo — a synthetic ACK must not feed the RTT estimator
+                // (Karn's rule for analytic segments).
+                let spacing = path
+                    .iter()
+                    .map(|l| {
+                        SimDuration::serialization(
+                            u64::from(wire::FULL_FRAME),
+                            self.links[l.0].spec.rate_bps,
+                        )
+                    })
+                    .fold(SimDuration::ZERO, SimDuration::max);
+                for k in 1..=flight {
+                    self.queue.schedule(
+                        t_end + burst_offset + spacing * k,
+                        Event::AckArrival { flow: fid, ack: Ack { ackno: una + k, ts_echo: None } },
+                    );
+                }
+                burst_offset = burst_offset + spacing * flight;
+            }
+            self.sync_timer(fid);
+            self.trace_cwnd(fid, t_end);
+            self.note_completion(fid);
+        }
+        for ((bytes, pkts), link) in link_extra.iter().zip(self.links.iter_mut()) {
+            link.fast_forward(*bytes, *pkts, t_end);
+        }
+        self.ff_epochs += 1;
+        true
     }
 }
 

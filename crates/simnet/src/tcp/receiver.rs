@@ -59,6 +59,14 @@ impl Receiver {
         self.rcv_nxt
     }
 
+    /// Fast-forward in-order delivery to `rcv_nxt`. Only valid while no
+    /// out-of-order segments are buffered (fast-forwarded epochs are
+    /// lossless, so delivery is strictly sequential).
+    pub fn fast_forward_to(&mut self, rcv_nxt: u64) {
+        debug_assert!(self.out_of_order.is_empty(), "fast-forward across a reordered window");
+        self.rcv_nxt = self.rcv_nxt.max(rcv_nxt);
+    }
+
     /// Count of buffered out-of-order segments.
     pub fn reorder_depth(&self) -> usize {
         self.out_of_order.len()

@@ -120,23 +120,30 @@ impl Sender {
 
     /// Process an acknowledgement arriving at time `now`.
     pub fn on_ack(&mut self, ack: Ack, now: SimTime) -> Vec<Tx> {
+        let mut out = Vec::new();
+        self.on_ack_into(ack, now, &mut out);
+        out
+    }
+
+    /// [`Sender::on_ack`] writing into a caller-owned buffer (cleared
+    /// first), so the per-ACK hot path allocates nothing in steady state.
+    pub fn on_ack_into(&mut self, ack: Ack, now: SimTime, out: &mut Vec<Tx>) {
+        out.clear();
         if self.is_complete() {
-            return Vec::new();
+            return;
         }
         if let Some(ts) = ack.ts_echo {
             self.rtt.sample(now.since(ts));
         }
-        let mut out = Vec::new();
         let a = ack.ackno;
         if a > self.snd_una {
-            self.on_new_ack(a, now, &mut out);
+            self.on_new_ack(a, now, out);
         } else {
-            self.on_dup_ack(now, &mut out);
+            self.on_dup_ack(now, out);
         }
-        for tx in &out {
+        for tx in out.iter() {
             self.note_sent(*tx);
         }
-        out
     }
 
     fn on_new_ack(&mut self, a: u64, now: SimTime, out: &mut Vec<Tx>) {
@@ -273,6 +280,73 @@ impl Sender {
     /// The timer the owner must have scheduled: `(deadline, generation)`.
     pub fn timer(&self) -> Option<(SimTime, u64)> {
         self.timer_deadline.map(|d| (d, self.timer_gen))
+    }
+
+    /// Effective send window in segments: `min(⌊cwnd⌋, rwnd)`, at least 1.
+    pub fn window_segments(&self) -> u64 {
+        (self.cwnd.floor() as u64).min(self.cfg.rwnd_segments).max(1)
+    }
+
+    /// Segments in flight (sent but not yet acknowledged).
+    pub fn flight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    /// Receive-window limit, segments.
+    pub fn rwnd_segments(&self) -> u64 {
+        self.cfg.rwnd_segments
+    }
+
+    /// Segments still to be acknowledged; `None` for background flows.
+    pub fn remaining_segments(&self) -> Option<u64> {
+        self.cfg.total_segments.map(|t| t - self.snd_una)
+    }
+
+    /// Whether the flow sits in a predictable lossless steady state: no
+    /// recovery episode or duplicate ACKs outstanding, nothing being
+    /// retransmitted, the window is full, and cwnd is either pinned at the
+    /// receive window or climbing linearly in congestion avoidance. In this
+    /// state (and absent future losses) the flow's evolution is exactly the
+    /// closed-form window model, so it is safe to fast-forward.
+    pub fn is_quiescent(&self) -> bool {
+        let pin = self.cfg.rwnd_segments.max(2) as f64;
+        self.started_at.is_some()
+            && !self.is_complete()
+            && !self.in_recovery
+            && self.dup_acks == 0
+            && self.snd_nxt == self.highest_sent
+            && (self.cwnd >= pin || self.cwnd >= self.ssthresh)
+            && self.flight() == self.window_segments()
+    }
+
+    /// Apply the outcome of an analytically fast-forwarded epoch: `acked`
+    /// further segments were sent and acknowledged, and the congestion
+    /// window grew to `cwnd` (never shrinks — epochs are lossless by
+    /// construction). Re-fills the window to the post-epoch in-flight state
+    /// and re-arms the timer; returns how many new segments this opened
+    /// (for link byte accounting).
+    pub fn fast_forward(&mut self, acked: u64, cwnd: f64, now: SimTime) -> u64 {
+        debug_assert!(self.is_quiescent(), "fast-forward from a non-quiescent sender");
+        self.snd_una += acked;
+        if let Some(total) = self.cfg.total_segments {
+            debug_assert!(self.snd_una <= total, "fast-forward overshot the transfer");
+        }
+        self.cwnd = cwnd.max(self.cwnd).min(self.cfg.rwnd_segments.max(2) as f64);
+        self.dup_acks = 0;
+        let old_nxt = self.snd_nxt;
+        if self.is_complete() {
+            self.snd_nxt = self.snd_una;
+            self.finished_at = Some(now);
+            self.cancel_timer();
+        } else {
+            let limit = self.cfg.total_segments.unwrap_or(u64::MAX);
+            self.snd_nxt = (self.snd_una + self.window_segments()).min(limit).max(old_nxt);
+            self.arm_timer(now);
+        }
+        self.highest_sent = self.highest_sent.max(self.snd_nxt);
+        let sent = self.snd_nxt - old_nxt;
+        self.stats.segments_sent += sent;
+        sent
     }
 
     pub fn is_complete(&self) -> bool {
