@@ -5,13 +5,17 @@
 #   ./ci.sh                fmt + clippy + build + test + benches compile
 #   ./ci.sh --bench-smoke  additionally run the simnet perf baseline once,
 #                          regenerating BENCH_simnet.json
+#   ./ci.sh --chaos-smoke  additionally run the seeded chaos convergence
+#                          soak (3 fixed seeds, 5-site grid)
 set -euo pipefail
 cd "$(dirname "$0")"
 
 bench_smoke=0
+chaos_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
+    --chaos-smoke) chaos_smoke=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -34,6 +38,12 @@ cargo bench --offline --workspace --no-run
 if [[ "$bench_smoke" == 1 ]]; then
   echo "==> bench smoke: simnet perf baseline"
   cargo run --offline --release -p gdmp-bench --bin bench_simnet
+fi
+
+if [[ "$chaos_smoke" == 1 ]]; then
+  echo "==> chaos smoke: seeded convergence soak"
+  cargo test --offline -q -p gdmp-workloads --test chaos_soak
+  cargo test --offline -q -p gdmp --test chaos_recovery
 fi
 
 echo "CI OK"

@@ -7,7 +7,9 @@
 //! cargo run -p gdmp-bench --release --bin figures -- all --json > figures.jsonl
 //! ```
 //!
-//! Subcommands: `fig1 fig2 fig5 fig6 tuning buffer objrep objcost staging stripe placement motivation all`.
+//! Subcommands: `fig1 fig2 fig5 fig6 tuning buffer objrep objcost staging stripe placement motivation all`,
+//! plus `chaos` (failure-path cost report; deliberately not part of `all`
+//! so the canonical figure set stays byte-identical).
 //! Flags: `--json` emits machine-readable JSON lines instead of tables;
 //! `--trace` appends the telemetry dump (spans, metrics, flight recorder)
 //! of the grid-driven experiments (`fig1`, `fig2`).
@@ -43,6 +45,7 @@ fn main() {
         "stripe" => stripe(&mut o),
         "placement" => placement(&mut o),
         "motivation" => motivation(&mut o),
+        "chaos" => chaos(&mut o),
         "all" => {
             fig1(&mut o);
             fig2(&mut o);
@@ -270,6 +273,76 @@ fn stripe(o: &mut Opts) {
     r.table(&["nodes", "Mb/s"], &cells);
     r.note("(GridFTP feature list: 'striped data transfer (m hosts to n");
     r.note(" hosts)'; one box cannot drive the WAN alone — §5.3)");
+    r.end_section();
+}
+
+/// Chaos soak comparison: the same publish/replicate workload with no
+/// chaos layer, with an installed-but-empty schedule (must cost exactly
+/// nothing), and with three seeded fault plans. Exports the failure-path
+/// counters so BENCH files can track fault-handling overhead.
+fn chaos(o: &mut Opts) {
+    use gdmp_workloads::{run_soak, ChaosMode, SoakSpec};
+    let counter_sum = |out: &gdmp_workloads::SoakOutcome, name: &str| -> u64 {
+        out.registry
+            .metrics_snapshot()
+            .iter()
+            .filter(|(n, _, _)| n == name)
+            .map(|(_, _, v)| match v {
+                gdmp_telemetry::MetricValue::Counter(c) => *c,
+                _ => 0,
+            })
+            .sum()
+    };
+    let r = &mut o.report;
+    r.section("Chaos soak: failure-path cost (off vs empty schedule vs seeded)");
+    let modes = [
+        ("off", ChaosMode::Off),
+        ("empty", ChaosMode::EmptySchedule),
+        ("seed=11", ChaosMode::Seeded(11)),
+        ("seed=42", ChaosMode::Seeded(42)),
+        ("seed=1337", ChaosMode::Seeded(1337)),
+    ];
+    let mut rows = Vec::new();
+    for (label, mode) in modes {
+        let out = run_soak(&SoakSpec::quick(mode));
+        rows.push(vec![
+            Cell::from(label),
+            Cell::from(out.published),
+            Cell::from(out.replicated),
+            Cell::f(out.final_clock_ns as f64 / 1e9, 1),
+            Cell::from(out.converged()),
+            Cell::from(counter_sum(&out, "rpc_failures")),
+            Cell::from(counter_sum(&out, "source_unreachable")),
+            Cell::from(counter_sum(&out, "recovery_verdicts")),
+            Cell::from(counter_sum(&out, "backoff_waits")),
+            Cell::from(counter_sum(&out, "breaker_trips")),
+            Cell::from(counter_sum(&out, "notices_journaled")),
+            Cell::from(counter_sum(&out, "notices_replayed")),
+            Cell::from(counter_sum(&out, "resync_repairs")),
+            Cell::from(counter_sum(&out, "replications_deferred")),
+        ]);
+    }
+    r.table(
+        &[
+            "mode",
+            "published",
+            "replicated",
+            "final_s",
+            "converged",
+            "rpc_fail",
+            "unreach",
+            "verdicts",
+            "backoffs",
+            "trips",
+            "journaled",
+            "replayed",
+            "resyncs",
+            "deferred",
+        ],
+        &rows,
+    );
+    r.note("(the off and empty rows must be identical: an installed-but-empty");
+    r.note(" schedule is behaviourally inert — the inertness contract)");
     r.end_section();
 }
 

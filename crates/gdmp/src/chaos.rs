@@ -1,0 +1,617 @@
+//! Grid-level fault timeline — the chaos layer.
+//!
+//! GDMP's Request Manager is explicitly built for an unreliable wide-area
+//! grid (paper Sections 4.2–4.4): sites crash and restart, WAN paths break
+//! mid-transfer, and the Replica Catalog must be brought back to a sane
+//! state afterwards. This module supplies the *faults* that machinery is
+//! meant to survive: a deterministic, sim-time-ordered [`FaultSchedule`] of
+//! site crashes, link outages, partitions, and dropped RPCs, plus a seeded
+//! [`ChaosPlan`] generator so a whole fault timeline reproduces from one
+//! `u64` seed. Everything is sim-time only — no wall clocks — so two runs
+//! with the same seed see the identical event trace.
+//!
+//! The schedule is *passive*: nothing fires on its own. [`crate::Grid`]
+//! consults [`ChaosState`] lazily from `rpc`/`replicate`/`advance`, applying
+//! every event whose time has come before deciding reachability.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use gdmp_simnet::time::{SimDuration, SimTime};
+
+/// One scheduled fault or repair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// The site's GDMP server process crashes. In-memory state — the import
+    /// queue and pool pins — is lost; disk, tape, the export catalog,
+    /// subscriptions, and the notification journal survive (they model
+    /// durable state).
+    SiteDown { site: String },
+    /// The site restarts. The grid resyncs it on the next
+    /// [`crate::Grid::run_recovery`] pass.
+    SiteUp { site: String },
+    /// Sever the WAN path `from → to`; `both_ways` severs the reverse too.
+    LinkDown { from: String, to: String, both_ways: bool },
+    /// Repair the path(s) cut by a matching [`FaultEvent::LinkDown`].
+    LinkUp { from: String, to: String, both_ways: bool },
+    /// Split the grid: traffic crosses a group boundary only after
+    /// [`FaultEvent::Heal`]. Sites not named in any group are unaffected.
+    Partition { groups: Vec<Vec<String>> },
+    /// Clear the active partition.
+    Heal,
+    /// Drop the `nth` RPC sent `from → to`, counted 1-based from the moment
+    /// this event fires (a lost datagram / timed-out call).
+    RpcDrop { from: String, to: String, nth: u64 },
+}
+
+impl FaultEvent {
+    /// Does this event sever the one-way data path `src → dst`?
+    fn severs(&self, src: &str, dst: &str) -> bool {
+        match self {
+            FaultEvent::SiteDown { site } => site == src || site == dst,
+            FaultEvent::LinkDown { from, to, both_ways } => {
+                (from == src && to == dst) || (*both_ways && from == dst && to == src)
+            }
+            FaultEvent::Partition { groups } => {
+                let find = |s: &str| groups.iter().position(|g| g.iter().any(|m| m == s));
+                matches!((find(src), find(dst)), (Some(a), Some(b)) if a != b)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// A sim-time-ordered list of [`FaultEvent`]s. Stable order: events at the
+/// same instant apply in insertion order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    events: Vec<(SimTime, FaultEvent)>,
+}
+
+impl FaultSchedule {
+    pub fn new() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// Add an event; the schedule keeps itself sorted (stable on ties).
+    pub fn at(mut self, t: SimTime, event: FaultEvent) -> FaultSchedule {
+        self.push(t, event);
+        self
+    }
+
+    pub fn push(&mut self, t: SimTime, event: FaultEvent) {
+        let idx = self.events.partition_point(|(et, _)| *et <= t);
+        self.events.insert(idx, (t, event));
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn events(&self) -> &[(SimTime, FaultEvent)] {
+        &self.events
+    }
+
+    /// Sim-time of the last scheduled event ([`SimTime::ZERO`] when empty).
+    pub fn horizon(&self) -> SimTime {
+        self.events.last().map(|(t, _)| *t).unwrap_or(SimTime::ZERO)
+    }
+}
+
+impl fmt::Display for FaultSchedule {
+    /// One `t_ns event` line per entry — the replayable rendering a failing
+    /// soak prints next to its seed.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (t, ev) in &self.events {
+            writeln!(f, "{} {ev:?}", t.nanos())?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-pair state for pending [`FaultEvent::RpcDrop`]s.
+#[derive(Debug, Clone, Default)]
+struct DropState {
+    /// RPCs seen on this pair since the first drop was armed.
+    seen: u64,
+    /// Absolute ordinals (vs `seen`) still to be dropped.
+    targets: BTreeSet<u64>,
+}
+
+/// Live fault state: the schedule cursor plus everything currently broken.
+///
+/// Holds no site data itself — the grid owns sites; this tracks which are
+/// down, which paths are cut, the active partition, and which restarted
+/// sites still await a resync pass.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosState {
+    schedule: FaultSchedule,
+    /// Index of the first not-yet-applied schedule entry.
+    cursor: usize,
+    down: BTreeSet<String>,
+    /// One-way severed paths (from, to).
+    cuts: BTreeSet<(String, String)>,
+    partition: Option<Vec<Vec<String>>>,
+    drops: BTreeMap<(String, String), DropState>,
+    /// Sites that came back up and still need a recovery/resync pass.
+    pending_restart: BTreeSet<String>,
+}
+
+impl ChaosState {
+    /// Install a schedule, resetting all live fault state.
+    pub fn set_schedule(&mut self, schedule: FaultSchedule) {
+        *self = ChaosState { schedule, ..ChaosState::default() };
+    }
+
+    /// True once any schedule was installed or any fault state is live.
+    /// The grid guards every chaos check behind this, so a grid that never
+    /// saw a schedule (or saw an empty one) takes no chaos branches.
+    pub fn is_active(&self) -> bool {
+        !self.schedule.is_empty()
+            || !self.down.is_empty()
+            || !self.cuts.is_empty()
+            || self.partition.is_some()
+            || !self.drops.is_empty()
+            || !self.pending_restart.is_empty()
+    }
+
+    /// Apply every event with time ≤ `now`; returns them in order.
+    pub fn apply_until(&mut self, now: SimTime) -> Vec<FaultEvent> {
+        let mut fired = Vec::new();
+        while self.cursor < self.schedule.events.len() {
+            let (t, ev) = self.schedule.events[self.cursor].clone();
+            if t > now {
+                break;
+            }
+            self.cursor += 1;
+            self.apply(&ev);
+            fired.push(ev);
+        }
+        fired
+    }
+
+    fn apply(&mut self, ev: &FaultEvent) {
+        match ev {
+            FaultEvent::SiteDown { site } => {
+                self.down.insert(site.clone());
+                self.pending_restart.remove(site);
+            }
+            FaultEvent::SiteUp { site } => {
+                if self.down.remove(site) {
+                    self.pending_restart.insert(site.clone());
+                }
+            }
+            FaultEvent::LinkDown { from, to, both_ways } => {
+                self.cuts.insert((from.clone(), to.clone()));
+                if *both_ways {
+                    self.cuts.insert((to.clone(), from.clone()));
+                }
+            }
+            FaultEvent::LinkUp { from, to, both_ways } => {
+                self.cuts.remove(&(from.clone(), to.clone()));
+                if *both_ways {
+                    self.cuts.remove(&(to.clone(), from.clone()));
+                }
+            }
+            FaultEvent::Partition { groups } => self.partition = Some(groups.clone()),
+            FaultEvent::Heal => self.partition = None,
+            FaultEvent::RpcDrop { from, to, nth } => {
+                let st = self.drops.entry((from.clone(), to.clone())).or_default();
+                st.targets.insert(st.seen + nth);
+            }
+        }
+    }
+
+    pub fn is_down(&self, site: &str) -> bool {
+        self.down.contains(site)
+    }
+
+    fn partition_allows(&self, a: &str, b: &str) -> bool {
+        match &self.partition {
+            None => true,
+            Some(groups) => {
+                let find = |s: &str| groups.iter().position(|g| g.iter().any(|m| m == s));
+                match (find(a), find(b)) {
+                    (Some(ga), Some(gb)) => ga == gb,
+                    // A site outside every group is unaffected by the split.
+                    _ => true,
+                }
+            }
+        }
+    }
+
+    /// Can data flow one way `src → dst`? (Both ends up, the directed path
+    /// uncut, and no partition between them.)
+    pub fn can_flow(&self, src: &str, dst: &str) -> bool {
+        !self.down.contains(src)
+            && !self.down.contains(dst)
+            && !self.cuts.contains(&(src.to_string(), dst.to_string()))
+            && self.partition_allows(src, dst)
+    }
+
+    /// Can an RPC round-trip `from → to`? (Both directions must flow.)
+    pub fn can_rpc(&self, from: &str, to: &str) -> bool {
+        self.can_flow(from, to) && self.can_flow(to, from)
+    }
+
+    /// Count this RPC against any armed [`FaultEvent::RpcDrop`] for the
+    /// pair; true when this specific call is the one to drop.
+    pub fn should_drop_rpc(&mut self, from: &str, to: &str) -> bool {
+        let key = (from.to_string(), to.to_string());
+        let Some(st) = self.drops.get_mut(&key) else {
+            return false;
+        };
+        st.seen += 1;
+        let hit = st.targets.remove(&st.seen);
+        if st.targets.is_empty() {
+            self.drops.remove(&key);
+        }
+        hit
+    }
+
+    /// The first *future* scheduled event in `(after, until]` that would
+    /// sever the one-way path `src → dst`, if any. Used to abort transfers
+    /// in flight when the path dies mid-stream.
+    pub fn first_cut_in_window(
+        &self,
+        src: &str,
+        dst: &str,
+        after: SimTime,
+        until: SimTime,
+    ) -> Option<SimTime> {
+        self.schedule.events[self.cursor..]
+            .iter()
+            .take_while(|(t, _)| *t <= until)
+            .find(|(t, ev)| *t > after && ev.severs(src, dst))
+            .map(|(t, _)| *t)
+    }
+
+    /// Restarted sites awaiting a resync pass; clears the pending set.
+    pub fn take_pending_restarts(&mut self) -> Vec<String> {
+        let v: Vec<String> = self.pending_restart.iter().cloned().collect();
+        self.pending_restart.clear();
+        v
+    }
+
+    /// Put a site back on the resync queue (its producers were unreachable).
+    pub fn defer_restart(&mut self, site: String) {
+        self.pending_restart.insert(site);
+    }
+
+    pub fn pending_restarts(&self) -> usize {
+        self.pending_restart.len()
+    }
+
+    /// True when no site is down, no path is cut, no partition is active,
+    /// and no restarted site still awaits resync. Scheduled-but-future
+    /// events don't count — this asks about *now*.
+    pub fn all_healed(&self) -> bool {
+        self.down.is_empty()
+            && self.cuts.is_empty()
+            && self.partition.is_none()
+            && self.pending_restart.is_empty()
+    }
+
+    /// Events not yet applied (diagnostics).
+    pub fn remaining_events(&self) -> usize {
+        self.schedule.events.len() - self.cursor
+    }
+
+    pub fn schedule(&self) -> &FaultSchedule {
+        &self.schedule
+    }
+}
+
+impl fmt::Display for ChaosState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "chaos: {} down, {} cuts, partition={}, {} pending restarts, {} events left",
+            self.down.len(),
+            self.cuts.len(),
+            self.partition.is_some(),
+            self.pending_restart.len(),
+            self.remaining_events(),
+        )
+    }
+}
+
+/// SplitMix64 — tiny, seedable, no dependencies. Used for the chaos plan
+/// and for deterministic backoff jitter; sequence is fixed by the seed.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be positive");
+        // Multiply-shift: fine for simulation purposes.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Seeded generator of a reproducible [`FaultSchedule`].
+///
+/// Every outage scheduled before `horizon` has its matching repair at or
+/// before `horizon`, so advancing the grid past the horizon is guaranteed
+/// to heal everything — the convergence invariants can then be checked.
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    pub seed: u64,
+    pub sites: Vec<String>,
+    /// All faults (and their repairs) land in `[0, horizon]`.
+    pub horizon: SimDuration,
+    pub site_crashes: u32,
+    pub link_flaps: u32,
+    pub partitions: u32,
+    pub rpc_drops: u32,
+    pub min_outage: SimDuration,
+    pub max_outage: SimDuration,
+}
+
+impl ChaosPlan {
+    /// Defaults sized for a soak run: a handful of crashes, link flaps, one
+    /// partition, a few dropped RPCs, outages of 5–120 sim-seconds over a
+    /// 10 sim-minute horizon.
+    pub fn new(seed: u64, sites: &[String]) -> ChaosPlan {
+        assert!(sites.len() >= 2, "chaos plan needs at least two sites");
+        ChaosPlan {
+            seed,
+            sites: sites.to_vec(),
+            horizon: SimDuration::from_secs(600),
+            site_crashes: 3,
+            link_flaps: 4,
+            partitions: 1,
+            rpc_drops: 3,
+            min_outage: SimDuration::from_secs(5),
+            max_outage: SimDuration::from_secs(120),
+        }
+    }
+
+    /// Derive the schedule. Same plan → identical schedule, every time.
+    pub fn schedule(&self) -> FaultSchedule {
+        let mut rng = SplitMix64::new(self.seed);
+        let mut s = FaultSchedule::new();
+        let h = self.horizon.nanos().max(1);
+        let span = self.max_outage.nanos().saturating_sub(self.min_outage.nanos()).max(1);
+        // Outages start in the first 70% of the horizon so repairs fit.
+        let outage = |rng: &mut SplitMix64| {
+            let start = rng.gen_range(h * 7 / 10).max(1);
+            let dur = self.min_outage.nanos() + rng.gen_range(span);
+            (SimTime(start), SimTime((start + dur).min(h)))
+        };
+
+        for _ in 0..self.site_crashes {
+            let site = self.sites[rng.gen_range(self.sites.len() as u64) as usize].clone();
+            let (down, up) = outage(&mut rng);
+            s.push(down, FaultEvent::SiteDown { site: site.clone() });
+            s.push(up, FaultEvent::SiteUp { site });
+        }
+        for _ in 0..self.link_flaps {
+            let a = rng.gen_range(self.sites.len() as u64) as usize;
+            let b =
+                (a + 1 + rng.gen_range(self.sites.len() as u64 - 1) as usize) % self.sites.len();
+            let (from, to) = (self.sites[a].clone(), self.sites[b].clone());
+            let both_ways = rng.gen_bool();
+            let (down, up) = outage(&mut rng);
+            s.push(down, FaultEvent::LinkDown { from: from.clone(), to: to.clone(), both_ways });
+            s.push(up, FaultEvent::LinkUp { from, to, both_ways });
+        }
+        for _ in 0..self.partitions {
+            // Split into two non-empty groups.
+            let pivot = 1 + rng.gen_range(self.sites.len() as u64 - 1) as usize;
+            let mut order = self.sites.clone();
+            // Fisher–Yates with our rng so the split varies by seed.
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(i as u64 + 1) as usize);
+            }
+            let groups = vec![order[..pivot].to_vec(), order[pivot..].to_vec()];
+            let (start, end) = outage(&mut rng);
+            s.push(start, FaultEvent::Partition { groups });
+            s.push(end, FaultEvent::Heal);
+        }
+        for _ in 0..self.rpc_drops {
+            let a = rng.gen_range(self.sites.len() as u64) as usize;
+            let b =
+                (a + 1 + rng.gen_range(self.sites.len() as u64 - 1) as usize) % self.sites.len();
+            let t = SimTime(rng.gen_range(h * 7 / 10).max(1));
+            let nth = 1 + rng.gen_range(3);
+            s.push(
+                t,
+                FaultEvent::RpcDrop { from: self.sites[a].clone(), to: self.sites[b].clone(), nth },
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime(secs * 1_000_000_000)
+    }
+
+    #[test]
+    fn schedule_keeps_time_order() {
+        let s = FaultSchedule::new()
+            .at(t(10), FaultEvent::Heal)
+            .at(t(5), FaultEvent::SiteDown { site: "a".into() })
+            .at(t(10), FaultEvent::SiteUp { site: "a".into() });
+        let times: Vec<u64> = s.events().iter().map(|(at, _)| at.nanos()).collect();
+        assert_eq!(times, vec![t(5).nanos(), t(10).nanos(), t(10).nanos()]);
+        // Stable on ties: Heal inserted first stays first.
+        assert!(matches!(s.events()[1].1, FaultEvent::Heal));
+        assert_eq!(s.horizon(), t(10));
+    }
+
+    #[test]
+    fn site_down_blocks_both_directions() {
+        let mut c = ChaosState::default();
+        c.set_schedule(FaultSchedule::new().at(t(1), FaultEvent::SiteDown { site: "b".into() }));
+        assert!(c.can_rpc("a", "b"), "future events must not apply early");
+        c.apply_until(t(1));
+        assert!(c.is_down("b"));
+        assert!(!c.can_rpc("a", "b"));
+        assert!(!c.can_flow("b", "a"));
+        assert!(c.can_rpc("a", "c"), "unrelated pairs unaffected");
+    }
+
+    #[test]
+    fn one_way_link_cut_is_directional() {
+        let mut c = ChaosState::default();
+        c.set_schedule(
+            FaultSchedule::new().at(
+                t(1),
+                FaultEvent::LinkDown { from: "a".into(), to: "b".into(), both_ways: false },
+            ),
+        );
+        c.apply_until(t(2));
+        assert!(!c.can_flow("a", "b"));
+        assert!(c.can_flow("b", "a"), "reverse path stays up");
+        // An RPC needs the round trip, so either cut direction kills it.
+        assert!(!c.can_rpc("a", "b"));
+        assert!(!c.can_rpc("b", "a"));
+    }
+
+    #[test]
+    fn partition_splits_groups_and_heals() {
+        let mut c = ChaosState::default();
+        c.set_schedule(
+            FaultSchedule::new()
+                .at(
+                    t(1),
+                    FaultEvent::Partition {
+                        groups: vec![vec!["a".into(), "b".into()], vec!["c".into()]],
+                    },
+                )
+                .at(t(5), FaultEvent::Heal),
+        );
+        c.apply_until(t(2));
+        assert!(c.can_rpc("a", "b"));
+        assert!(!c.can_rpc("a", "c"));
+        assert!(c.can_rpc("a", "x"), "sites outside all groups are unaffected");
+        c.apply_until(t(5));
+        assert!(c.can_rpc("a", "c"));
+        assert!(c.all_healed());
+    }
+
+    #[test]
+    fn rpc_drop_hits_exactly_the_nth_call() {
+        let mut c = ChaosState::default();
+        c.set_schedule(
+            FaultSchedule::new()
+                .at(t(1), FaultEvent::RpcDrop { from: "a".into(), to: "b".into(), nth: 2 }),
+        );
+        c.apply_until(t(1));
+        assert!(!c.should_drop_rpc("a", "b"));
+        assert!(c.should_drop_rpc("a", "b"), "second call dropped");
+        assert!(!c.should_drop_rpc("a", "b"), "and only the second");
+        assert!(!c.should_drop_rpc("b", "a"), "reverse pair untouched");
+    }
+
+    #[test]
+    fn restart_is_queued_for_resync() {
+        let mut c = ChaosState::default();
+        c.set_schedule(
+            FaultSchedule::new()
+                .at(t(1), FaultEvent::SiteDown { site: "a".into() })
+                .at(t(3), FaultEvent::SiteUp { site: "a".into() }),
+        );
+        c.apply_until(t(2));
+        assert_eq!(c.pending_restarts(), 0);
+        c.apply_until(t(3));
+        assert!(!c.is_down("a"));
+        assert_eq!(c.pending_restarts(), 1);
+        assert!(!c.all_healed(), "resync still owed");
+        assert_eq!(c.take_pending_restarts(), vec!["a".to_string()]);
+        assert!(c.all_healed());
+    }
+
+    #[test]
+    fn first_cut_in_window_finds_future_severance() {
+        let c = {
+            let mut c = ChaosState::default();
+            c.set_schedule(
+                FaultSchedule::new()
+                    .at(
+                        t(2),
+                        FaultEvent::LinkDown { from: "x".into(), to: "y".into(), both_ways: false },
+                    )
+                    .at(t(5), FaultEvent::SiteDown { site: "src".into() }),
+            );
+            c
+        };
+        // The x→y cut doesn't sever src→dst; the SiteDown at t=5 does.
+        assert_eq!(c.first_cut_in_window("src", "dst", t(0), t(10)), Some(t(5)));
+        assert_eq!(c.first_cut_in_window("src", "dst", t(0), t(4)), None);
+        assert_eq!(c.first_cut_in_window("x", "y", t(0), t(10)), Some(t(2)));
+        assert_eq!(c.first_cut_in_window("y", "x", t(0), t(10)), None, "one-way cut");
+    }
+
+    #[test]
+    fn empty_schedule_is_not_active() {
+        let mut c = ChaosState::default();
+        assert!(!c.is_active());
+        c.set_schedule(FaultSchedule::new());
+        assert!(!c.is_active());
+        c.set_schedule(FaultSchedule::new().at(t(1), FaultEvent::Heal));
+        assert!(c.is_active());
+    }
+
+    #[test]
+    fn chaos_plan_is_deterministic_and_heals_by_horizon() {
+        let sites: Vec<String> = ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect();
+        let plan = ChaosPlan::new(42, &sites);
+        let s1 = plan.schedule();
+        let s2 = ChaosPlan::new(42, &sites).schedule();
+        assert_eq!(s1, s2, "same seed, same schedule");
+        let s3 = ChaosPlan::new(43, &sites).schedule();
+        assert_ne!(s1, s3, "different seed, different schedule");
+        assert!(s1.horizon() <= SimTime(plan.horizon.nanos()));
+
+        // Applying everything heals the grid (every Down has its Up).
+        let mut c = ChaosState::default();
+        c.set_schedule(s1);
+        c.apply_until(SimTime(plan.horizon.nanos()));
+        c.take_pending_restarts();
+        assert!(c.all_healed(), "all outages must repair by the horizon: {c}");
+        assert_eq!(c.remaining_events(), 0);
+    }
+
+    #[test]
+    fn splitmix_is_reproducible() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = SplitMix64::new(1);
+        for _ in 0..1000 {
+            assert!(r.gen_range(10) < 10);
+        }
+    }
+}

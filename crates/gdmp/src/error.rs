@@ -33,6 +33,31 @@ pub enum GdmpError {
     NotPublished(String),
     /// Plugin-specific failure during pre/post-processing.
     Plugin { file_type: String, message: String },
+    /// The peer site is down (crashed or partitioned away). Retryable: the
+    /// site will come back and journaled work will be replayed.
+    SiteUnreachable(String),
+    /// The directed WAN path between two sites is severed or dropped the
+    /// call. Retryable: links flap and heal.
+    LinkDown { from: String, to: String },
+}
+
+impl GdmpError {
+    /// Is this failure worth retrying later (transient infrastructure
+    /// trouble), as opposed to a permanent error (bad request, security
+    /// refusal, catalog inconsistency) where retrying cannot help?
+    ///
+    /// `replicate_pending` keeps retryable files queued and continues the
+    /// batch; the chaos recovery loop replays journaled notifications only
+    /// for retryable send failures.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            GdmpError::SiteUnreachable(_)
+                | GdmpError::LinkDown { .. }
+                | GdmpError::TransferFailed { .. }
+                | GdmpError::IntegrityFailure { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for GdmpError {
@@ -56,6 +81,8 @@ impl std::fmt::Display for GdmpError {
             GdmpError::Plugin { file_type, message } => {
                 write!(f, "{file_type} plugin: {message}")
             }
+            GdmpError::SiteUnreachable(s) => write!(f, "site unreachable: {s}"),
+            GdmpError::LinkDown { from, to } => write!(f, "link down: {from} -> {to}"),
         }
     }
 }

@@ -21,11 +21,15 @@ use gdmp_replica_catalog::service::{FileMeta, ReplicaCatalogService};
 use gdmp_simnet::time::{SimDuration, SimTime};
 use gdmp_telemetry::Registry;
 
+use crate::chaos::{ChaosState, FaultEvent, FaultSchedule};
 use crate::error::{GdmpError, Result};
 use crate::failure::{FaultPlan, FaultState, Verdict};
 use crate::message::{FileNotice, Request, Response};
 use crate::plugins::PluginCtx;
-use crate::recovery::{FailureCtx, FailureKind, RecoveryAction, RecoveryStrategy, SimpleRetry};
+use crate::recovery::{
+    BreakerConfig, CircuitBreaker, FailureCtx, FailureKind, RecoveryAction, RecoveryStrategy,
+    SimpleRetry,
+};
 use crate::site::{Site, SiteConfig};
 
 /// GridFTP parameters the Data Mover uses for every transfer.
@@ -97,6 +101,11 @@ pub struct Grid {
     faults: HashMap<(String, Option<String>), FaultState>,
     /// Pluggable error recovery; `None` = SimpleRetry(params.max_attempts).
     recovery: Option<Box<dyn RecoveryStrategy>>,
+    /// Grid-level fault timeline (site crashes, link cuts, partitions).
+    /// Inert until [`Grid::set_fault_schedule`] installs a non-empty one.
+    chaos: ChaosState,
+    /// Per-source circuit breaker for the Data Mover; disabled by default.
+    breaker: CircuitBreaker,
     pub reports: Vec<ReplicationReport>,
     nonce_counter: u64,
     /// RPCs issued (Request Manager load).
@@ -130,6 +139,8 @@ impl Grid {
             params: TransferParams::default(),
             faults: HashMap::new(),
             recovery: None,
+            chaos: ChaosState::default(),
+            breaker: CircuitBreaker::default(),
             reports: Vec::new(),
             nonce_counter: 1,
             rpc_count: 0,
@@ -228,10 +239,192 @@ impl Grid {
 
     pub fn advance(&mut self, d: SimDuration) {
         self.clock += d;
+        if self.chaos.is_active() {
+            self.run_recovery();
+        }
     }
 
     fn gsi_now(&self) -> u64 {
         self.clock.as_secs_f64() as u64
+    }
+
+    // ---- chaos: grid-level fault timeline ---------------------------------
+
+    /// Install a fault timeline. Events fire lazily as the grid's clock
+    /// passes them — `rpc`, `replicate`, and `advance` all consult the
+    /// schedule. An empty schedule is behaviourally inert: no chaos branch
+    /// is ever taken.
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        self.chaos.set_schedule(schedule);
+    }
+
+    /// The live fault state: what is down, cut, or partitioned right now.
+    pub fn chaos_state(&self) -> &ChaosState {
+        &self.chaos
+    }
+
+    /// Arm the Data Mover's per-source circuit breaker.
+    pub fn set_breaker(&mut self, config: BreakerConfig) {
+        self.breaker = CircuitBreaker::new(config);
+    }
+
+    /// Liveness-probe `to` from `from`: one Echo RPC. Works against peers
+    /// restricted to any operation set ([`gdmp_gsi::gridmap::Operation::Ping`]
+    /// is granted to every mapped identity), so reachability checks never
+    /// depend on catalog rights.
+    pub fn ping(&mut self, from: &str, to: &str) -> Result<()> {
+        match self.rpc(from, to, Request::Echo("ping".to_string()))? {
+            Response::Echo(_) => Ok(()),
+            other => panic!("Echo returned {other:?}"),
+        }
+    }
+
+    /// Apply every scheduled fault whose time has come. A site crash wipes
+    /// that site's volatile state immediately; restart *resyncs* are
+    /// deferred to [`Grid::run_recovery`] — they issue RPCs and must not
+    /// run re-entrantly under [`Grid::rpc`].
+    fn apply_due_faults(&mut self) {
+        let fired = self.chaos.apply_until(self.clock);
+        if fired.is_empty() {
+            return;
+        }
+        let reg = self.telemetry.clone();
+        for ev in fired {
+            let kind = match &ev {
+                FaultEvent::SiteDown { site } => {
+                    if let Some(s) = self.sites.get_mut(site) {
+                        s.crash();
+                    }
+                    "site_down"
+                }
+                FaultEvent::SiteUp { .. } => "site_up",
+                FaultEvent::LinkDown { .. } => "link_down",
+                FaultEvent::LinkUp { .. } => "link_up",
+                FaultEvent::Partition { .. } => "partition",
+                FaultEvent::Heal => "heal",
+                FaultEvent::RpcDrop { .. } => "rpc_drop",
+            };
+            reg.counter_add("chaos_events", &[("kind", kind)], 1);
+            reg.record(self.clock.nanos(), "chaos_event", format!("{ev:?}"));
+        }
+    }
+
+    /// Drive failure recovery forward: replay journaled notifications whose
+    /// subscribers are reachable again (the paper's Request Manager sends
+    /// queued messages "as soon as the GDMP server is up again"), and
+    /// resync restarted sites — `GetCatalog` from each producer they
+    /// subscribe to, re-enqueueing files missing locally. Runs to a bounded
+    /// fixed point because replays and resyncs advance the clock, which can
+    /// fire further scheduled faults. Called automatically from
+    /// [`Grid::advance`] while chaos is active; harmless to call directly.
+    /// Returns the number of recovery actions performed.
+    pub fn run_recovery(&mut self) -> usize {
+        if !self.chaos.is_active() {
+            return 0;
+        }
+        let reg = self.telemetry.clone();
+        let mut actions = 0usize;
+        for _ in 0..4 {
+            self.apply_due_faults();
+            let mut progressed = false;
+
+            // 1. Replay journaled notifications.
+            let producers: Vec<String> = self.sites.keys().cloned().collect();
+            for producer in &producers {
+                if self.chaos.is_down(producer) || self.sites[producer.as_str()].journal.is_empty()
+                {
+                    continue;
+                }
+                let journal =
+                    std::mem::take(&mut self.sites.get_mut(producer).expect("listed").journal);
+                let mut kept: Vec<(String, FileNotice)> = Vec::new();
+                let mut subscribers: Vec<String> = Vec::new();
+                for (sub, _) in &journal {
+                    if !subscribers.contains(sub) {
+                        subscribers.push(sub.clone());
+                    }
+                }
+                for sub in subscribers {
+                    let notices: Vec<FileNotice> =
+                        journal.iter().filter(|(s, _)| *s == sub).map(|(_, n)| n.clone()).collect();
+                    if !self.chaos.can_rpc(producer, &sub) {
+                        kept.extend(notices.into_iter().map(|n| (sub.clone(), n)));
+                        continue;
+                    }
+                    let count = notices.len();
+                    match self.rpc(producer, &sub, Request::Notify { notices: notices.clone() }) {
+                        Ok(_) => {
+                            actions += count;
+                            progressed = true;
+                            reg.counter_add(
+                                "notices_replayed",
+                                &[("site", producer.as_str())],
+                                count as u64,
+                            );
+                            reg.record(
+                                self.clock.nanos(),
+                                "journal_replayed",
+                                format!("{producer} -> {sub}: {count} notices"),
+                            );
+                        }
+                        Err(_) => {
+                            // Still unreachable (or a fault fired mid-call):
+                            // keep the entries journaled for the next pass.
+                            kept.extend(notices.into_iter().map(|n| (sub.clone(), n)));
+                        }
+                    }
+                }
+                self.sites.get_mut(producer).expect("listed").journal = kept;
+            }
+
+            // 2. Resync restarted sites against their producers.
+            for site in self.chaos.take_pending_restarts() {
+                if self.chaos.is_down(&site) {
+                    // Crashed again before resync ran; the next SiteUp
+                    // re-queues it.
+                    continue;
+                }
+                let producers: Vec<String> = match self.site(&site) {
+                    Ok(s) => s.subscriptions.iter().cloned().collect(),
+                    Err(_) => continue,
+                };
+                let mut fully_synced = true;
+                for producer in producers {
+                    if !self.chaos.can_rpc(&site, &producer) {
+                        fully_synced = false;
+                        continue;
+                    }
+                    match self.recover_catalog(&site, &producer) {
+                        Ok(n) => {
+                            actions += 1;
+                            progressed = true;
+                            if n > 0 {
+                                reg.counter_add(
+                                    "resync_repairs",
+                                    &[("site", site.as_str())],
+                                    n as u64,
+                                );
+                                reg.record(
+                                    self.clock.nanos(),
+                                    "resync",
+                                    format!("{site}: {n} files re-enqueued from {producer}"),
+                                );
+                            }
+                        }
+                        Err(e) if e.is_retryable() => fully_synced = false,
+                        Err(_) => {}
+                    }
+                }
+                if !fully_synced {
+                    self.chaos.defer_restart(site);
+                }
+            }
+
+            if !progressed {
+                break;
+            }
+        }
+        actions
     }
 
     // ---- request manager (authenticated RPC) ------------------------------
@@ -244,6 +437,42 @@ impl Grid {
         }
         if !self.sites.contains_key(to) {
             return Err(GdmpError::NoSuchSite(to.to_string()));
+        }
+        if self.chaos.is_active() {
+            self.apply_due_faults();
+            let failure = if !self.chaos.can_rpc(from, to) {
+                Some(if self.chaos.is_down(to) {
+                    ("site_down", GdmpError::SiteUnreachable(to.to_string()))
+                } else if self.chaos.is_down(from) {
+                    ("site_down", GdmpError::SiteUnreachable(from.to_string()))
+                } else {
+                    (
+                        "link_down",
+                        GdmpError::LinkDown { from: from.to_string(), to: to.to_string() },
+                    )
+                })
+            } else if self.chaos.should_drop_rpc(from, to) {
+                Some((
+                    "dropped",
+                    GdmpError::LinkDown { from: from.to_string(), to: to.to_string() },
+                ))
+            } else {
+                None
+            };
+            if let Some((reason, e)) = failure {
+                // The caller pays the timeout: one control round trip spent
+                // learning that nobody answers.
+                self.clock += self.profile_between(from, to).rtt();
+                self.rpc_count += 1;
+                let reg = self.telemetry.clone();
+                reg.counter_add("rpc_failures", &[("kind", req.kind()), ("reason", reason)], 1);
+                reg.record(
+                    self.clock.nanos(),
+                    "rpc_failed",
+                    format!("{from} -> {to} {}: {e}", req.kind()),
+                );
+                return Err(e);
+            }
         }
         // Mutual authentication between the two site credentials.
         self.nonce_counter += 1;
@@ -286,7 +515,12 @@ impl Grid {
     pub fn subscribe(&mut self, subscriber: &str, producer: &str) -> Result<()> {
         let req = Request::Subscribe { subscriber: subscriber.to_string() };
         match self.rpc(subscriber, producer, req)? {
-            Response::Ok => Ok(()),
+            Response::Ok => {
+                // Remember the reverse edge: restart resync needs to know
+                // whose catalogs this site should re-fetch.
+                self.site_mut(subscriber)?.subscriptions.insert(producer.to_string());
+                Ok(())
+            }
             other => panic!("subscribe returned {other:?}"),
         }
     }
@@ -331,7 +565,22 @@ impl Grid {
                 self.site(site_name)?.subscribers.iter().cloned().collect();
             reg.span_note(span, "subscribers", subscribers.len() as u64);
             for sub in subscribers {
-                self.rpc(site_name, &sub, Request::Notify { notices: vec![notice.clone()] })?;
+                let req = Request::Notify { notices: vec![notice.clone()] };
+                match self.rpc(site_name, &sub, req) {
+                    Ok(_) => {}
+                    Err(e) if e.is_retryable() => {
+                        // The paper's Request Manager: queue the message for
+                        // the unreachable subscriber and send it on recovery.
+                        reg.counter_add("notices_journaled", &[("site", site_name)], 1);
+                        reg.record(
+                            self.clock.nanos(),
+                            "notice_journaled",
+                            format!("{lfn} for {sub}: {e}"),
+                        );
+                        self.site_mut(site_name)?.journal.push((sub, notice.clone()));
+                    }
+                    Err(e) => return Err(e),
+                }
             }
             Ok(meta)
         })();
@@ -395,6 +644,48 @@ impl Grid {
         match &self.recovery {
             Some(s) => s.decide(ctx),
             None => SimpleRetry { max_attempts: self.params.max_attempts }.decide(ctx),
+        }
+    }
+
+    /// One failed attempt against `source`: feed the circuit breaker, ask
+    /// the recovery strategy for a verdict, and serve any backoff wait on
+    /// the sim clock. Returns the action for the caller to execute.
+    fn handle_failure(&mut self, source: &str, ctx: &FailureCtx, reg: &Registry) -> RecoveryAction {
+        if self.breaker.record_failure(source, self.clock) {
+            reg.counter_add("breaker_trips", &[("src", source)], 1);
+            reg.record(
+                self.clock.nanos(),
+                "breaker_open",
+                format!("{source}: circuit opened after consecutive failures"),
+            );
+        }
+        let action = self.decide_recovery(ctx);
+        let verdict_label = match action {
+            RecoveryAction::RetrySameSource => "retry_same_source",
+            RecoveryAction::FailoverToNextSource => "failover",
+            RecoveryAction::GiveUp => "give_up",
+        };
+        reg.counter_add("recovery_verdicts", &[("action", verdict_label)], 1);
+        if action == RecoveryAction::RetrySameSource {
+            let wait = match &self.recovery {
+                Some(s) => s.backoff(ctx),
+                None => SimDuration::ZERO,
+            };
+            if wait > SimDuration::ZERO {
+                self.clock += wait;
+                reg.counter_add("backoff_waits", &[("src", source)], 1);
+                reg.observe("backoff_wait_ns", &[], wait.nanos());
+            }
+        }
+        action
+    }
+
+    /// Unpin a file at a source, tolerating the pin having vanished (a
+    /// crash clears all pins, so a failover after a source crash must not
+    /// turn the bookkeeping cleanup into a second error).
+    fn unpin_quiet(&mut self, site: &str, lfn: &str) {
+        if let Ok(s) = self.site_mut(site) {
+            let _ = s.storage.pool.unpin(lfn);
         }
     }
 
@@ -468,6 +759,20 @@ impl Grid {
         if estimates.is_empty() {
             return Err(GdmpError::NotPublished(lfn.to_string()));
         }
+        // Circuit breaker: skip sources in cooldown after repeated failures
+        // — unless every candidate is open, in which case probing the
+        // cheapest beats failing without trying.
+        let mut estimates = estimates;
+        if self.breaker.any_open(self.clock) {
+            let now = self.clock;
+            let healthy = estimates.iter().filter(|e| !self.breaker.is_open(&e.site, now)).count();
+            if healthy > 0 && healthy < estimates.len() {
+                let skipped = (estimates.len() - healthy) as u64;
+                reg.counter_add("breaker_skips", &[], skipped);
+                let breaker = &self.breaker;
+                estimates.retain(|e| !breaker.is_open(&e.site, now));
+            }
+        }
         let size = info.meta.size;
 
         let mut src_i = 0usize;
@@ -482,25 +787,87 @@ impl Grid {
 
         let (source, data) = 'sources: loop {
             let source = estimates[src_i].site.clone();
-            // Ask this source to make the file disk-resident (stage if
-            // needed). The RPC costs one RTT; the rest is staging latency.
-            {
+            // Prologue: reachability, then ask this source to make the file
+            // disk-resident (stage if needed). The RPC costs one RTT; the
+            // rest is staging latency. A retryable failure here — source
+            // down, path cut — is an Unreachable failure of this source; no
+            // pin is held yet.
+            let prologue_err: Option<GdmpError> = 'prologue: {
+                if self.chaos.is_active() {
+                    self.apply_due_faults();
+                    if !self.chaos.can_rpc(dst, &source) || !self.chaos.can_flow(&source, dst) {
+                        break 'prologue Some(if self.chaos.is_down(&source) {
+                            GdmpError::SiteUnreachable(source.clone())
+                        } else {
+                            GdmpError::LinkDown { from: source.clone(), to: dst.to_string() }
+                        });
+                    }
+                }
                 let stage_span = reg.span_start("staging", self.clock.nanos());
                 reg.span_note(stage_span, "source", source.as_str());
                 let before = self.clock;
                 let rtt = self.profile_between(dst, &source).rtt();
-                match self.rpc(dst, &source, Request::PrepareFile { lfn: lfn.to_string() })? {
-                    Response::FileReady { was_staged, .. } => {
+                match self.rpc(dst, &source, Request::PrepareFile { lfn: lfn.to_string() }) {
+                    Ok(Response::FileReady { was_staged, .. }) => {
                         let total = self.clock.since(before);
                         let staged_for = SimDuration(total.nanos().saturating_sub(rtt.nanos()));
                         stage_latency = stage_latency + staged_for;
                         staged_any |= was_staged;
                         reg.span_note(stage_span, "was_staged", was_staged);
                         reg.observe("stage_latency_ns", &[], staged_for.nanos());
+                        reg.span_end(stage_span, self.clock.nanos());
+                        None
                     }
-                    other => panic!("PrepareFile returned {other:?}"),
+                    Ok(other) => panic!("PrepareFile returned {other:?}"),
+                    Err(e) if e.is_retryable() => {
+                        reg.span_note(stage_span, "error", e.to_string());
+                        reg.span_end(stage_span, self.clock.nanos());
+                        Some(e)
+                    }
+                    Err(e) => {
+                        reg.span_end(stage_span, self.clock.nanos());
+                        return Err(e);
+                    }
                 }
-                reg.span_end(stage_span, self.clock.nanos());
+            };
+            if let Some(e) = prologue_err {
+                attempts_total += 1;
+                attempts_on_source += 1;
+                reg.counter_add("source_unreachable", &[("src", source.as_str())], 1);
+                let ctx = FailureCtx {
+                    attempts_on_source,
+                    attempts_total,
+                    sources_tried: src_i as u32 + 1,
+                    sources_remaining: (estimates.len() - 1 - src_i) as u32,
+                    kind: FailureKind::Unreachable,
+                };
+                match self.handle_failure(&source, &ctx, reg) {
+                    RecoveryAction::RetrySameSource => continue 'sources,
+                    RecoveryAction::FailoverToNextSource => {
+                        src_i += 1;
+                        attempts_on_source = 0;
+                        reg.record(
+                            self.clock.nanos(),
+                            "failover",
+                            format!("{lfn}: leaving {source} after {attempts_total} attempts"),
+                        );
+                        if src_i >= estimates.len() {
+                            return Err(GdmpError::TransferFailed {
+                                lfn: lfn.to_string(),
+                                attempts: attempts_total,
+                                last_error: e.to_string(),
+                            });
+                        }
+                        continue 'sources;
+                    }
+                    RecoveryAction::GiveUp => {
+                        return Err(GdmpError::TransferFailed {
+                            lfn: lfn.to_string(),
+                            attempts: attempts_total,
+                            last_error: e.to_string(),
+                        });
+                    }
+                }
             }
             // Pre-processing (Section 4.1, file-type specific): Objectivity
             // files need the source's schema installed at the destination
@@ -520,82 +887,139 @@ impl Grid {
             loop {
                 attempts_total += 1;
                 attempts_on_source += 1;
-                let xfer_span = reg.span_start("transfer", self.clock.nanos());
-                reg.span_note(xfer_span, "source", source.as_str());
-                reg.span_note(xfer_span, "attempt", u64::from(attempts_total));
-                reg.span_note(xfer_span, "bytes_requested", remaining);
-                let report = profile.simulate_transfer_telemetry(
-                    remaining.max(1),
-                    params.streams,
-                    params.buffer,
-                    reg,
-                );
-                setup_time = setup_time + report.setup_time;
-                reg.counter_add(
-                    "transfer_retransmits",
-                    &pair_labels,
-                    report.retransmitted_segments,
-                );
-                let verdict = self.fault_verdict(lfn, &source);
-                let kind = match verdict {
-                    Verdict::Clean => {
-                        self.clock += report.setup_time + report.data_time;
-                        data_time = data_time + report.data_time;
-                        bytes_moved += remaining;
-                        reg.counter_add("transfer_bytes", &pair_labels, remaining);
-                        reg.span_note(xfer_span, "outcome", "clean");
-                        reg.span_end(xfer_span, self.clock.nanos());
-                        let crc_span = reg.span_start("crc_verify", self.clock.nanos());
-                        self.clock += SimDuration::from_millis(1); // CRC pass
-                        reg.span_note(crc_span, "passed", true);
-                        reg.span_end(crc_span, self.clock.nanos());
-                        let data = self
-                            .site(&source)?
-                            .storage
-                            .pool
-                            .peek(lfn)
-                            .expect("pinned file is resident");
-                        self.site_mut(&source)?.storage.pool.unpin(lfn)?;
-                        break 'sources (source, data);
-                    }
-                    Verdict::Abort { fraction } => {
-                        // Connection died mid-attempt; restart markers
-                        // preserve what arrived.
-                        let got = (remaining as f64 * fraction) as u64;
-                        let partial_time =
-                            SimDuration::from_secs_f64(report.data_time.as_secs_f64() * fraction);
+                // A fault may have fired during a backoff wait or a prior
+                // attempt: a path already severed fails the attempt before
+                // any byte moves (connection refused).
+                let blocked = self.chaos.is_active() && {
+                    self.apply_due_faults();
+                    !self.chaos.can_flow(&source, dst)
+                };
+                let kind = if blocked {
+                    reg.counter_add("source_unreachable", &[("src", source.as_str())], 1);
+                    reg.record(
+                        self.clock.nanos(),
+                        "transfer_blocked",
+                        format!("{lfn}: {source} -> {dst} unreachable"),
+                    );
+                    FailureKind::Unreachable
+                } else {
+                    let xfer_span = reg.span_start("transfer", self.clock.nanos());
+                    reg.span_note(xfer_span, "source", source.as_str());
+                    reg.span_note(xfer_span, "attempt", u64::from(attempts_total));
+                    reg.span_note(xfer_span, "bytes_requested", remaining);
+                    let report = profile.simulate_transfer_telemetry(
+                        remaining.max(1),
+                        params.streams,
+                        params.buffer,
+                        reg,
+                    );
+                    setup_time = setup_time + report.setup_time;
+                    reg.counter_add(
+                        "transfer_retransmits",
+                        &pair_labels,
+                        report.retransmitted_segments,
+                    );
+                    // Does a scheduled fault sever this path while the
+                    // attempt is in flight? The connection dies at that
+                    // instant; restart markers keep what had arrived.
+                    let cut_at = if self.chaos.is_active() {
+                        let window_end = self.clock + report.setup_time + report.data_time;
+                        self.chaos.first_cut_in_window(&source, dst, self.clock, window_end)
+                    } else {
+                        None
+                    };
+                    if let Some(cut) = cut_at {
+                        let data_ns = report.data_time.nanos().max(1);
+                        let elapsed = cut
+                            .nanos()
+                            .saturating_sub(self.clock.nanos() + report.setup_time.nanos())
+                            .min(data_ns);
+                        let got = (remaining as f64 * (elapsed as f64 / data_ns as f64)) as u64;
+                        let partial_time = SimDuration::from_nanos(elapsed);
                         self.clock += report.setup_time + partial_time;
                         data_time = data_time + partial_time;
                         bytes_moved += got;
                         remaining -= got.min(remaining);
                         reg.counter_add("transfer_bytes", &pair_labels, got);
                         reg.counter_add("restart_events", &pair_labels, 1);
-                        reg.span_note(xfer_span, "outcome", "aborted");
+                        reg.span_note(xfer_span, "outcome", "severed");
                         reg.span_note(xfer_span, "bytes_salvaged", got);
                         reg.span_end(xfer_span, self.clock.nanos());
                         reg.record(
                             self.clock.nanos(),
-                            "transfer_abort",
-                            format!("{lfn} from {source}: {got} of {} B salvaged", got + remaining),
+                            "transfer_severed",
+                            format!("{lfn} from {source}: path died mid-flight, {got} B salvaged"),
                         );
-                        FailureKind::Aborted
-                    }
-                    Verdict::Corrupt => {
-                        // Whole attempt completed, CRC failed: discard and
-                        // re-fetch the file.
-                        self.clock += report.setup_time + report.data_time;
-                        data_time = data_time + report.data_time;
-                        bytes_moved += remaining;
-                        remaining = size;
-                        reg.counter_add("crc_failures", &pair_labels, 1);
-                        reg.span_note(xfer_span, "outcome", "corrupt");
-                        reg.span_end(xfer_span, self.clock.nanos());
-                        reg.record(
-                            self.clock.nanos(),
-                            "crc_failure",
-                            format!("{lfn} from {source}: attempt {attempts_total} discarded"),
-                        );
-                        FailureKind::Corrupted
+                        FailureKind::Unreachable
+                    } else {
+                        match self.fault_verdict(lfn, &source) {
+                            Verdict::Clean => {
+                                self.clock += report.setup_time + report.data_time;
+                                data_time = data_time + report.data_time;
+                                bytes_moved += remaining;
+                                reg.counter_add("transfer_bytes", &pair_labels, remaining);
+                                reg.span_note(xfer_span, "outcome", "clean");
+                                reg.span_end(xfer_span, self.clock.nanos());
+                                let crc_span = reg.span_start("crc_verify", self.clock.nanos());
+                                self.clock += SimDuration::from_millis(1); // CRC pass
+                                reg.span_note(crc_span, "passed", true);
+                                reg.span_end(crc_span, self.clock.nanos());
+                                let data = self
+                                    .site(&source)?
+                                    .storage
+                                    .pool
+                                    .peek(lfn)
+                                    .expect("pinned file is resident");
+                                self.site_mut(&source)?.storage.pool.unpin(lfn)?;
+                                self.breaker.record_success(&source);
+                                break 'sources (source, data);
+                            }
+                            Verdict::Abort { fraction } => {
+                                // Connection died mid-attempt; restart
+                                // markers preserve what arrived.
+                                let got = (remaining as f64 * fraction) as u64;
+                                let partial_time = SimDuration::from_secs_f64(
+                                    report.data_time.as_secs_f64() * fraction,
+                                );
+                                self.clock += report.setup_time + partial_time;
+                                data_time = data_time + partial_time;
+                                bytes_moved += got;
+                                remaining -= got.min(remaining);
+                                reg.counter_add("transfer_bytes", &pair_labels, got);
+                                reg.counter_add("restart_events", &pair_labels, 1);
+                                reg.span_note(xfer_span, "outcome", "aborted");
+                                reg.span_note(xfer_span, "bytes_salvaged", got);
+                                reg.span_end(xfer_span, self.clock.nanos());
+                                reg.record(
+                                    self.clock.nanos(),
+                                    "transfer_abort",
+                                    format!(
+                                        "{lfn} from {source}: {got} of {} B salvaged",
+                                        got + remaining
+                                    ),
+                                );
+                                FailureKind::Aborted
+                            }
+                            Verdict::Corrupt => {
+                                // Whole attempt completed, CRC failed:
+                                // discard and re-fetch the file.
+                                self.clock += report.setup_time + report.data_time;
+                                data_time = data_time + report.data_time;
+                                bytes_moved += remaining;
+                                remaining = size;
+                                reg.counter_add("crc_failures", &pair_labels, 1);
+                                reg.span_note(xfer_span, "outcome", "corrupt");
+                                reg.span_end(xfer_span, self.clock.nanos());
+                                reg.record(
+                                    self.clock.nanos(),
+                                    "crc_failure",
+                                    format!(
+                                        "{lfn} from {source}: attempt {attempts_total} discarded"
+                                    ),
+                                );
+                                FailureKind::Corrupted
+                            }
+                        }
                     }
                 };
                 let ctx = FailureCtx {
@@ -605,17 +1029,10 @@ impl Grid {
                     sources_remaining: (estimates.len() - 1 - src_i) as u32,
                     kind,
                 };
-                let action = self.decide_recovery(&ctx);
-                let verdict_label = match action {
-                    RecoveryAction::RetrySameSource => "retry_same_source",
-                    RecoveryAction::FailoverToNextSource => "failover",
-                    RecoveryAction::GiveUp => "give_up",
-                };
-                reg.counter_add("recovery_verdicts", &[("action", verdict_label)], 1);
-                match action {
+                match self.handle_failure(&source, &ctx, reg) {
                     RecoveryAction::RetrySameSource => continue,
                     RecoveryAction::FailoverToNextSource => {
-                        self.site_mut(&source)?.storage.pool.unpin(lfn)?;
+                        self.unpin_quiet(&source, lfn);
                         src_i += 1;
                         attempts_on_source = 0;
                         reg.record(
@@ -633,7 +1050,7 @@ impl Grid {
                         continue 'sources;
                     }
                     RecoveryAction::GiveUp => {
-                        self.site_mut(&source)?.storage.pool.unpin(lfn)?;
+                        self.unpin_quiet(&source, lfn);
                         return Err(GdmpError::TransferFailed {
                             lfn: lfn.to_string(),
                             attempts: attempts_total,
@@ -734,17 +1151,32 @@ impl Grid {
         reg.span_note(span, "dst", dst);
         reg.span_note(span, "pending", pending.len() as u64);
         let mut out = Vec::new();
+        let mut deferred: u64 = 0;
         for notice in pending {
             match self.replicate(dst, &notice.lfn) {
                 Ok(r) => out.push(r),
                 Err(GdmpError::AlreadyReplicated { .. }) => {
                     self.site_mut(dst)?.import_queue.retain(|n| n.lfn != notice.lfn);
                 }
+                Err(e) if e.is_retryable() => {
+                    // A down source or severed link fails one file, not the
+                    // whole drain: the notice stays queued for a later pass.
+                    deferred += 1;
+                    reg.counter_add("replications_deferred", &[("dst", dst)], 1);
+                    reg.record(
+                        self.clock.nanos(),
+                        "replication_deferred",
+                        format!("{} -> {dst}: {e}", notice.lfn),
+                    );
+                }
                 Err(e) => {
                     reg.span_end(span, self.clock.nanos());
                     return Err(e);
                 }
             }
+        }
+        if deferred > 0 {
+            reg.span_note(span, "deferred", deferred);
         }
         reg.span_note(span, "replicated", out.len() as u64);
         reg.span_end(span, self.clock.nanos());

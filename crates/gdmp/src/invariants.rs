@@ -1,0 +1,336 @@
+//! Grid-wide safety and convergence invariants.
+//!
+//! The chaos layer ([`crate::chaos`]) exists to *violate* assumptions; this
+//! module states the properties that must nevertheless hold once the dust
+//! settles. The soak harness runs a seeded fault plan, drains the queues,
+//! and then calls [`check_grid`]:
+//!
+//! 1. **Replica integrity** — every catalog replica entry corresponds to a
+//!    disk- or tape-resident file whose size and CRC-32 match the
+//!    published metadata. No half-registered entries, no corrupt bytes.
+//! 2. **Pool accounting** — no leaked reservations, no leaked pins, and
+//!    the pool's used-byte counter equals the sum of its resident files.
+//! 3. **Convergence** — after faults heal and queues drain, every
+//!    subscriber holds every file its producers published, exactly once.
+//! 4. **Quiescence** — import queues, notification journals, and pending
+//!    restarts are empty; nothing is silently stuck.
+//!
+//! All inspection goes through non-perturbing accessors (`pool.peek`,
+//! `tape.peek`): checking the invariants never mounts a tape, touches an
+//! LRU clock, or advances the simulation.
+
+use gdmp_gridftp::crc::crc32;
+
+use crate::grid::Grid;
+
+/// One broken invariant, with enough context to debug a seeded soak run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant family failed (`integrity`, `accounting`,
+    /// `convergence`, `quiescence`).
+    pub invariant: &'static str,
+    /// Site where the problem was observed (empty for grid-global issues).
+    pub site: String,
+    /// Human-readable description of the mismatch.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}: {}", self.invariant, self.site, self.detail)
+    }
+}
+
+/// Outcome of a full invariant sweep.
+#[derive(Debug, Clone, Default)]
+pub struct InvariantReport {
+    pub sites_checked: usize,
+    pub replicas_checked: usize,
+    /// (producer, subscriber, file) triples verified for convergence.
+    pub deliveries_checked: usize,
+    pub violations: Vec<Violation>,
+}
+
+impl InvariantReport {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panic with every violation listed; `context` should carry the seed
+    /// so a failing soak run can be replayed.
+    pub fn assert_clean(&self, context: &str) {
+        if !self.is_clean() {
+            let mut msg =
+                format!("{} invariant violation(s) ({context}):\n", self.violations.len());
+            for v in &self.violations {
+                msg.push_str(&format!("  - {v}\n"));
+            }
+            panic!("{msg}");
+        }
+    }
+}
+
+/// Run every invariant over the whole grid. Read-only in effect: the
+/// catalog handle needs `&mut` for its query API, but no state changes and
+/// the sim clock does not move.
+pub fn check_grid(grid: &mut Grid) -> InvariantReport {
+    let mut report = InvariantReport::default();
+    let site_names = grid.site_names();
+    report.sites_checked = site_names.len();
+
+    check_replica_integrity(grid, &mut report);
+    for name in &site_names {
+        check_pool_accounting(grid, name, &mut report);
+        check_quiescence(grid, name, &mut report);
+    }
+    check_convergence(grid, &site_names, &mut report);
+
+    if grid.chaos_state().is_active() && grid.chaos_state().pending_restarts() > 0 {
+        report.violations.push(Violation {
+            invariant: "quiescence",
+            site: String::new(),
+            detail: format!(
+                "restart resync never completed for {} site(s)",
+                grid.chaos_state().pending_restarts()
+            ),
+        });
+    }
+    report
+}
+
+/// Invariant 1: catalog ↔ storage agreement, byte-for-byte.
+fn check_replica_integrity(grid: &mut Grid, report: &mut InvariantReport) {
+    let lfns = grid.catalog.list().unwrap_or_default();
+    for lfn in lfns {
+        let Ok(info) = grid.catalog.info(&lfn) else {
+            continue;
+        };
+        let mut seen_sites = Vec::new();
+        for replica in &info.replicas {
+            report.replicas_checked += 1;
+            if seen_sites.contains(&replica.location) {
+                report.violations.push(Violation {
+                    invariant: "integrity",
+                    site: replica.location.clone(),
+                    detail: format!("{lfn}: duplicate catalog replica entry"),
+                });
+                continue;
+            }
+            seen_sites.push(replica.location.clone());
+            let Ok(site) = grid.site(&replica.location) else {
+                report.violations.push(Violation {
+                    invariant: "integrity",
+                    site: replica.location.clone(),
+                    detail: format!("{lfn}: replica registered at unknown site"),
+                });
+                continue;
+            };
+            let bytes = site.storage.pool.peek(&lfn).or_else(|| site.storage.tape.peek(&lfn));
+            let Some(bytes) = bytes else {
+                report.violations.push(Violation {
+                    invariant: "integrity",
+                    site: replica.location.clone(),
+                    detail: format!("{lfn}: catalog entry but no resident copy"),
+                });
+                continue;
+            };
+            if bytes.len() as u64 != info.meta.size {
+                report.violations.push(Violation {
+                    invariant: "integrity",
+                    site: replica.location.clone(),
+                    detail: format!(
+                        "{lfn}: resident size {} != catalog size {}",
+                        bytes.len(),
+                        info.meta.size
+                    ),
+                });
+            } else if crc32(&bytes) != info.meta.crc32 {
+                report.violations.push(Violation {
+                    invariant: "integrity",
+                    site: replica.location.clone(),
+                    detail: format!("{lfn}: resident bytes fail CRC-32 check"),
+                });
+            }
+        }
+    }
+}
+
+/// Invariant 2: the disk pool leaked nothing.
+fn check_pool_accounting(grid: &Grid, site_name: &str, report: &mut InvariantReport) {
+    let Ok(site) = grid.site(site_name) else { return };
+    let pool = &site.storage.pool;
+    if pool.reserved() != 0 {
+        report.violations.push(Violation {
+            invariant: "accounting",
+            site: site_name.to_string(),
+            detail: format!("{} reserved bytes leaked", pool.reserved()),
+        });
+    }
+    let pins = pool.pinned_files();
+    if !pins.is_empty() {
+        report.violations.push(Violation {
+            invariant: "accounting",
+            site: site_name.to_string(),
+            detail: format!("pins leaked on {pins:?}"),
+        });
+    }
+    let resident_sum: u64 = pool.file_names().iter().filter_map(|n| pool.size_of(n)).sum();
+    if pool.used() != resident_sum {
+        report.violations.push(Violation {
+            invariant: "accounting",
+            site: site_name.to_string(),
+            detail: format!(
+                "pool used {} != sum of resident file sizes {resident_sum}",
+                pool.used()
+            ),
+        });
+    }
+}
+
+/// Invariant 4: nothing left half-done in any queue.
+fn check_quiescence(grid: &Grid, site_name: &str, report: &mut InvariantReport) {
+    let Ok(site) = grid.site(site_name) else { return };
+    if !site.import_queue.is_empty() {
+        report.violations.push(Violation {
+            invariant: "quiescence",
+            site: site_name.to_string(),
+            detail: format!(
+                "import queue still holds {:?}",
+                site.import_queue.iter().map(|n| n.lfn.as_str()).collect::<Vec<_>>()
+            ),
+        });
+    }
+    if !site.journal.is_empty() {
+        report.violations.push(Violation {
+            invariant: "quiescence",
+            site: site_name.to_string(),
+            detail: format!(
+                "notification journal still holds {} undelivered notice(s)",
+                site.journal.len()
+            ),
+        });
+    }
+}
+
+/// Invariant 3: every subscriber holds every file its producers published,
+/// exactly once, and the catalog knows about it.
+fn check_convergence(grid: &mut Grid, site_names: &[String], report: &mut InvariantReport) {
+    // Collect (producer, subscriber, lfn) expectations first so catalog
+    // lookups below don't fight the site borrows.
+    let mut expected: Vec<(String, String, String)> = Vec::new();
+    for producer in site_names {
+        let Ok(site) = grid.site(producer) else { continue };
+        for notice in &site.export_catalog {
+            // Only files this producer itself published: re-exported
+            // imports would double-count in a full-mesh topology.
+            if notice.origin != *producer {
+                continue;
+            }
+            for subscriber in &site.subscribers {
+                expected.push((producer.clone(), subscriber.clone(), notice.lfn.clone()));
+            }
+        }
+    }
+    for (producer, subscriber, lfn) in expected {
+        report.deliveries_checked += 1;
+        let Ok(sub) = grid.site(&subscriber) else { continue };
+        let resident = sub.storage.pool.contains(&lfn) || sub.storage.tape.contains(&lfn);
+        if !resident {
+            report.violations.push(Violation {
+                invariant: "convergence",
+                site: subscriber.clone(),
+                detail: format!("{lfn} (published by {producer}) never arrived"),
+            });
+            continue;
+        }
+        let registered = grid
+            .catalog
+            .info(&lfn)
+            .map(|i| i.replicas.iter().filter(|r| r.location == subscriber).count())
+            .unwrap_or(0);
+        if registered != 1 {
+            report.violations.push(Violation {
+                invariant: "convergence",
+                site: subscriber.clone(),
+                detail: format!("{lfn}: {registered} catalog entries at subscriber, want 1"),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::SiteConfig;
+    use bytes::Bytes;
+
+    fn grid() -> Grid {
+        let mut g = Grid::new("cms");
+        g.add_site(SiteConfig::named("cern", "cern.ch", 11));
+        g.add_site(SiteConfig::named("anl", "anl.gov", 12));
+        g.trust_all();
+        g
+    }
+
+    #[test]
+    fn healthy_grid_is_clean() {
+        let mut g = grid();
+        g.subscribe("anl", "cern").unwrap();
+        g.publish_file("cern", "run1.dat", Bytes::from(vec![7u8; 4096]), "flat").unwrap();
+        g.replicate_pending("anl").unwrap();
+        let report = check_grid(&mut g);
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.sites_checked, 2);
+        assert!(report.replicas_checked >= 2, "origin + replica");
+        assert_eq!(report.deliveries_checked, 1);
+    }
+
+    #[test]
+    fn missing_replica_is_an_integrity_violation() {
+        let mut g = grid();
+        g.subscribe("anl", "cern").unwrap();
+        g.publish_file("cern", "run1.dat", Bytes::from(vec![7u8; 4096]), "flat").unwrap();
+        g.replicate_pending("anl").unwrap();
+        // Vandalise: drop the bytes at the subscriber but leave the
+        // catalog entry in place.
+        g.site_mut("anl").unwrap().storage.pool.remove("run1.dat").unwrap();
+        let report = check_grid(&mut g);
+        assert!(report.violations.iter().any(|v| v.invariant == "integrity" && v.site == "anl"));
+        // The same loss also breaks convergence.
+        assert!(report.violations.iter().any(|v| v.invariant == "convergence"));
+    }
+
+    #[test]
+    fn corrupt_bytes_fail_crc() {
+        let mut g = grid();
+        g.publish_file("cern", "run1.dat", Bytes::from(vec![7u8; 64]), "flat").unwrap();
+        let site = g.site_mut("cern").unwrap();
+        site.storage.pool.remove("run1.dat").unwrap();
+        site.storage.pool.put("run1.dat", Bytes::from(vec![8u8; 64])).unwrap();
+        let report = check_grid(&mut g);
+        assert!(report.violations.iter().any(|v| v.detail.contains("CRC-32")));
+    }
+
+    #[test]
+    fn undrained_queue_is_a_quiescence_violation() {
+        let mut g = grid();
+        g.subscribe("anl", "cern").unwrap();
+        g.publish_file("cern", "run1.dat", Bytes::from(vec![7u8; 64]), "flat").unwrap();
+        // Notice delivered but never replicated.
+        let report = check_grid(&mut g);
+        assert!(report.violations.iter().any(|v| v.invariant == "quiescence"));
+        assert!(report.violations.iter().any(|v| v.invariant == "convergence"));
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn assert_clean_panics_with_context() {
+        let mut g = grid();
+        g.subscribe("anl", "cern").unwrap();
+        g.publish_file("cern", "run1.dat", Bytes::from(vec![7u8; 64]), "flat").unwrap();
+        let report = check_grid(&mut g);
+        let err = std::panic::catch_unwind(|| report.assert_clean("seed=42")).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("seed=42"), "{msg}");
+    }
+}

@@ -19,10 +19,12 @@
 //! * **consistency policies** ([`consistency`]) — associated-file closure
 //!   so navigation survives replication (Section 2.1).
 
+pub mod chaos;
 pub mod consistency;
 pub mod error;
 pub mod failure;
 pub mod grid;
+pub mod invariants;
 pub mod message;
 pub mod objrep;
 pub mod plugins;
@@ -30,18 +32,20 @@ pub mod recovery;
 pub mod selection;
 pub mod site;
 
+pub use chaos::{ChaosPlan, ChaosState, FaultEvent, FaultSchedule};
 pub use consistency::{associated_closure, ConsistencyPolicy};
 pub use error::{GdmpError, Result};
 pub use failure::{FaultPlan, FaultState, Verdict};
 pub use grid::{Grid, ReplicationReport, TransferParams};
+pub use invariants::{check_grid, InvariantReport, Violation};
 pub use message::{FileNotice, Request, Response};
 pub use objrep::{ObjectReplicationConfig, ObjectReplicationReport};
 pub use plugins::{
     FileTypePlugin, FlatFilePlugin, ObjectivityPlugin, OraclePlugin, PluginRegistry,
 };
 pub use recovery::{
-    CorruptionAverse, FailoverRetry, FailureCtx, FailureKind, RecoveryAction, RecoveryStrategy,
-    SimpleRetry,
+    BackoffRetry, BreakerConfig, CircuitBreaker, CorruptionAverse, FailoverRetry, FailureCtx,
+    FailureKind, RecoveryAction, RecoveryStrategy, SimpleRetry,
 };
 pub use selection::{estimate_sources, SourceEstimate};
 pub use site::{Site, SiteConfig};

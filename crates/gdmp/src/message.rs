@@ -61,7 +61,7 @@ impl Request {
             Request::Notify { .. } => Operation::Publish,
             Request::GetCatalog => Operation::FetchCatalog,
             Request::PrepareFile { .. } => Operation::Transfer,
-            Request::Echo(_) => Operation::FetchCatalog,
+            Request::Echo(_) => Operation::Ping,
         }
     }
 
@@ -99,6 +99,9 @@ mod tests {
             Request::PrepareFile { lfn: "f".into() }.required_operation(),
             Operation::Transfer
         );
+        // Health checks have their own operation so a catalog-restricted
+        // peer can still be liveness-probed.
+        assert_eq!(Request::Echo("hi".into()).required_operation(), Operation::Ping);
     }
 
     #[test]

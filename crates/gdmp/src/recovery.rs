@@ -7,6 +7,12 @@
 //! retry the same source, fail over to the next-cheapest replica, or give
 //! up.
 
+use std::collections::BTreeMap;
+
+use gdmp_simnet::time::{SimDuration, SimTime};
+
+use crate::chaos::SplitMix64;
+
 /// What went wrong with the attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FailureKind {
@@ -14,6 +20,10 @@ pub enum FailureKind {
     Aborted,
     /// Transfer completed but failed the CRC check.
     Corrupted,
+    /// The source site is down or the path to it is severed. Unlike a
+    /// flaky connection, hammering the same source is pointless — good
+    /// strategies fail over fast.
+    Unreachable,
 }
 
 /// The context a strategy decides on.
@@ -46,6 +56,12 @@ pub trait RecoveryStrategy: Send {
     fn decide(&self, ctx: &FailureCtx) -> RecoveryAction;
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;
+    /// Sim-time to wait before the action from [`RecoveryStrategy::decide`]
+    /// is executed. The default — no wait — keeps pre-existing strategies
+    /// byte-identical in behaviour.
+    fn backoff(&self, _ctx: &FailureCtx) -> SimDuration {
+        SimDuration::ZERO
+    }
 }
 
 /// GDMP's baseline behaviour: retry the same source up to a budget.
@@ -117,11 +133,171 @@ impl RecoveryStrategy for CorruptionAverse {
             }
             FailureKind::Corrupted => RecoveryAction::RetrySameSource,
             FailureKind::Aborted => RecoveryAction::RetrySameSource,
+            FailureKind::Unreachable if ctx.sources_remaining > 0 => {
+                RecoveryAction::FailoverToNextSource
+            }
+            FailureKind::Unreachable => RecoveryAction::RetrySameSource,
         }
     }
 
     fn name(&self) -> &'static str {
         "corruption-averse"
+    }
+}
+
+/// Retry hygiene for an unreliable grid: exponential backoff with
+/// deterministic jitter for flaky paths, immediate failover for sources
+/// known to be unreachable.
+///
+/// Backoff is pure sim-time — the grid clock is advanced by the wait — and
+/// the jitter is a deterministic function of `(seed, attempt counters)`, so
+/// identical runs wait identical amounts.
+#[derive(Debug, Clone, Copy)]
+pub struct BackoffRetry {
+    /// Attempts per source before failing over.
+    pub attempts_per_source: u32,
+    /// Overall attempt ceiling across sources.
+    pub max_total_attempts: u32,
+    /// First backoff wait; doubles per attempt on the same source.
+    pub base: SimDuration,
+    /// Ceiling on a single wait.
+    pub cap: SimDuration,
+    /// Seed for the jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl BackoffRetry {
+    pub fn new(jitter_seed: u64) -> BackoffRetry {
+        BackoffRetry {
+            attempts_per_source: 3,
+            max_total_attempts: 12,
+            base: SimDuration::from_millis(250),
+            cap: SimDuration::from_secs(30),
+            jitter_seed,
+        }
+    }
+}
+
+impl RecoveryStrategy for BackoffRetry {
+    fn decide(&self, ctx: &FailureCtx) -> RecoveryAction {
+        if ctx.attempts_total >= self.max_total_attempts {
+            return RecoveryAction::GiveUp;
+        }
+        // "Site is down" is not worth hammering: move on while alternates
+        // exist, and only then fall back to waiting the source out.
+        let per_source_budget = match ctx.kind {
+            FailureKind::Unreachable => 1,
+            _ => self.attempts_per_source,
+        };
+        if ctx.attempts_on_source >= per_source_budget && ctx.sources_remaining > 0 {
+            RecoveryAction::FailoverToNextSource
+        } else {
+            RecoveryAction::RetrySameSource
+        }
+    }
+
+    fn backoff(&self, ctx: &FailureCtx) -> SimDuration {
+        // Exponential in the per-source attempt count, capped, then
+        // jittered to ±25% with a rng keyed on the full attempt coordinates
+        // (distinct failures jitter independently; reruns are identical).
+        let exp = ctx.attempts_on_source.saturating_sub(1).min(20);
+        let raw = self.base.nanos().saturating_mul(1u64 << exp).min(self.cap.nanos());
+        if raw == 0 {
+            return SimDuration::ZERO;
+        }
+        let key = self
+            .jitter_seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((ctx.attempts_total as u64) << 32)
+            .wrapping_add(ctx.attempts_on_source as u64);
+        let mut rng = SplitMix64::new(key);
+        let jitter_span = raw / 2; // ±25%
+        let wait = raw - raw / 4 + rng.gen_range(jitter_span.max(1));
+        SimDuration::from_nanos(wait)
+    }
+
+    fn name(&self) -> &'static str {
+        "backoff-retry"
+    }
+}
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive failures before the breaker opens.
+    pub threshold: u32,
+    /// How long an open breaker skips the source.
+    pub cooldown: SimDuration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig { threshold: 4, cooldown: SimDuration::from_secs(30) }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BreakerEntry {
+    consecutive_failures: u32,
+    open_until: SimTime,
+}
+
+/// Per-source circuit breaker for the Data Mover: after `threshold`
+/// consecutive failures against one source site, that source is skipped
+/// for `cooldown` of sim-time so the mover stops burning attempts on a
+/// host that is clearly sick. Any success closes the breaker.
+#[derive(Debug, Clone, Default)]
+pub struct CircuitBreaker {
+    config: Option<BreakerConfig>,
+    state: BTreeMap<String, BreakerEntry>,
+}
+
+impl CircuitBreaker {
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker { config: Some(config), state: BTreeMap::new() }
+    }
+
+    /// The default breaker is disabled (all methods are cheap no-ops), so
+    /// grids that never opt in see zero behaviour change.
+    pub fn is_enabled(&self) -> bool {
+        self.config.is_some()
+    }
+
+    /// Record a failed attempt against `source`; true when this failure
+    /// trips the breaker open.
+    pub fn record_failure(&mut self, source: &str, now: SimTime) -> bool {
+        let Some(cfg) = self.config else {
+            return false;
+        };
+        let e = self.state.entry(source.to_string()).or_default();
+        e.consecutive_failures += 1;
+        if e.consecutive_failures == cfg.threshold {
+            e.open_until = now + cfg.cooldown;
+            return true;
+        }
+        if e.consecutive_failures > cfg.threshold {
+            // Still failing after the cooldown let one probe through:
+            // re-open without announcing a fresh trip.
+            e.open_until = now + cfg.cooldown;
+        }
+        false
+    }
+
+    /// Record a success; closes the breaker for `source`.
+    pub fn record_success(&mut self, source: &str) {
+        if self.config.is_some() {
+            self.state.remove(source);
+        }
+    }
+
+    /// Is `source` currently being skipped?
+    pub fn is_open(&self, source: &str, now: SimTime) -> bool {
+        self.config.is_some() && self.state.get(source).is_some_and(|e| e.open_until > now)
+    }
+
+    /// Any breaker currently open? (Fast guard for the selection filter.)
+    pub fn any_open(&self, now: SimTime) -> bool {
+        self.config.is_some() && self.state.values().any(|e| e.open_until > now)
     }
 }
 
@@ -172,5 +348,88 @@ mod tests {
             s.decide(&ctx(1, 1, 0, FailureKind::Corrupted)),
             RecoveryAction::RetrySameSource
         );
+    }
+
+    #[test]
+    fn default_backoff_is_zero_for_legacy_strategies() {
+        let s = SimpleRetry { max_attempts: 3 };
+        assert_eq!(s.backoff(&ctx(1, 1, 0, FailureKind::Aborted)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn backoff_retry_fails_over_fast_on_unreachable() {
+        let s = BackoffRetry::new(1);
+        assert_eq!(
+            s.decide(&ctx(1, 1, 2, FailureKind::Unreachable)),
+            RecoveryAction::FailoverToNextSource,
+            "one strike for a down site"
+        );
+        assert_eq!(
+            s.decide(&ctx(1, 1, 2, FailureKind::Aborted)),
+            RecoveryAction::RetrySameSource,
+            "flaky path gets its per-source budget"
+        );
+        assert_eq!(s.decide(&ctx(1, 12, 2, FailureKind::Aborted)), RecoveryAction::GiveUp);
+        // No alternates: keep waiting the source out rather than give up early.
+        assert_eq!(
+            s.decide(&ctx(3, 3, 0, FailureKind::Unreachable)),
+            RecoveryAction::RetrySameSource
+        );
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_is_deterministic() {
+        let s = BackoffRetry::new(7);
+        let w1 = s.backoff(&ctx(1, 1, 0, FailureKind::Aborted));
+        let w2 = s.backoff(&ctx(2, 2, 0, FailureKind::Aborted));
+        let w3 = s.backoff(&ctx(3, 3, 0, FailureKind::Aborted));
+        assert!(w1 > SimDuration::ZERO);
+        assert!(w2.nanos() > w1.nanos(), "attempt 2 waits longer: {w1:?} vs {w2:?}");
+        assert!(w3.nanos() > w2.nanos());
+        // Jitter keeps waits within ±25% of the nominal doubling value.
+        assert!(w1.nanos() >= s.base.nanos() * 3 / 4 && w1.nanos() <= s.base.nanos() * 5 / 4);
+        // Cap holds even at absurd attempt counts.
+        let deep = s.backoff(&ctx(30, 30, 0, FailureKind::Aborted));
+        assert!(deep.nanos() <= s.cap.nanos() * 5 / 4);
+        // Deterministic: the same coordinates produce the same wait.
+        assert_eq!(w2, BackoffRetry::new(7).backoff(&ctx(2, 2, 0, FailureKind::Aborted)));
+        assert_ne!(
+            w2,
+            BackoffRetry::new(8).backoff(&ctx(2, 2, 0, FailureKind::Aborted)),
+            "different seed, different jitter"
+        );
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_cools_down() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            threshold: 3,
+            cooldown: SimDuration::from_secs(10),
+        });
+        let t0 = SimTime::ZERO;
+        assert!(!b.record_failure("src", t0));
+        assert!(!b.record_failure("src", t0));
+        assert!(!b.is_open("src", t0));
+        assert!(b.record_failure("src", t0), "third consecutive failure trips");
+        assert!(b.is_open("src", t0));
+        assert!(b.any_open(t0));
+        // Cooldown expiry lets a probe through.
+        let later = t0 + SimDuration::from_secs(11);
+        assert!(!b.is_open("src", later));
+        // A success closes it fully.
+        b.record_success("src");
+        assert!(!b.record_failure("src", later), "counter restarted");
+        assert!(!b.is_open("src", later));
+    }
+
+    #[test]
+    fn disabled_breaker_is_inert() {
+        let mut b = CircuitBreaker::default();
+        assert!(!b.is_enabled());
+        for _ in 0..100 {
+            assert!(!b.record_failure("src", SimTime::ZERO));
+        }
+        assert!(!b.is_open("src", SimTime::ZERO));
+        assert!(!b.any_open(SimTime::ZERO));
     }
 }

@@ -72,8 +72,18 @@ pub struct Site {
     pub credential: CredentialChain,
     /// Sites subscribed to this site's publications.
     pub subscribers: BTreeSet<String>,
+    /// Producer sites this site subscribes to (the reverse edge), used by
+    /// the restart resync protocol to know whose catalogs to re-fetch.
+    /// Durable: survives a crash like the gridmap does.
+    pub subscriptions: BTreeSet<String>,
     /// Notifications received and not yet acted upon (import catalog).
+    /// Volatile server memory: lost on a crash, rebuilt by resync.
     pub import_queue: Vec<FileNotice>,
+    /// Durable journal of notifications that could not be delivered
+    /// (`(subscriber, notice)`), replayed when the subscriber is reachable
+    /// again — the paper's Request Manager queues messages for failed
+    /// sites and sends them on recovery.
+    pub journal: Vec<(String, FileNotice)>,
     /// Everything this site has published or replicated (export catalog) —
     /// what `GetCatalog` returns for failure recovery.
     pub export_catalog: Vec<FileNotice>,
@@ -103,7 +113,9 @@ impl Site {
             gridmap: GridMap::new(),
             credential: CredentialChain::end_entity(cert, keys),
             subscribers: BTreeSet::new(),
+            subscriptions: BTreeSet::new(),
             import_queue: Vec::new(),
+            journal: Vec::new(),
             export_catalog: Vec::new(),
             tags: TagCatalog::new(),
             plugins: PluginRegistry::new(),
@@ -122,6 +134,16 @@ impl Site {
     /// The grid identity of this site's server.
     pub fn identity(&self) -> &DistinguishedName {
         self.credential.identity()
+    }
+
+    /// Crash the server process. Volatile state — the import queue and any
+    /// transfer pins — is lost; disk, tape, the export catalog,
+    /// subscriptions, and the journal survive, the way durable on-disk
+    /// state survives a real crash. Restart recovery rebuilds the rest.
+    pub fn crash(&mut self) {
+        self.import_queue.clear();
+        self.storage.pool.clear_pins();
+        self.telemetry.gauge_set("site_import_queue_depth", &[("site", &self.name)], 0);
     }
 
     /// Authorize a peer for a gridmap operation.
@@ -152,7 +174,13 @@ impl Site {
                     &[("site", &self.name)],
                     notices.len() as u64,
                 );
-                self.import_queue.extend(notices);
+                // Journal replays and resyncs can redeliver a notice the
+                // queue already holds; keep the import catalog duplicate-free.
+                for n in notices {
+                    if !self.import_queue.iter().any(|q| q.lfn == n.lfn) {
+                        self.import_queue.push(n);
+                    }
+                }
                 self.telemetry.gauge_set(
                     "site_import_queue_depth",
                     &[("site", &self.name)],
@@ -255,6 +283,57 @@ mod tests {
         cern.handle(anl.identity(), Request::Subscribe { subscriber: "anl".into() }).unwrap();
         cern.handle(anl.identity(), Request::Unsubscribe { subscriber: "anl".into() }).unwrap();
         assert!(cern.subscribers.is_empty());
+    }
+
+    #[test]
+    fn duplicate_notices_are_not_requeued() {
+        let ca = ca();
+        let mut cern = Site::new(&SiteConfig::named("cern", "cern.ch", 5), &ca);
+        let anl = peer_site(&ca);
+        cern.gridmap.add_full(anl.identity().clone(), "anl_svc");
+        let notice = FileNotice {
+            lfn: "a.db".into(),
+            meta: gdmp_replica_catalog::service::FileMeta {
+                size: 1,
+                modified: 0,
+                crc32: 0,
+                file_type: "flat".into(),
+            },
+            origin: "anl".into(),
+        };
+        let req = Request::Notify { notices: vec![notice.clone(), notice] };
+        cern.handle(anl.identity(), req.clone()).unwrap();
+        cern.handle(anl.identity(), req).unwrap();
+        assert_eq!(cern.import_queue.len(), 1, "replayed notices must not duplicate");
+    }
+
+    #[test]
+    fn crash_clears_volatile_state_only() {
+        let ca = ca();
+        let mut cern = Site::new(&SiteConfig::named("cern", "cern.ch", 5), &ca);
+        let anl = peer_site(&ca);
+        cern.gridmap.add_full(anl.identity().clone(), "anl_svc");
+        cern.storage.store("a.db", Bytes::from(vec![0u8; 100]), true).unwrap();
+        cern.storage.pool.pin("a.db").unwrap();
+        let notice = FileNotice {
+            lfn: "b.db".into(),
+            meta: gdmp_replica_catalog::service::FileMeta {
+                size: 1,
+                modified: 0,
+                crc32: 0,
+                file_type: "flat".into(),
+            },
+            origin: "anl".into(),
+        };
+        cern.handle(anl.identity(), Request::Notify { notices: vec![notice.clone()] }).unwrap();
+        cern.subscriptions.insert("anl".into());
+        cern.journal.push(("anl".into(), notice));
+        cern.crash();
+        assert!(cern.import_queue.is_empty(), "import queue is volatile");
+        assert_eq!(cern.storage.pool.pinned_files(), Vec::<String>::new(), "pins are volatile");
+        assert!(cern.storage.on_disk("a.db"), "disk contents are durable");
+        assert_eq!(cern.subscriptions.len(), 1, "subscriptions are durable");
+        assert_eq!(cern.journal.len(), 1, "the journal is durable");
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Fault-injection scenarios for the chaos layer: RPC behaviour under
+//! crashes and cuts, catalog recovery that dies partway, journal replay,
+//! and clean rollback of transfers interrupted by severed paths.
+
+use bytes::Bytes;
+use gdmp::chaos::{FaultEvent, FaultSchedule};
+use gdmp::invariants::check_grid;
+use gdmp::{GdmpError, Grid, SiteConfig};
+use gdmp_simnet::time::{SimDuration, SimTime};
+
+fn three_site_grid() -> Grid {
+    let mut grid = Grid::new("cms");
+    grid.add_site(SiteConfig::named("cern", "cern.ch", 11));
+    grid.add_site(SiteConfig::named("anl", "anl.gov", 12));
+    grid.add_site(SiteConfig::named("lyon", "in2p3.fr", 13));
+    grid.trust_all();
+    grid
+}
+
+fn t(secs: u64) -> SimTime {
+    SimTime(secs * 1_000_000_000)
+}
+
+#[test]
+fn rpc_to_down_site_fails_retryably() {
+    let mut grid = three_site_grid();
+    grid.set_fault_schedule(
+        FaultSchedule::new()
+            .at(t(0), FaultEvent::SiteDown { site: "cern".into() })
+            .at(t(100), FaultEvent::SiteUp { site: "cern".into() }),
+    );
+    let err = grid.ping("anl", "cern").unwrap_err();
+    assert!(matches!(&err, GdmpError::SiteUnreachable(s) if s == "cern"), "{err}");
+    assert!(err.is_retryable());
+    // Past the repair time the same ping succeeds (recovery runs on
+    // advance).
+    grid.advance(SimDuration::from_secs(200));
+    grid.ping("anl", "cern").unwrap();
+}
+
+#[test]
+fn link_cut_is_directional() {
+    let mut grid = three_site_grid();
+    grid.set_fault_schedule(FaultSchedule::new().at(
+        t(0),
+        FaultEvent::LinkDown { from: "anl".into(), to: "cern".into(), both_ways: false },
+    ));
+    // An RPC needs both directions; either endpoint sees the cut.
+    assert!(grid.ping("anl", "cern").is_err());
+    assert!(grid.ping("cern", "anl").is_err());
+    // A third site is unaffected.
+    grid.ping("lyon", "cern").unwrap();
+}
+
+#[test]
+fn recover_catalog_mid_failure_leaves_no_partial_state() {
+    let mut grid = three_site_grid();
+    grid.subscribe("anl", "cern").unwrap();
+    for i in 0..3 {
+        let lfn = format!("run{i}.dat");
+        grid.publish_file("cern", &lfn, Bytes::from(vec![i as u8; 4096]), "flat").unwrap();
+    }
+    // The subscriber lost its import queue (crash) and resyncs — but the
+    // very first GetCatalog of the recovery dies on the wire.
+    grid.site_mut("anl").unwrap().crash();
+    grid.set_fault_schedule(
+        FaultSchedule::new()
+            .at(t(0), FaultEvent::RpcDrop { from: "anl".into(), to: "cern".into(), nth: 1 }),
+    );
+    let err = grid.recover_catalog("anl", "cern").unwrap_err();
+    assert!(err.is_retryable(), "a dropped recovery RPC must be retryable: {err}");
+    // Half-done recovery registered nothing: the queue is exactly as
+    // empty as before the attempt.
+    assert!(grid.site("anl").unwrap().import_queue.is_empty(), "partial registrations leaked");
+    // The second attempt sees a healed wire and recovers everything.
+    let added = grid.recover_catalog("anl", "cern").unwrap();
+    assert_eq!(added, 3);
+    assert_eq!(grid.site("anl").unwrap().import_queue.len(), 3);
+    // Draining the queue replicates all three files; re-running recovery
+    // finds nothing left to do.
+    assert_eq!(grid.replicate_pending("anl").unwrap().len(), 3);
+    assert_eq!(grid.recover_catalog("anl", "cern").unwrap(), 0);
+}
+
+#[test]
+fn recover_catalog_against_down_producer_fails_then_succeeds() {
+    let mut grid = three_site_grid();
+    grid.subscribe("anl", "cern").unwrap();
+    grid.publish_file("cern", "a.dat", Bytes::from(vec![1u8; 1024]), "flat").unwrap();
+    grid.site_mut("anl").unwrap().crash();
+    grid.set_fault_schedule(
+        FaultSchedule::new()
+            .at(t(0), FaultEvent::SiteDown { site: "cern".into() })
+            .at(t(60), FaultEvent::SiteUp { site: "cern".into() }),
+    );
+    assert!(grid.recover_catalog("anl", "cern").is_err());
+    assert!(grid.site("anl").unwrap().import_queue.is_empty());
+    grid.advance(SimDuration::from_secs(120));
+    assert_eq!(grid.recover_catalog("anl", "cern").unwrap(), 1);
+}
+
+#[test]
+fn restart_resync_requeues_lost_imports_automatically() {
+    let mut grid = three_site_grid();
+    grid.subscribe("anl", "cern").unwrap();
+    grid.publish_file("cern", "a.dat", Bytes::from(vec![1u8; 1024]), "flat").unwrap();
+    assert_eq!(grid.site("anl").unwrap().import_queue.len(), 1);
+    // anl crashes (queue lost) and restarts; the grid's recovery pass
+    // resyncs it from its subscribed producer without manual help.
+    grid.set_fault_schedule(
+        FaultSchedule::new()
+            .at(t(1), FaultEvent::SiteDown { site: "anl".into() })
+            .at(t(30), FaultEvent::SiteUp { site: "anl".into() }),
+    );
+    grid.advance(SimDuration::from_secs(60));
+    assert_eq!(grid.site("anl").unwrap().import_queue.len(), 1, "resync re-enqueued the file");
+    assert_eq!(grid.replicate_pending("anl").unwrap().len(), 1);
+}
+
+#[test]
+fn notify_to_unreachable_subscriber_is_journaled_and_replayed() {
+    let mut grid = three_site_grid();
+    grid.subscribe("anl", "cern").unwrap();
+    grid.set_fault_schedule(
+        FaultSchedule::new()
+            .at(t(0), FaultEvent::SiteDown { site: "anl".into() })
+            .at(t(60), FaultEvent::SiteUp { site: "anl".into() }),
+    );
+    // Publishing while the subscriber is down parks the notice in the
+    // producer's durable journal instead of failing the publish.
+    grid.publish_file("cern", "a.dat", Bytes::from(vec![1u8; 1024]), "flat").unwrap();
+    assert_eq!(grid.site("cern").unwrap().journal.len(), 1);
+    assert!(grid.site("anl").unwrap().import_queue.is_empty());
+    // Once anl is back, the recovery pass replays the notification.
+    grid.advance(SimDuration::from_secs(120));
+    assert!(grid.site("cern").unwrap().journal.is_empty(), "journal drained");
+    assert_eq!(grid.site("anl").unwrap().import_queue.len(), 1);
+    assert_eq!(grid.replicate_pending("anl").unwrap().len(), 1);
+}
+
+#[test]
+fn transfer_severed_mid_flight_fails_over_cleanly() {
+    let mut grid = three_site_grid();
+    // An unreachable-aware strategy: dead paths fail over instead of
+    // burning the whole retry budget on one source.
+    grid.set_recovery(Box::new(gdmp::BackoffRetry::new(7)));
+    // Two replicas of the same file: cern (origin) and lyon.
+    grid.publish_file("cern", "big.dat", Bytes::from(vec![9u8; 8 * 1024 * 1024]), "flat").unwrap();
+    grid.replicate("lyon", "big.dat").unwrap();
+    // The cheapest path dies one second into the transfer; the Data Mover
+    // must fail over to the surviving replica.
+    grid.set_fault_schedule(FaultSchedule::new().at(
+        grid.now() + SimDuration::from_secs(1),
+        FaultEvent::LinkDown { from: "cern".into(), to: "anl".into(), both_ways: true },
+    ));
+    let report = grid.replicate("anl", "big.dat").unwrap();
+    assert_eq!(report.from, "lyon", "failed over to the surviving source");
+    // No leaked pins, reservations, or half-registered entries anywhere.
+    let inv = check_grid(&mut grid);
+    assert!(inv.is_clean(), "{:?}", inv.violations);
+}
+
+#[test]
+fn all_sources_down_is_a_clean_retryable_failure() {
+    let mut grid = three_site_grid();
+    grid.publish_file("cern", "a.dat", Bytes::from(vec![1u8; 1024 * 1024]), "flat").unwrap();
+    grid.set_fault_schedule(
+        FaultSchedule::new().at(t(0), FaultEvent::SiteDown { site: "cern".into() }),
+    );
+    let err = grid.replicate("anl", "a.dat").unwrap_err();
+    assert!(err.is_retryable(), "{err}");
+    // The failed attempt leaked nothing at the destination.
+    let anl = grid.site("anl").unwrap();
+    assert_eq!(anl.storage.pool.reserved(), 0);
+    assert!(anl.storage.pool.pinned_files().is_empty());
+}

@@ -20,15 +20,21 @@ pub enum Operation {
     FetchCatalog,
     Transfer,
     Admin,
+    /// Liveness probe. Any identity with a gridmap entry may ping — see
+    /// [`GridMap::authorize`] — so health checks work even against peers
+    /// restricted to a single operation (the chaos layer's reachability
+    /// probes depend on this).
+    Ping,
 }
 
 impl Operation {
-    pub const ALL: [Operation; 5] = [
+    pub const ALL: [Operation; 6] = [
         Operation::Subscribe,
         Operation::Publish,
         Operation::FetchCatalog,
         Operation::Transfer,
         Operation::Admin,
+        Operation::Ping,
     ];
 }
 
@@ -85,9 +91,14 @@ impl GridMap {
     }
 
     /// Authorize `dn` for `op`; on success return the local account name.
+    ///
+    /// [`Operation::Ping`] is granted to *every* mapped identity: a
+    /// liveness probe reveals nothing a catalog-restricted peer should not
+    /// see, and reachability checks must not depend on per-operation
+    /// grants. Unknown identities are still rejected.
     pub fn authorize(&self, dn: &DistinguishedName, op: Operation) -> Result<&str, AuthzError> {
         let entry = self.entries.get(dn).ok_or_else(|| AuthzError::UnknownIdentity(dn.clone()))?;
-        if entry.allowed.contains(&op) {
+        if op == Operation::Ping || entry.allowed.contains(&op) {
             Ok(&entry.local_user)
         } else {
             Err(AuthzError::Denied { who: dn.clone(), op })
@@ -154,5 +165,20 @@ mod tests {
         for op in Operation::ALL {
             assert!(gm.authorize(&alice(), op).is_ok());
         }
+    }
+
+    #[test]
+    fn ping_allowed_for_any_known_identity() {
+        let mut gm = GridMap::new();
+        // Catalog-only peer: can still be liveness-probed...
+        gm.add(alice(), "a", &[Operation::FetchCatalog]);
+        assert_eq!(gm.authorize(&alice(), Operation::Ping), Ok("a"));
+        // ...even with an empty grant set.
+        let bob = DistinguishedName::user("anl.gov", "bob");
+        gm.add(bob.clone(), "b", &[]);
+        assert_eq!(gm.authorize(&bob, Operation::Ping), Ok("b"));
+        // But unknown identities are rejected outright.
+        let eve = DistinguishedName::user("evil.org", "eve");
+        assert!(matches!(gm.authorize(&eve, Operation::Ping), Err(AuthzError::UnknownIdentity(_))));
     }
 }

@@ -111,6 +111,11 @@ impl DiskPool {
         self.capacity - self.used - self.reserved
     }
 
+    /// Space currently promised to in-flight reservations.
+    pub fn reserved(&self) -> u64 {
+        self.reserved
+    }
+
     pub fn contains(&self, name: &str) -> bool {
         self.files.contains_key(name)
     }
@@ -228,6 +233,23 @@ impl DiskPool {
 
     pub fn is_pinned(&self, name: &str) -> bool {
         self.files.get(name).is_some_and(|e| e.pins > 0)
+    }
+
+    /// Names of all currently pinned files, sorted.
+    pub fn pinned_files(&self) -> Vec<String> {
+        let mut v: Vec<String> =
+            self.files.iter().filter(|(_, e)| e.pins > 0).map(|(n, _)| n.clone()).collect();
+        v.sort();
+        v
+    }
+
+    /// Drop every pin. Pins are in-memory transfer state; a server crash
+    /// loses them all at once, and recovery must not trip over pins held
+    /// by a process that no longer exists.
+    pub fn clear_pins(&mut self) {
+        for e in self.files.values_mut() {
+            e.pins = 0;
+        }
     }
 
     /// Remove a file outright (pinned files cannot be removed).

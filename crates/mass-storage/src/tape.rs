@@ -151,6 +151,13 @@ impl TapeLibrary {
         Ok((f.data, mount + seek + stream))
     }
 
+    /// Read a file's contents without mounting, seeking, or touching any
+    /// statistics — an auditor's view, not a drive operation. Used by
+    /// integrity/invariant checks that must not perturb the simulation.
+    pub fn peek(&self, name: &str) -> Option<Bytes> {
+        self.files.get(name).map(|f| f.data.clone())
+    }
+
     /// Remove a file from the archive.
     pub fn delete(&mut self, name: &str) -> Result<(), TapeError> {
         self.files.remove(name).map(|_| ()).ok_or_else(|| TapeError::NoSuchFile(name.to_string()))

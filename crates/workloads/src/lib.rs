@@ -7,14 +7,18 @@
 //! * [`population`] — event-store population with object→file placement
 //!   policies (clustered, mixed, striped);
 //! * [`transfer`] — the Figure 5/6 parameter grids;
-//! * [`zipf`] — Zipf access sampling for cache workloads.
+//! * [`zipf`] — Zipf access sampling for cache workloads;
+//! * [`soak`] — seeded chaos soak: replication under crashes, link cuts,
+//!   and partitions, checked against grid-wide invariants.
 
 pub mod cascade;
 pub mod population;
+pub mod soak;
 pub mod transfer;
 pub mod zipf;
 
 pub use cascade::{CascadeSpec, CascadeStep, StepResult};
 pub use population::{Placement, Population};
+pub use soak::{run_soak, ChaosMode, SoakOutcome, SoakSpec};
 pub use transfer::{FigureSweep, MB};
 pub use zipf::Zipf;
