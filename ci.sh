@@ -7,15 +7,19 @@
 #                          regenerating BENCH_simnet.json
 #   ./ci.sh --chaos-smoke  additionally run the seeded chaos convergence
 #                          soak (3 fixed seeds, 5-site grid)
+#   ./ci.sh --fetch-smoke  additionally run the multi-source fetch scenario
+#                          (striping speedup, crash reassignment, determinism)
 set -euo pipefail
 cd "$(dirname "$0")"
 
 bench_smoke=0
 chaos_smoke=0
+fetch_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
     --chaos-smoke) chaos_smoke=1 ;;
+    --fetch-smoke) fetch_smoke=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -35,6 +39,9 @@ cargo test --offline --workspace -q
 echo "==> cargo bench --no-run"
 cargo bench --offline --workspace --no-run
 
+echo "==> cargo doc -D warnings"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps --quiet
+
 if [[ "$bench_smoke" == 1 ]]; then
   echo "==> bench smoke: simnet perf baseline"
   cargo run --offline --release -p gdmp-bench --bin bench_simnet
@@ -44,6 +51,12 @@ if [[ "$chaos_smoke" == 1 ]]; then
   echo "==> chaos smoke: seeded convergence soak"
   cargo test --offline -q -p gdmp-workloads --test chaos_soak
   cargo test --offline -q -p gdmp --test chaos_recovery
+fi
+
+if [[ "$fetch_smoke" == 1 ]]; then
+  echo "==> fetch smoke: multi-source striped fetch"
+  cargo test --offline -q --release -p gdmp-workloads --lib fetch::
+  cargo test --offline -q --release -p gdmp --test schedule_properties
 fi
 
 echo "CI OK"

@@ -1,0 +1,110 @@
+//! Tracked baseline for the multi-source fetch scheduler: single-source vs
+//! striped multi-source pulls of the same hot file over asymmetric WAN
+//! paths, with and without a mid-transfer source crash.
+//!
+//! ```text
+//! cargo run -p gdmp-bench --release --bin bench_fetch            # writes BENCH_fetch.json
+//! cargo run -p gdmp-bench --release --bin bench_fetch -- out.json
+//! ```
+//!
+//! The JSON is the committed baseline (`BENCH_fetch.json` at the repo
+//! root). Everything in it is sim-time and therefore deterministic: the
+//! per-mode goodput, the per-source byte split, the reassignment counters,
+//! and the striping speedup must not regress.
+
+use gdmp_workloads::fetch::{run_fetch, striped_policy, FetchOutcome, FetchSpec, FETCH_SOURCES};
+use gdmp_workloads::MB;
+
+#[derive(serde::Serialize)]
+struct SourceShare {
+    site: String,
+    bytes: u64,
+    share_pct: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Mode {
+    name: &'static str,
+    /// Sim-time of the measured fetch, seconds.
+    elapsed_s: f64,
+    /// Aggregate goodput of the measured fetch.
+    mbps: f64,
+    sources: Vec<SourceShare>,
+    ranges_reassigned: u64,
+    plan_rebuilds: u64,
+    /// Invariant sweep after driving the run to convergence.
+    converged: bool,
+}
+
+#[derive(serde::Serialize)]
+struct Baseline {
+    schema: &'static str,
+    file_mb: u64,
+    /// Source→consumer path rates, Mb/s, fastest first (cern, fnal, kek).
+    path_mbps: [u64; 3],
+    modes: Vec<Mode>,
+    /// multi / single aggregate goodput — the headline number (must stay
+    /// ≥ 1.5 on this topology).
+    striping_speedup: f64,
+}
+
+fn mode(name: &'static str, out: &FetchOutcome) -> Mode {
+    let total: u64 = out.per_source_bytes.iter().map(|(_, b)| b).sum();
+    Mode {
+        name,
+        elapsed_s: (out.elapsed.as_secs_f64() * 1e3).round() / 1e3,
+        mbps: (out.agg_mbps * 1e3).round() / 1e3,
+        sources: FETCH_SOURCES
+            .iter()
+            .map(|site| {
+                let bytes =
+                    out.per_source_bytes.iter().find(|(s, _)| s == site).map_or(0, |(_, b)| *b);
+                SourceShare {
+                    site: site.to_string(),
+                    bytes,
+                    share_pct: (bytes as f64 / total.max(1) as f64 * 1e3).round() / 10.0,
+                }
+            })
+            .collect(),
+        ranges_reassigned: out.ranges_reassigned,
+        plan_rebuilds: out.plan_rebuilds,
+        converged: out.converged,
+    }
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_fetch.json".into());
+    let spec = FetchSpec::default();
+    let single = run_fetch(&spec);
+    let multi = run_fetch(&FetchSpec { policy: striped_policy(), ..spec.clone() });
+    let crash =
+        run_fetch(&FetchSpec { policy: striped_policy(), crash_fastest: true, ..spec.clone() });
+    let baseline = Baseline {
+        schema: "gdmp-bench-fetch/1",
+        file_mb: spec.size / MB,
+        path_mbps: [20, 12, 8],
+        modes: vec![mode("single", &single), mode("multi", &multi), mode("multi_crash", &crash)],
+        striping_speedup: (multi.agg_mbps / single.agg_mbps * 1e3).round() / 1e3,
+    };
+    for m in &baseline.modes {
+        let shares: Vec<String> =
+            m.sources.iter().map(|s| format!("{} {:>4.1}%", s.site, s.share_pct)).collect();
+        println!(
+            "{:>12}: {:>6.2} Mb/s in {:>5.1} s   [{}]   reassigned {} rebuilds {} converged {}",
+            m.name,
+            m.mbps,
+            m.elapsed_s,
+            shares.join(", "),
+            m.ranges_reassigned,
+            m.plan_rebuilds,
+            m.converged,
+        );
+    }
+    println!(
+        "{:>12}: striping speedup {:.2}x over the best single path",
+        "total", baseline.striping_speedup
+    );
+    let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+    std::fs::write(&out, json + "\n").expect("baseline written");
+    println!("wrote {out}");
+}

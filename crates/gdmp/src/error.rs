@@ -1,4 +1,11 @@
 //! Unified error type for GDMP operations.
+//!
+//! [`FailureKind`] (re-exported here from [`crate::recovery`]) is the
+//! single failure taxonomy: recovery strategies consume it via
+//! `FailureCtx`, and [`GdmpError::failure_kind`] maps every error variant
+//! onto it, so "is this retryable?" has exactly one answer everywhere.
+
+pub use crate::recovery::FailureKind;
 
 use gdmp_gsi::context::SecError;
 use gdmp_gsi::gridmap::AuthzError;
@@ -49,14 +56,25 @@ impl GdmpError {
     /// `replicate_pending` keeps retryable files queued and continues the
     /// batch; the chaos recovery loop replays journaled notifications only
     /// for retryable send failures.
+    ///
+    /// Defined as: the error maps onto the recovery taxonomy at all —
+    /// `self.failure_kind().is_some()`.
     pub fn is_retryable(&self) -> bool {
-        matches!(
-            self,
-            GdmpError::SiteUnreachable(_)
-                | GdmpError::LinkDown { .. }
-                | GdmpError::TransferFailed { .. }
-                | GdmpError::IntegrityFailure { .. }
-        )
+        self.failure_kind().is_some()
+    }
+
+    /// Classify this error in the recovery taxonomy ([`FailureKind`]), or
+    /// `None` for permanent errors (bad request, security refusal, catalog
+    /// inconsistency) that no retry strategy should see.
+    pub fn failure_kind(&self) -> Option<FailureKind> {
+        match self {
+            GdmpError::SiteUnreachable(_) | GdmpError::LinkDown { .. } => {
+                Some(FailureKind::Unreachable)
+            }
+            GdmpError::TransferFailed { .. } => Some(FailureKind::Aborted),
+            GdmpError::IntegrityFailure { .. } => Some(FailureKind::Corrupted),
+            _ => None,
+        }
     }
 }
 

@@ -30,6 +30,8 @@ use crate::recovery::{
     BreakerConfig, CircuitBreaker, FailureCtx, FailureKind, RecoveryAction, RecoveryStrategy,
     SimpleRetry,
 };
+use crate::schedule::{FetchPolicy, MultiSourcePlan, PlanExecution};
+use crate::selection::{CostModel, HistoryCostModel};
 use crate::site::{Site, SiteConfig};
 
 /// GridFTP parameters the Data Mover uses for every transfer.
@@ -106,6 +108,19 @@ pub struct Grid {
     chaos: ChaosState,
     /// Per-source circuit breaker for the Data Mover; disabled by default.
     breaker: CircuitBreaker,
+    /// How [`Grid::replicate`] fetches: classic single-source (default) or
+    /// striped multi-source pulls.
+    fetch: FetchPolicy,
+    /// Replica-ranking cost model consulted by the selection phase.
+    cost_model: Box<dyn CostModel>,
+    /// Observed per-link throughput EWMA, bits/s, keyed `(src, dst)`. Fed
+    /// by multi-source transfers (and [`Grid::note_observed_throughput`]);
+    /// the single-source pipeline leaves it untouched so the default path
+    /// stays bit-stable run over run.
+    history: BTreeMap<(String, String), f64>,
+    /// Backoff deadlines for deferred `replicate_pending` files, keyed
+    /// `(dst, lfn)`: `(next_eligible, consecutive_defers)`.
+    defer_state: HashMap<(String, String), (SimTime, u32)>,
     pub reports: Vec<ReplicationReport>,
     nonce_counter: u64,
     /// RPCs issued (Request Manager load).
@@ -141,6 +156,10 @@ impl Grid {
             recovery: None,
             chaos: ChaosState::default(),
             breaker: CircuitBreaker::default(),
+            fetch: FetchPolicy::SingleSource,
+            cost_model: Box::new(HistoryCostModel::default()),
+            history: BTreeMap::new(),
+            defer_state: HashMap::new(),
             reports: Vec::new(),
             nonce_counter: 1,
             rpc_count: 0,
@@ -155,15 +174,26 @@ impl Grid {
     /// existing site (and their storage), and return a handle for reading
     /// the collected spans, metrics, and flight-recorder events. Sites
     /// added later inherit it automatically.
+    #[deprecated(since = "0.6.0", note = "use `Grid::builder(..).telemetry()`; removal in 0.8")]
     pub fn enable_telemetry(&mut self) -> Registry {
         let reg = Registry::new();
-        self.set_telemetry(reg.clone());
+        self.attach_telemetry(reg.clone());
         reg
     }
 
     /// Attach an externally created registry (e.g. one shared across
     /// several grids for merged metrics).
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `Grid::builder(..).telemetry_sink(reg)`; removal in 0.8"
+    )]
     pub fn set_telemetry(&mut self, reg: Registry) {
+        self.attach_telemetry(reg);
+    }
+
+    /// Shared body of the telemetry shims and [`GridBuilder`]
+    /// (crate::builder::GridBuilder).
+    pub(crate) fn attach_telemetry(&mut self, reg: Registry) {
         for site in self.sites.values_mut() {
             site.set_telemetry(reg.clone());
         }
@@ -254,7 +284,15 @@ impl Grid {
     /// passes them — `rpc`, `replicate`, and `advance` all consult the
     /// schedule. An empty schedule is behaviourally inert: no chaos branch
     /// is ever taken.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `Grid::builder(..).fault_schedule(schedule)`; removal in 0.8"
+    )]
     pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        self.install_fault_schedule(schedule);
+    }
+
+    pub(crate) fn install_fault_schedule(&mut self, schedule: FaultSchedule) {
         self.chaos.set_schedule(schedule);
     }
 
@@ -264,8 +302,63 @@ impl Grid {
     }
 
     /// Arm the Data Mover's per-source circuit breaker.
+    #[deprecated(since = "0.6.0", note = "use `Grid::builder(..).breaker(config)`; removal in 0.8")]
     pub fn set_breaker(&mut self, config: BreakerConfig) {
+        self.arm_breaker(config);
+    }
+
+    pub(crate) fn arm_breaker(&mut self, config: BreakerConfig) {
         self.breaker = CircuitBreaker::new(config);
+    }
+
+    /// Whether `site`'s circuit breaker is open right now (cost models use
+    /// this to penalize sources in cooldown).
+    pub fn breaker_is_open(&self, site: &str) -> bool {
+        self.breaker.is_open(site, self.clock)
+    }
+
+    // ---- fetch policy & replica cost model --------------------------------
+
+    /// How [`Grid::replicate`] fetches files; [`FetchPolicy::SingleSource`]
+    /// unless changed.
+    pub fn fetch_policy(&self) -> FetchPolicy {
+        self.fetch
+    }
+
+    /// Switch between single-source and striped multi-source fetching.
+    pub fn set_fetch_policy(&mut self, policy: FetchPolicy) {
+        self.fetch = policy;
+    }
+
+    /// The replica-ranking cost model (default:
+    /// [`HistoryCostModel`]).
+    pub fn cost_model(&self) -> &dyn CostModel {
+        &*self.cost_model
+    }
+
+    /// Install a custom replica-ranking cost model.
+    pub fn set_cost_model(&mut self, model: Box<dyn CostModel>) {
+        self.cost_model = model;
+    }
+
+    /// The observed throughput EWMA for the `src -> dst` link, bits/s, if
+    /// any transfer has been measured on it.
+    pub fn observed_bps(&self, src: &str, dst: &str) -> Option<f64> {
+        self.history.get(&(src.to_string(), dst.to_string())).copied()
+    }
+
+    /// Fold one throughput observation (bits/s) into the per-link EWMA
+    /// (`alpha = 0.3`, per Vazhkudai-style history prediction). Multi-source
+    /// fetches call this for every completed chunk; callers with external
+    /// measurements (e.g. NWS readings) may seed it directly.
+    pub fn note_observed_throughput(&mut self, src: &str, dst: &str, bps: f64) -> f64 {
+        let key = (src.to_string(), dst.to_string());
+        let ewma = match self.history.get(&key) {
+            Some(prev) => 0.3 * bps + 0.7 * prev,
+            None => bps,
+        };
+        self.history.insert(key, ewma);
+        ewma
     }
 
     /// Liveness-probe `to` from `from`: one Echo RPC. Works against peers
@@ -625,7 +718,15 @@ impl Grid {
 
     /// Install a pluggable error-recovery strategy (Section 4.3's future
     /// work). Default: retry the same source `params.max_attempts` times.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `Grid::builder(..).recovery(strategy)`; removal in 0.8"
+    )]
     pub fn set_recovery(&mut self, strategy: Box<dyn RecoveryStrategy>) {
+        self.install_recovery(strategy);
+    }
+
+    pub(crate) fn install_recovery(&mut self, strategy: Box<dyn RecoveryStrategy>) {
         self.recovery = Some(strategy);
     }
 
@@ -713,7 +814,12 @@ impl Grid {
         let root = reg.span_start("replicate", started_at.nanos());
         reg.span_note(root, "lfn", lfn);
         reg.span_note(root, "dst", dst);
-        let result = self.replicate_flow(dst, lfn, &info, started_at, &reg);
+        let result = match self.fetch {
+            FetchPolicy::SingleSource => self.replicate_flow(dst, lfn, &info, started_at, &reg),
+            FetchPolicy::MultiSource { max_sources, min_chunk } => {
+                self.replicate_multi_flow(dst, lfn, &info, started_at, &reg, max_sources, min_chunk)
+            }
+        };
         match &result {
             Ok(r) => {
                 reg.span_note(root, "src", r.from.as_str());
@@ -972,6 +1078,16 @@ impl Grid {
                                     .expect("pinned file is resident");
                                 self.site_mut(&source)?.storage.pool.unpin(lfn)?;
                                 self.breaker.record_success(&source);
+                                if !matches!(self.fetch, FetchPolicy::SingleSource) {
+                                    // Multi-source grids learn link throughput
+                                    // even when a fetch fell back to this
+                                    // pipeline; the default SingleSource path
+                                    // stays bit-stable by never touching the
+                                    // history.
+                                    let bps = remaining as f64 * 8.0
+                                        / report.data_time.as_secs_f64().max(1e-9);
+                                    self.note_observed_throughput(&source, dst, bps);
+                                }
                                 break 'sources (source, data);
                             }
                             Verdict::Abort { fraction } => {
@@ -1061,46 +1177,7 @@ impl Grid {
             }
         };
 
-        // Deliver the actual bytes: verify CRC, reserve space, copy.
-        let actual_crc = crc32(&data);
-        if actual_crc != info.meta.crc32 {
-            reg.counter_add("crc_failures", &[("src", source.as_str()), ("dst", dst)], 1);
-            return Err(GdmpError::IntegrityFailure { lfn: lfn.to_string() });
-        }
-        {
-            let reserve_span = reg.span_start("space_reserve", self.clock.nanos());
-            reg.span_note(reserve_span, "bytes", size);
-            let dst_site = self.site_mut(dst)?;
-            let reservation = dst_site.storage.pool.allocate(size)?;
-            dst_site.storage.pool.put_reserved(reservation, lfn, data.clone())?;
-            reg.span_end(reserve_span, self.clock.nanos());
-        }
-
-        // Post-processing per file type (attach to federation, ...).
-        {
-            let post_span = reg.span_start("post_process", self.clock.nanos());
-            reg.span_note(post_span, "file_type", info.meta.file_type.as_str());
-            self.post_process(dst, lfn, &info.meta.file_type, &data)?;
-            reg.span_end(post_span, self.clock.nanos());
-        }
-
-        // Make the new replica visible to the grid.
-        let register_span = reg.span_start("catalog_register", self.clock.nanos());
-        let url = self.site(dst)?.url_prefix.clone();
-        self.catalog.add_replica(lfn, dst, &url)?;
-        let notice =
-            FileNotice { lfn: lfn.to_string(), meta: info.meta.clone(), origin: source.clone() };
-        {
-            let dst_site = self.site_mut(dst)?;
-            dst_site.export_catalog.push(notice);
-            dst_site.import_queue.retain(|n| n.lfn != lfn);
-            reg.gauge_set(
-                "site_import_queue_depth",
-                &[("site", dst)],
-                dst_site.import_queue.len() as i64,
-            );
-        }
-        reg.span_end(register_span, self.clock.nanos());
+        self.install_replica(dst, lfn, info, &source, &data, reg)?;
 
         let report = ReplicationReport {
             lfn: lfn.to_string(),
@@ -1118,6 +1195,485 @@ impl Grid {
         };
         self.reports.push(report.clone());
         Ok(report)
+    }
+
+    /// The striped pipeline behind [`FetchPolicy::MultiSource`]: rank the
+    /// replicas, split the byte range across the top-k, pull chunks on
+    /// per-source timelines that advance concurrently against one wall
+    /// clock, steal work from stragglers, and fail over mid-transfer by
+    /// re-assigning a dead source's ranges to the survivors (restart
+    /// markers keep every byte that already landed). Falls back to the
+    /// single-source pipeline when the file is too small to stripe or only
+    /// one source is usable.
+    #[allow(clippy::too_many_arguments)]
+    fn replicate_multi_flow(
+        &mut self,
+        dst: &str,
+        lfn: &str,
+        info: &gdmp_replica_catalog::service::ReplicaInfo,
+        started_at: SimTime,
+        reg: &Registry,
+        max_sources: usize,
+        min_chunk: u64,
+    ) -> Result<ReplicationReport> {
+        let min_chunk = min_chunk.max(1);
+        let size = info.meta.size;
+        let select_span = reg.span_start("select_source", self.clock.nanos());
+        let mut estimates = crate::selection::estimate_sources(self, dst, info)?;
+        reg.span_note(select_span, "candidates", estimates.len() as u64);
+        reg.span_end(select_span, self.clock.nanos());
+        if estimates.is_empty() {
+            return Err(GdmpError::NotPublished(lfn.to_string()));
+        }
+        if self.breaker.any_open(self.clock) {
+            let now = self.clock;
+            let healthy = estimates.iter().filter(|e| !self.breaker.is_open(&e.site, now)).count();
+            if healthy > 0 && healthy < estimates.len() {
+                reg.counter_add("breaker_skips", &[], (estimates.len() - healthy) as u64);
+                let breaker = &self.breaker;
+                estimates.retain(|e| !breaker.is_open(&e.site, now));
+            }
+        }
+        if estimates.len() < 2 || size < 2 * min_chunk {
+            // Not enough sources (or bytes) to stripe: the classic pipeline
+            // already does everything right, including failover.
+            return self.replicate_flow(dst, lfn, info, started_at, reg);
+        }
+        let plan = MultiSourcePlan::build(lfn, size, &estimates, max_sources, min_chunk);
+        if plan.assignments.len() < 2 {
+            return self.replicate_flow(dst, lfn, info, started_at, reg);
+        }
+        let n = plan.assignments.len();
+        let mut exec = PlanExecution::new(&plan);
+        let preds: Vec<f64> = plan
+            .assignments
+            .iter()
+            .map(|a| {
+                estimates
+                    .iter()
+                    .find(|e| e.site == a.source)
+                    .map(|e| e.predicted_bps)
+                    .unwrap_or(1.0)
+            })
+            .collect();
+        exec.set_predictions(&preds);
+        reg.counter_add("multi_fetches", &[("dst", dst)], 1);
+        reg.record(
+            self.clock.nanos(),
+            "multi_plan",
+            format!("{lfn} -> {dst}: {n} sources {:?}", plan.sources()),
+        );
+
+        // Serial control phase: reachability + PrepareFile per source on the
+        // shared clock (control RPCs are cheap; only the data phase below
+        // runs in parallel). A source that fails its prologue is dead to
+        // this plan and its range moves to the survivors.
+        let mut source_data: Vec<Option<Bytes>> = vec![None; n];
+        let mut stage_latency = SimDuration::ZERO;
+        let mut staged_any = false;
+        let mut failures_total = 0u32;
+        let mut fatal: Option<GdmpError> = None;
+        #[allow(clippy::needless_range_loop)] // exec and source_data are both indexed
+        'prologues: for idx in 0..n {
+            let source = plan.assignments[idx].source.clone();
+            let mark = plan.assignments[idx].start;
+            let mut prologue_attempts = 0u32;
+            loop {
+                let prologue_err: Option<GdmpError> = 'prologue: {
+                    if self.chaos.is_active() {
+                        self.apply_due_faults();
+                        if !self.chaos.can_rpc(dst, &source) || !self.chaos.can_flow(&source, dst) {
+                            break 'prologue Some(if self.chaos.is_down(&source) {
+                                GdmpError::SiteUnreachable(source.clone())
+                            } else {
+                                GdmpError::LinkDown { from: source.clone(), to: dst.to_string() }
+                            });
+                        }
+                    }
+                    let before = self.clock;
+                    let rtt = self.profile_between(dst, &source).rtt();
+                    match self.rpc(dst, &source, Request::PrepareFile { lfn: lfn.to_string() }) {
+                        Ok(Response::FileReady { was_staged, .. }) => {
+                            let total = self.clock.since(before);
+                            stage_latency = stage_latency
+                                + SimDuration(total.nanos().saturating_sub(rtt.nanos()));
+                            staged_any |= was_staged;
+                            None
+                        }
+                        Ok(other) => panic!("PrepareFile returned {other:?}"),
+                        Err(e) if e.is_retryable() => Some(e),
+                        Err(e) => {
+                            fatal = Some(e);
+                            break 'prologues;
+                        }
+                    }
+                };
+                match prologue_err {
+                    None => {
+                        // Pin for the duration; keep a handle to the bytes so
+                        // reassembly still works if this source later crashes
+                        // (ranges that already landed stay valid).
+                        self.site_mut(&source)?.storage.pool.pin(lfn)?;
+                        source_data[idx] =
+                            Some(self.site(&source)?.storage.pool.peek(lfn).expect("pinned"));
+                        break;
+                    }
+                    Some(_) => {
+                        failures_total += 1;
+                        prologue_attempts += 1;
+                        reg.counter_add("source_unreachable", &[("src", source.as_str())], 1);
+                        let alive = exec.sources().iter().filter(|s| s.alive).count() as u32;
+                        let ctx = FailureCtx {
+                            attempts_on_source: prologue_attempts,
+                            attempts_total: failures_total,
+                            sources_tried: idx as u32 + 1,
+                            sources_remaining: alive.saturating_sub(1),
+                            kind: FailureKind::Unreachable,
+                        };
+                        let (action, wait) =
+                            self.handle_failure_multi(&source, self.clock, &ctx, reg);
+                        if action == RecoveryAction::RetrySameSource {
+                            self.clock += wait;
+                            continue;
+                        }
+                        // Failover and GiveUp both mean: out of this plan.
+                        exec.source_died(idx, (mark, mark), 0, SimDuration::ZERO);
+                        reg.record(
+                            self.clock.nanos(),
+                            "multi_source_dropped",
+                            format!("{lfn}: {source} unreachable at setup; ranges reassigned"),
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+        if fatal.is_none() && exec.is_stuck() {
+            fatal = Some(GdmpError::TransferFailed {
+                lfn: lfn.to_string(),
+                attempts: failures_total,
+                last_error: "no usable sources after setup".into(),
+            });
+        }
+        if let Some(e) = fatal {
+            for (idx, a) in plan.assignments.iter().enumerate() {
+                if source_data[idx].is_some() {
+                    self.unpin_quiet(&a.source, lfn);
+                }
+            }
+            return Err(e);
+        }
+
+        // Parallel data phase. Each source advances a private timeline
+        // anchored at `base`; the shared clock only moves once the slowest
+        // participant finishes.
+        let base = self.clock;
+        let params = self.params;
+        let mut attempts_chunks = 0u32;
+        let mut bytes_moved = 0u64;
+        let mut data_time = SimDuration::ZERO;
+        let mut setup_time = SimDuration::ZERO;
+        let mut session_open = vec![false; n];
+        let mut sim_cache: HashMap<(usize, u64, bool), gdmp_gridftp::sim::SimTransferReport> =
+            HashMap::new();
+        loop {
+            while exec.steal_for_idle() {}
+            if exec.is_complete() {
+                break;
+            }
+            let Some((idx, chunk)) = exec.next_chunk() else { break };
+            let source = exec.sources()[idx].name.clone();
+            let bytes = chunk.1 - chunk.0;
+            attempts_chunks += 1;
+            let at = base + exec.sources()[idx].elapsed;
+            let profile = self.profile_between(&source, dst);
+            // The first pull on a source pays GridFTP session setup and TCP
+            // slow-start; later chunks reuse the established data channels
+            // (warm windows, no handshake). A failure forces a reconnect.
+            let warm = session_open[idx];
+            let report = *sim_cache.entry((idx, bytes, warm)).or_insert_with(|| {
+                if warm {
+                    profile.simulate_transfer_warm(bytes, params.streams, params.buffer)
+                } else {
+                    profile.simulate_transfer(bytes, params.streams, params.buffer)
+                }
+            });
+            let setup = if warm { SimDuration::ZERO } else { report.setup_time };
+            let pair_labels = [("src", source.as_str()), ("dst", dst)];
+            // Does a scheduled fault sever this path while the chunk is in
+            // flight, judged on this source's private timeline?
+            let cut_at = if self.chaos.is_active() {
+                self.chaos.first_cut_in_window(&source, dst, at, at + setup + report.data_time)
+            } else {
+                None
+            };
+            // Ok = clean; Err = (kind, salvaged bytes, data-phase time burned).
+            let outcome: std::result::Result<(), (FailureKind, u64, SimDuration)> =
+                if let Some(cut) = cut_at {
+                    let data_ns = report.data_time.nanos().max(1);
+                    let elapsed =
+                        cut.nanos().saturating_sub(at.nanos() + setup.nanos()).min(data_ns);
+                    let got = ((bytes as f64) * (elapsed as f64 / data_ns as f64)) as u64;
+                    Err((
+                        FailureKind::Unreachable,
+                        got.min(bytes.saturating_sub(1)),
+                        SimDuration::from_nanos(elapsed),
+                    ))
+                } else {
+                    match self.fault_verdict(lfn, &source) {
+                        Verdict::Clean => Ok(()),
+                        Verdict::Abort { fraction } => {
+                            let got = ((bytes as f64) * fraction) as u64;
+                            let partial = SimDuration::from_secs_f64(
+                                report.data_time.as_secs_f64() * fraction,
+                            );
+                            Err((FailureKind::Aborted, got.min(bytes.saturating_sub(1)), partial))
+                        }
+                        Verdict::Corrupt => Err((FailureKind::Corrupted, 0, report.data_time)),
+                    }
+                };
+            match outcome {
+                Ok(()) => {
+                    session_open[idx] = true;
+                    setup_time = setup_time + setup;
+                    data_time = data_time + report.data_time;
+                    bytes_moved += bytes;
+                    exec.chunk_succeeded(idx, chunk, setup + report.data_time);
+                    reg.counter_add("transfer_bytes", &pair_labels, bytes);
+                    reg.counter_add("multi_chunks", &pair_labels, 1);
+                    let bps = bytes as f64 * 8.0 / report.data_time.as_secs_f64().max(1e-9);
+                    let ewma = self.note_observed_throughput(&source, dst, bps);
+                    reg.gauge_set("source_throughput_ewma", &pair_labels, ewma as i64);
+                    self.breaker.record_success(&source);
+                }
+                Err((kind, salvaged, burned)) => {
+                    failures_total += 1;
+                    session_open[idx] = false;
+                    setup_time = setup_time + setup;
+                    data_time = data_time + burned;
+                    // Corrupt chunks crossed the wire before the CRC caught
+                    // them; severed/aborted chunks moved their salvaged
+                    // prefix.
+                    bytes_moved += if kind == FailureKind::Corrupted { bytes } else { salvaged };
+                    let ctx = {
+                        let alive = exec.sources().iter().filter(|s| s.alive).count() as u32;
+                        FailureCtx {
+                            attempts_on_source: exec.sources()[idx].attempts_on_source + 1,
+                            attempts_total: failures_total,
+                            sources_tried: (n as u32).saturating_sub(alive) + 1,
+                            sources_remaining: alive.saturating_sub(1),
+                            kind,
+                        }
+                    };
+                    if salvaged > 0 {
+                        // Restart markers keep the prefix; credit it to this
+                        // source before deciding its fate.
+                        exec.chunk_succeeded(idx, (chunk.0, chunk.0 + salvaged), SimDuration::ZERO);
+                        reg.counter_add("transfer_bytes", &pair_labels, salvaged);
+                        reg.counter_add("restart_events", &pair_labels, 1);
+                    }
+                    let kind_label = match kind {
+                        FailureKind::Aborted => "aborted",
+                        FailureKind::Corrupted => "corrupt",
+                        FailureKind::Unreachable => "severed",
+                    };
+                    reg.counter_add("multi_chunk_failures", &[("kind", kind_label)], 1);
+                    let (action, wait) =
+                        self.handle_failure_multi(&source, at + setup + burned, &ctx, reg);
+                    match action {
+                        RecoveryAction::RetrySameSource => {
+                            exec.chunk_retried(idx, setup + burned + wait);
+                        }
+                        RecoveryAction::FailoverToNextSource => {
+                            // In a striped fetch, "failover" means this source
+                            // leaves the plan and its ranges move to the
+                            // survivors.
+                            exec.source_died(idx, (chunk.0 + salvaged, chunk.1), 0, setup + burned);
+                            self.unpin_quiet(&source, lfn);
+                            reg.counter_add("multi_source_deaths", &[("src", source.as_str())], 1);
+                            reg.record(
+                                (at + setup + burned).nanos(),
+                                "multi_failover",
+                                format!("{lfn}: {source} left the plan; ranges reassigned"),
+                            );
+                        }
+                        RecoveryAction::GiveUp => {
+                            fatal = Some(GdmpError::TransferFailed {
+                                lfn: lfn.to_string(),
+                                attempts: attempts_chunks,
+                                last_error: "retry budget exhausted".into(),
+                            });
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        // The parallel data phase is over: it took as long as the slowest
+        // participant's private timeline.
+        self.clock = base + exec.finish_elapsed();
+        if self.chaos.is_active() {
+            self.apply_due_faults();
+        }
+        for (idx, a) in plan.assignments.iter().enumerate() {
+            if source_data[idx].is_some() {
+                self.unpin_quiet(&a.source, lfn);
+            }
+        }
+        reg.counter_add("ranges_reassigned", &[("dst", dst)], exec.ranges_reassigned);
+        reg.counter_add("plan_rebuilds", &[("dst", dst)], exec.plan_rebuilds);
+        if let Some(e) = fatal {
+            return Err(e);
+        }
+        if !exec.is_complete() {
+            return Err(GdmpError::TransferFailed {
+                lfn: lfn.to_string(),
+                attempts: attempts_chunks.max(1),
+                last_error: "all sources failed mid-transfer".into(),
+            });
+        }
+
+        // Reassemble from the per-source byte handles: every replica holds
+        // identical content (publication CRC), and each credited range is
+        // valid even if its source died afterwards.
+        let mut assembled = vec![0u8; size as usize];
+        for &(s, e, idx) in exec.completed_by() {
+            let src_bytes = source_data[idx].as_ref().expect("credited source was prepared");
+            assembled[s as usize..e as usize].copy_from_slice(&src_bytes[s as usize..e as usize]);
+        }
+        let data = Bytes::from(assembled);
+        let crc_span = reg.span_start("crc_verify", self.clock.nanos());
+        self.clock += SimDuration::from_millis(1);
+        reg.span_note(crc_span, "passed", true);
+        reg.span_end(crc_span, self.clock.nanos());
+
+        // The fetch of record is attributed to the biggest contributor;
+        // per-source byte counts live in the telemetry counters.
+        let from = exec
+            .sources()
+            .iter()
+            .max_by(|a, b| a.bytes_fetched.cmp(&b.bytes_fetched).then_with(|| b.name.cmp(&a.name)))
+            .map(|s| s.name.clone())
+            .expect("plan has sources");
+
+        self.install_replica(dst, lfn, info, &from, &data, reg)?;
+
+        let report = ReplicationReport {
+            lfn: lfn.to_string(),
+            from,
+            to: dst.to_string(),
+            bytes: size,
+            bytes_moved,
+            attempts: attempts_chunks,
+            staged: staged_any,
+            stage_latency,
+            data_time,
+            setup_time,
+            started_at,
+            finished_at: self.clock,
+        };
+        self.reports.push(report.clone());
+        Ok(report)
+    }
+
+    /// Multi-source cousin of [`Grid::handle_failure`]: feeds the breaker
+    /// and asks the recovery strategy, but returns the backoff instead of
+    /// serving it on the shared clock — the wait belongs to one source's
+    /// private timeline, not to the grid.
+    fn handle_failure_multi(
+        &mut self,
+        source: &str,
+        at: SimTime,
+        ctx: &FailureCtx,
+        reg: &Registry,
+    ) -> (RecoveryAction, SimDuration) {
+        if self.breaker.record_failure(source, at) {
+            reg.counter_add("breaker_trips", &[("src", source)], 1);
+            reg.record(
+                at.nanos(),
+                "breaker_open",
+                format!("{source}: circuit opened after consecutive failures"),
+            );
+        }
+        let action = self.decide_recovery(ctx);
+        let verdict_label = match action {
+            RecoveryAction::RetrySameSource => "retry_same_source",
+            RecoveryAction::FailoverToNextSource => "failover",
+            RecoveryAction::GiveUp => "give_up",
+        };
+        reg.counter_add("recovery_verdicts", &[("action", verdict_label)], 1);
+        let wait = if action == RecoveryAction::RetrySameSource {
+            match &self.recovery {
+                Some(s) => s.backoff(ctx),
+                None => SimDuration::ZERO,
+            }
+        } else {
+            SimDuration::ZERO
+        };
+        if wait > SimDuration::ZERO {
+            reg.counter_add("backoff_waits", &[("src", source)], 1);
+            reg.observe("backoff_wait_ns", &[], wait.nanos());
+        }
+        (action, wait)
+    }
+
+    /// Deliver verified bytes to the destination: CRC check, space
+    /// reservation, file-type post-processing, catalog registration, and
+    /// import-queue cleanup. Shared by the single- and multi-source paths.
+    fn install_replica(
+        &mut self,
+        dst: &str,
+        lfn: &str,
+        info: &gdmp_replica_catalog::service::ReplicaInfo,
+        origin: &str,
+        data: &Bytes,
+        reg: &Registry,
+    ) -> Result<()> {
+        let size = info.meta.size;
+        let actual_crc = crc32(data);
+        if actual_crc != info.meta.crc32 {
+            reg.counter_add("crc_failures", &[("src", origin), ("dst", dst)], 1);
+            return Err(GdmpError::IntegrityFailure { lfn: lfn.to_string() });
+        }
+        {
+            let reserve_span = reg.span_start("space_reserve", self.clock.nanos());
+            reg.span_note(reserve_span, "bytes", size);
+            let dst_site = self.site_mut(dst)?;
+            let reservation = dst_site.storage.pool.allocate(size)?;
+            dst_site.storage.pool.put_reserved(reservation, lfn, data.clone())?;
+            reg.span_end(reserve_span, self.clock.nanos());
+        }
+
+        // Post-processing per file type (attach to federation, ...).
+        {
+            let post_span = reg.span_start("post_process", self.clock.nanos());
+            reg.span_note(post_span, "file_type", info.meta.file_type.as_str());
+            self.post_process(dst, lfn, &info.meta.file_type, data)?;
+            reg.span_end(post_span, self.clock.nanos());
+        }
+
+        // Make the new replica visible to the grid.
+        let register_span = reg.span_start("catalog_register", self.clock.nanos());
+        let url = self.site(dst)?.url_prefix.clone();
+        self.catalog.add_replica(lfn, dst, &url)?;
+        let notice = FileNotice {
+            lfn: lfn.to_string(),
+            meta: info.meta.clone(),
+            origin: origin.to_string(),
+        };
+        {
+            let dst_site = self.site_mut(dst)?;
+            dst_site.export_catalog.push(notice);
+            dst_site.import_queue.retain(|n| n.lfn != lfn);
+            reg.gauge_set(
+                "site_import_queue_depth",
+                &[("site", dst)],
+                dst_site.import_queue.len() as i64,
+            );
+        }
+        reg.span_end(register_span, self.clock.nanos());
+        Ok(())
     }
 
     fn post_process(&mut self, dst: &str, lfn: &str, file_type: &str, data: &Bytes) -> Result<()> {
@@ -1145,7 +1701,17 @@ impl Grid {
     /// Drain the destination's import queue, replicating every notified
     /// file not yet held locally.
     pub fn replicate_pending(&mut self, dst: &str) -> Result<Vec<ReplicationReport>> {
-        let pending: Vec<FileNotice> = self.site(dst)?.import_queue.clone();
+        let mut pending: Vec<FileNotice> = self.site(dst)?.import_queue.clone();
+        // Files deferred by an earlier pass sort by their backoff deadline;
+        // never-deferred files carry deadline zero and keep FIFO order up
+        // front (the sort is stable). A file serving a long backoff thus
+        // cannot head-of-line-block fresh work behind it.
+        pending.sort_by_key(|notice| {
+            self.defer_state
+                .get(&(dst.to_string(), notice.lfn.clone()))
+                .map(|&(deadline, _)| deadline)
+                .unwrap_or(SimTime::ZERO)
+        });
         let reg = self.telemetry.clone();
         let span = reg.span_start("replicate_pending", self.clock.nanos());
         reg.span_note(span, "dst", dst);
@@ -1153,15 +1719,28 @@ impl Grid {
         let mut out = Vec::new();
         let mut deferred: u64 = 0;
         for notice in pending {
+            let defer_key = (dst.to_string(), notice.lfn.clone());
             match self.replicate(dst, &notice.lfn) {
-                Ok(r) => out.push(r),
+                Ok(r) => {
+                    self.defer_state.remove(&defer_key);
+                    out.push(r);
+                }
                 Err(GdmpError::AlreadyReplicated { .. }) => {
+                    self.defer_state.remove(&defer_key);
                     self.site_mut(dst)?.import_queue.retain(|n| n.lfn != notice.lfn);
                 }
                 Err(e) if e.is_retryable() => {
                     // A down source or severed link fails one file, not the
-                    // whole drain: the notice stays queued for a later pass.
+                    // whole drain: the notice stays queued for a later pass,
+                    // behind an exponentially growing backoff deadline.
                     deferred += 1;
+                    let entry = self.defer_state.entry(defer_key).or_insert((SimTime::ZERO, 0));
+                    entry.1 = entry.1.saturating_add(1);
+                    let backoff_ns = SimDuration::from_millis(500)
+                        .nanos()
+                        .saturating_mul(1 << u64::from((entry.1 - 1).min(6)))
+                        .min(SimDuration::from_secs(30).nanos());
+                    entry.0 = self.clock + SimDuration::from_nanos(backoff_ns);
                     reg.counter_add("replications_deferred", &[("dst", dst)], 1);
                     reg.record(
                         self.clock.nanos(),

@@ -19,6 +19,7 @@
 //! * **consistency policies** ([`consistency`]) — associated-file closure
 //!   so navigation survives replication (Section 2.1).
 
+pub mod builder;
 pub mod chaos;
 pub mod consistency;
 pub mod error;
@@ -29,9 +30,11 @@ pub mod message;
 pub mod objrep;
 pub mod plugins;
 pub mod recovery;
+pub mod schedule;
 pub mod selection;
 pub mod site;
 
+pub use builder::GridBuilder;
 pub use chaos::{ChaosPlan, ChaosState, FaultEvent, FaultSchedule};
 pub use consistency::{associated_closure, ConsistencyPolicy};
 pub use error::{GdmpError, Result};
@@ -47,5 +50,27 @@ pub use recovery::{
     BackoffRetry, BreakerConfig, CircuitBreaker, CorruptionAverse, FailoverRetry, FailureCtx,
     FailureKind, RecoveryAction, RecoveryStrategy, SimpleRetry,
 };
-pub use selection::{estimate_sources, SourceEstimate};
+pub use schedule::{Assignment, FetchPolicy, MultiSourcePlan, PlanExecution};
+pub use selection::{
+    estimate_sources, estimate_sources_with, AnalyticCostModel, CostInputs, CostModel,
+    HistoryCostModel, SourceEstimate,
+};
 pub use site::{Site, SiteConfig};
+
+/// One import for the types nearly every test, example, and benchmark
+/// reaches for: the grid and its builder, site configs, WAN profiles,
+/// fetch policies, recovery strategies, errors, and sim time.
+pub mod prelude {
+    pub use crate::builder::GridBuilder;
+    pub use crate::chaos::{ChaosPlan, FaultSchedule};
+    pub use crate::error::{FailureKind, GdmpError, Result};
+    pub use crate::grid::{Grid, ReplicationReport, TransferParams};
+    pub use crate::recovery::{BackoffRetry, BreakerConfig, RecoveryStrategy, SimpleRetry};
+    pub use crate::schedule::{FetchPolicy, MultiSourcePlan};
+    pub use crate::selection::{AnalyticCostModel, CostModel, HistoryCostModel};
+    pub use crate::site::SiteConfig;
+    pub use bytes::Bytes;
+    pub use gdmp_gridftp::sim::WanProfile;
+    pub use gdmp_simnet::time::{SimDuration, SimTime};
+    pub use gdmp_telemetry::Registry;
+}

@@ -1,0 +1,596 @@
+//! Multi-source replica fetching: split one file's byte ranges across the
+//! top-k replicas and re-assign ranges from straggling or failed sources
+//! mid-transfer.
+//!
+//! The paper replicates each file from a single producer, but its own
+//! machinery — GridFTP partial transfers and restart markers, the Replica
+//! Catalog's one-to-many LFN→PFN mapping — is exactly what is needed to
+//! pull one file from several replicas at once (\[VTF01\], \[ABB+01\]).
+//!
+//! This module is the *pure* half of that subsystem: [`MultiSourcePlan`]
+//! carves `[0, size)` into contiguous per-source assignments proportional
+//! to each source's predicted throughput, and [`PlanExecution`] is a
+//! deterministic state machine that tracks per-source queues and
+//! timelines, credits completed chunks, salvages partial progress when a
+//! source dies, re-assigns orphaned ranges, and steals work for idle
+//! sources. The side-effectful driver — WAN simulation, chaos checks,
+//! retry strategies, the circuit breaker — lives in
+//! [`Grid::replicate`](crate::grid::Grid::replicate); keeping the range
+//! bookkeeping pure makes it property-testable in isolation.
+
+use gdmp_gridftp::ranges::ByteRanges;
+use gdmp_simnet::time::SimDuration;
+
+use crate::selection::SourceEstimate;
+
+/// How [`Grid::replicate`](crate::grid::Grid::replicate) fetches a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FetchPolicy {
+    /// The classic GDMP pipeline: one source at a time, failover on error.
+    #[default]
+    SingleSource,
+    /// Split the file across the top-k ranked sources and pull byte ranges
+    /// in parallel, falling back to [`FetchPolicy::SingleSource`] when only
+    /// one usable source exists or the file is too small to split.
+    MultiSource {
+        /// Upper bound on concurrent sources.
+        max_sources: usize,
+        /// Smallest range worth a separate pull (and the chunk quantum).
+        min_chunk: u64,
+    },
+}
+
+impl FetchPolicy {
+    /// Multi-source with sensible defaults: up to 3 sources, 1 MB chunks.
+    pub fn multi_source() -> Self {
+        FetchPolicy::MultiSource { max_sources: 3, min_chunk: 1024 * 1024 }
+    }
+}
+
+/// One contiguous byte range assigned to one source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    pub source: String,
+    /// Half-open `[start, end)`.
+    pub start: u64,
+    pub end: u64,
+}
+
+/// The initial partition of a file across its top-k sources.
+#[derive(Debug, Clone)]
+pub struct MultiSourcePlan {
+    pub lfn: String,
+    pub size: u64,
+    pub min_chunk: u64,
+    /// Disjoint, contiguous, covering `[0, size)`; one entry per source,
+    /// ordered by offset (and therefore by selection rank: the cheapest
+    /// source gets the first — largest — share).
+    pub assignments: Vec<Assignment>,
+}
+
+impl MultiSourcePlan {
+    /// Partition `[0, size)` across the best `max_sources` of `estimates`
+    /// (cheapest-first, as returned by
+    /// [`estimate_sources`](crate::selection::estimate_sources)),
+    /// proportionally to predicted throughput. Every share is at least
+    /// `min_chunk`; fewer sources are used when the file is too small to
+    /// give each one a meaningful share.
+    pub fn build(
+        lfn: &str,
+        size: u64,
+        estimates: &[SourceEstimate],
+        max_sources: usize,
+        min_chunk: u64,
+    ) -> MultiSourcePlan {
+        let min_chunk = min_chunk.max(1);
+        let k = max_sources.min(estimates.len()).min((size / min_chunk).max(1) as usize).max(1);
+        let picked = &estimates[..k];
+        let total_w: f64 = picked.iter().map(|e| e.predicted_bps.max(1.0)).sum();
+        let mut bounds = vec![0u64; k + 1];
+        bounds[k] = size;
+        let mut acc = 0.0;
+        for i in 1..k {
+            acc += picked[i - 1].predicted_bps.max(1.0);
+            let raw = (size as f64 * acc / total_w) as u64;
+            // Keep every share at least `min_chunk` on both sides.
+            let lo = bounds[i - 1] + min_chunk;
+            let hi = size - (k - i) as u64 * min_chunk;
+            bounds[i] = raw.clamp(lo, hi);
+        }
+        let assignments = (0..k)
+            .map(|i| Assignment {
+                source: picked[i].site.clone(),
+                start: bounds[i],
+                end: bounds[i + 1],
+            })
+            .collect();
+        MultiSourcePlan { lfn: lfn.to_string(), size, min_chunk, assignments }
+    }
+
+    /// The distinct sources participating, in assignment order.
+    pub fn sources(&self) -> Vec<&str> {
+        self.assignments.iter().map(|a| a.source.as_str()).collect()
+    }
+}
+
+/// Live state of one source during a multi-source fetch.
+#[derive(Debug, Clone)]
+pub struct SourceProgress {
+    pub name: String,
+    /// The cost model's throughput prediction, bits/s.
+    pub predicted_bps: f64,
+    /// Pending ranges, front first.
+    queue: Vec<(u64, u64)>,
+    /// This source's busy time since the fetch began (its private
+    /// timeline; sources run concurrently in wall-clock terms).
+    pub elapsed: SimDuration,
+    pub alive: bool,
+    /// Failed attempts against the current chunk (reset on success).
+    pub attempts_on_source: u32,
+    pub chunks_done: u64,
+    /// Bytes credited as completed from this source.
+    pub bytes_fetched: u64,
+}
+
+impl SourceProgress {
+    /// Bytes still queued on this source.
+    pub fn pending_bytes(&self) -> u64 {
+        self.queue.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Predicted time to drain the queue from now, by the cost model.
+    fn predicted_finish(&self) -> SimDuration {
+        self.elapsed
+            + SimDuration::from_secs_f64(
+                self.pending_bytes() as f64 * 8.0 / self.predicted_bps.max(1.0),
+            )
+    }
+}
+
+/// Deterministic execution state of a [`MultiSourcePlan`].
+///
+/// The driver repeatedly asks for the next chunk ([`PlanExecution::next_chunk`]
+/// picks the source whose private timeline is furthest behind — the
+/// discrete-event order of concurrent pulls), executes it by whatever
+/// means (WAN simulation, a real socket, a test stub), and reports the
+/// outcome back. All range arithmetic invariants live here, where they
+/// are property-tested: completed ranges stay disjoint, their union plus
+/// the pending queues always covers the file, and every completed byte is
+/// attributed to exactly one source.
+#[derive(Debug, Clone)]
+pub struct PlanExecution {
+    pub size: u64,
+    pub min_chunk: u64,
+    sources: Vec<SourceProgress>,
+    completed: ByteRanges,
+    /// `(start, end, source index)` attribution of every credited range.
+    completed_by: Vec<(u64, u64, usize)>,
+    /// Ranges moved between sources (death reassignments + work steals).
+    pub ranges_reassigned: u64,
+    /// Times the plan was rebuilt because a source died.
+    pub plan_rebuilds: u64,
+}
+
+impl PlanExecution {
+    pub fn new(plan: &MultiSourcePlan) -> PlanExecution {
+        PlanExecution {
+            size: plan.size,
+            min_chunk: plan.min_chunk.max(1),
+            sources: plan
+                .assignments
+                .iter()
+                .map(|a| SourceProgress {
+                    name: a.source.clone(),
+                    predicted_bps: 1.0,
+                    queue: if a.start < a.end { vec![(a.start, a.end)] } else { Vec::new() },
+                    elapsed: SimDuration::ZERO,
+                    alive: true,
+                    attempts_on_source: 0,
+                    chunks_done: 0,
+                    bytes_fetched: 0,
+                })
+                .collect(),
+            completed: ByteRanges::new(),
+            completed_by: Vec::new(),
+            ranges_reassigned: 0,
+            plan_rebuilds: 0,
+        }
+    }
+
+    /// Attach throughput predictions (for reassignment targeting); the
+    /// slice is matched to sources by order.
+    pub fn set_predictions(&mut self, bps: &[f64]) {
+        for (s, &p) in self.sources.iter_mut().zip(bps) {
+            s.predicted_bps = p.max(1.0);
+        }
+    }
+
+    pub fn sources(&self) -> &[SourceProgress] {
+        &self.sources
+    }
+
+    /// Completed coverage of `[0, size)`.
+    pub fn completed(&self) -> &ByteRanges {
+        &self.completed
+    }
+
+    /// `(start, end, source index)` attribution of every credited range.
+    pub fn completed_by(&self) -> &[(u64, u64, usize)] {
+        &self.completed_by
+    }
+
+    pub fn is_complete(&self) -> bool {
+        self.completed.is_complete(self.size)
+    }
+
+    /// No source can make progress but the file is incomplete — every
+    /// participant died. The fetch has failed.
+    pub fn is_stuck(&self) -> bool {
+        !self.is_complete() && self.sources.iter().all(|s| !s.alive || s.queue.is_empty())
+    }
+
+    /// Wall-clock span of the fetch: the furthest-ahead private timeline.
+    pub fn finish_elapsed(&self) -> SimDuration {
+        self.sources.iter().map(|s| s.elapsed).max().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// The next chunk to pull: the alive source with the shortest private
+    /// timeline (ties break on index, i.e. selection rank) pulls up to
+    /// `min_chunk` bytes off the front of its queue. Chunks stay
+    /// `min_chunk`-quantized even near a range's end — an atomic
+    /// whole-tail pull would keep the straggler's last bytes out of reach
+    /// of the endgame work-steal.
+    pub fn next_chunk(&self) -> Option<(usize, (u64, u64))> {
+        let idx = self
+            .sources
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive && !s.queue.is_empty())
+            .min_by_key(|(i, s)| (s.elapsed, *i))
+            .map(|(i, _)| i)?;
+        let (start, end) = self.sources[idx].queue[0];
+        let chunk_end = end.min(start + self.min_chunk);
+        Some((idx, (start, chunk_end)))
+    }
+
+    /// Work stealing: an alive source with an empty queue takes the tail
+    /// half of the straggler's last pending range (or the whole range
+    /// when it is short), but only when the improvement check below says
+    /// the move shrinks the plan's makespan. Returns whether anything
+    /// moved; call until `false` — the strict-improvement condition makes
+    /// the loop terminate (a stolen range never ping-pongs back, because
+    /// the reverse move would need the opposite strict inequality).
+    pub fn steal_for_idle(&mut self) -> bool {
+        let Some(thief) = self
+            .sources
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive && s.queue.is_empty())
+            .min_by_key(|(i, s)| (s.elapsed, *i))
+            .map(|(i, _)| i)
+        else {
+            return false;
+        };
+        // Victim: the alive source predicted to finish last.
+        let Some(victim) = self
+            .sources
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| *i != thief && s.alive && s.pending_bytes() > 0)
+            .max_by(|(i, a), (j, b)| a.predicted_finish().cmp(&b.predicted_finish()).then(j.cmp(i)))
+            .map(|(i, _)| i)
+        else {
+            return false;
+        };
+        let (start, end) = *self.sources[victim].queue.last().expect("victim has pending work");
+        let len = end - start;
+        let (moved_start, moved_end) =
+            if len >= 2 * self.min_chunk { (start + len / 2, end) } else { (start, end) };
+        // Only steal if the thief actually finishes the stolen bytes
+        // before the victim would have drained its whole queue — an idle
+        // slow source grabbing a fast source's tail makes the plan worse.
+        let stolen = moved_end - moved_start;
+        let thief_finish = self.sources[thief].elapsed
+            + SimDuration::from_secs_f64(
+                stolen as f64 * 8.0 / self.sources[thief].predicted_bps.max(1.0),
+            );
+        if thief_finish >= self.sources[victim].predicted_finish() {
+            return false;
+        }
+        if moved_start == start {
+            // Move the whole (short) tail range.
+            self.sources[victim].queue.pop().expect("checked");
+        } else {
+            // Split the tail range in half; the thief takes the back half.
+            self.sources[victim].queue.last_mut().expect("checked").1 = moved_start;
+        }
+        self.sources[thief].queue.push((moved_start, moved_end));
+        self.ranges_reassigned += 1;
+        true
+    }
+
+    /// The chunk returned by [`PlanExecution::next_chunk`] landed: credit
+    /// it, advance the source's timeline by `busy`, and trim its queue.
+    pub fn chunk_succeeded(&mut self, idx: usize, chunk: (u64, u64), busy: SimDuration) {
+        let s = &mut self.sources[idx];
+        debug_assert_eq!(s.queue[0].0, chunk.0, "chunk must come off the queue front");
+        if self.completed.contains(chunk.0) {
+            // Defensive: never double-credit.
+            s.queue[0].0 = chunk.1;
+        } else {
+            self.completed.insert(chunk.0, chunk.1);
+            self.completed_by.push((chunk.0, chunk.1, idx));
+            s.bytes_fetched += chunk.1 - chunk.0;
+            s.queue[0].0 = chunk.1;
+        }
+        if s.queue[0].0 >= s.queue[0].1 {
+            s.queue.remove(0);
+        }
+        s.elapsed = s.elapsed + busy;
+        s.attempts_on_source = 0;
+        s.chunks_done += 1;
+    }
+
+    /// A chunk attempt failed but the source stays in the plan (the driver
+    /// decided to retry): burn `busy` on its timeline (attempt + backoff)
+    /// and leave the queue untouched.
+    pub fn chunk_retried(&mut self, idx: usize, busy: SimDuration) {
+        let s = &mut self.sources[idx];
+        s.elapsed = s.elapsed + busy;
+        s.attempts_on_source += 1;
+    }
+
+    /// The source died `busy` into its current chunk `chunk`, with
+    /// `salvaged` bytes of that chunk already landed (restart markers keep
+    /// them). Credits the salvaged prefix, marks the source dead, and
+    /// re-assigns its orphaned ranges to the surviving source predicted to
+    /// finish earliest. Orphans stay orphaned when no source survives
+    /// ([`PlanExecution::is_stuck`] then reports failure).
+    pub fn source_died(&mut self, idx: usize, chunk: (u64, u64), salvaged: u64, busy: SimDuration) {
+        let salvaged = salvaged.min(chunk.1 - chunk.0);
+        let cut = chunk.0 + salvaged;
+        if salvaged > 0 && !self.completed.contains(chunk.0) {
+            self.completed.insert(chunk.0, cut);
+            self.completed_by.push((chunk.0, cut, idx));
+            self.sources[idx].bytes_fetched += salvaged;
+        }
+        let mut orphans = std::mem::take(&mut self.sources[idx].queue);
+        if let Some(front) = orphans.first_mut() {
+            front.0 = front.0.max(cut);
+            if front.0 >= front.1 {
+                orphans.remove(0);
+            }
+        }
+        {
+            let s = &mut self.sources[idx];
+            s.alive = false;
+            s.elapsed = s.elapsed + busy;
+        }
+        self.plan_rebuilds += 1;
+        if orphans.is_empty() {
+            return;
+        }
+        if let Some(heir) = self
+            .sources
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .min_by(|(i, a), (j, b)| a.predicted_finish().cmp(&b.predicted_finish()).then(i.cmp(j)))
+            .map(|(i, _)| i)
+        {
+            self.ranges_reassigned += orphans.len() as u64;
+            self.sources[heir].queue.extend(orphans);
+        } else {
+            // Everyone is dead; keep the orphans attached to the corpse so
+            // accounting still sees the uncovered bytes.
+            self.sources[idx].queue = orphans;
+        }
+    }
+
+    /// Invariant check used by tests: completed ranges plus pending queues
+    /// exactly cover `[0, size)` with no overlap.
+    pub fn coverage_is_exact(&self) -> bool {
+        let mut all = self.completed.clone();
+        let mut total = self.completed.covered();
+        for s in &self.sources {
+            for &(a, b) in &s.queue {
+                all.insert(a, b);
+                total += b - a;
+            }
+        }
+        all.is_complete(self.size) && total == self.size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selection::SourceEstimate;
+
+    fn est(site: &str, bps: f64) -> SourceEstimate {
+        SourceEstimate {
+            site: site.to_string(),
+            on_disk: true,
+            est_stage: SimDuration::ZERO,
+            est_transfer: SimDuration::from_secs_f64(1e9 / bps),
+            predicted_bps: bps,
+        }
+    }
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn plan_partitions_exactly_and_proportionally() {
+        let ests = [est("a", 20e6), est("b", 10e6), est("c", 10e6)];
+        let plan = MultiSourcePlan::build("x.dat", 40 * MB, &ests, 3, MB);
+        assert_eq!(plan.assignments.len(), 3);
+        assert_eq!(plan.assignments[0].start, 0);
+        assert_eq!(plan.assignments.last().unwrap().end, 40 * MB);
+        for w in plan.assignments.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "contiguous partition");
+        }
+        let share0 = plan.assignments[0].end - plan.assignments[0].start;
+        let share1 = plan.assignments[1].end - plan.assignments[1].start;
+        assert!(share0 > share1, "faster source gets the bigger share");
+        for a in &plan.assignments {
+            assert!(a.end - a.start >= MB, "every share at least min_chunk");
+        }
+    }
+
+    #[test]
+    fn small_files_use_fewer_sources() {
+        let ests = [est("a", 10e6), est("b", 10e6), est("c", 10e6)];
+        let plan = MultiSourcePlan::build("x.dat", 2 * MB, &ests, 3, MB);
+        assert_eq!(plan.assignments.len(), 2, "2 MB / 1 MB min_chunk caps at 2 sources");
+        let tiny = MultiSourcePlan::build("y.dat", 100, &ests, 3, MB);
+        assert_eq!(tiny.assignments.len(), 1);
+        assert_eq!(tiny.assignments[0].end, 100);
+    }
+
+    #[test]
+    fn execution_completes_without_failures() {
+        let ests = [est("a", 20e6), est("b", 10e6)];
+        let plan = MultiSourcePlan::build("x.dat", 8 * MB, &ests, 2, MB);
+        let mut exec = PlanExecution::new(&plan);
+        exec.set_predictions(&[20e6, 10e6]);
+        while let Some((idx, chunk)) = exec.next_chunk() {
+            let bytes = chunk.1 - chunk.0;
+            let busy =
+                SimDuration::from_secs_f64(bytes as f64 * 8.0 / exec.sources()[idx].predicted_bps);
+            exec.chunk_succeeded(idx, chunk, busy);
+            while exec.steal_for_idle() {}
+        }
+        assert!(exec.is_complete());
+        assert!(exec.coverage_is_exact());
+        assert!(exec.sources().iter().all(|s| s.bytes_fetched > 0), "both sources contributed");
+        assert_eq!(exec.plan_rebuilds, 0);
+    }
+
+    #[test]
+    fn death_reassigns_orphans_and_salvages_prefix() {
+        let ests = [est("a", 10e6), est("b", 10e6)];
+        let plan = MultiSourcePlan::build("x.dat", 8 * MB, &ests, 2, MB);
+        let mut exec = PlanExecution::new(&plan);
+        exec.set_predictions(&[10e6, 10e6]);
+        // First chunk of source 0 dies halfway through.
+        let (idx, chunk) = exec.next_chunk().unwrap();
+        assert_eq!(idx, 0);
+        let half = (chunk.1 - chunk.0) / 2;
+        exec.source_died(idx, chunk, half, SimDuration::from_secs(1));
+        assert_eq!(exec.plan_rebuilds, 1);
+        assert!(exec.ranges_reassigned >= 1);
+        assert_eq!(exec.completed().covered(), half, "salvaged prefix credited");
+        assert!(exec.coverage_is_exact(), "no byte lost in the reassignment");
+        // The survivor finishes the whole file.
+        while let Some((i, c)) = exec.next_chunk() {
+            assert_eq!(i, 1, "only the survivor pulls");
+            exec.chunk_succeeded(i, c, SimDuration::from_millis(100));
+        }
+        assert!(exec.is_complete());
+    }
+
+    #[test]
+    fn all_sources_dead_is_stuck() {
+        let ests = [est("a", 10e6), est("b", 10e6)];
+        let plan = MultiSourcePlan::build("x.dat", 4 * MB, &ests, 2, MB);
+        let mut exec = PlanExecution::new(&plan);
+        let (i0, c0) = exec.next_chunk().unwrap();
+        exec.source_died(i0, c0, 0, SimDuration::ZERO);
+        let (i1, c1) = exec.next_chunk().unwrap();
+        exec.source_died(i1, c1, 0, SimDuration::ZERO);
+        assert!(exec.next_chunk().is_none());
+        assert!(exec.is_stuck());
+        assert!(!exec.is_complete());
+        assert!(exec.coverage_is_exact(), "orphans still accounted for");
+    }
+
+    #[test]
+    fn stealing_relieves_stragglers() {
+        // The cost model predicted equal sources, so the plan split the
+        // file evenly — but one source turns out 100x slower. Stealing
+        // must shift the straggler's queue to the fast source.
+        let ests = [est("fast", 10e6), est("slow", 10e6)];
+        let plan = MultiSourcePlan::build("x.dat", 16 * MB, &ests, 2, MB);
+        let mut exec = PlanExecution::new(&plan);
+        exec.set_predictions(&[100e6, 1e6]);
+        let drain = |exec: &mut PlanExecution| {
+            while let Some((idx, chunk)) = exec.next_chunk() {
+                let bps = exec.sources()[idx].predicted_bps;
+                let busy = SimDuration::from_secs_f64((chunk.1 - chunk.0) as f64 * 8.0 / bps);
+                exec.chunk_succeeded(idx, chunk, busy);
+                while exec.steal_for_idle() {}
+            }
+        };
+        drain(&mut exec);
+        assert!(exec.is_complete());
+        assert!(exec.ranges_reassigned > 0, "idle fast source must steal from the straggler");
+        let fast = &exec.sources()[0];
+        let slow = &exec.sources()[1];
+        assert!(
+            fast.bytes_fetched > slow.bytes_fetched,
+            "stealing shifts bytes to the fast source: {} vs {}",
+            fast.bytes_fetched,
+            slow.bytes_fetched
+        );
+        assert!(exec.coverage_is_exact());
+    }
+
+    #[test]
+    fn slow_idler_does_not_steal_from_fast_source() {
+        // The slow source finishes its small share first (it is scheduled
+        // in discrete-event order, so its timeline can idle while the fast
+        // source still has queue) — but grabbing the fast source's tail
+        // would only stretch the makespan, so the improvement check must
+        // refuse the steal.
+        let ests = [est("fast", 100e6), est("slow", 1e6)];
+        let plan = MultiSourcePlan::build("x.dat", 16 * MB, &ests, 2, MB);
+        let mut exec = PlanExecution::new(&plan);
+        exec.set_predictions(&[100e6, 1e6]);
+        // The slow source drains its whole (single-chunk) share.
+        let (idx, chunk) = {
+            let slow_idx = 1;
+            assert_eq!(exec.sources()[slow_idx].name, "slow");
+            // Fast pulls one chunk first (index order on equal timelines).
+            let (i, c) = exec.next_chunk().unwrap();
+            assert_eq!(i, 0);
+            exec.chunk_succeeded(i, c, SimDuration::from_millis(80));
+            exec.next_chunk().unwrap()
+        };
+        assert_eq!(idx, 1);
+        exec.chunk_succeeded(idx, chunk, SimDuration::from_secs(8));
+        // Slow is now idle with the fast source's queue still loaded.
+        assert!(!exec.steal_for_idle(), "a slower idler must not steal from a faster source");
+        assert_eq!(exec.ranges_reassigned, 0);
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_trace() {
+        let run = || {
+            let ests = [est("a", 30e6), est("b", 20e6), est("c", 10e6)];
+            let plan = MultiSourcePlan::build("x.dat", 24 * MB, &ests, 3, MB);
+            let mut exec = PlanExecution::new(&plan);
+            exec.set_predictions(&[30e6, 20e6, 10e6]);
+            let mut trace = Vec::new();
+            let mut step = 0u32;
+            while let Some((idx, chunk)) = exec.next_chunk() {
+                step += 1;
+                if step == 5 {
+                    exec.source_died(
+                        idx,
+                        chunk,
+                        (chunk.1 - chunk.0) / 3,
+                        SimDuration::from_secs(2),
+                    );
+                } else {
+                    let bps = exec.sources()[idx].predicted_bps;
+                    let busy = SimDuration::from_secs_f64((chunk.1 - chunk.0) as f64 * 8.0 / bps);
+                    exec.chunk_succeeded(idx, chunk, busy);
+                }
+                while exec.steal_for_idle() {}
+                trace.push(format!("{step} {idx} {chunk:?}"));
+            }
+            (trace, exec.completed_by().to_vec(), exec.finish_elapsed())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -3,8 +3,22 @@
 //! ideas).
 //!
 //! When several sites hold a replica, GDMP should fetch from the cheapest.
-//! The cost function combines the storage state at each candidate (disk
-//! hit vs tape stage) with a WAN transfer estimate from the path profile.
+//! Ranking is delegated to a pluggable [`CostModel`]: the grid gathers
+//! everything observable about a candidate source — storage state (disk
+//! hit vs tape stage), the WAN path profile, the transfer parameters, the
+//! observed per-link throughput history, and the circuit-breaker state —
+//! into a [`CostInputs`], and the model predicts a sustained throughput.
+//!
+//! Two models ship:
+//!
+//! * [`AnalyticCostModel`] — the closed-form share estimate (window-limited
+//!   per-stream throughput capped by an equal share of the link);
+//! * [`HistoryCostModel`] — Vazhkudai-style history-based prediction
+//!   \[VTF01\]: blend the observed throughput EWMA for the `(src, dst)`
+//!   pair with the analytic estimate, falling back to pure analytics when
+//!   no transfer has been observed yet. This is the grid's default; with
+//!   an empty history it is *exactly* the analytic model, so default-path
+//!   behaviour is unchanged until real observations accumulate.
 
 use gdmp_replica_catalog::service::ReplicaInfo;
 use gdmp_simnet::analytic::window_limited_bps;
@@ -12,6 +26,100 @@ use gdmp_simnet::time::SimDuration;
 
 use crate::error::Result;
 use crate::grid::Grid;
+
+/// Everything a [`CostModel`] may consult about one candidate source.
+#[derive(Debug, Clone)]
+pub struct CostInputs<'a> {
+    /// Candidate source site.
+    pub src: &'a str,
+    /// Destination site.
+    pub dst: &'a str,
+    /// File size in bytes.
+    pub size: u64,
+    /// File already disk-resident at the source?
+    pub on_disk: bool,
+    /// Predicted staging latency when not on disk.
+    pub est_stage: SimDuration,
+    /// Round-trip time of the `(src, dst)` path.
+    pub rtt: SimDuration,
+    /// Bottleneck link rate of the path, bits/s.
+    pub link_rate_bps: u64,
+    /// Long-lived cross-traffic flows sharing the path.
+    pub background_flows: u32,
+    /// Parallel streams the Data Mover would open.
+    pub streams: u32,
+    /// Socket buffer the Data Mover would use.
+    pub buffer: u64,
+    /// Observed throughput EWMA for this `(src, dst)` pair in bits/s, if
+    /// any transfer has completed on it.
+    pub observed_bps: Option<f64>,
+    /// Is the source's circuit breaker currently open? Models may use this
+    /// to rank sick sources last; the Data Mover additionally filters open
+    /// sources itself, so ignoring it is safe.
+    pub breaker_open: bool,
+}
+
+/// A pluggable throughput predictor for replica selection.
+pub trait CostModel: Send {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+    /// Predicted sustained transfer throughput in bits/s (≥ 1.0).
+    fn predict_bps(&self, inputs: &CostInputs<'_>) -> f64;
+}
+
+/// Closed-form share estimate: `n` streams of window-limited throughput,
+/// capped by an equal share of the link against background flows.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalyticCostModel;
+
+impl CostModel for AnalyticCostModel {
+    fn name(&self) -> &'static str {
+        "analytic"
+    }
+
+    fn predict_bps(&self, i: &CostInputs<'_>) -> f64 {
+        let per_stream = window_limited_bps(i.buffer, i.rtt, i.link_rate_bps);
+        let fair_share = i.link_rate_bps as f64
+            / f64::from(i.background_flows + i.streams).max(1.0)
+            * f64::from(i.streams);
+        (per_stream * f64::from(i.streams)).min(fair_share).max(1.0)
+    }
+}
+
+/// Vazhkudai-style history-based prediction: when the grid has observed
+/// transfers on this `(src, dst)` pair, blend the throughput EWMA with the
+/// analytic estimate; with no history, predict exactly what
+/// [`AnalyticCostModel`] would.
+#[derive(Debug, Clone, Copy)]
+pub struct HistoryCostModel {
+    /// Weight of the observed EWMA in the blend (0 = pure analytic,
+    /// 1 = pure history). Observed throughput reflects real contention and
+    /// slow-start amortization the closed form cannot see, so it dominates.
+    pub history_weight: f64,
+}
+
+impl Default for HistoryCostModel {
+    fn default() -> Self {
+        HistoryCostModel { history_weight: 0.75 }
+    }
+}
+
+impl CostModel for HistoryCostModel {
+    fn name(&self) -> &'static str {
+        "history"
+    }
+
+    fn predict_bps(&self, i: &CostInputs<'_>) -> f64 {
+        let analytic = AnalyticCostModel.predict_bps(i);
+        match i.observed_bps {
+            Some(observed) => {
+                let w = self.history_weight.clamp(0.0, 1.0);
+                (observed * w + analytic * (1.0 - w)).max(1.0)
+            }
+            None => analytic,
+        }
+    }
+}
 
 /// Cost estimate for fetching from one candidate source.
 #[derive(Debug, Clone)]
@@ -23,6 +131,9 @@ pub struct SourceEstimate {
     pub est_stage: SimDuration,
     /// Predicted transfer time over the path profile.
     pub est_transfer: SimDuration,
+    /// The cost model's throughput prediction, bits/s (drives multi-source
+    /// range splitting).
+    pub predicted_bps: f64,
 }
 
 impl SourceEstimate {
@@ -32,9 +143,21 @@ impl SourceEstimate {
     }
 }
 
-/// Rank all current replicas of a file as sources for `dst`, cheapest
-/// first. Deterministic: ties break on site name.
+/// Rank all current replicas of a file as sources for `dst` using the
+/// grid's installed cost model, cheapest first. Deterministic: ties break
+/// on site name.
 pub fn estimate_sources(grid: &Grid, dst: &str, info: &ReplicaInfo) -> Result<Vec<SourceEstimate>> {
+    estimate_sources_with(grid, dst, info, grid.cost_model())
+}
+
+/// [`estimate_sources`] with an explicit model (for comparing models
+/// without mutating the grid).
+pub fn estimate_sources_with(
+    grid: &Grid,
+    dst: &str,
+    info: &ReplicaInfo,
+    model: &dyn CostModel,
+) -> Result<Vec<SourceEstimate>> {
     let mut out = Vec::new();
     for replica in &info.replicas {
         let src = &replica.location;
@@ -53,16 +176,30 @@ pub fn estimate_sources(grid: &Grid, dst: &str, info: &ReplicaInfo) -> Result<Ve
             continue; // catalog says replica exists but site lost it: skip
         };
         let profile = grid.profile_between(src, dst);
-        // Share estimate: n streams of window-limited throughput, capped by
-        // an equal share of the link against background flows.
         let params = grid.params;
-        let per_stream = window_limited_bps(params.buffer, profile.rtt(), profile.link.rate_bps);
-        let fair_share = profile.link.rate_bps as f64
-            / f64::from(profile.background_flows + params.streams).max(1.0)
-            * f64::from(params.streams);
-        let bps = (per_stream * f64::from(params.streams)).min(fair_share).max(1.0);
+        let inputs = CostInputs {
+            src,
+            dst,
+            size: info.meta.size,
+            on_disk,
+            est_stage,
+            rtt: profile.rtt(),
+            link_rate_bps: profile.link.rate_bps,
+            background_flows: profile.background_flows,
+            streams: params.streams,
+            buffer: params.buffer,
+            observed_bps: grid.observed_bps(src, dst),
+            breaker_open: grid.breaker_is_open(src),
+        };
+        let bps = model.predict_bps(&inputs).max(1.0);
         let est_transfer = SimDuration::from_secs_f64(info.meta.size as f64 * 8.0 / bps);
-        out.push(SourceEstimate { site: src.clone(), on_disk, est_stage, est_transfer });
+        out.push(SourceEstimate {
+            site: src.clone(),
+            on_disk,
+            est_stage,
+            est_transfer,
+            predicted_bps: bps,
+        });
     }
     out.sort_by(|a, b| a.cost().cmp(&b.cost()).then_with(|| a.site.cmp(&b.site)));
     Ok(out)
@@ -134,5 +271,37 @@ mod tests {
             estimate_sources(&g, "anl", &g.catalog.clone().info("small.dat").unwrap()).unwrap();
         let big = estimate_sources(&g, "anl", &g.catalog.clone().info("big.dat").unwrap()).unwrap();
         assert!(big[0].est_transfer > small[0].est_transfer * 100);
+    }
+
+    #[test]
+    fn history_model_without_history_matches_analytic_exactly() {
+        let mut g = grid();
+        g.publish_file("cern", "x.dat", Bytes::from(vec![0u8; 4 * 1024 * 1024]), "flat").unwrap();
+        let info = g.catalog.info("x.dat").unwrap();
+        let history =
+            estimate_sources_with(&g, "anl", &info, &HistoryCostModel::default()).unwrap();
+        let analytic = estimate_sources_with(&g, "anl", &info, &AnalyticCostModel).unwrap();
+        assert_eq!(history.len(), analytic.len());
+        for (h, a) in history.iter().zip(&analytic) {
+            assert_eq!(h.site, a.site);
+            assert_eq!(h.est_transfer, a.est_transfer, "no observations: identical prediction");
+        }
+    }
+
+    #[test]
+    fn history_model_prefers_observed_fast_pair() {
+        let mut g = grid();
+        g.publish_file("cern", "x.dat", Bytes::from(vec![0u8; 4 * 1024 * 1024]), "flat").unwrap();
+        g.replicate("anl", "x.dat").unwrap();
+        let info = g.catalog.info("x.dat").unwrap();
+        // Symmetric analytics: anl wins only on the name tie-break.
+        let before = estimate_sources(&g, "lyon", &info).unwrap();
+        assert_eq!(before[0].site, "anl");
+        // Feed a glowing observation for cern -> lyon: history now ranks it
+        // first despite the identical analytic share.
+        g.note_observed_throughput("cern", "lyon", 500_000_000.0);
+        let after = estimate_sources(&g, "lyon", &info).unwrap();
+        assert_eq!(after[0].site, "cern", "observed fast pair must outrank the tie-break");
+        assert!(after[0].predicted_bps > before[0].predicted_bps);
     }
 }

@@ -2,6 +2,10 @@
 //! crashes and cuts, catalog recovery that dies partway, journal replay,
 //! and clean rollback of transfers interrupted by severed paths.
 
+// Seed tests exercise the pre-builder constructors on purpose: the
+// deprecated shims must keep compiling until their removal in 0.8.
+#![allow(deprecated)]
+
 use bytes::Bytes;
 use gdmp::chaos::{FaultEvent, FaultSchedule};
 use gdmp::invariants::check_grid;

@@ -2,6 +2,10 @@
 //! Sections 4 and 5 run against the simulated WAN, storage, and security
 //! substrates.
 
+// Seed tests exercise the pre-builder constructors on purpose: the
+// deprecated shims must keep compiling until their removal in 0.8.
+#![allow(deprecated)]
+
 use bytes::Bytes;
 use gdmp::{
     ConsistencyPolicy, FaultPlan, GdmpError, Grid, ObjectReplicationConfig, Request, SiteConfig,

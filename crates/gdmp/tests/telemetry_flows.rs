@@ -2,6 +2,10 @@
 //! emits, and the determinism contract — two identical runs export
 //! byte-identical JSON lines.
 
+// Seed tests exercise the pre-builder constructors on purpose: the
+// deprecated shims must keep compiling until their removal in 0.8.
+#![allow(deprecated)]
+
 use bytes::Bytes;
 use gdmp::{FaultPlan, Grid, SiteConfig};
 use gdmp_telemetry::{MetricValue, Registry};

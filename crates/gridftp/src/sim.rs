@@ -9,6 +9,7 @@
 
 use gdmp_simnet::link::LinkSpec;
 use gdmp_simnet::network::{FastForward, FlowSpec, Network, NetworkConfig, SessionResult};
+use gdmp_simnet::packet::wire;
 use gdmp_simnet::time::{SimDuration, SimTime};
 use gdmp_telemetry::Registry;
 
@@ -81,6 +82,23 @@ impl WanProfile {
         self.simulate_transfer_telemetry(bytes, streams, buffer, &Registry::disabled())
     }
 
+    /// [`WanProfile::simulate_transfer`] over an already-established
+    /// session: the data channels skip the handshake and start with their
+    /// congestion windows fully open (GridFTP keeps its parallel data
+    /// connections alive between retrievals, so a follow-up pull on the
+    /// same session does not re-pay TCP slow-start). `setup_time` in the
+    /// report still describes a cold session — callers reusing a session
+    /// should charge it zero setup, as [`SimTransferReport::data_time`]
+    /// alone covers a warm pull.
+    pub fn simulate_transfer_warm(
+        &self,
+        bytes: u64,
+        streams: u32,
+        buffer: u64,
+    ) -> SimTransferReport {
+        self.simulate_warm(bytes, streams, buffer, &Registry::disabled(), false, true).0
+    }
+
     /// [`WanProfile::simulate_transfer`] with a telemetry sink: the network
     /// simulation publishes link/flow statistics into `reg`, and the
     /// session outcome is recorded as GridFTP-level metrics.
@@ -91,6 +109,43 @@ impl WanProfile {
         buffer: u64,
         reg: &Registry,
     ) -> SimTransferReport {
+        self.simulate(bytes, streams, buffer, reg, false).0
+    }
+
+    /// [`WanProfile::simulate_transfer`] that also returns the session's
+    /// cumulative progress curve, for callers that need to know how many
+    /// bytes had landed by a given elapsed time (mid-transfer faults,
+    /// straggler detection).
+    pub fn simulate_transfer_progress(
+        &self,
+        bytes: u64,
+        streams: u32,
+        buffer: u64,
+    ) -> (SimTransferReport, TransferProgress) {
+        let (report, progress) = self.simulate(bytes, streams, buffer, &Registry::disabled(), true);
+        (report, progress.expect("progress requested"))
+    }
+
+    fn simulate(
+        &self,
+        bytes: u64,
+        streams: u32,
+        buffer: u64,
+        reg: &Registry,
+        want_progress: bool,
+    ) -> (SimTransferReport, Option<TransferProgress>) {
+        self.simulate_warm(bytes, streams, buffer, reg, want_progress, false)
+    }
+
+    fn simulate_warm(
+        &self,
+        bytes: u64,
+        streams: u32,
+        buffer: u64,
+        reg: &Registry,
+        want_progress: bool,
+        warm: bool,
+    ) -> (SimTransferReport, Option<TransferProgress>) {
         assert!(streams >= 1, "at least one stream");
         let mut net = Network::new(NetworkConfig {
             fast_forward: self.fast_forward,
@@ -113,9 +168,19 @@ impl WanProfile {
             } else {
                 per
             };
-            ids.push(net.add_flow(
-                FlowSpec::transfer(sz, buffer).open_at(session_open + self.stream_stagger * s),
-            ));
+            let mut flow =
+                FlowSpec::transfer(sz, buffer).open_at(session_open + self.stream_stagger * s);
+            if warm {
+                // Resume at the stream's fair share of the path BDP — the
+                // steady-state window an established connection holds.
+                let bdp_bytes = self.link.rate_bps as f64 / 8.0 * self.rtt().as_secs_f64();
+                let share = bdp_bytes / f64::from(streams) / f64::from(wire::MSS);
+                flow = flow.warm_start(share.max(2.0));
+            }
+            ids.push(net.add_flow(flow));
+        }
+        if want_progress {
+            net.enable_progress_trace();
         }
         let results = net.run();
         let session: Vec<_> = ids.iter().map(|i| results[i.0]).collect();
@@ -132,7 +197,35 @@ impl WanProfile {
             reg.counter_add("gridftp_timeouts", &labels, agg.timeouts);
             reg.observe("gridftp_data_time_ns", &[], data_time.nanos());
         }
-        SimTransferReport {
+        let progress = want_progress.then(|| {
+            // Merge the per-stream traces into one monotone session curve:
+            // every sample becomes a delta at its timestamp, sorted and
+            // prefix-summed. Times are rebased onto the data phase start.
+            let mut deltas: Vec<(SimDuration, u64)> = Vec::new();
+            for id in &ids {
+                let mut prev = 0u64;
+                for &(t, b) in net.progress_trace(*id).unwrap_or(&[]) {
+                    if b > prev {
+                        let elapsed =
+                            if t > agg.started { t.since(agg.started) } else { SimDuration::ZERO };
+                        deltas.push((elapsed, b - prev));
+                        prev = b;
+                    }
+                }
+            }
+            deltas.sort_by_key(|&(t, _)| t);
+            let mut samples = Vec::with_capacity(deltas.len() + 1);
+            let mut cum = 0u64;
+            for (t, d) in deltas {
+                cum += d;
+                match samples.last_mut() {
+                    Some((last_t, last_b)) if *last_t == t => *last_b = cum,
+                    _ => samples.push((t, cum)),
+                }
+            }
+            TransferProgress { samples, bytes, data_time }
+        });
+        let report = SimTransferReport {
             bytes,
             streams,
             buffer,
@@ -142,7 +235,58 @@ impl WanProfile {
             timeouts: agg.timeouts,
             events_processed: net.events_processed(),
             events_skipped: net.events_skipped(),
+        };
+        (report, progress)
+    }
+}
+
+/// Cumulative progress of one simulated session's data phase.
+///
+/// Samples are `(elapsed since the data phase began, cumulative bytes
+/// acked across all streams)`, monotone in both coordinates.
+#[derive(Debug, Clone)]
+pub struct TransferProgress {
+    samples: Vec<(SimDuration, u64)>,
+    bytes: u64,
+    data_time: SimDuration,
+}
+
+impl TransferProgress {
+    /// Bytes landed by `elapsed` into the data phase, interpolating
+    /// linearly between samples. Clamps to the full size once the data
+    /// phase is over.
+    pub fn bytes_by(&self, elapsed: SimDuration) -> u64 {
+        if elapsed >= self.data_time {
+            return self.bytes;
         }
+        // Last sample at or before `elapsed`.
+        let idx = self.samples.partition_point(|&(t, _)| t <= elapsed);
+        let (t0, b0) = if idx == 0 { (SimDuration::ZERO, 0) } else { self.samples[idx - 1] };
+        let (t1, b1) = match self.samples.get(idx) {
+            Some(&s) => s,
+            None => (self.data_time, self.bytes),
+        };
+        if t1 <= t0 {
+            return b1.min(self.bytes);
+        }
+        let frac = (elapsed - t0).as_secs_f64() / (t1 - t0).as_secs_f64();
+        let interp = b0 as f64 + (b1 - b0) as f64 * frac;
+        (interp as u64).min(self.bytes)
+    }
+
+    /// The merged `(elapsed, cumulative bytes)` samples.
+    pub fn samples(&self) -> &[(SimDuration, u64)] {
+        &self.samples
+    }
+
+    /// Total bytes of the session.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Duration of the data phase.
+    pub fn data_time(&self) -> SimDuration {
+        self.data_time
     }
 }
 

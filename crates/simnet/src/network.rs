@@ -29,6 +29,12 @@ pub struct FlowSpec {
     /// link then the WAN bottleneck). ACKs return over pure delay equal to
     /// the path's total propagation.
     pub path: Path,
+    /// A warm flow models an already-established connection resuming at
+    /// its steady-state congestion window (e.g. a reused GridFTP data
+    /// channel): no handshake, cwnd starts at this many segments instead
+    /// of [`NetworkConfig::initial_cwnd`], and ssthresh starts there too
+    /// (congestion avoidance, not slow-start).
+    pub warm_cwnd: Option<f64>,
 }
 
 impl FlowSpec {
@@ -39,6 +45,7 @@ impl FlowSpec {
             buffer_bytes,
             open_at: SimTime::ZERO,
             path: Path::single(LinkId(0)),
+            warm_cwnd: None,
         }
     }
 
@@ -49,11 +56,19 @@ impl FlowSpec {
             buffer_bytes,
             open_at: SimTime::ZERO,
             path: Path::single(LinkId(0)),
+            warm_cwnd: None,
         }
     }
 
     pub fn open_at(mut self, at: SimTime) -> Self {
         self.open_at = at;
+        self
+    }
+
+    /// Mark the flow as warm, resuming at `cwnd_segments` (see
+    /// [`FlowSpec::warm_cwnd`]).
+    pub fn warm_start(mut self, cwnd_segments: f64) -> Self {
+        self.warm_cwnd = Some(cwnd_segments);
         self
     }
 
@@ -136,6 +151,32 @@ impl Default for NetworkConfig {
     }
 }
 
+impl NetworkConfig {
+    /// Minimum retransmission timeout.
+    pub fn with_min_rto(mut self, rto: SimDuration) -> Self {
+        self.min_rto = rto;
+        self
+    }
+
+    /// Initial congestion window, in segments.
+    pub fn with_initial_cwnd(mut self, cwnd: f64) -> Self {
+        self.initial_cwnd = cwnd;
+        self
+    }
+
+    /// Hard stop on simulated time.
+    pub fn with_max_sim_time(mut self, limit: SimDuration) -> Self {
+        self.max_sim_time = limit;
+        self
+    }
+
+    /// Fidelity mode (see [`FastForward`]).
+    pub fn with_fast_forward(mut self, mode: FastForward) -> Self {
+        self.fast_forward = mode;
+        self
+    }
+}
+
 /// Frames of drop-tail headroom a link must keep below its queue capacity
 /// for an epoch to count as provably lossless. Congestion-avoidance ack
 /// clocking bursts at most a couple of frames above the standing queue, so
@@ -191,6 +232,11 @@ pub struct Network {
     /// Optional per-flow congestion-window trace (time, cwnd), indexed by
     /// `FlowId`.
     cwnd_traces: Option<Vec<Vec<(SimTime, f64)>>>,
+    /// Optional per-flow progress trace (time, cumulative bytes acked),
+    /// indexed by `FlowId`. Samples are monotone in both coordinates; a
+    /// fast-forwarded epoch contributes one sample at the epoch end, so
+    /// linear interpolation between samples stays meaningful.
+    progress_traces: Option<Vec<Vec<(SimTime, u64)>>>,
     /// Events the fast-forward path avoided processing (estimated from the
     /// per-segment event cost of each skipped segment).
     events_skipped: u64,
@@ -221,6 +267,7 @@ impl Network {
             queue: EventQueue::new(),
             incomplete_finite: 0,
             cwnd_traces: None,
+            progress_traces: None,
             events_skipped: 0,
             ff_epochs: 0,
             ff_next_check: SimTime::ZERO,
@@ -251,6 +298,12 @@ impl Network {
         self.cwnd_traces = Some(vec![Vec::new(); self.flows.len()]);
     }
 
+    /// Record cumulative-bytes-acked samples for every flow (one per ACK
+    /// arrival, plus one per fast-forwarded epoch boundary).
+    pub fn enable_progress_trace(&mut self) {
+        self.progress_traces = Some(vec![Vec::new(); self.flows.len()]);
+    }
+
     pub fn add_link(&mut self, spec: LinkSpec) -> LinkId {
         self.links.push(Link::new(spec));
         LinkId(self.links.len() - 1)
@@ -263,10 +316,12 @@ impl Network {
         let id = FlowId(self.flows.len());
         let segments = spec.bytes.map(crate::packet::segments_for);
         let rwnd = (spec.buffer_bytes / u64::from(wire::MSS)).max(1);
+        let warm = spec.warm_cwnd.map(|c| c.clamp(1.0, rwnd as f64));
         let sender = Sender::new(SenderConfig {
             total_segments: segments,
             rwnd_segments: rwnd,
-            initial_cwnd: self.cfg.initial_cwnd,
+            initial_cwnd: warm.unwrap_or(self.cfg.initial_cwnd),
+            initial_ssthresh: warm.unwrap_or(f64::INFINITY),
             min_rto: self.cfg.min_rto,
         });
         let base_rtt = spec
@@ -282,7 +337,12 @@ impl Network {
         self.ff_rtt_max = self.ff_rtt_max.max(base_rtt);
         // Handshake: SYN + SYN/ACK cross the propagation path once each
         // before the first data segment (data rides the third segment).
-        let start_at = spec.open_at + self.path_propagation(&spec) * 2;
+        // Warm flows ride an established connection and skip it.
+        let start_at = if spec.warm_cwnd.is_some() {
+            spec.open_at
+        } else {
+            spec.open_at + self.path_propagation(&spec) * 2
+        };
         if spec.bytes.is_some() {
             self.incomplete_finite += 1;
         }
@@ -297,6 +357,9 @@ impl Network {
             counted_incomplete: spec.bytes.is_some(),
         });
         if let Some(traces) = &mut self.cwnd_traces {
+            traces.push(Vec::new());
+        }
+        if let Some(traces) = &mut self.progress_traces {
             traces.push(Vec::new());
         }
         self.queue.schedule(start_at, Event::FlowStart(id));
@@ -443,6 +506,7 @@ impl Network {
                 self.tx_scratch = txs;
                 self.sync_timer(flow);
                 self.trace_cwnd(flow, now);
+                self.trace_progress(flow, now);
                 self.note_completion(flow);
             }
             Event::Rto { flow, gen } => {
@@ -512,6 +576,21 @@ impl Network {
         }
     }
 
+    fn trace_progress(&mut self, fid: FlowId, now: SimTime) {
+        if self.progress_traces.is_none() {
+            return;
+        }
+        let f = &self.flows[fid.0];
+        let acked = f.sender.segments_acked() * u64::from(wire::MSS);
+        let bytes = match f.total_bytes {
+            Some(total) => total.min(acked),
+            None => acked,
+        };
+        if let Some(traces) = &mut self.progress_traces {
+            traces[fid.0].push((now, bytes));
+        }
+    }
+
     pub fn results(&self) -> Vec<FlowResult> {
         self.flows
             .iter()
@@ -558,6 +637,12 @@ impl Network {
     /// Congestion-window trace of one flow, if tracing was enabled.
     pub fn cwnd_trace(&self, fid: FlowId) -> Option<&[(SimTime, f64)]> {
         self.cwnd_traces.as_ref()?.get(fid.0).map(Vec::as_slice)
+    }
+
+    /// Progress trace of one flow — `(time, cumulative bytes acked)`
+    /// samples — if progress tracing was enabled.
+    pub fn progress_trace(&self, fid: FlowId) -> Option<&[(SimTime, u64)]> {
+        self.progress_traces.as_ref()?.get(fid.0).map(Vec::as_slice)
     }
 
     /// Events the fast-forward path avoided simulating.
@@ -750,6 +835,7 @@ impl Network {
                 flow.pending_rto = flow.pending_rto.filter(|p| *p >= t_end);
                 (gap, gap_bytes, flow.spec.path, flow.sender.flight(), flow.sender.segments_acked())
             };
+            self.trace_progress(fid, t_end);
             for hop in path.iter() {
                 link_extra[hop.0].0 += gap_bytes;
                 link_extra[hop.0].1 += gap;

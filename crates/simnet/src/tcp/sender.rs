@@ -35,6 +35,11 @@ pub struct SenderConfig {
     pub rwnd_segments: u64,
     /// Initial congestion window in segments (2 in the paper's era).
     pub initial_cwnd: f64,
+    /// Initial slow-start threshold in segments. "Arbitrarily high"
+    /// (RFC 5681, i.e. `f64::INFINITY`) for a fresh connection; a warm
+    /// flow resuming at its steady-state window sets this to its initial
+    /// cwnd so it continues in congestion avoidance.
+    pub initial_ssthresh: f64,
     /// Lower bound for the retransmission timeout.
     pub min_rto: SimDuration,
 }
@@ -87,9 +92,7 @@ impl Sender {
             snd_nxt: 0,
             highest_sent: 0,
             cwnd: cfg.initial_cwnd,
-            // Initial ssthresh is "arbitrarily high" (RFC 5681): the receive
-            // window serves as the practical bound.
-            ssthresh: f64::INFINITY,
+            ssthresh: cfg.initial_ssthresh,
             dup_acks: 0,
             in_recovery: false,
             recover: 0,
@@ -386,6 +389,7 @@ mod tests {
             total_segments: Some(total),
             rwnd_segments: rwnd,
             initial_cwnd: 2.0,
+            initial_ssthresh: f64::INFINITY,
             min_rto: SimDuration::from_millis(200),
         }
     }
@@ -539,6 +543,7 @@ mod tests {
             total_segments: None,
             rwnd_segments: 64,
             initial_cwnd: 2.0,
+            initial_ssthresh: f64::INFINITY,
             min_rto: SimDuration::from_millis(200),
         });
         s.on_start(SimTime::ZERO);

@@ -15,7 +15,7 @@
 //! # Shape
 //!
 //! [`Registry`] is the single entry point. It is a cheap `Clone` handle:
-//! clones share storage, so a registry threaded through a [`Grid`], its
+//! clones share storage, so a registry threaded through a `Grid`, its
 //! sites, and the network simulator aggregates into one place. The
 //! `Default` registry is *disabled* — every call is a no-op costing one
 //! branch — so existing call sites keep working untouched.

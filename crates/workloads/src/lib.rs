@@ -9,15 +9,19 @@
 //! * [`transfer`] — the Figure 5/6 parameter grids;
 //! * [`zipf`] — Zipf access sampling for cache workloads;
 //! * [`soak`] — seeded chaos soak: replication under crashes, link cuts,
-//!   and partitions, checked against grid-wide invariants.
+//!   and partitions, checked against grid-wide invariants;
+//! * [`fetch`] — the multi-source fetch scenario: striped pulls over
+//!   asymmetric WAN paths, with and without a mid-transfer source crash.
 
 pub mod cascade;
+pub mod fetch;
 pub mod population;
 pub mod soak;
 pub mod transfer;
 pub mod zipf;
 
 pub use cascade::{CascadeSpec, CascadeStep, StepResult};
+pub use fetch::{run_fetch, striped_policy, FetchOutcome, FetchSpec};
 pub use population::{Placement, Population};
 pub use soak::{run_soak, ChaosMode, SoakOutcome, SoakSpec};
 pub use transfer::{FigureSweep, MB};

@@ -20,8 +20,8 @@ use gdmp_telemetry::Registry;
 pub enum ChaosMode {
     /// No schedule installed at all — the pre-chaos code path.
     Off,
-    /// An empty schedule installed: must behave identically to [`Off`]
-    /// (the inertness contract).
+    /// An empty schedule installed: must behave identically to
+    /// [`ChaosMode::Off`] (the inertness contract).
     EmptySchedule,
     /// A full [`ChaosPlan`] derived from this seed.
     Seeded(u64),
@@ -93,47 +93,43 @@ fn site_name(i: usize) -> String {
 
 /// Run one soak. Deterministic: no wall clocks, no ambient randomness.
 pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
-    let mut grid = Grid::new("soak");
     let names: Vec<String> = (0..spec.sites).map(site_name).collect();
-    for (i, name) in names.iter().enumerate() {
-        grid.add_site(SiteConfig::named(name, &format!("{name}.grid"), 100 + i as u64));
-    }
-    grid.trust_all();
     let reg = Registry::with_recorder_capacity(8192);
-    grid.set_telemetry(reg.clone());
-
     // Retry hygiene under test: backoff with deterministic jitter plus a
     // per-source circuit breaker.
     let jitter_seed = match spec.chaos {
         ChaosMode::Seeded(s) => s,
         _ => 0,
     };
-    grid.set_recovery(Box::new(BackoffRetry::new(jitter_seed)));
-    grid.set_breaker(BreakerConfig::default());
-
-    // Full mesh: everyone consumes everyone else's publications. Must
-    // happen before any fault fires so subscriptions are symmetric.
+    let mut builder = Grid::builder("soak")
+        .telemetry_sink(reg.clone())
+        .recovery(Box::new(BackoffRetry::new(jitter_seed)))
+        .breaker(BreakerConfig::default());
+    for (i, name) in names.iter().enumerate() {
+        builder = builder.site(SiteConfig::named(name, &format!("{name}.grid"), 100 + i as u64));
+    }
+    builder = builder.trust_all();
+    // Full mesh: everyone consumes everyone else's publications. Build-time
+    // subscriptions run before the fault schedule is installed, so the
+    // mesh is symmetric before any fault can fire.
     for a in &names {
         for b in &names {
             if a != b {
-                grid.subscribe(a, b).expect("pre-chaos subscribe");
+                builder = builder.subscription(a, b);
             }
         }
     }
-
-    let schedule_debug = match spec.chaos {
-        ChaosMode::Off => String::new(),
-        ChaosMode::EmptySchedule => {
-            grid.set_fault_schedule(FaultSchedule::new());
-            String::new()
-        }
+    let mut schedule_debug = String::new();
+    builder = match spec.chaos {
+        ChaosMode::Off => builder,
+        ChaosMode::EmptySchedule => builder.fault_schedule(FaultSchedule::new()),
         ChaosMode::Seeded(seed) => {
             let schedule = ChaosPlan::new(seed, &names).schedule();
-            let debug = format!("{schedule}");
-            grid.set_fault_schedule(schedule);
-            debug
+            schedule_debug = format!("{schedule}");
+            builder.fault_schedule(schedule)
         }
     };
+    let mut grid = builder.build();
     let horizon = grid.chaos_state().schedule().horizon();
 
     let mut published = 0usize;
