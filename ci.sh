@@ -9,17 +9,33 @@
 #                          soak (3 fixed seeds, 5-site grid)
 #   ./ci.sh --fetch-smoke  additionally run the multi-source fetch scenario
 #                          (striping speedup, crash reassignment, determinism)
+#   ./ci.sh --trace-smoke  additionally run the causal-tracing smoke: one
+#                          striped fetch must yield connected span trees
+#                          whose critical path partitions the latency, with
+#                          byte-identical same-seed exports
+#   ./ci.sh --bench-compare  additionally diff the deterministic bench
+#                          metrics against the committed BENCH_fetch.json /
+#                          BENCH_simnet.json baselines; fails on drift.
+#                          Tolerance bands (see crates/bench/src/compare.rs):
+#                            GDMP_TOL_MBPS_PCT    throughputs/elapsed (5)
+#                            GDMP_TOL_EVENTS_PCT  event/byte counts  (10)
+#                            GDMP_TOL_SPEEDUP_PCT speedups/reductions (10)
+#                            GDMP_TOL_DELTA_ABS   fidelity deltas, pp  (1)
 set -euo pipefail
 cd "$(dirname "$0")"
 
 bench_smoke=0
 chaos_smoke=0
 fetch_smoke=0
+trace_smoke=0
+bench_compare=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
     --chaos-smoke) chaos_smoke=1 ;;
     --fetch-smoke) fetch_smoke=1 ;;
+    --trace-smoke) trace_smoke=1 ;;
+    --bench-compare) bench_compare=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -57,6 +73,16 @@ if [[ "$fetch_smoke" == 1 ]]; then
   echo "==> fetch smoke: multi-source striped fetch"
   cargo test --offline -q --release -p gdmp-workloads --lib fetch::
   cargo test --offline -q --release -p gdmp --test schedule_properties
+fi
+
+if [[ "$trace_smoke" == 1 ]]; then
+  echo "==> trace smoke: span trees + critical path of the striped fetch"
+  cargo test --offline -q --release -p gdmp-workloads --test trace_smoke
+fi
+
+if [[ "$bench_compare" == 1 ]]; then
+  echo "==> bench compare: deterministic metrics vs committed baselines"
+  cargo run --offline --release -p gdmp-bench --bin bench_compare
 fi
 
 echo "CI OK"

@@ -8,9 +8,10 @@
 //! ```
 //!
 //! Subcommands: `fig1 fig2 fig5 fig6 tuning buffer objrep objcost staging stripe placement motivation all`,
-//! plus `chaos` (failure-path cost report) and `fetch` (multi-source
-//! striped-fetch comparison); both are deliberately not part of `all`
-//! so the canonical figure set stays byte-identical.
+//! plus `chaos` (failure-path cost report), `fetch` (multi-source
+//! striped-fetch comparison), and `timeline` (sim-time time-series of the
+//! striped fetch as sparklines + deterministic TSV); these are deliberately
+//! not part of `all` so the canonical figure set stays byte-identical.
 //! Flags: `--json` emits machine-readable JSON lines instead of tables;
 //! `--trace` appends the telemetry dump (spans, metrics, flight recorder)
 //! of the grid-driven experiments (`fig1`, `fig2`).
@@ -48,6 +49,7 @@ fn main() {
         "motivation" => motivation(&mut o),
         "chaos" => chaos(&mut o),
         "fetch" => fetch(&mut o),
+        "timeline" => timeline(&mut o),
         "all" => {
             fig1(&mut o);
             fig2(&mut o);
@@ -412,6 +414,37 @@ fn fetch(o: &mut Opts) {
     ));
     r.note("(single-source is bounded by the 20 Mb/s cern path; striping draws");
     r.note(" on the ~40 Mb/s aggregate, and survives a mid-transfer source crash)");
+    r.end_section();
+}
+
+/// Sim-time timeline of the striped fetch with a mid-transfer source
+/// crash: per-link utilisation, fetch throughput, breaker state, and queue
+/// depths as terminal sparklines plus the deterministic TSV export, then
+/// the critical path of the measured fetch ("where did the time go").
+fn timeline(o: &mut Opts) {
+    use gdmp_bench::{render_timeline, timeline_tsv};
+    use gdmp_telemetry::analysis::{critical_path, render_critical_path, trace_roots};
+    use gdmp_workloads::fetch::{run_fetch, striped_policy, FetchSpec};
+    let r = &mut o.report;
+    r.section("Sim-time timeline: striped 48 MB fetch, fastest source crashes at t0+3 s");
+    let out = run_fetch(&FetchSpec {
+        policy: striped_policy(),
+        crash_fastest: true,
+        ..FetchSpec::default()
+    });
+    r.block(&render_timeline(&out.registry, 64));
+    let spans = out.registry.spans();
+    // The measured fetch is the last replicate root (seeding came first).
+    if let Some(root) = trace_roots(&spans)
+        .iter()
+        .copied()
+        .rfind(|&id| spans.iter().any(|s| s.id == id && s.name == "replicate"))
+    {
+        r.note("measured fetch, latency attribution:");
+        r.block(&render_critical_path(&critical_path(&spans, root)));
+    }
+    r.note("deterministic TSV (one row per 500 ms bucket):");
+    r.block(&timeline_tsv(&out.registry));
     r.end_section();
 }
 

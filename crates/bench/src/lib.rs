@@ -4,11 +4,14 @@
 //! the `figures` binary prints them in the paper's layout, and the
 //! Criterion benches reuse the same code for component micro-benchmarks.
 
+pub mod compare;
 pub mod figures;
 pub mod parallel;
 pub mod report;
 pub mod tables;
+pub mod timeline;
 
+pub use compare::{compare_fetch, compare_simnet, Gate, Tolerances};
 pub use figures::{fig_sweep, fig_sweep_on, FigRow};
 pub use parallel::{default_workers, par_map};
 pub use report::{Cell, Report};
@@ -17,3 +20,4 @@ pub use tables::{
     tuning_table, BufferRow, MotivationRow, ObjCostRow, ObjRepRow, StageRow, StripeRow,
     TuningReport,
 };
+pub use timeline::{render_timeline, timeline_tsv};

@@ -1,0 +1,184 @@
+//! Sim-time timeline rendering: the `figures timeline` subcommand turns a
+//! run's windowed time-series (link utilisation, fetch throughput, breaker
+//! state, queue depths) into a deterministic TSV table and terminal
+//! sparklines. Everything here is a pure function of the registry
+//! snapshot, so same-seed runs render byte-identical output.
+
+use gdmp_telemetry::{Registry, SeriesKind, TimeSeries};
+
+/// Column id of a series: `name` or `name{labels}`.
+pub fn series_column_id(s: &TimeSeries) -> String {
+    if s.labels.is_empty() {
+        s.name.clone()
+    } else {
+        format!("{}{{{}}}", s.name, s.labels)
+    }
+}
+
+/// The union bucket range `[lo, hi]` covered by any series (None when no
+/// series has points).
+fn bucket_range(series: &[TimeSeries]) -> Option<(u64, u64)> {
+    let lo = series.iter().filter_map(|s| s.points.first().map(|(b, _)| *b)).min()?;
+    let hi = series.iter().map(TimeSeries::last_bucket).max()?;
+    Some((lo, hi))
+}
+
+/// Deterministic TSV: header `bucket start_s <column per series>`, one row
+/// per bucket over the union range, dense-filled per the series kind
+/// (zeros for deltas, carry-forward for levels). Series order is the
+/// store's BTreeMap order, so the layout never depends on insertion order.
+pub fn timeline_tsv(reg: &Registry) -> String {
+    let series = reg.timeseries_snapshot();
+    let Some((lo, hi)) = bucket_range(&series) else {
+        return String::new();
+    };
+    let bucket_ns = series[0].bucket_ns;
+    let mut out = String::from("bucket\tstart_s");
+    for s in &series {
+        out.push('\t');
+        out.push_str(&series_column_id(s));
+    }
+    out.push('\n');
+    let dense: Vec<Vec<i64>> = series.iter().map(|s| s.dense(lo, hi)).collect();
+    for (i, bucket) in (lo..=hi).enumerate() {
+        out.push_str(&format!("{bucket}\t{:.3}", bucket as f64 * bucket_ns as f64 / 1e9));
+        for col in &dense {
+            out.push('\t');
+            out.push_str(&col[i].to_string());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Unicode sparkline of `values` scaled to their max (empty input renders
+/// empty; an all-zero series renders all-minimum bars).
+pub fn sparkline(values: &[i64]) -> String {
+    let max = values.iter().copied().max().unwrap_or(0).max(1) as f64;
+    values
+        .iter()
+        .map(|&v| {
+            let idx = ((v.max(0) as f64 / max) * (BARS.len() - 1) as f64).round() as usize;
+            BARS[idx.min(BARS.len() - 1)]
+        })
+        .collect()
+}
+
+/// Downsample `values` into at most `width` chunks: deltas sum within a
+/// chunk, levels keep the chunk's last value — the same semantics the
+/// buckets themselves have, one zoom level up.
+pub fn downsample(values: &[i64], kind: SeriesKind, width: usize) -> Vec<i64> {
+    if values.is_empty() || width == 0 {
+        return Vec::new();
+    }
+    if values.len() <= width {
+        return values.to_vec();
+    }
+    let chunk = values.len().div_ceil(width);
+    values
+        .chunks(chunk)
+        .map(|c| match kind {
+            SeriesKind::Delta => c.iter().sum(),
+            SeriesKind::Level => *c.last().expect("chunks are non-empty"),
+        })
+        .collect()
+}
+
+/// Human rendering: one line per series with a sparkline over the union
+/// range (downsampled to `width` cells), the kind, and the value extent.
+pub fn render_timeline(reg: &Registry, width: usize) -> String {
+    let series = reg.timeseries_snapshot();
+    let Some((lo, hi)) = bucket_range(&series) else {
+        return String::from("(no time-series recorded)\n");
+    };
+    let bucket_ns = series[0].bucket_ns;
+    let name_w = series.iter().map(|s| series_column_id(s).len()).max().unwrap_or(0);
+    let mut out = format!(
+        "timeline: buckets {lo}..={hi} ({:.3} s each, {:.1} s..{:.1} s)\n",
+        bucket_ns as f64 / 1e9,
+        lo as f64 * bucket_ns as f64 / 1e9,
+        (hi + 1) as f64 * bucket_ns as f64 / 1e9,
+    );
+    for s in &series {
+        let dense = s.dense(lo, hi);
+        let cells = downsample(&dense, s.kind, width);
+        let max = dense.iter().copied().max().unwrap_or(0);
+        out.push_str(&format!(
+            "  {:<name_w$} [{:<5}] {} max {}\n",
+            series_column_id(s),
+            s.kind.as_str(),
+            sparkline(&cells),
+            max,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdmp_simnet::time::SimDuration;
+
+    fn demo_registry() -> Registry {
+        let reg = Registry::new();
+        reg.enable_timeseries(SimDuration::from_secs(1).nanos());
+        for (t, b) in [(0u64, 10u64), (1, 30), (3, 20)] {
+            reg.series_add("link_bytes", &[("src", "cern"), ("dst", "lyon")], t * 1_000_000_000, b);
+        }
+        reg.series_set("breaker_open", &[("src", "cern")], 2_000_000_000, 1);
+        reg.series_set("breaker_open", &[("src", "cern")], 3_500_000_000, 0);
+        reg
+    }
+
+    #[test]
+    fn tsv_is_dense_and_deterministic() {
+        let tsv_a = timeline_tsv(&demo_registry());
+        let tsv_b = timeline_tsv(&demo_registry());
+        assert_eq!(tsv_a, tsv_b, "same inputs must render byte-identical TSV");
+        let lines: Vec<&str> = tsv_a.lines().collect();
+        assert_eq!(
+            lines[0],
+            "bucket\tstart_s\tbreaker_open{src=cern}\tlink_bytes{dst=lyon,src=cern}"
+        );
+        // Buckets 0..=3, delta gap filled with 0, level carried forward.
+        assert_eq!(lines[1], "0\t0.000\t0\t10");
+        assert_eq!(lines[2], "1\t1.000\t0\t30");
+        assert_eq!(lines[3], "2\t2.000\t1\t0");
+        assert_eq!(lines[4], "3\t3.000\t0\t20");
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        let reg = Registry::new();
+        assert_eq!(timeline_tsv(&reg), "");
+        assert!(render_timeline(&reg, 40).contains("no time-series"));
+    }
+
+    #[test]
+    fn sparkline_scales_to_max() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0, 0]), "▁▁");
+        let line = sparkline(&[0, 5, 10]);
+        assert_eq!(line.chars().count(), 3);
+        assert!(line.ends_with('█'));
+    }
+
+    #[test]
+    fn downsample_respects_kind() {
+        let v: Vec<i64> = (0..10).collect();
+        assert_eq!(downsample(&v, SeriesKind::Delta, 5), vec![1, 5, 9, 13, 17]);
+        assert_eq!(downsample(&v, SeriesKind::Level, 5), vec![1, 3, 5, 7, 9]);
+        assert_eq!(downsample(&v, SeriesKind::Delta, 20), v);
+    }
+
+    #[test]
+    fn render_includes_every_series() {
+        let text = render_timeline(&demo_registry(), 16);
+        assert!(text.contains("link_bytes{dst=lyon,src=cern}"));
+        assert!(text.contains("breaker_open{src=cern}"));
+        assert!(text.contains("[delta]") && text.contains("[level]"));
+    }
+}

@@ -754,6 +754,7 @@ impl Grid {
     fn handle_failure(&mut self, source: &str, ctx: &FailureCtx, reg: &Registry) -> RecoveryAction {
         if self.breaker.record_failure(source, self.clock) {
             reg.counter_add("breaker_trips", &[("src", source)], 1);
+            reg.series_set("breaker_open", &[("src", source)], self.clock.nanos(), 1);
             reg.record(
                 self.clock.nanos(),
                 "breaker_open",
@@ -773,12 +774,23 @@ impl Grid {
                 None => SimDuration::ZERO,
             };
             if wait > SimDuration::ZERO {
+                let backoff_span = reg.span_start("backoff", self.clock.nanos());
+                reg.span_note(backoff_span, "src", source);
                 self.clock += wait;
+                reg.span_end(backoff_span, self.clock.nanos());
                 reg.counter_add("backoff_waits", &[("src", source)], 1);
                 reg.observe("backoff_wait_ns", &[], wait.nanos());
             }
         }
         action
+    }
+
+    /// Bytes landed on the `src -> dst` path at the current sim time:
+    /// feed the per-link utilisation and per-destination fetch-throughput
+    /// time-series. A no-op unless the registry has time-series enabled.
+    fn series_transfer(&self, reg: &Registry, src: &str, dst: &str, now_ns: u64, bytes: u64) {
+        reg.series_add("link_bytes", &[("src", src), ("dst", dst)], now_ns, bytes);
+        reg.series_add("fetch_bytes", &[("dst", dst)], now_ns, bytes);
     }
 
     /// Unpin a file at a source, tolerating the pin having vanished (a
@@ -860,6 +872,9 @@ impl Grid {
         reg.span_note(select_span, "candidates", estimates.len() as u64);
         if let Some(best) = estimates.first() {
             reg.span_note(select_span, "best", best.site.as_str());
+        }
+        for e in &estimates {
+            reg.span_note(select_span, e.site.as_str(), e.predicted_bps as u64);
         }
         reg.span_end(select_span, self.clock.nanos());
         if estimates.is_empty() {
@@ -1009,10 +1024,12 @@ impl Grid {
                     );
                     FailureKind::Unreachable
                 } else {
-                    let xfer_span = reg.span_start("transfer", self.clock.nanos());
+                    let attempt_start_ns = self.clock.nanos();
+                    let xfer_span = reg.span_start("transfer", attempt_start_ns);
                     reg.span_note(xfer_span, "source", source.as_str());
                     reg.span_note(xfer_span, "attempt", u64::from(attempts_total));
                     reg.span_note(xfer_span, "bytes_requested", remaining);
+                    let reconnect = attempts_on_source > 1;
                     let report = profile.simulate_transfer_telemetry(
                         remaining.max(1),
                         params.streams,
@@ -1047,7 +1064,18 @@ impl Grid {
                         bytes_moved += got;
                         remaining -= got.min(remaining);
                         reg.counter_add("transfer_bytes", &pair_labels, got);
+                        self.series_transfer(reg, &source, dst, self.clock.nanos(), got);
                         reg.counter_add("restart_events", &pair_labels, 1);
+                        profile.trace_transfer(
+                            reg,
+                            attempt_start_ns,
+                            report.setup_time,
+                            partial_time,
+                            params.streams,
+                            params.buffer,
+                            false,
+                            reconnect,
+                        );
                         reg.span_note(xfer_span, "outcome", "severed");
                         reg.span_note(xfer_span, "bytes_salvaged", got);
                         reg.span_end(xfer_span, self.clock.nanos());
@@ -1064,6 +1092,23 @@ impl Grid {
                                 data_time = data_time + report.data_time;
                                 bytes_moved += remaining;
                                 reg.counter_add("transfer_bytes", &pair_labels, remaining);
+                                self.series_transfer(
+                                    reg,
+                                    &source,
+                                    dst,
+                                    self.clock.nanos(),
+                                    remaining,
+                                );
+                                profile.trace_transfer(
+                                    reg,
+                                    attempt_start_ns,
+                                    report.setup_time,
+                                    report.data_time,
+                                    params.streams,
+                                    params.buffer,
+                                    false,
+                                    reconnect,
+                                );
                                 reg.span_note(xfer_span, "outcome", "clean");
                                 reg.span_end(xfer_span, self.clock.nanos());
                                 let crc_span = reg.span_start("crc_verify", self.clock.nanos());
@@ -1078,6 +1123,12 @@ impl Grid {
                                     .expect("pinned file is resident");
                                 self.site_mut(&source)?.storage.pool.unpin(lfn)?;
                                 self.breaker.record_success(&source);
+                                reg.series_set(
+                                    "breaker_open",
+                                    &[("src", source.as_str())],
+                                    self.clock.nanos(),
+                                    0,
+                                );
                                 if !matches!(self.fetch, FetchPolicy::SingleSource) {
                                     // Multi-source grids learn link throughput
                                     // even when a fetch fell back to this
@@ -1102,7 +1153,18 @@ impl Grid {
                                 bytes_moved += got;
                                 remaining -= got.min(remaining);
                                 reg.counter_add("transfer_bytes", &pair_labels, got);
+                                self.series_transfer(reg, &source, dst, self.clock.nanos(), got);
                                 reg.counter_add("restart_events", &pair_labels, 1);
+                                profile.trace_transfer(
+                                    reg,
+                                    attempt_start_ns,
+                                    report.setup_time,
+                                    partial_time,
+                                    params.streams,
+                                    params.buffer,
+                                    false,
+                                    reconnect,
+                                );
                                 reg.span_note(xfer_span, "outcome", "aborted");
                                 reg.span_note(xfer_span, "bytes_salvaged", got);
                                 reg.span_end(xfer_span, self.clock.nanos());
@@ -1124,6 +1186,16 @@ impl Grid {
                                 bytes_moved += remaining;
                                 remaining = size;
                                 reg.counter_add("crc_failures", &pair_labels, 1);
+                                profile.trace_transfer(
+                                    reg,
+                                    attempt_start_ns,
+                                    report.setup_time,
+                                    report.data_time,
+                                    params.streams,
+                                    params.buffer,
+                                    false,
+                                    reconnect,
+                                );
                                 reg.span_note(xfer_span, "outcome", "corrupt");
                                 reg.span_end(xfer_span, self.clock.nanos());
                                 reg.record(
@@ -1221,6 +1293,9 @@ impl Grid {
         let select_span = reg.span_start("select_source", self.clock.nanos());
         let mut estimates = crate::selection::estimate_sources(self, dst, info)?;
         reg.span_note(select_span, "candidates", estimates.len() as u64);
+        for e in &estimates {
+            reg.span_note(select_span, e.site.as_str(), e.predicted_bps as u64);
+        }
         reg.span_end(select_span, self.clock.nanos());
         if estimates.is_empty() {
             return Err(GdmpError::NotPublished(lfn.to_string()));
@@ -1290,19 +1365,29 @@ impl Grid {
                             });
                         }
                     }
+                    let stage_span = reg.span_start("staging", self.clock.nanos());
+                    reg.span_note(stage_span, "source", source.as_str());
                     let before = self.clock;
                     let rtt = self.profile_between(dst, &source).rtt();
                     match self.rpc(dst, &source, Request::PrepareFile { lfn: lfn.to_string() }) {
                         Ok(Response::FileReady { was_staged, .. }) => {
                             let total = self.clock.since(before);
-                            stage_latency = stage_latency
-                                + SimDuration(total.nanos().saturating_sub(rtt.nanos()));
+                            let staged_for = SimDuration(total.nanos().saturating_sub(rtt.nanos()));
+                            stage_latency = stage_latency + staged_for;
                             staged_any |= was_staged;
+                            reg.span_note(stage_span, "was_staged", was_staged);
+                            reg.observe("stage_latency_ns", &[], staged_for.nanos());
+                            reg.span_end(stage_span, self.clock.nanos());
                             None
                         }
                         Ok(other) => panic!("PrepareFile returned {other:?}"),
-                        Err(e) if e.is_retryable() => Some(e),
+                        Err(e) if e.is_retryable() => {
+                            reg.span_note(stage_span, "error", e.to_string());
+                            reg.span_end(stage_span, self.clock.nanos());
+                            Some(e)
+                        }
                         Err(e) => {
+                            reg.span_end(stage_span, self.clock.nanos());
                             fatal = Some(e);
                             break 'prologues;
                         }
@@ -1374,6 +1459,9 @@ impl Grid {
         let mut data_time = SimDuration::ZERO;
         let mut setup_time = SimDuration::ZERO;
         let mut session_open = vec![false; n];
+        // Has this source ever had a data session? A cold pull after the
+        // first one is a reconnect, and its setup span is named so.
+        let mut ever_open = vec![false; n];
         let mut sim_cache: HashMap<(usize, u64, bool), gdmp_gridftp::sim::SimTransferReport> =
             HashMap::new();
         loop {
@@ -1400,6 +1488,17 @@ impl Grid {
             });
             let setup = if warm { SimDuration::ZERO } else { report.setup_time };
             let pair_labels = [("src", source.as_str()), ("dst", dst)];
+            // One span per chunk attempt, anchored on this source's private
+            // timeline; its gridftp children (setup/slow-start/steady) tile
+            // the attempt so the critical path can blame the slow segment.
+            let chunk_span = reg.span_start("chunk_transfer", at.nanos());
+            reg.span_note(chunk_span, "source", source.as_str());
+            reg.span_note(chunk_span, "range_start", chunk.0);
+            reg.span_note(chunk_span, "range_end", chunk.1);
+            reg.span_note(chunk_span, "warm", warm);
+            reg.span_note(chunk_span, "seq", u64::from(attempts_chunks));
+            let reconnect = !warm && ever_open[idx];
+            ever_open[idx] = true;
             // Does a scheduled fault sever this path while the chunk is in
             // flight, judged on this source's private timeline?
             let cut_at = if self.chaos.is_active() {
@@ -1439,12 +1538,27 @@ impl Grid {
                     data_time = data_time + report.data_time;
                     bytes_moved += bytes;
                     exec.chunk_succeeded(idx, chunk, setup + report.data_time);
+                    let done_ns = (at + setup + report.data_time).nanos();
                     reg.counter_add("transfer_bytes", &pair_labels, bytes);
+                    self.series_transfer(reg, &source, dst, done_ns, bytes);
                     reg.counter_add("multi_chunks", &pair_labels, 1);
                     let bps = bytes as f64 * 8.0 / report.data_time.as_secs_f64().max(1e-9);
                     let ewma = self.note_observed_throughput(&source, dst, bps);
                     reg.gauge_set("source_throughput_ewma", &pair_labels, ewma as i64);
                     self.breaker.record_success(&source);
+                    reg.series_set("breaker_open", &[("src", source.as_str())], done_ns, 0);
+                    profile.trace_transfer(
+                        reg,
+                        at.nanos(),
+                        setup,
+                        report.data_time,
+                        params.streams,
+                        params.buffer,
+                        warm,
+                        reconnect,
+                    );
+                    reg.span_note(chunk_span, "outcome", "clean");
+                    reg.span_end(chunk_span, done_ns);
                 }
                 Err((kind, salvaged, burned)) => {
                     failures_total += 1;
@@ -1465,11 +1579,13 @@ impl Grid {
                             kind,
                         }
                     };
+                    let died_ns = (at + setup + burned).nanos();
                     if salvaged > 0 {
                         // Restart markers keep the prefix; credit it to this
                         // source before deciding its fate.
                         exec.chunk_succeeded(idx, (chunk.0, chunk.0 + salvaged), SimDuration::ZERO);
                         reg.counter_add("transfer_bytes", &pair_labels, salvaged);
+                        self.series_transfer(reg, &source, dst, died_ns, salvaged);
                         reg.counter_add("restart_events", &pair_labels, 1);
                     }
                     let kind_label = match kind {
@@ -1478,6 +1594,21 @@ impl Grid {
                         FailureKind::Unreachable => "severed",
                     };
                     reg.counter_add("multi_chunk_failures", &[("kind", kind_label)], 1);
+                    profile.trace_transfer(
+                        reg,
+                        at.nanos(),
+                        setup,
+                        burned,
+                        params.streams,
+                        params.buffer,
+                        warm,
+                        reconnect,
+                    );
+                    reg.span_note(chunk_span, "outcome", kind_label);
+                    reg.span_note(chunk_span, "bytes_salvaged", salvaged);
+                    // Close the chunk before any backoff, so the wait shows
+                    // up as its own top-level segment, not a clipped child.
+                    reg.span_end(chunk_span, died_ns);
                     let (action, wait) =
                         self.handle_failure_multi(&source, at + setup + burned, &ctx, reg);
                     match action {
@@ -1590,6 +1721,7 @@ impl Grid {
     ) -> (RecoveryAction, SimDuration) {
         if self.breaker.record_failure(source, at) {
             reg.counter_add("breaker_trips", &[("src", source)], 1);
+            reg.series_set("breaker_open", &[("src", source)], at.nanos(), 1);
             reg.record(
                 at.nanos(),
                 "breaker_open",
@@ -1612,6 +1744,9 @@ impl Grid {
             SimDuration::ZERO
         };
         if wait > SimDuration::ZERO {
+            let backoff_span = reg.span_start("backoff", at.nanos());
+            reg.span_note(backoff_span, "src", source);
+            reg.span_end(backoff_span, (at + wait).nanos());
             reg.counter_add("backoff_waits", &[("src", source)], 1);
             reg.observe("backoff_wait_ns", &[], wait.nanos());
         }
@@ -1663,14 +1798,13 @@ impl Grid {
             origin: origin.to_string(),
         };
         {
+            let now_ns = self.clock.nanos();
             let dst_site = self.site_mut(dst)?;
             dst_site.export_catalog.push(notice);
             dst_site.import_queue.retain(|n| n.lfn != lfn);
-            reg.gauge_set(
-                "site_import_queue_depth",
-                &[("site", dst)],
-                dst_site.import_queue.len() as i64,
-            );
+            let depth = dst_site.import_queue.len() as i64;
+            reg.gauge_set("site_import_queue_depth", &[("site", dst)], depth);
+            reg.series_set("site_import_queue_depth", &[("site", dst)], now_ns, depth);
         }
         reg.span_end(register_span, self.clock.nanos());
         Ok(())

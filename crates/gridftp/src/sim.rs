@@ -76,6 +76,68 @@ impl WanProfile {
         self.link.propagation * 2
     }
 
+    /// Analytic estimate of one cold stream's TCP slow-start duration: the
+    /// RTTs the congestion window needs to double from its initial two
+    /// segments up to the operating window (socket buffer capped by the
+    /// stream's share of the path BDP). Used for critical-path
+    /// *attribution* only — the packet simulation decides actual timing —
+    /// so a deterministic closed form is exactly what's wanted.
+    pub fn slow_start_estimate(&self, streams: u32, buffer: u64) -> SimDuration {
+        let bdp_bytes = self.link.rate_bps as f64 / 8.0 * self.rtt().as_secs_f64();
+        let share = (bdp_bytes / f64::from(streams.max(1))).min(buffer as f64);
+        let target_segments = (share / f64::from(wire::MSS)).max(2.0);
+        let doublings = (target_segments / 2.0).log2().ceil().max(0.0);
+        SimDuration::from_nanos((self.rtt().nanos() as f64 * doublings) as u64)
+    }
+
+    /// Record the standard child spans of one transfer attempt under the
+    /// caller's currently open span: session setup (named `reconnect` when
+    /// re-establishing after a failure), estimated TCP slow-start (cold
+    /// sessions only), and the steady remainder (`transfer_steady`).
+    /// `data_elapsed` is the attempt's actual data-phase duration, possibly
+    /// truncated by a mid-flight fault. The children tile
+    /// `[base_ns, base_ns + setup + data_elapsed]`, so critical-path
+    /// extraction can attribute end-to-end latency to reconnects,
+    /// slow-start, and transfer without bespoke bookkeeping at every call
+    /// site.
+    #[allow(clippy::too_many_arguments)]
+    pub fn trace_transfer(
+        &self,
+        reg: &Registry,
+        base_ns: u64,
+        setup: SimDuration,
+        data_elapsed: SimDuration,
+        streams: u32,
+        buffer: u64,
+        warm: bool,
+        reconnect: bool,
+    ) {
+        if !reg.is_enabled() {
+            return;
+        }
+        let mut t = base_ns;
+        if setup > SimDuration::ZERO {
+            let name = if reconnect { "reconnect" } else { "gridftp_setup" };
+            let sp = reg.span_start(name, t);
+            t += setup.nanos();
+            reg.span_end(sp, t);
+        }
+        let mut data_ns = data_elapsed.nanos();
+        if !warm {
+            let ss = self.slow_start_estimate(streams, buffer).nanos().min(data_ns);
+            if ss > 0 {
+                let sp = reg.span_start("slow_start", t);
+                t += ss;
+                reg.span_end(sp, t);
+                data_ns -= ss;
+            }
+        }
+        if data_ns > 0 {
+            let sp = reg.span_start("transfer_steady", t);
+            reg.span_end(sp, t + data_ns);
+        }
+    }
+
     /// Simulate one GridFTP retrieval of `bytes` over `streams` parallel
     /// TCP connections with the given socket buffer.
     pub fn simulate_transfer(&self, bytes: u64, streams: u32, buffer: u64) -> SimTransferReport {
@@ -445,5 +507,48 @@ mod tests {
         let r = p.simulate_transfer(10 * MB, 3, 256 * 1024);
         assert_eq!(r.bytes, 10 * MB);
         assert!(r.throughput_mbps() > 0.0);
+    }
+    #[test]
+    fn trace_transfer_children_tile_the_attempt() {
+        let p = WanProfile::clean(LinkSpec::cern_anl());
+        let reg = Registry::new();
+        let root = reg.span_start("attempt", 0);
+        let setup = SimDuration::from_millis(100);
+        let data = SimDuration::from_secs(2);
+        p.trace_transfer(&reg, 0, setup, data, 4, 256 * 1024, false, false);
+        reg.span_end(root, (setup + data).nanos());
+        let spans = reg.spans();
+        let total: u64 =
+            spans.iter().filter(|s| s.parent.is_some()).map(|s| s.duration_ns().unwrap()).sum();
+        assert_eq!(total, (setup + data).nanos(), "children must tile the attempt exactly");
+        let names: Vec<&str> =
+            spans.iter().filter(|s| s.parent.is_some()).map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["gridftp_setup", "slow_start", "transfer_steady"]);
+        // Warm pulls have no setup and no slow-start.
+        let reg = Registry::new();
+        let root = reg.span_start("attempt", 0);
+        p.trace_transfer(&reg, 0, SimDuration::ZERO, data, 4, 256 * 1024, true, false);
+        reg.span_end(root, data.nanos());
+        let names: Vec<String> =
+            reg.spans().iter().filter(|s| s.parent.is_some()).map(|s| s.name.clone()).collect();
+        assert_eq!(names, ["transfer_steady"]);
+        // A reconnect renames the setup span.
+        let reg = Registry::new();
+        let root = reg.span_start("attempt", 0);
+        p.trace_transfer(&reg, 0, setup, data, 4, 256 * 1024, false, true);
+        reg.span_end(root, (setup + data).nanos());
+        assert!(reg.spans().iter().any(|s| s.name == "reconnect"));
+    }
+
+    #[test]
+    fn slow_start_estimate_is_deterministic_and_bounded() {
+        let p = WanProfile::cern_anl_production();
+        let a = p.slow_start_estimate(4, 256 * 1024);
+        assert_eq!(a, p.slow_start_estimate(4, 256 * 1024));
+        assert!(a > SimDuration::ZERO);
+        // More streams -> smaller per-stream window -> shorter slow-start.
+        assert!(p.slow_start_estimate(16, 256 * 1024) <= a);
+        // A tiny buffer caps the window almost immediately.
+        assert!(p.slow_start_estimate(1, 4 * 1024) <= p.rtt() * 2);
     }
 }

@@ -149,6 +149,13 @@ impl HierarchicalStorage {
         self.pool.contains(name)
     }
 
+    /// Files archived on tape but not currently disk-resident: the staging
+    /// backlog a sweep of requests would have to pay for. This is what the
+    /// `tape_stage_backlog` time-series samples.
+    pub fn stage_backlog(&self) -> usize {
+        self.tape.file_names().iter().filter(|n| !self.pool.contains(n)).count()
+    }
+
     /// Drop a file everywhere.
     pub fn purge(&mut self, name: &str) -> Result<(), HrmError> {
         let mut found = false;

@@ -113,6 +113,13 @@ impl TapeLibrary {
         self.files.is_empty()
     }
 
+    /// Archived file names, sorted (deterministic iteration for observers).
+    pub fn file_names(&self) -> Vec<String> {
+        let mut v: Vec<_> = self.files.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
     /// Archive a file; returns the write duration (stream rate).
     pub fn archive(&mut self, name: &str, data: Bytes) -> Result<SimDuration, TapeError> {
         if self.files.contains_key(name) {

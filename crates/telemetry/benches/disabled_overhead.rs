@@ -1,0 +1,40 @@
+//! Micro-benchmark for the disabled-registry fast path: every call on a
+//! `Registry::disabled()` must cost one branch — no allocation, no lock.
+//! The allocation-freedom itself is asserted by the
+//! `tests/disabled_allocation.rs` counting-allocator test; this bench
+//! bounds the *time* overhead so a regression to "cheap but measurable"
+//! still shows up in `cargo bench`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gdmp_telemetry::Registry;
+
+fn bench_disabled(c: &mut Criterion) {
+    let mut g = c.benchmark_group("disabled_registry");
+    let reg = Registry::disabled();
+    let sp = reg.span_start("warm", 0);
+    g.bench_function("span_start", |b| b.iter(|| reg.span_start(black_box("replicate"), 42)));
+    g.bench_function("span_note_str", |b| {
+        b.iter(|| reg.span_note(black_box(sp), "lfn", black_box("higgs.0001.root")))
+    });
+    g.bench_function("counter_add", |b| {
+        b.iter(|| reg.counter_add(black_box("transfer_bytes"), &[("src", "cern")], 1024))
+    });
+    g.bench_function("observe", |b| b.iter(|| reg.observe(black_box("latency_ns"), &[], 77)));
+    g.bench_function("record_str", |b| b.iter(|| reg.record(0, "evt", black_box("detail"))));
+    g.bench_function("series_add", |b| {
+        b.iter(|| reg.series_add(black_box("link_bytes"), &[("link", "a-b")], 5, 64))
+    });
+    g.finish();
+
+    // Reference point: the same calls on an enabled registry, so the
+    // report shows the disabled path orders of magnitude below it.
+    let mut g = c.benchmark_group("enabled_registry");
+    let reg = Registry::new();
+    g.bench_function("counter_add", |b| {
+        b.iter(|| reg.counter_add(black_box("transfer_bytes"), &[("src", "cern")], 1024))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_disabled);
+criterion_main!(benches);

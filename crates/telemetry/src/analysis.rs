@@ -1,0 +1,328 @@
+//! Trace analysis: selecting one causal span tree out of a run's records
+//! and attributing its end-to-end latency to a critical path.
+//!
+//! The critical path of a span is an exact partition of its `[start, end)`
+//! interval: every instant is charged either to a descendant span that
+//! covers it or to the span itself ("self time": the parent was busy but
+//! no child accounts for it). Children may overlap — a striped fetch runs
+//! chunk transfers concurrently — so each instant is charged to the
+//! **latest-starting** covering child (ties broken by higher span id),
+//! the conventional "what were we waiting on last" attribution. Because
+//! the segments partition the root interval by construction, their
+//! durations always sum to exactly the root's duration, which the trace
+//! smoke test asserts.
+
+use crate::span::{SpanId, SpanRecord, TraceId};
+
+/// One contiguous slice of a critical path, charged to `span`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathSegment {
+    pub span: SpanId,
+    /// The charged span's name (`transfer_steady`, `backoff`, ...).
+    pub name: String,
+    pub start_ns: u64,
+    pub end_ns: u64,
+}
+
+impl PathSegment {
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// All spans belonging to `trace`, in creation order.
+pub fn trace_spans(records: &[SpanRecord], trace: TraceId) -> Vec<&SpanRecord> {
+    records.iter().filter(|r| r.trace == trace).collect()
+}
+
+/// Ids of all parentless spans, in creation order (one per trace).
+pub fn trace_roots(records: &[SpanRecord]) -> Vec<SpanId> {
+    records.iter().filter(|r| r.parent.is_none()).map(|r| r.id).collect()
+}
+
+/// True when every span of `root`'s trace is reachable from `root` by
+/// parent edges — i.e. the trace is a single connected tree.
+pub fn trace_is_connected(records: &[SpanRecord], root: SpanId) -> bool {
+    let Some(root_rec) = find(records, root) else {
+        return false;
+    };
+    trace_spans(records, root_rec.trace).iter().all(|r| {
+        let mut cur = r.id;
+        loop {
+            if cur == root {
+                return true;
+            }
+            match find(records, cur).and_then(|rec| rec.parent) {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+    })
+}
+
+/// Extract the critical path of the (closed) span `root`. Returns an
+/// empty vector when the root is missing, still open, or zero-length.
+/// Open children are ignored; closed children are clipped to the parent's
+/// interval, so malformed timestamps cannot break the partition.
+pub fn critical_path(records: &[SpanRecord], root: SpanId) -> Vec<PathSegment> {
+    let Some(rec) = find(records, root) else {
+        return Vec::new();
+    };
+    let Some(end) = rec.end_ns else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    partition(records, rec, rec.start_ns, end, &mut out);
+    coalesce(out)
+}
+
+/// Total duration charged per span name, sorted by descending duration
+/// then name — the "where did the time go" table.
+pub fn breakdown(segments: &[PathSegment]) -> Vec<(String, u64)> {
+    let mut sums: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for seg in segments {
+        *sums.entry(&seg.name).or_insert(0) += seg.duration_ns();
+    }
+    let mut out: Vec<(String, u64)> = sums.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+/// Human rendering of a critical path: one line per segment with absolute
+/// sim-times, duration, and share of the total, then the name breakdown.
+pub fn render_critical_path(segments: &[PathSegment]) -> String {
+    let total: u64 = segments.iter().map(PathSegment::duration_ns).sum();
+    let mut out = String::new();
+    out.push_str(&format!("critical path ({:.6}s total):\n", total as f64 / 1e9));
+    for seg in segments {
+        let share = if total == 0 { 0.0 } else { seg.duration_ns() as f64 / total as f64 * 100.0 };
+        out.push_str(&format!(
+            "  [{:>12.6}s .. {:>12.6}s] {:<20} {:>10.6}s {share:>5.1}%\n",
+            seg.start_ns as f64 / 1e9,
+            seg.end_ns as f64 / 1e9,
+            seg.name,
+            seg.duration_ns() as f64 / 1e9,
+        ));
+    }
+    out.push_str("by segment:\n");
+    for (name, ns) in breakdown(segments) {
+        let share = if total == 0 { 0.0 } else { ns as f64 / total as f64 * 100.0 };
+        out.push_str(&format!("  {name:<20} {:>10.6}s {share:>5.1}%\n", ns as f64 / 1e9));
+    }
+    out
+}
+
+fn find(records: &[SpanRecord], id: SpanId) -> Option<&SpanRecord> {
+    if id == SpanId::NONE {
+        return None;
+    }
+    records.get(id.0 as usize - 1).filter(|r| r.id == id)
+}
+
+/// Charge `[lo, hi)` of `span` to segments: elementary intervals between
+/// child boundaries go to the latest-starting covering child (recursing
+/// into it) or to `span` itself when no child covers them.
+fn partition(
+    records: &[SpanRecord],
+    span: &SpanRecord,
+    lo: u64,
+    hi: u64,
+    out: &mut Vec<PathSegment>,
+) {
+    if lo >= hi {
+        return;
+    }
+    // Closed children clipped to [lo, hi); keep the unclipped start for
+    // the "latest-starting" tie-break so clipping cannot reorder winners.
+    let kids: Vec<(u64, u64, &SpanRecord)> = records
+        .iter()
+        .filter(|r| r.parent == Some(span.id))
+        .filter_map(|r| r.end_ns.map(|e| (r.start_ns.max(lo), e.min(hi), r)))
+        .filter(|(s, e, _)| s < e)
+        .collect();
+    if kids.is_empty() {
+        out.push(PathSegment { span: span.id, name: span.name.clone(), start_ns: lo, end_ns: hi });
+        return;
+    }
+    let mut cuts: Vec<u64> = vec![lo, hi];
+    for (s, e, _) in &kids {
+        cuts.push(*s);
+        cuts.push(*e);
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    for w in cuts.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let winner = kids
+            .iter()
+            .filter(|(s, e, _)| *s <= a && *e >= b)
+            .max_by_key(|(_, _, r)| (r.start_ns, r.id));
+        match winner {
+            Some((_, _, kid)) => partition(records, kid, a, b, out),
+            None => out.push(PathSegment {
+                span: span.id,
+                name: span.name.clone(),
+                start_ns: a,
+                end_ns: b,
+            }),
+        }
+    }
+}
+
+/// Merge adjacent segments charged to the same span (a child split across
+/// several elementary intervals by siblings it still won).
+fn coalesce(segments: Vec<PathSegment>) -> Vec<PathSegment> {
+    let mut out: Vec<PathSegment> = Vec::with_capacity(segments.len());
+    for seg in segments {
+        match out.last_mut() {
+            Some(last) if last.span == seg.span && last.end_ns == seg.start_ns => {
+                last.end_ns = seg.end_ns;
+            }
+            _ => out.push(seg),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn segment_sum(segments: &[PathSegment]) -> u64 {
+        segments.iter().map(PathSegment::duration_ns).sum()
+    }
+
+    fn assert_partition(segments: &[PathSegment], start: u64, end: u64) {
+        assert_eq!(segments.first().unwrap().start_ns, start);
+        assert_eq!(segments.last().unwrap().end_ns, end);
+        for w in segments.windows(2) {
+            assert_eq!(w[0].end_ns, w[1].start_ns, "segments must be contiguous");
+        }
+        assert_eq!(segment_sum(segments), end - start);
+    }
+
+    #[test]
+    fn leaf_span_is_all_self_time() {
+        let reg = Registry::new();
+        let a = reg.span_start("a", 10);
+        reg.span_end(a, 50);
+        let spans = reg.spans();
+        let path = critical_path(&spans, a);
+        assert_eq!(path.len(), 1);
+        assert_eq!(path[0].name, "a");
+        assert_partition(&path, 10, 50);
+    }
+
+    #[test]
+    fn sequential_children_partition_with_gaps_as_self_time() {
+        let reg = Registry::new();
+        let root = reg.span_start("root", 0);
+        let b = reg.span_start("b", 10);
+        reg.span_end(b, 20);
+        let c = reg.span_start("c", 30);
+        reg.span_end(c, 40);
+        reg.span_end(root, 50);
+        let spans = reg.spans();
+        let path = critical_path(&spans, root);
+        assert_partition(&path, 0, 50);
+        let names: Vec<&str> = path.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["root", "b", "root", "c", "root"]);
+    }
+
+    #[test]
+    fn overlapping_siblings_charge_latest_starter() {
+        // Timestamps are logical, so overlapping siblings are built by
+        // closing `first` (with a late end time) before opening `second`:
+        // both end up children of root with intervals [0,90] and [40,80].
+        let reg = Registry::new();
+        let root = reg.span_start("root", 0);
+        let first = reg.span_start("first", 0);
+        reg.span_end(first, 90);
+        let second = reg.span_start("second", 40);
+        reg.span_end(second, 80);
+        reg.span_end(root, 100);
+        let spans = reg.spans();
+        assert_eq!(spans[2].parent, Some(root), "second must be a sibling of first");
+        let path = critical_path(&spans, root);
+        assert_partition(&path, 0, 100);
+        let names: Vec<&str> = path.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["first", "second", "first", "root"]);
+    }
+
+    #[test]
+    fn grandchildren_are_charged_through_their_parent() {
+        let reg = Registry::new();
+        let root = reg.span_start("root", 0);
+        let mid = reg.span_start("mid", 10);
+        let leaf = reg.span_start("leaf", 20);
+        reg.span_end(leaf, 30);
+        reg.span_end(mid, 40);
+        reg.span_end(root, 50);
+        let spans = reg.spans();
+        let path = critical_path(&spans, root);
+        assert_partition(&path, 0, 50);
+        let names: Vec<&str> = path.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["root", "mid", "leaf", "mid", "root"]);
+        let by_name = breakdown(&path);
+        let total: u64 = by_name.iter().map(|(_, d)| d).sum();
+        assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn children_clipped_to_parent_interval() {
+        let reg = Registry::new();
+        let root = reg.span_start("root", 10);
+        let kid = reg.span_start("kid", 0); // starts "before" the root
+        reg.span_end(kid, 100); // and ends "after" it
+        reg.span_end(root, 50);
+        let spans = reg.spans();
+        let path = critical_path(&spans, root);
+        assert_partition(&path, 10, 50);
+        assert_eq!(path.len(), 1);
+        assert_eq!(path[0].name, "kid");
+    }
+
+    #[test]
+    fn open_or_missing_roots_yield_empty_paths() {
+        let reg = Registry::new();
+        let a = reg.span_start("a", 0);
+        let spans = reg.spans();
+        assert!(critical_path(&spans, a).is_empty(), "open span has no path yet");
+        assert!(critical_path(&spans, SpanId(99)).is_empty());
+        assert!(critical_path(&spans, SpanId::NONE).is_empty());
+    }
+
+    #[test]
+    fn connectivity_check_spots_single_trees() {
+        let reg = Registry::new();
+        let a = reg.span_start("a", 0);
+        let b = reg.span_start("b", 1);
+        reg.span_end(b, 2);
+        reg.span_end(a, 3);
+        let c = reg.span_start("c", 4);
+        reg.span_end(c, 5);
+        let spans = reg.spans();
+        assert!(trace_is_connected(&spans, a));
+        assert!(trace_is_connected(&spans, c));
+        assert!(!trace_is_connected(&spans, b), "b is not the root of its trace");
+        assert_eq!(trace_roots(&spans), vec![a, c]);
+        assert_eq!(trace_spans(&spans, crate::TraceId(a.0)).len(), 2);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_sums() {
+        let reg = Registry::new();
+        let root = reg.span_start("root", 0);
+        let kid = reg.span_start("kid", 100);
+        reg.span_end(kid, 900);
+        reg.span_end(root, 1000);
+        let spans = reg.spans();
+        let path = critical_path(&spans, root);
+        let r1 = render_critical_path(&path);
+        let r2 = render_critical_path(&path);
+        assert_eq!(r1, r2);
+        assert!(r1.contains("critical path"));
+        assert!(r1.contains("kid"));
+    }
+}

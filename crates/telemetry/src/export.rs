@@ -14,6 +14,7 @@ pub(crate) fn json_lines(inner: &mut Inner) -> String {
         .str("record", "meta")
         .u64("spans", inner.spans.records.len() as u64)
         .u64("metrics", inner.metrics.iter().count() as u64)
+        .u64("timeseries", inner.series.len() as u64)
         .u64("events_recorded", inner.recorder.recorded())
         .finish();
     out.push_str(&meta);
@@ -38,10 +39,26 @@ pub(crate) fn json_lines(inner: &mut Inner) -> String {
         out.push('\n');
     }
 
+    for series in inner.series.snapshot() {
+        let buckets: Vec<u64> = series.points.iter().map(|(b, _)| *b).collect();
+        let values: Vec<i64> = series.points.iter().map(|(_, v)| *v).collect();
+        let obj = JsonObject::new()
+            .str("record", "timeseries")
+            .str("name", &series.name)
+            .str("labels", &series.labels)
+            .str("kind", series.kind.as_str())
+            .u64("bucket_ns", series.bucket_ns)
+            .u64_array("buckets", &buckets)
+            .i64_array("values", &values);
+        out.push_str(&obj.finish());
+        out.push('\n');
+    }
+
     for span in &inner.spans.records {
         let mut obj = JsonObject::new()
             .str("record", "span")
             .u64("id", span.id.0)
+            .u64("trace", span.trace.0)
             .opt_u64("parent", span.parent.map(|p| p.0))
             .str("name", &span.name)
             .u64("start_ns", span.start_ns)

@@ -93,6 +93,19 @@ impl JsonObject {
         self
     }
 
+    pub fn i64_array(mut self, key: &str, values: &[i64]) -> Self {
+        self.key(key);
+        self.buf.push('[');
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push_str(&v.to_string());
+        }
+        self.buf.push(']');
+        self
+    }
+
     pub fn finish(mut self) -> String {
         self.buf.push('}');
         self.buf

@@ -32,21 +32,25 @@
 //! assert!(reg.export_json_lines().contains("replicate"));
 //! ```
 
+pub mod analysis;
 mod export;
 pub mod json;
 mod metrics;
 mod recorder;
 mod span;
+mod timeseries;
 
 pub use metrics::{Histogram, MetricValue, DEFAULT_BUCKETS};
 pub use recorder::Event;
-pub use span::{SpanId, SpanRecord};
+pub use span::{SpanId, SpanRecord, TraceId};
+pub use timeseries::{SeriesKind, TimeSeries};
 
 use std::sync::{Arc, Mutex};
 
 use metrics::Metrics;
 use recorder::Recorder;
 use span::Spans;
+use timeseries::TimeSeriesStore;
 
 /// Field value attached to spans and flight-recorder events.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,6 +95,7 @@ pub(crate) struct Inner {
     pub(crate) spans: Spans,
     pub(crate) metrics: Metrics,
     pub(crate) recorder: Recorder,
+    pub(crate) series: TimeSeriesStore,
 }
 
 /// Shared handle to one telemetry store.
@@ -122,6 +127,7 @@ impl Registry {
                 spans: Spans::default(),
                 metrics: Metrics::default(),
                 recorder: Recorder::new(cap),
+                series: TimeSeriesStore::default(),
             }))),
         }
     }
@@ -151,7 +157,9 @@ impl Registry {
 
     /// Attach a `key = value` field to an open (or closed) span.
     pub fn span_note(&self, id: SpanId, key: &str, value: impl Into<FieldValue>) {
-        if id == SpanId::NONE {
+        // Check both gates before `into()`: converting a `&str` allocates,
+        // and the disabled fast path must stay allocation-free.
+        if id == SpanId::NONE || self.inner.is_none() {
             return;
         }
         let value = value.into();
@@ -226,10 +234,46 @@ impl Registry {
         self.with_inner(|i| i.metrics.merge_from(&theirs));
     }
 
+    // ---- time-series ----------------------------------------------------
+
+    /// Switch on windowed time-series collection with sim-time buckets of
+    /// `bucket_ns`. Until this is called every `series_*` call is a no-op,
+    /// so exports stay byte-identical for callers that never opt in.
+    pub fn enable_timeseries(&self, bucket_ns: u64) {
+        self.with_inner(|i| i.series.enable(bucket_ns));
+    }
+
+    /// The configured time-series bucket width, if collection is on.
+    pub fn timeseries_bucket_ns(&self) -> Option<u64> {
+        self.with_inner(|i| i.series.bucket_ns()).flatten()
+    }
+
+    /// Add `delta` to the delta series `name{labels}` in the bucket
+    /// containing sim-time `now_ns` (bytes moved, requests served, ...).
+    pub fn series_add(&self, name: &str, labels: &[(&str, &str)], now_ns: u64, delta: u64) {
+        self.with_inner(|i| i.series.add(name, labels, now_ns, delta));
+    }
+
+    /// Set the level series `name{labels}` for the bucket containing
+    /// sim-time `now_ns` (queue depth, breaker state, ...); the last write
+    /// in a bucket wins and levels carry forward across empty buckets.
+    pub fn series_set(&self, name: &str, labels: &[(&str, &str)], now_ns: u64, value: i64) {
+        self.with_inner(|i| i.series.set(name, labels, now_ns, value));
+    }
+
+    /// Snapshot of every collected time-series, sorted by (name, labels).
+    pub fn timeseries_snapshot(&self) -> Vec<TimeSeries> {
+        self.with_inner(|i| i.series.snapshot()).unwrap_or_default()
+    }
+
     // ---- flight recorder ------------------------------------------------
 
     /// Append an event to the ring-buffer flight recorder.
     pub fn record(&self, now_ns: u64, kind: &str, detail: impl Into<FieldValue>) {
+        // Gate before `into()`: the disabled fast path must not allocate.
+        if self.inner.is_none() {
+            return;
+        }
         let detail = detail.into();
         self.with_inner(|i| i.recorder.push(now_ns, kind, detail));
     }
@@ -274,9 +318,33 @@ mod tests {
         reg.counter_add("c", &[], 3);
         reg.observe("h", &[], 9);
         reg.record(0, "e", "detail");
+        reg.enable_timeseries(1_000);
+        reg.series_add("s", &[], 0, 1);
+        reg.series_set("g", &[], 0, 1);
         assert!(reg.export_json_lines().is_empty());
         assert!(reg.summary().is_empty());
         assert!(reg.spans().is_empty());
+        assert!(reg.timeseries_snapshot().is_empty());
+        assert_eq!(reg.timeseries_bucket_ns(), None);
+    }
+
+    #[test]
+    fn timeseries_export_and_opt_in() {
+        let reg = Registry::new();
+        reg.series_add("early", &[], 5, 1);
+        assert!(reg.timeseries_snapshot().is_empty(), "no collection before opt-in");
+        reg.enable_timeseries(1_000);
+        reg.series_add("link_bytes", &[("link", "cern-lyon")], 100, 64);
+        reg.series_add("link_bytes", &[("link", "cern-lyon")], 1_500, 32);
+        reg.series_set("queue_depth", &[("site", "lyon")], 2_100, 4);
+        let snap = reg.timeseries_snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].points, vec![(0, 64), (1, 32)]);
+        let dump = reg.export_json_lines();
+        assert!(dump.contains(r#""record":"timeseries""#));
+        assert!(dump.contains(r#""kind":"delta""#));
+        assert!(dump.contains(r#""kind":"level""#));
+        assert!(dump.contains(r#""buckets":[0,1]"#));
     }
 
     #[test]

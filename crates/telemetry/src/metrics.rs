@@ -240,6 +240,67 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_edges() {
+        let h = Histogram::new(&[10, 100]);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile_bound(0.0), 0);
+        assert_eq!(h.quantile_bound(0.5), 0);
+        assert_eq!(h.quantile_bound(1.0), 0);
+    }
+
+    #[test]
+    fn single_bucket_histogram_edges() {
+        let mut h = Histogram::new(&[10]);
+        h.observe(7);
+        assert_eq!(h.mean(), 7.0);
+        assert_eq!(h.quantile_bound(0.0), 10);
+        assert_eq!(h.quantile_bound(1.0), 10);
+        // A second observation past the only bound overflows; the top
+        // quantile then reports the observed max, not a bucket bound.
+        h.observe(25);
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.quantile_bound(0.5), 10);
+        assert_eq!(h.quantile_bound(1.0), 25);
+        assert_eq!(h.mean(), 16.0);
+    }
+
+    #[test]
+    fn all_observations_beyond_last_bound() {
+        let mut h = Histogram::new(&[10, 100]);
+        for v in [200, 300, 400] {
+            h.observe(v);
+        }
+        assert_eq!(h.total, 3);
+        assert_eq!(h.overflow, 3);
+        assert_eq!(h.counts, vec![0, 0]);
+        // Every quantile falls through the (empty) buckets to max.
+        assert_eq!(h.quantile_bound(0.0), 400);
+        assert_eq!(h.quantile_bound(0.5), 400);
+        assert_eq!(h.quantile_bound(1.0), 400);
+        assert_eq!(h.min, 200);
+        assert_eq!(h.mean(), 300.0);
+    }
+
+    #[test]
+    fn quantile_extremes_and_out_of_range_q() {
+        let mut h = Histogram::new(&[1, 2, 3, 4]);
+        for v in [1, 2, 3, 4] {
+            h.observe(v);
+        }
+        // q=0.0 clamps to rank 1 (the smallest observation's bucket) and
+        // q=1.0 is rank n (the largest); out-of-range q clamps.
+        assert_eq!(h.quantile_bound(0.0), 1);
+        assert_eq!(h.quantile_bound(1.0), 4);
+        assert_eq!(h.quantile_bound(-3.0), 1);
+        assert_eq!(h.quantile_bound(7.5), 4);
+        // Rank boundaries: 0.25 is exactly the first observation.
+        assert_eq!(h.quantile_bound(0.25), 1);
+        assert_eq!(h.quantile_bound(0.26), 2);
+        assert_eq!(h.quantile_bound(0.75), 3);
+        assert_eq!(h.quantile_bound(0.76), 4);
+    }
+
+    #[test]
     fn merge_adds_counters_and_buckets() {
         let mut a = Metrics::default();
         let mut b = Metrics::default();

@@ -12,10 +12,23 @@ impl SpanId {
     pub const NONE: SpanId = SpanId(0);
 }
 
+/// Identifier of the causal tree a span belongs to. A trace is rooted at a
+/// parentless span; the trace id is that root's [`SpanId`] value, so every
+/// span reachable from one `Grid::replicate` (selection, per-chunk
+/// transfers, backoff waits, gridftp segments) carries the same trace id
+/// and a whole tree can be selected with one equality filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    pub const NONE: TraceId = TraceId(0);
+}
+
 /// One completed (or still-open) span.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpanRecord {
     pub id: SpanId,
+    pub trace: TraceId,
     pub parent: Option<SpanId>,
     pub name: String,
     pub start_ns: u64,
@@ -41,9 +54,18 @@ pub(crate) struct Spans {
 impl Spans {
     pub(crate) fn start(&mut self, name: &str, now_ns: u64) -> SpanId {
         let id = SpanId(self.records.len() as u64 + 1);
+        let parent = self.open.last().copied();
+        // A root span opens a fresh trace named after itself; children
+        // inherit the parent's trace, so membership is decided once at
+        // creation and never needs a later walk.
+        let trace = match parent {
+            Some(p) => self.records[p.0 as usize - 1].trace,
+            None => TraceId(id.0),
+        };
         self.records.push(SpanRecord {
             id,
-            parent: self.open.last().copied(),
+            trace,
+            parent,
             name: name.to_string(),
             start_ns: now_ns,
             end_ns: None,
@@ -103,6 +125,20 @@ mod tests {
         assert_eq!(spans.records[c.0 as usize - 1].parent, None);
         spans.end(c, 5);
         assert!(spans.open.is_empty());
+    }
+
+    #[test]
+    fn trace_ids_root_at_parentless_spans() {
+        let mut spans = Spans::default();
+        let a = spans.start("a", 0);
+        let b = spans.start("b", 1);
+        spans.end(b, 2);
+        spans.end(a, 3);
+        let c = spans.start("c", 4);
+        spans.end(c, 5);
+        assert_eq!(spans.records[0].trace, TraceId(a.0));
+        assert_eq!(spans.records[1].trace, TraceId(a.0), "child inherits the root's trace");
+        assert_eq!(spans.records[2].trace, TraceId(c.0), "new root opens a new trace");
     }
 
     #[test]

@@ -142,6 +142,9 @@ pub fn run_fetch(spec: &FetchSpec) -> FetchOutcome {
     }
     let mut grid = builder.build();
     let reg = grid.telemetry().clone();
+    // Sim-time time-series at 500 ms buckets: per-link utilisation and
+    // fetch throughput over the measured window, for `figures timeline`.
+    reg.enable_timeseries(SimDuration::from_millis(500).nanos());
 
     // Seed: publish at cern, pre-replicate to the other two sources over
     // the fast paths, then park the clock at exactly t0.

@@ -11,10 +11,13 @@
 //! * [`soak`] — seeded chaos soak: replication under crashes, link cuts,
 //!   and partitions, checked against grid-wide invariants;
 //! * [`fetch`] — the multi-source fetch scenario: striped pulls over
-//!   asymmetric WAN paths, with and without a mid-transfer source crash.
+//!   asymmetric WAN paths, with and without a mid-transfer source crash;
+//! * [`observe`] — grid-level time-series sampling (tape staging backlog,
+//!   replica disk-hit rate) for the scenario drivers.
 
 pub mod cascade;
 pub mod fetch;
+pub mod observe;
 pub mod population;
 pub mod soak;
 pub mod transfer;

@@ -1,0 +1,47 @@
+//! Grid-level time-series sampling: level gauges that only the workload
+//! driver can see (they need a sweep over every site), recorded against
+//! the grid's sim clock. A no-op unless the registry has time-series
+//! enabled, so callers sprinkle samples freely.
+
+use gdmp::Grid;
+use gdmp_telemetry::Registry;
+
+/// Sample the per-site tape staging backlog (files archived on tape but
+/// not disk-resident) and the grid-wide replica disk-hit rate (per mille
+/// of HRM requests served from the disk pool) into `reg`'s time-series.
+pub fn sample_grid_series(grid: &Grid, reg: &Registry) {
+    let now_ns = grid.now().nanos();
+    let mut names = grid.site_names();
+    names.sort();
+    for name in &names {
+        let site = grid.site(name).expect("listed site exists");
+        let backlog = site.storage.stage_backlog() as i64;
+        reg.series_set("tape_stage_backlog", &[("site", name)], now_ns, backlog);
+    }
+    let disk = reg.counter_value("hrm_requests", &[("residence", "disk")]);
+    let tape = reg.counter_value("hrm_requests", &[("residence", "tape")]);
+    if let Some(hit_rate) = (disk * 1000).checked_div(disk + tape) {
+        reg.series_set("replica_disk_hit_pm", &[], now_ns, hit_rate as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdmp::SiteConfig;
+    use gdmp_simnet::time::SimDuration;
+
+    #[test]
+    fn sampling_is_inert_until_timeseries_enabled() {
+        let mut g = Grid::new("obs");
+        g.add_site(SiteConfig::named("cern", "cern.ch", 1));
+        let reg = Registry::new();
+        sample_grid_series(&g, &reg);
+        assert!(reg.timeseries_snapshot().is_empty());
+
+        reg.enable_timeseries(SimDuration::from_secs(1).nanos());
+        sample_grid_series(&g, &reg);
+        let series = reg.timeseries_snapshot();
+        assert!(series.iter().any(|s| s.name == "tape_stage_backlog"));
+    }
+}

@@ -96,6 +96,10 @@ impl Population {
         for f in &files {
             grid.publish_database(site, f)?;
         }
+        // Sample the post-publication storage state (staging backlog, hit
+        // rate) into any enabled time-series.
+        let reg = grid.telemetry().clone();
+        crate::observe::sample_grid_series(grid, &reg);
         Ok(files)
     }
 

@@ -95,6 +95,9 @@ fn site_name(i: usize) -> String {
 pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
     let names: Vec<String> = (0..spec.sites).map(site_name).collect();
     let reg = Registry::with_recorder_capacity(8192);
+    // Coarse sim-time series over the whole soak: staging backlog and
+    // disk-hit rate per round (the round gap is 30 s, so 30 s buckets).
+    reg.enable_timeseries(SimDuration::from_secs(30).nanos());
     // Retry hygiene under test: backoff with deterministic jitter plus a
     // per-source circuit breaker.
     let jitter_seed = match spec.chaos {
@@ -155,6 +158,7 @@ pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
             let reports = grid.replicate_pending(name).expect("only retryable failures deferred");
             replicated += reports.len();
         }
+        crate::observe::sample_grid_series(&grid, &reg);
         grid.advance(spec.round_gap);
     }
 
@@ -173,6 +177,7 @@ pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
             replicated += reports.len();
         }
         grid.advance(SimDuration::from_secs(30));
+        crate::observe::sample_grid_series(&grid, &reg);
         let quiescent = grid.chaos_state().pending_restarts() == 0
             && names.iter().all(|n| {
                 let s = grid.site(n).expect("site exists");
