@@ -2,7 +2,8 @@
 # Local CI gate. The registry is offline (vendored shims via [patch.crates-io]),
 # so every cargo invocation runs with --offline.
 #
-#   ./ci.sh                fmt + clippy + build + test + benches compile
+#   ./ci.sh                fmt + clippy + build + test + benches compile +
+#                          the parallel-engine determinism smoke
 #   ./ci.sh --bench-smoke  additionally run the simnet perf baseline once,
 #                          regenerating BENCH_simnet.json
 #   ./ci.sh --chaos-smoke  additionally run the seeded chaos convergence
@@ -13,6 +14,11 @@
 #                          striped fetch must yield connected span trees
 #                          whose critical path partitions the latency, with
 #                          byte-identical same-seed exports
+#   ./ci.sh --par-smoke    the sharded-engine determinism smoke alone is
+#                          named here for discoverability; it is part of
+#                          the default gate (release build, < 10 s): the
+#                          fan-out scenario and the fixed-seed simnet
+#                          suites must be byte-identical on 2+ workers
 #   ./ci.sh --bench-compare  additionally diff the deterministic bench
 #                          metrics against the committed BENCH_fetch.json /
 #                          BENCH_simnet.json baselines; fails on drift.
@@ -29,6 +35,7 @@ chaos_smoke=0
 fetch_smoke=0
 trace_smoke=0
 bench_compare=0
+par_smoke=1 # part of the default gate; the flag exists to name it
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
@@ -36,6 +43,7 @@ for arg in "$@"; do
     --fetch-smoke) fetch_smoke=1 ;;
     --trace-smoke) trace_smoke=1 ;;
     --bench-compare) bench_compare=1 ;;
+    --par-smoke) par_smoke=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -57,6 +65,12 @@ cargo bench --offline --workspace --no-run
 
 echo "==> cargo doc -D warnings"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps --quiet
+
+if [[ "$par_smoke" == 1 ]]; then
+  echo "==> par smoke: sharded engine byte-identical on 2+ workers"
+  cargo test --offline -q --release -p gdmp-simnet --test par_determinism
+  cargo test --offline -q --release -p gdmp-workloads --lib fanout::
+fi
 
 if [[ "$bench_smoke" == 1 ]]; then
   echo "==> bench smoke: simnet perf baseline"

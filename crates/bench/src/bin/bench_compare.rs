@@ -29,6 +29,9 @@ fn report(what: &str, gate: &Gate) -> bool {
             println!("  - {v}");
         }
     }
+    for s in &gate.skipped {
+        println!("  skipped: {s}");
+    }
     gate.passed()
 }
 
@@ -37,8 +40,8 @@ fn main() -> ExitCode {
     let dir = Path::new(&dir);
     let tol = Tolerances::from_env();
     println!(
-        "tolerances: mbps {}% events {}% speedup {}% delta ±{} pp",
-        tol.mbps_pct, tol.events_pct, tol.speedup_pct, tol.delta_abs
+        "tolerances: mbps {}% events {}% speedup {}% delta ±{} pp scaling {}%",
+        tol.mbps_pct, tol.events_pct, tol.speedup_pct, tol.delta_abs, tol.scaling_pct
     );
 
     let mut ok = true;

@@ -19,7 +19,7 @@ use gdmp_bench::figures::fig_sweep_on;
 use gdmp_bench::parallel::default_workers;
 use gdmp_gridftp::sim::WanProfile;
 use gdmp_simnet::LinkSpec;
-use gdmp_workloads::{FigureSweep, MB};
+use gdmp_workloads::{run_fanout, FanoutSpec, FigureSweep, MB};
 
 /// Wall time of the pre-fast-forward simulator (commit 85d795a) running the
 /// full Figure 5 + Figure 6 sweeps serially on the reference host, measured
@@ -64,6 +64,31 @@ struct Sweep {
     max_throughput_delta_pct: f64,
 }
 
+/// One worker count of the sharded-engine scaling sweep. Only `workers`
+/// is deterministic; wall time and events/sec move with the host (and are
+/// excluded from the regression gate — the baseline's `host_cores` records
+/// how much parallelism the numbers could even express).
+#[derive(serde::Serialize)]
+struct ScalingPoint {
+    workers: usize,
+    wall_ms: f64,
+    events_per_sec: u64,
+}
+
+/// The `fanout` scenario run packet-exact at 1/2/4/8 engine workers. The
+/// event count is identical at every worker count (the byte-identity
+/// contract of the sharded engine); the speedup is events/sec at the best
+/// worker count over events/sec serial.
+#[derive(serde::Serialize)]
+struct Scaling {
+    scenario: &'static str,
+    sites: u32,
+    bytes_per_site: u64,
+    events_processed: u64,
+    points: Vec<ScalingPoint>,
+    speedup_at_max: f64,
+}
+
 #[derive(serde::Serialize)]
 struct Totals {
     wall_ms_exact: f64,
@@ -80,10 +105,15 @@ struct Totals {
 struct Baseline {
     schema: &'static str,
     workers: usize,
+    /// Cores available on the host that produced this baseline. The gate
+    /// skips the scaling comparison when either host has fewer cores than
+    /// the sweep's worker counts — the ratio cannot be expressed there.
+    host_cores: usize,
     /// Reference wall time of the seed simulator's serial figure sweeps.
     seed_sweep_ms: f64,
     scenarios: Vec<Scenario>,
     sweeps: Vec<Sweep>,
+    scaling: Scaling,
     totals: Totals,
 }
 
@@ -151,6 +181,39 @@ fn sweep(name: &'static str, grid: FigureSweep) -> Sweep {
     }
 }
 
+fn scaling_sweep() -> Scaling {
+    let spec = FanoutSpec::bench_default();
+    let mut points = Vec::new();
+    let mut events = 0u64;
+    let mut eps_serial = 0.0f64;
+    let mut eps_best = 0.0f64;
+    for workers in [1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        let run = run_fanout(&spec.with_workers(workers));
+        let wall = t0.elapsed();
+        let eps = run.events_processed as f64 / wall.as_secs_f64().max(1e-9);
+        if workers == 1 {
+            events = run.events_processed;
+            eps_serial = eps;
+        } else {
+            assert_eq!(
+                events, run.events_processed,
+                "sharded engine event count diverged at {workers} workers"
+            );
+        }
+        eps_best = eps_best.max(eps);
+        points.push(ScalingPoint { workers, wall_ms: ms(wall), events_per_sec: eps as u64 });
+    }
+    Scaling {
+        scenario: "fanout",
+        sites: spec.sites,
+        bytes_per_site: spec.bytes_per_site,
+        events_processed: events,
+        points,
+        speedup_at_max: (eps_best / eps_serial.max(1e-9) * 100.0).round() / 100.0,
+    }
+}
+
 fn main() {
     let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_simnet.json".into());
     let seed_ms = std::env::var("GDMP_SEED_SWEEP_MS")
@@ -172,17 +235,20 @@ fn main() {
         sweep("figure5_untuned", FigureSweep::figure5()),
         sweep("figure6_tuned", FigureSweep::figure6()),
     ];
+    let scaling = scaling_sweep();
     let wall_exact: f64 = scenarios.iter().map(|s| s.exact.wall_ms).sum::<f64>()
         + sweeps.iter().map(|s| s.wall_ms_exact).sum::<f64>();
     let wall_auto: f64 = scenarios.iter().map(|s| s.auto.wall_ms).sum::<f64>()
         + sweeps.iter().map(|s| s.wall_ms_auto).sum::<f64>();
     let sweep_auto: f64 = sweeps.iter().map(|s| s.wall_ms_auto).sum::<f64>();
     let baseline = Baseline {
-        schema: "gdmp-bench-simnet/1",
+        schema: "gdmp-bench-simnet/2",
         workers: default_workers(),
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
         seed_sweep_ms: seed_ms,
         scenarios,
         sweeps,
+        scaling,
         totals: Totals {
             wall_ms_exact: (wall_exact * 1e3).round() / 1e3,
             wall_ms_auto: (wall_auto * 1e3).round() / 1e3,
@@ -218,6 +284,20 @@ fn main() {
             s.max_throughput_delta_pct,
         );
     }
+    for p in &baseline.scaling.points {
+        println!(
+            "{:>16}: {} workers        {:>9.1} ms  {:>9} events/s  ({} events)",
+            baseline.scaling.scenario,
+            p.workers,
+            p.wall_ms,
+            p.events_per_sec,
+            baseline.scaling.events_processed,
+        );
+    }
+    println!(
+        "{:>16}: {:.2}x events/s at best worker count ({} host cores)",
+        "scaling", baseline.scaling.speedup_at_max, baseline.host_cores,
+    );
     println!(
         "{:>16}: exact {:.1} ms → auto {:.1} ms ({:.1}x; sweeps {:.1}x vs seed {:.0} ms; {} workers)",
         "total",

@@ -3,7 +3,7 @@
 use gdmp_gridftp::sim::WanProfile;
 use gdmp_workloads::FigureSweep;
 
-use crate::parallel::{default_workers, par_map};
+use crate::parallel::{par_map, workers_for};
 
 /// One data point of a throughput figure.
 #[derive(Debug, Clone, Copy, serde::Serialize)]
@@ -25,10 +25,12 @@ pub fn fig_sweep(sweep: &FigureSweep) -> Vec<FigRow> {
 }
 
 /// [`fig_sweep`] against an explicit profile (e.g. [`WanProfile::exact`]
-/// for a packet-level reference run).
+/// for a packet-level reference run). Sweep parallelism is divided by the
+/// profile's engine worker count so scenario threads × event-loop threads
+/// never oversubscribe the machine.
 pub fn fig_sweep_on(sweep: &FigureSweep, profile: WanProfile) -> Vec<FigRow> {
     let points: Vec<(u64, u32)> = sweep.points().collect();
-    par_map(&points, default_workers(), |&(file_bytes, streams)| {
+    par_map(&points, workers_for(profile.workers), |&(file_bytes, streams)| {
         let r = profile.simulate_transfer(file_bytes, streams, sweep.buffer);
         FigRow {
             file_bytes,

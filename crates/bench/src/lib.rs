@@ -13,7 +13,7 @@ pub mod timeline;
 
 pub use compare::{compare_fetch, compare_simnet, Gate, Tolerances};
 pub use figures::{fig_sweep, fig_sweep_on, FigRow};
-pub use parallel::{default_workers, par_map};
+pub use parallel::{default_workers, par_map, workers_for};
 pub use report::{Cell, Report};
 pub use tables::{
     buffer_sweep, motivation_table, objcost_table, objrep_table, staging_table, stripe_table,

@@ -34,6 +34,9 @@ pub struct WanProfile {
     pub control_rtts: u32,
     /// Fidelity mode of the underlying simulation (see [`FastForward`]).
     pub fast_forward: FastForward,
+    /// Event-loop worker threads for the underlying simulation (see
+    /// [`NetworkConfig::workers`]); results are identical for any value.
+    pub workers: usize,
 }
 
 impl WanProfile {
@@ -48,6 +51,7 @@ impl WanProfile {
             warmup: SimDuration::from_secs(5),
             control_rtts: 8,
             fast_forward: FastForward::Auto,
+            workers: 1,
         }
     }
 
@@ -62,12 +66,20 @@ impl WanProfile {
             warmup: SimDuration::ZERO,
             control_rtts: 8,
             fast_forward: FastForward::Auto,
+            workers: 1,
         }
     }
 
     /// Disable steady-state fast-forwarding: simulate every packet.
     pub fn exact(mut self) -> Self {
         self.fast_forward = FastForward::Off;
+        self
+    }
+
+    /// Run the underlying simulation on up to `workers` event-loop threads
+    /// (see [`NetworkConfig::workers`]); the results do not change.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
         self
     }
 
@@ -211,6 +223,7 @@ impl WanProfile {
         assert!(streams >= 1, "at least one stream");
         let mut net = Network::new(NetworkConfig {
             fast_forward: self.fast_forward,
+            workers: self.workers,
             ..NetworkConfig::default()
         });
         net.add_link(self.link);

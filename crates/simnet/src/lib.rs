@@ -34,8 +34,10 @@ pub mod network;
 pub mod packet;
 pub mod probe;
 pub mod queue;
+mod shard;
 pub mod tcp;
 pub mod time;
+mod wheel;
 
 pub use link::LinkSpec;
 pub use network::{FastForward, FlowResult, FlowSpec, Network, NetworkConfig, SessionResult};

@@ -5,18 +5,27 @@
 //! destination) assigned to one link. The forward path crosses the link's
 //! queue; the ACK path is pure delay. Running the network to completion
 //! yields per-flow and per-link statistics.
+//!
+//! The simulation state lives in one or more shard partitions (the private
+//! `shard` module).
+//! With [`NetworkConfig::workers`] at its default of 1 the event loop runs
+//! inline on the calling thread; with more workers the links are split into
+//! flow-interaction groups and each shard's loop runs on its own thread,
+//! synchronised conservatively so the results are byte-identical either way.
+
+use std::sync::Arc;
 
 use gdmp_telemetry::Registry;
 
 use crate::analytic::{fluid_epoch, FluidFlow, FluidLink};
-use crate::engine::EventQueue;
-use crate::link::{Link, LinkAction, LinkSpec};
-use crate::packet::{segments_for, wire, wire_bytes_for, FlowId, LinkId, Packet, Path};
+use crate::link::{Link, LinkSpec};
+use crate::packet::{segments_for, wire, wire_bytes_for, FlowId, LinkId, Path};
+use crate::shard::{self, Event, FlowState, ShardSim, Topo};
 use crate::tcp::{Ack, Receiver, Sender, SenderConfig};
 use crate::time::{SimDuration, SimTime};
 
 /// Specification of one TCP flow.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlowSpec {
     /// Payload bytes to transfer; `None` = unbounded background flow.
     pub bytes: Option<u64>,
@@ -85,7 +94,7 @@ impl FlowSpec {
 }
 
 /// Outcome of one completed (or still-running background) flow.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlowResult {
     pub spec: FlowSpec,
     /// When data transmission began (after the handshake).
@@ -138,6 +147,12 @@ pub struct NetworkConfig {
     pub max_sim_time: SimDuration,
     /// Steady-state fast-forwarding (see [`FastForward`]).
     pub fast_forward: FastForward,
+    /// Event-loop worker threads. With 1 (the default) the simulation runs
+    /// inline on the calling thread. With more, links are partitioned into
+    /// flow-interaction groups spread over up to this many shards, each
+    /// driven by its own thread under conservative-lookahead synchronisation;
+    /// every observable output is byte-identical to the single-thread run.
+    pub workers: usize,
 }
 
 impl Default for NetworkConfig {
@@ -147,6 +162,7 @@ impl Default for NetworkConfig {
             initial_cwnd: 2.0,
             max_sim_time: SimDuration::from_secs(3_600),
             fast_forward: FastForward::Auto,
+            workers: 1,
         }
     }
 }
@@ -175,6 +191,12 @@ impl NetworkConfig {
         self.fast_forward = mode;
         self
     }
+
+    /// Event-loop worker threads (see [`NetworkConfig::workers`]).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
 }
 
 /// Frames of drop-tail headroom a link must keep below its queue capacity
@@ -184,99 +206,63 @@ impl NetworkConfig {
 /// transients really do overflow) stay packet-level.
 const FIT_MARGIN_FRAMES: usize = 4;
 
-#[derive(Debug)]
-enum Event {
-    /// Connection handshake complete; sender may begin.
-    FlowStart(FlowId),
-    /// A packet finished serializing on `link`. On the final hop this also
-    /// delivers the segment: the receiver's ACK is computed here and
-    /// scheduled to arrive after the remaining data propagation plus the
-    /// full return path, which folds what used to be a separate
-    /// `DataArrival` event into this one.
-    TxDone { link: LinkId, packet: Packet },
-    /// A packet propagated to the next hop of its path.
-    HopArrival(Packet),
-    /// An ACK reached the sender.
-    AckArrival { flow: FlowId, ack: Ack },
-    /// Retransmission timer.
-    Rto { flow: FlowId, gen: u64 },
+/// Fast-forward bookkeeping, global across shards (quiescence and epoch
+/// decisions always consider the whole network).
+pub(crate) struct FfState {
+    /// Next time the (throttled) quiescence check may run.
+    pub next_check: SimTime,
+    /// Since when the network has continuously looked quiescent.
+    pub quiescent_since: Option<SimTime>,
+    /// Min/max zero-load RTT over all flows, for check/settle pacing.
+    pub rtt_min: SimDuration,
+    pub rtt_max: SimDuration,
+    /// Number of analytically skipped epochs.
+    pub epochs: u64,
+    /// Events the fast-forward path avoided processing (estimated from the
+    /// per-segment event cost of each skipped segment).
+    pub skipped: u64,
 }
 
-struct Flow {
-    spec: FlowSpec,
-    sender: Sender,
-    receiver: Receiver,
-    total_bytes: Option<u64>,
-    /// When the `FlowStart` event fires (open + handshake).
-    start_at: SimTime,
-    /// Zero-load RTT of the path: propagation ×2 plus one full-frame
-    /// serialization per hop.
-    base_rtt: SimDuration,
-    /// Earliest `Rto` event currently sitting in the event queue, if any.
-    /// The timer deadline moves on every ACK; instead of scheduling a heap
-    /// event per re-arm, the pending event is left in place and re-synced
-    /// (against the sender's real deadline and generation) when it pops.
-    pending_rto: Option<SimTime>,
-    /// Still counted in [`Network::incomplete_finite`].
-    counted_incomplete: bool,
+impl FfState {
+    fn new() -> FfState {
+        FfState {
+            next_check: SimTime::ZERO,
+            quiescent_since: None,
+            rtt_min: SimDuration(u64::MAX),
+            rtt_max: SimDuration::ZERO,
+            epochs: 0,
+            skipped: 0,
+        }
+    }
 }
 
 /// The assembled simulation.
 pub struct Network {
     cfg: NetworkConfig,
-    links: Vec<Link>,
-    flows: Vec<Flow>,
-    queue: EventQueue<Event>,
-    /// Finite flows that have not finished yet; the run loop stops at 0.
-    incomplete_finite: usize,
-    /// Optional per-flow congestion-window trace (time, cwnd), indexed by
-    /// `FlowId`.
-    cwnd_traces: Option<Vec<Vec<(SimTime, f64)>>>,
-    /// Optional per-flow progress trace (time, cumulative bytes acked),
-    /// indexed by `FlowId`. Samples are monotone in both coordinates; a
-    /// fast-forwarded epoch contributes one sample at the epoch end, so
-    /// linear interpolation between samples stays meaningful.
-    progress_traces: Option<Vec<Vec<(SimTime, u64)>>>,
-    /// Events the fast-forward path avoided processing (estimated from the
-    /// per-segment event cost of each skipped segment).
-    events_skipped: u64,
-    /// Number of analytically skipped epochs.
-    ff_epochs: u64,
-    /// Next time the (throttled) quiescence check may run.
-    ff_next_check: SimTime,
-    /// Since when the network has continuously looked quiescent.
-    ff_quiescent_since: Option<SimTime>,
-    /// Min/max zero-load RTT over all flows, for check/settle pacing.
-    ff_rtt_min: SimDuration,
-    ff_rtt_max: SimDuration,
+    /// Before the first `run` there is exactly one (seed) shard holding
+    /// everything; `run` may split it by flow-interaction groups.
+    shards: Vec<ShardSim>,
+    partitioned: bool,
+    /// Optional explicit link→shard assignment overriding the automatic
+    /// grouping (testing/advanced use).
+    manual_partition: Option<Vec<usize>>,
+    ff: FfState,
     /// Telemetry sink (disabled by default); [`Network::run`] publishes
     /// per-link and per-flow statistics into it once on completion.
     telemetry: Registry,
     telemetry_published: bool,
-    /// Reusable transmit-instruction buffer: the per-ACK hot path writes
-    /// into it instead of allocating a fresh `Vec` per event.
-    tx_scratch: Vec<crate::tcp::Tx>,
 }
 
 impl Network {
     pub fn new(cfg: NetworkConfig) -> Self {
         Network {
             cfg,
-            links: Vec::new(),
-            flows: Vec::new(),
-            queue: EventQueue::new(),
-            incomplete_finite: 0,
-            cwnd_traces: None,
-            progress_traces: None,
-            events_skipped: 0,
-            ff_epochs: 0,
-            ff_next_check: SimTime::ZERO,
-            ff_quiescent_since: None,
-            ff_rtt_min: SimDuration(u64::MAX),
-            ff_rtt_max: SimDuration::ZERO,
+            shards: vec![ShardSim::seed()],
+            partitioned: false,
+            manual_partition: None,
+            ff: FfState::new(),
             telemetry: Registry::default(),
             telemetry_published: false,
-            tx_scratch: Vec::new(),
         }
     }
 
@@ -295,74 +281,103 @@ impl Network {
 
     /// Record congestion-window samples for every flow.
     pub fn enable_cwnd_trace(&mut self) {
-        self.cwnd_traces = Some(vec![Vec::new(); self.flows.len()]);
+        let seed = self.seed_mut("enable tracing");
+        seed.cwnd_traces = Some(vec![Vec::new(); seed.flows.len()]);
     }
 
     /// Record cumulative-bytes-acked samples for every flow (one per ACK
     /// arrival, plus one per fast-forwarded epoch boundary).
     pub fn enable_progress_trace(&mut self) {
-        self.progress_traces = Some(vec![Vec::new(); self.flows.len()]);
+        let seed = self.seed_mut("enable tracing");
+        seed.progress_traces = Some(vec![Vec::new(); seed.flows.len()]);
+    }
+
+    /// Override the automatic link partition: `assignment[i]` is the shard
+    /// for link `i`. Splitting a flow's path across shards is allowed (the
+    /// shards then exchange packets through cross-shard edges) as long as
+    /// every crossing has non-zero propagation. Must be called before `run`.
+    pub fn set_link_partition(&mut self, assignment: &[usize]) {
+        assert!(!self.partitioned, "cannot repartition after the network has run");
+        self.manual_partition = Some(assignment.to_vec());
+    }
+
+    fn seed_mut(&mut self, what: &str) -> &mut ShardSim {
+        assert!(!self.partitioned, "cannot {what} after the network has run with workers > 1");
+        &mut self.shards[0]
     }
 
     pub fn add_link(&mut self, spec: LinkSpec) -> LinkId {
-        self.links.push(Link::new(spec));
-        LinkId(self.links.len() - 1)
+        let seed = self.seed_mut("add links");
+        Arc::make_mut(&mut seed.topo).link_shard.push(0);
+        seed.links.push(Some(Link::new(spec)));
+        LinkId(seed.links.len() - 1)
     }
 
     pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
+        let initial_cwnd = self.cfg.initial_cwnd;
+        let min_rto = self.cfg.min_rto;
+        let seed = self.seed_mut("add flows");
         for hop in spec.path.iter() {
-            assert!(hop.0 < self.links.len(), "flow references unknown link {hop:?}");
+            assert!(hop.0 < seed.links.len(), "flow references unknown link {hop:?}");
         }
-        let id = FlowId(self.flows.len());
-        let segments = spec.bytes.map(crate::packet::segments_for);
+        let id = FlowId(seed.flows.len());
+        let segments = spec.bytes.map(segments_for);
         let rwnd = (spec.buffer_bytes / u64::from(wire::MSS)).max(1);
         let warm = spec.warm_cwnd.map(|c| c.clamp(1.0, rwnd as f64));
         let sender = Sender::new(SenderConfig {
             total_segments: segments,
             rwnd_segments: rwnd,
-            initial_cwnd: warm.unwrap_or(self.cfg.initial_cwnd),
+            initial_cwnd: warm.unwrap_or(initial_cwnd),
             initial_ssthresh: warm.unwrap_or(f64::INFINITY),
-            min_rto: self.cfg.min_rto,
+            min_rto,
         });
+        let link_spec = |l: LinkId| seed.links[l.0].as_ref().expect("seed owns all links").spec;
         let base_rtt = spec
             .path
             .iter()
             .map(|l| {
-                let s = self.links[l.0].spec;
+                let s = link_spec(l);
                 s.propagation * 2
                     + SimDuration::serialization(u64::from(wire::FULL_FRAME), s.rate_bps)
             })
             .fold(SimDuration::ZERO, |a, b| a + b);
-        self.ff_rtt_min = self.ff_rtt_min.min(base_rtt);
-        self.ff_rtt_max = self.ff_rtt_max.max(base_rtt);
+        let prop = spec
+            .path
+            .iter()
+            .map(|l| link_spec(l).propagation)
+            .fold(SimDuration::ZERO, |a, b| a + b);
         // Handshake: SYN + SYN/ACK cross the propagation path once each
         // before the first data segment (data rides the third segment).
         // Warm flows ride an established connection and skip it.
-        let start_at = if spec.warm_cwnd.is_some() {
-            spec.open_at
-        } else {
-            spec.open_at + self.path_propagation(&spec) * 2
-        };
+        let start_at =
+            if spec.warm_cwnd.is_some() { spec.open_at } else { spec.open_at + prop * 2 };
         if spec.bytes.is_some() {
-            self.incomplete_finite += 1;
+            seed.incomplete_finite += 1;
         }
-        self.flows.push(Flow {
+        let topo = Arc::make_mut(&mut seed.topo);
+        topo.path.push(spec.path);
+        topo.path_prop.push(prop);
+        topo.flow_shard.push(0);
+        topo.recv_shard.push(0);
+        seed.flows.push(Some(FlowState {
             spec,
             sender,
-            receiver: Receiver::new(),
             total_bytes: spec.bytes,
             start_at,
             base_rtt,
             pending_rto: None,
             counted_incomplete: spec.bytes.is_some(),
-        });
-        if let Some(traces) = &mut self.cwnd_traces {
+        }));
+        seed.receivers.push(Some(Receiver::new()));
+        if let Some(traces) = &mut seed.cwnd_traces {
             traces.push(Vec::new());
         }
-        if let Some(traces) = &mut self.progress_traces {
+        if let Some(traces) = &mut seed.progress_traces {
             traces.push(Vec::new());
         }
-        self.queue.schedule(start_at, Event::FlowStart(id));
+        self.ff.rtt_min = self.ff.rtt_min.min(base_rtt);
+        self.ff.rtt_max = self.ff.rtt_max.max(base_rtt);
+        self.shards[0].queue.schedule(start_at, Event::FlowStart(id));
         id
     }
 
@@ -370,20 +385,25 @@ impl Network {
     /// configured time limit is hit). Returns per-flow results.
     pub fn run(&mut self) -> Vec<FlowResult> {
         let deadline = SimTime::ZERO + self.cfg.max_sim_time;
-        while let Some((now, event)) = self.queue.pop() {
-            if now > deadline {
-                break;
-            }
-            self.dispatch(now, event);
-            if self.incomplete_finite == 0 {
-                break;
-            }
-            if self.cfg.fast_forward == FastForward::Auto && now >= self.ff_next_check {
-                self.maybe_fast_forward(now, deadline);
-            }
+        if !self.partitioned && (self.cfg.workers > 1 || self.manual_partition.is_some()) {
+            self.partitioned = true;
+            let seed = self.shards.pop().expect("seed shard present");
+            self.shards =
+                shard::partition(seed, self.cfg.workers, self.manual_partition.as_deref());
+        }
+        if self.shards.len() == 1 {
+            let Network { cfg, shards, ff, .. } = self;
+            run_single(cfg, ff, &mut shards[0], deadline);
+        } else {
+            let shards = std::mem::take(&mut self.shards);
+            self.shards = shard::run_parallel(&self.cfg, shards, &mut self.ff, deadline);
         }
         self.publish_telemetry();
         self.results()
+    }
+
+    fn topo(&self) -> &Arc<Topo> {
+        &self.shards[0].topo
     }
 
     /// Publish link and flow statistics into the attached registry.
@@ -393,8 +413,12 @@ impl Network {
             return;
         }
         self.telemetry_published = true;
-        let now = self.queue.now().nanos();
-        for (i, link) in self.links.iter().enumerate() {
+        let topo = Arc::clone(self.topo());
+        let now = self.shards.iter().map(|s| s.queue.now()).max().unwrap_or(SimTime::ZERO).nanos();
+        for i in 0..topo.link_shard.len() {
+            let link = self.shards[topo.link_shard[i] as usize].links[i]
+                .as_ref()
+                .expect("link on owning shard");
             let id = i.to_string();
             let labels = [("link", id.as_str())];
             self.telemetry.counter_add(
@@ -422,7 +446,10 @@ impl Network {
                 );
             }
         }
-        for flow in &self.flows {
+        for i in 0..topo.path.len() {
+            let flow = self.shards[topo.flow_shard[i] as usize].flows[i]
+                .as_ref()
+                .expect("flow on owning shard");
             let kind = if flow.total_bytes.is_some() { "transfer" } else { "background" };
             let labels = [("kind", kind)];
             self.telemetry.counter_add(
@@ -437,164 +464,19 @@ impl Network {
                 flow.sender.stats.fast_retransmits,
             );
         }
-        self.telemetry.counter_add("simnet_events_processed", &[], self.queue.processed());
-        self.telemetry.counter_add("simnet_events_skipped", &[], self.events_skipped);
-        self.telemetry.counter_add("simnet_fastforward_epochs", &[], self.ff_epochs);
-    }
-
-    /// Keep [`Network::incomplete_finite`] in step with the sender's state;
-    /// call after any operation that can complete a flow.
-    fn note_completion(&mut self, fid: FlowId) {
-        let flow = &mut self.flows[fid.0];
-        if flow.counted_incomplete
-            && flow.sender.is_complete()
-            && flow.sender.finished_at().is_some()
-        {
-            flow.counted_incomplete = false;
-            self.incomplete_finite -= 1;
-        }
-    }
-
-    fn dispatch(&mut self, now: SimTime, event: Event) {
-        match event {
-            Event::FlowStart(fid) => {
-                let txs = self.flows[fid.0].sender.on_start(now);
-                self.transmit(fid, &txs, now);
-                self.sync_timer(fid);
-                self.note_completion(fid);
-            }
-            Event::TxDone { link, packet } => {
-                let prop = self.links[link.0].spec.propagation;
-                let path = self.flows[packet.flow.0].spec.path;
-                if usize::from(packet.hop) + 1 < path.len() {
-                    // More hops: propagate to the next router's queue.
-                    let mut next = packet;
-                    next.hop += 1;
-                    self.queue.schedule(now + prop, Event::HopArrival(next));
-                } else {
-                    // Final hop: deliver to the receiver here. The receiver
-                    // is touched only by this flow's packets and links are
-                    // FIFO, so computing the ACK at serialization time is
-                    // order-equivalent to a separate arrival event one
-                    // propagation later; the ACK still reaches the sender
-                    // after the remaining data propagation plus the full
-                    // return path.
-                    let fid = packet.flow;
-                    let ack = self.flows[fid.0].receiver.on_segment(
-                        packet.seq,
-                        packet.sent_at,
-                        packet.retransmit,
-                    );
-                    let back = prop + self.path_propagation(&self.flows[fid.0].spec);
-                    self.queue.schedule(now + back, Event::AckArrival { flow: fid, ack });
-                }
-                if let LinkAction::StartTx { packet, done } = self.links[link.0].tx_complete(now) {
-                    self.queue.schedule(done, Event::TxDone { link, packet });
-                }
-            }
-            Event::HopArrival(pkt) => {
-                let link_id = self.flows[pkt.flow.0].spec.path.hop(usize::from(pkt.hop));
-                if let LinkAction::StartTx { packet, done } = self.links[link_id.0].offer(pkt, now)
-                {
-                    self.queue.schedule(done, Event::TxDone { link: link_id, packet });
-                }
-            }
-            Event::AckArrival { flow, ack } => {
-                let mut txs = std::mem::take(&mut self.tx_scratch);
-                self.flows[flow.0].sender.on_ack_into(ack, now, &mut txs);
-                self.transmit(flow, &txs, now);
-                self.tx_scratch = txs;
-                self.sync_timer(flow);
-                self.trace_cwnd(flow, now);
-                self.trace_progress(flow, now);
-                self.note_completion(flow);
-            }
-            Event::Rto { flow, gen } => {
-                if self.flows[flow.0].pending_rto == Some(now) {
-                    self.flows[flow.0].pending_rto = None;
-                }
-                let txs = self.flows[flow.0].sender.on_rto(gen, now);
-                self.transmit(flow, &txs, now);
-                self.sync_timer(flow);
-                if !txs.is_empty() {
-                    self.trace_cwnd(flow, now);
-                }
-            }
-        }
-    }
-
-    /// Offer segments to the flow's link; drops are silent (the sender
-    /// discovers them through missing ACKs, as on a real drop-tail router).
-    fn transmit(&mut self, fid: FlowId, txs: &[crate::tcp::Tx], now: SimTime) {
-        if txs.is_empty() {
-            return;
-        }
-        let spec = self.flows[fid.0].spec;
-        let first = spec.path.hop(0);
-        for tx in txs {
-            let wire_bytes = match self.flows[fid.0].total_bytes {
-                Some(total) => wire_bytes_for(tx.seq, total),
-                None => wire::FULL_FRAME,
-            };
-            let pkt = Packet {
-                flow: fid,
-                seq: tx.seq,
-                wire_bytes,
-                retransmit: tx.retransmit,
-                enqueued_at: now,
-                sent_at: now,
-                hop: 0,
-            };
-            if let LinkAction::StartTx { packet, done } = self.links[first.0].offer(pkt, now) {
-                self.queue.schedule(done, Event::TxDone { link: first, packet });
-            }
-        }
-    }
-
-    /// Lazily reconcile the event queue with the sender's retransmission
-    /// timer. The deadline moves on every ACK; instead of pushing one heap
-    /// event per re-arm, an `Rto` event is scheduled only when no pending
-    /// event covers the current deadline. A pending event that pops with a
-    /// stale generation is ignored by the sender and re-synced here, so
-    /// firing semantics are identical to eager re-scheduling at a fraction
-    /// of the event count.
-    fn sync_timer(&mut self, fid: FlowId) {
-        let flow = &mut self.flows[fid.0];
-        if let Some((deadline, gen)) = flow.sender.timer() {
-            let covered = flow.pending_rto.is_some_and(|p| p <= deadline);
-            if !covered {
-                flow.pending_rto = Some(deadline);
-                self.queue.schedule(deadline, Event::Rto { flow: fid, gen });
-            }
-        }
-    }
-
-    fn trace_cwnd(&mut self, fid: FlowId, now: SimTime) {
-        let cwnd = self.flows[fid.0].sender.cwnd();
-        if let Some(traces) = &mut self.cwnd_traces {
-            traces[fid.0].push((now, cwnd));
-        }
-    }
-
-    fn trace_progress(&mut self, fid: FlowId, now: SimTime) {
-        if self.progress_traces.is_none() {
-            return;
-        }
-        let f = &self.flows[fid.0];
-        let acked = f.sender.segments_acked() * u64::from(wire::MSS);
-        let bytes = match f.total_bytes {
-            Some(total) => total.min(acked),
-            None => acked,
-        };
-        if let Some(traces) = &mut self.progress_traces {
-            traces[fid.0].push((now, bytes));
-        }
+        let processed: u64 = self.shards.iter().map(|s| s.queue.processed()).sum();
+        self.telemetry.counter_add("simnet_events_processed", &[], processed);
+        self.telemetry.counter_add("simnet_events_skipped", &[], self.ff.skipped);
+        self.telemetry.counter_add("simnet_fastforward_epochs", &[], self.ff.epochs);
     }
 
     pub fn results(&self) -> Vec<FlowResult> {
-        self.flows
-            .iter()
-            .map(|f| {
+        let topo = self.topo();
+        (0..topo.path.len())
+            .map(|i| {
+                let f = self.shards[topo.flow_shard[i] as usize].flows[i]
+                    .as_ref()
+                    .expect("flow on owning shard");
                 let acked_segments = f.sender.segments_acked();
                 let bytes_acked = match f.total_bytes {
                     Some(total) => total.min(acked_segments * u64::from(wire::MSS)),
@@ -615,270 +497,346 @@ impl Network {
     }
 
     pub fn link(&self, id: LinkId) -> &Link {
-        &self.links[id.0]
-    }
-
-    /// Total one-way propagation of a flow's path.
-    fn path_propagation(&self, spec: &FlowSpec) -> SimDuration {
-        spec.path
-            .iter()
-            .map(|l| self.links[l.0].spec.propagation)
-            .fold(SimDuration::ZERO, |a, b| a + b)
+        let topo = self.topo();
+        self.shards[topo.link_shard[id.0] as usize].links[id.0]
+            .as_ref()
+            .expect("link on owning shard")
     }
 
     pub fn now(&self) -> SimTime {
-        self.queue.now()
+        self.shards.iter().map(|s| s.queue.now()).max().unwrap_or(SimTime::ZERO)
     }
 
     pub fn events_processed(&self) -> u64 {
-        self.queue.processed()
+        self.shards.iter().map(|s| s.queue.processed()).sum()
+    }
+
+    /// Shards the last `run` executed on (1 until a multi-worker run).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Congestion-window trace of one flow, if tracing was enabled.
     pub fn cwnd_trace(&self, fid: FlowId) -> Option<&[(SimTime, f64)]> {
-        self.cwnd_traces.as_ref()?.get(fid.0).map(Vec::as_slice)
+        let owner = *self.topo().flow_shard.get(fid.0)? as usize;
+        self.shards[owner].cwnd_traces.as_ref()?.get(fid.0).map(Vec::as_slice)
     }
 
     /// Progress trace of one flow — `(time, cumulative bytes acked)`
     /// samples — if progress tracing was enabled.
     pub fn progress_trace(&self, fid: FlowId) -> Option<&[(SimTime, u64)]> {
-        self.progress_traces.as_ref()?.get(fid.0).map(Vec::as_slice)
+        let owner = *self.topo().flow_shard.get(fid.0)? as usize;
+        self.shards[owner].progress_traces.as_ref()?.get(fid.0).map(Vec::as_slice)
     }
 
     /// Events the fast-forward path avoided simulating.
     pub fn events_skipped(&self) -> u64 {
-        self.events_skipped
+        self.ff.skipped
     }
 
     /// Analytically skipped epochs.
     pub fn fastforward_epochs(&self) -> u64 {
-        self.ff_epochs
+        self.ff.epochs
     }
+}
 
-    /// Throttled quiescence check: runs at most every half of the smallest
-    /// zero-load RTT. An epoch is attempted only after the network has
-    /// looked quiescent continuously for two of the largest RTTs, so every
-    /// transient (slow start, recovery, queue drain) settles at packet
-    /// level before the analytic model takes over.
-    fn maybe_fast_forward(&mut self, now: SimTime, deadline: SimTime) {
-        self.ff_next_check = now + self.ff_rtt_min / 2;
-        if !self.ff_eligible() {
-            self.ff_quiescent_since = None;
-            return;
+/// The sequential event loop (workers = 1): pop, dispatch, check completion,
+/// maybe fast-forward — the reference the parallel runtime reproduces.
+fn run_single(cfg: &NetworkConfig, ff: &mut FfState, sh: &mut ShardSim, deadline: SimTime) {
+    let auto = cfg.fast_forward == FastForward::Auto;
+    while let Some((now, event)) = sh.queue.pop() {
+        if now > deadline {
+            break;
         }
-        let settle = self.ff_rtt_max * 2;
-        match self.ff_quiescent_since {
-            None => self.ff_quiescent_since = Some(now),
-            Some(since) if now.since(since) >= settle => {
-                if self.fast_forward_epoch(now, deadline) {
-                    self.ff_quiescent_since = None;
-                } else {
-                    // Too close to a boundary to be worth skipping; back off
-                    // so the fluid model is not re-run every check.
-                    self.ff_next_check = now + settle;
-                }
-            }
-            Some(_) => {}
+        sh.dispatch(now, event, None);
+        if sh.incomplete_finite == 0 {
+            break;
+        }
+        if auto && now >= ff.next_check {
+            let topo = Arc::clone(&sh.topo);
+            let mut refs = [&mut *sh];
+            maybe_fast_forward(cfg, ff, &topo, &mut refs, None, now, deadline);
         }
     }
+}
 
-    /// Whether the network as a whole is in a provably lossless steady
-    /// state. Two conditions:
-    ///
-    /// * **Static fit** — on every link, even if every incomplete flow
-    ///   pinned its window at the receive limit, the standing queue would
-    ///   stay [`FIT_MARGIN_FRAMES`] below the drop-tail capacity. Since
-    ///   `cwnd ≤ rwnd` always, no future drop is possible while demand is
-    ///   unchanged.
-    /// * **Per-flow quiescence** — every started flow is in the regime the
-    ///   closed-form model describes (see [`Sender::is_quiescent`]).
-    fn ff_eligible(&self) -> bool {
-        let mut any_active = false;
-        for f in &self.flows {
-            if f.sender.is_complete() || f.sender.started_at().is_none() {
-                continue;
+/// Throttled quiescence check: runs at most every half of the smallest
+/// zero-load RTT. An epoch is attempted only after the network has looked
+/// quiescent continuously for two of the largest RTTs, so every transient
+/// (slow start, recovery, queue drain) settles at packet level before the
+/// analytic model takes over.
+pub(crate) fn maybe_fast_forward(
+    _cfg: &NetworkConfig,
+    ff: &mut FfState,
+    topo: &Topo,
+    shards: &mut [&mut ShardSim],
+    edges: Option<&shard::EdgeSet>,
+    now: SimTime,
+    deadline: SimTime,
+) {
+    ff.next_check = now + ff.rtt_min / 2;
+    if !ff_eligible(topo, shards) {
+        ff.quiescent_since = None;
+        return;
+    }
+    let settle = ff.rtt_max * 2;
+    match ff.quiescent_since {
+        None => ff.quiescent_since = Some(now),
+        Some(since) if now.since(since) >= settle => {
+            if fast_forward_epoch(ff, topo, shards, edges, now, deadline) {
+                ff.quiescent_since = None;
+            } else {
+                // Too close to a boundary to be worth skipping; back off
+                // so the fluid model is not re-run every check.
+                ff.next_check = now + settle;
             }
-            if f.sender.rwnd_segments() < 2 || !f.sender.is_quiescent() {
-                return false;
-            }
-            any_active = true;
         }
-        if !any_active {
+        Some(_) => {}
+    }
+}
+
+/// Whether the network as a whole is in a provably lossless steady state.
+/// Two conditions:
+///
+/// * **Static fit** — on every link, even if every incomplete flow pinned
+///   its window at the receive limit, the standing queue would stay
+///   [`FIT_MARGIN_FRAMES`] below the drop-tail capacity. Since
+///   `cwnd ≤ rwnd` always, no future drop is possible while demand is
+///   unchanged.
+/// * **Per-flow quiescence** — every started flow is in the regime the
+///   closed-form model describes (see `Sender::is_quiescent`).
+fn ff_eligible(topo: &Topo, shards: &[&mut ShardSim]) -> bool {
+    let flow = |i: usize| {
+        shards[topo.flow_shard[i] as usize].flows[i].as_ref().expect("flow on owning shard")
+    };
+    let mut any_active = false;
+    for i in 0..topo.path.len() {
+        let f = flow(i);
+        if f.sender.is_complete() || f.sender.started_at().is_none() {
+            continue;
+        }
+        if f.sender.rwnd_segments() < 2 || !f.sender.is_quiescent() {
             return false;
         }
-        let frame = u64::from(wire::FULL_FRAME);
-        for (li, link) in self.links.iter().enumerate() {
-            let demand: u64 = self
-                .flows
-                .iter()
-                .filter(|f| !f.sender.is_complete())
-                .filter(|f| f.spec.path.iter().any(|h| h.0 == li))
-                .map(|f| f.sender.rwnd_segments().max(2))
-                .sum();
-            let headroom = link.spec.queue_capacity.saturating_sub(FIT_MARGIN_FRAMES) as u64;
-            if demand * frame > link.spec.bdp_bytes() + headroom * frame {
-                return false;
-            }
-        }
-        true
+        any_active = true;
     }
-
-    /// Skip one steady-state epoch analytically. Returns `false` (leaving
-    /// the simulation untouched) when the epoch would be too short to pay
-    /// for itself; otherwise advances the clock to the epoch end, credits
-    /// flows and links with the traffic the fluid model moved, and re-primes
-    /// the ack clock so packet-level simulation resumes seamlessly.
-    fn fast_forward_epoch(&mut self, now: SimTime, deadline: SimTime) -> bool {
-        // The epoch may not run past a pending flow admission: new demand is
-        // a discontinuity the packet-level loop must see.
-        let mut horizon_end = deadline;
-        for f in &self.flows {
-            if f.sender.started_at().is_none() {
-                horizon_end = horizon_end.min(f.start_at);
-            }
-        }
-        if horizon_end <= now {
-            return false;
-        }
-        let mut idx = Vec::new();
-        let mut fluid_flows = Vec::new();
-        for (i, f) in self.flows.iter().enumerate() {
-            if f.sender.is_complete() || f.sender.started_at().is_none() {
-                continue;
-            }
-            let pin = f.sender.rwnd_segments().max(2) as f64;
-            let cwnd = f.sender.cwnd();
-            let pinned = cwnd >= pin;
-            fluid_flows.push(FluidFlow {
-                // A pinned flow sends exactly its (integer) window per RTT;
-                // a climbing one is tracked continuously.
-                wnd: if pinned { f.sender.window_segments() as f64 } else { cwnd },
-                rwnd: pin,
-                growing: !pinned,
-                base_rtt: f.base_rtt.as_secs_f64(),
-                remaining: f.sender.remaining_segments(),
-                path: f.spec.path.iter().map(|l| l.0).collect(),
-            });
-            idx.push(i);
-        }
-        let links: Vec<FluidLink> = self
-            .links
-            .iter()
-            .map(|l| FluidLink {
-                rate_bps: l.spec.rate_bps as f64,
-                bdp_bytes: l.spec.bdp_bytes() as f64,
+    if !any_active {
+        return false;
+    }
+    let frame = u64::from(wire::FULL_FRAME);
+    for (li, &owner) in topo.link_shard.iter().enumerate() {
+        let link = shards[owner as usize].links[li].as_ref().expect("link on owning shard");
+        let demand: u64 = (0..topo.path.len())
+            .filter_map(|i| {
+                let f = flow(i);
+                let crosses = !f.sender.is_complete() && f.spec.path.iter().any(|h| h.0 == li);
+                crosses.then(|| f.sender.rwnd_segments().max(2))
             })
-            .collect();
-        let horizon = horizon_end.since(now).as_secs_f64();
-        let plan = fluid_epoch(&fluid_flows, &links, horizon);
-        if plan.duration < (self.ff_rtt_max * 8).as_secs_f64() {
+            .sum();
+        let headroom = link.spec.queue_capacity.saturating_sub(FIT_MARGIN_FRAMES) as u64;
+        if demand * frame > link.spec.bdp_bytes() + headroom * frame {
             return false;
         }
-        let t_end = (now + SimDuration::from_secs_f64(plan.duration)).min(horizon_end);
-        if t_end <= now {
+    }
+    true
+}
+
+/// Skip one steady-state epoch analytically. Returns `false` (leaving the
+/// simulation untouched) when the epoch would be too short to pay for
+/// itself; otherwise advances every shard's clock to the epoch end, credits
+/// flows and links with the traffic the fluid model moved, and re-primes
+/// the ack clock so packet-level simulation resumes seamlessly. Flows and
+/// links are visited in global id order regardless of sharding, so the
+/// synthetic event schedule is identical however the network is split.
+fn fast_forward_epoch(
+    ff: &mut FfState,
+    topo: &Topo,
+    shards: &mut [&mut ShardSim],
+    edges: Option<&shard::EdgeSet>,
+    now: SimTime,
+    deadline: SimTime,
+) -> bool {
+    let n_flows = topo.path.len();
+    let n_links = topo.link_shard.len();
+    // The epoch may not run past a pending flow admission: new demand is a
+    // discontinuity the packet-level loop must see.
+    let mut horizon_end = deadline;
+    for i in 0..n_flows {
+        let f =
+            shards[topo.flow_shard[i] as usize].flows[i].as_ref().expect("flow on owning shard");
+        if f.sender.started_at().is_none() {
+            horizon_end = horizon_end.min(f.start_at);
+        }
+    }
+    if horizon_end <= now {
+        return false;
+    }
+    let mut idx = Vec::new();
+    let mut fluid_flows = Vec::new();
+    for i in 0..n_flows {
+        let f =
+            shards[topo.flow_shard[i] as usize].flows[i].as_ref().expect("flow on owning shard");
+        if f.sender.is_complete() || f.sender.started_at().is_none() {
+            continue;
+        }
+        let pin = f.sender.rwnd_segments().max(2) as f64;
+        let cwnd = f.sender.cwnd();
+        let pinned = cwnd >= pin;
+        fluid_flows.push(FluidFlow {
+            // A pinned flow sends exactly its (integer) window per RTT;
+            // a climbing one is tracked continuously.
+            wnd: if pinned { f.sender.window_segments() as f64 } else { cwnd },
+            rwnd: pin,
+            growing: !pinned,
+            base_rtt: f.base_rtt.as_secs_f64(),
+            remaining: f.sender.remaining_segments(),
+            path: f.spec.path.iter().map(|l| l.0).collect(),
+        });
+        idx.push(i);
+    }
+    let links: Vec<FluidLink> = (0..n_links)
+        .map(|li| {
+            let l = shards[topo.link_shard[li] as usize].links[li]
+                .as_ref()
+                .expect("link on owning shard");
+            FluidLink { rate_bps: l.spec.rate_bps as f64, bdp_bytes: l.spec.bdp_bytes() as f64 }
+        })
+        .collect();
+    let horizon = horizon_end.since(now).as_secs_f64();
+    let plan = fluid_epoch(&fluid_flows, &links, horizon);
+    if plan.duration < (ff.rtt_max * 8).as_secs_f64() {
+        return false;
+    }
+    let t_end = (now + SimDuration::from_secs_f64(plan.duration)).min(horizon_end);
+    if t_end <= now {
+        return false;
+    }
+    // The credit must cover every in-flight segment, or the post-epoch
+    // window refill would rewind the connection.
+    for (j, &i) in idx.iter().enumerate() {
+        let f =
+            shards[topo.flow_shard[i] as usize].flows[i].as_ref().expect("flow on owning shard");
+        if plan.credits[j] < f.sender.flight() {
             return false;
         }
-        // The credit must cover every in-flight segment, or the post-epoch
-        // window refill would rewind the connection.
-        for (j, &i) in idx.iter().enumerate() {
-            if plan.credits[j] < self.flows[i].sender.flight() {
-                return false;
-            }
+    }
+    // Point of no return: every event inside the epoch — in-flight data and
+    // ACKs, timer pops — is subsumed by the analytic credit. Cross-shard
+    // edges are empty here (the coordinator drains them before the check),
+    // so draining each shard's queue covers every pending event.
+    if let Some(edges) = edges {
+        for sh in shards.iter_mut() {
+            sh.drain_inbound(edges);
         }
-        // Point of no return: every event inside the epoch — in-flight
-        // data and ACKs, timer pops — is subsumed by the analytic credit.
-        let mut drained = 0u64;
-        while let Some((_, ev)) = self.queue.extract_before(t_end) {
+    }
+    let mut drained = 0u64;
+    for sh in shards.iter_mut() {
+        while let Some((_, ev)) = sh.queue.extract_before(t_end) {
             debug_assert!(
                 !matches!(ev, Event::FlowStart(_)),
                 "fast-forward drained a flow admission"
             );
             drained += 1;
         }
-        self.queue.advance_to(t_end);
-        self.events_skipped += drained;
-        let frame = u64::from(wire::FULL_FRAME);
-        let mut link_extra = vec![(0u64, 0u64); self.links.len()];
-        // Synthetic ack bursts are tiled back-to-back across flows: the
-        // aggregate resume traffic then arrives at exactly the bottleneck
-        // rate (one frame per serialization slot), so the post-epoch burst
-        // can never overflow a queue the steady state fitted into.
-        let mut burst_offset = SimDuration::ZERO;
-        for (j, &i) in idx.iter().enumerate() {
-            let fid = FlowId(i);
-            let acked = plan.credits[j];
-            let (gap, gap_bytes, path, flight, una) = {
-                let flow = &mut self.flows[i];
-                let old_nxt = flow.sender.segments_acked() + flow.sender.flight();
-                flow.sender.fast_forward(acked, plan.final_wnd[j], t_end);
-                let new_nxt = flow.sender.segments_acked() + flow.sender.flight();
-                // The refilled window is fictional — those segments never
-                // cross the wire (their ACKs are synthesized below) — so the
-                // receiver advances past them; the first real post-epoch
-                // packet then arrives exactly in order.
-                flow.receiver.fast_forward_to(new_nxt);
-                // Segments in [old_nxt, new_nxt) crossed the path inside the
-                // epoch without ever becoming packets; everything below
-                // old_nxt was transmitted (and link-accounted) for real.
-                let gap = new_nxt - old_nxt;
-                let gap_bytes = match flow.total_bytes {
-                    Some(total) => {
-                        let last = segments_for(total).saturating_sub(1);
-                        let mut b = gap * frame;
-                        if gap > 0 && old_nxt <= last && last < new_nxt {
-                            b = b - frame + u64::from(wire_bytes_for(last, total));
-                        }
-                        b
-                    }
-                    None => gap * frame,
-                };
-                flow.pending_rto = flow.pending_rto.filter(|p| *p >= t_end);
-                (gap, gap_bytes, flow.spec.path, flow.sender.flight(), flow.sender.segments_acked())
-            };
-            self.trace_progress(fid, t_end);
-            for hop in path.iter() {
-                link_extra[hop.0].0 += gap_bytes;
-                link_extra[hop.0].1 += gap;
-            }
-            // Each skipped segment would have cost one TxDone per hop, one
-            // HopArrival per intermediate hop, and one AckArrival.
-            self.events_skipped += gap * 2 * path.len() as u64;
-            if flight > 0 {
-                // Re-prime the ack clock: the refilled window is treated as
-                // in flight, its ACKs arriving back-to-back at the
-                // bottleneck hop's serialization spacing — exactly the real
-                // pattern both when the flow is window-limited (the window
-                // drains as one burst per RTT) and when the link is
-                // saturated (ACKs leave at the link rate). No timestamp
-                // echo — a synthetic ACK must not feed the RTT estimator
-                // (Karn's rule for analytic segments).
-                let spacing = path
-                    .iter()
-                    .map(|l| {
-                        SimDuration::serialization(
-                            u64::from(wire::FULL_FRAME),
-                            self.links[l.0].spec.rate_bps,
-                        )
-                    })
-                    .fold(SimDuration::ZERO, SimDuration::max);
-                for k in 1..=flight {
-                    self.queue.schedule(
-                        t_end + burst_offset + spacing * k,
-                        Event::AckArrival { flow: fid, ack: Ack { ackno: una + k, ts_echo: None } },
-                    );
-                }
-                burst_offset = burst_offset + spacing * flight;
-            }
-            self.sync_timer(fid);
-            self.trace_cwnd(fid, t_end);
-            self.note_completion(fid);
-        }
-        for ((bytes, pkts), link) in link_extra.iter().zip(self.links.iter_mut()) {
-            link.fast_forward(*bytes, *pkts, t_end);
-        }
-        self.ff_epochs += 1;
-        true
+        sh.queue.advance_to(t_end);
     }
+    ff.skipped += drained;
+    let frame = u64::from(wire::FULL_FRAME);
+    let mut link_extra = vec![(0u64, 0u64); n_links];
+    // Synthetic ack bursts are tiled back-to-back across flows: the
+    // aggregate resume traffic then arrives at exactly the bottleneck
+    // rate (one frame per serialization slot), so the post-epoch burst
+    // can never overflow a queue the steady state fitted into.
+    let mut burst_offset = SimDuration::ZERO;
+    for (j, &i) in idx.iter().enumerate() {
+        let fid = FlowId(i);
+        let owner = topo.flow_shard[i] as usize;
+        let acked = plan.credits[j];
+        let (gap, gap_bytes, path, flight, una, new_nxt) = {
+            let flow = shards[owner].flows[i].as_mut().expect("flow on owning shard");
+            let old_nxt = flow.sender.segments_acked() + flow.sender.flight();
+            flow.sender.fast_forward(acked, plan.final_wnd[j], t_end);
+            let new_nxt = flow.sender.segments_acked() + flow.sender.flight();
+            // Segments in [old_nxt, new_nxt) crossed the path inside the
+            // epoch without ever becoming packets; everything below
+            // old_nxt was transmitted (and link-accounted) for real.
+            let gap = new_nxt - old_nxt;
+            let gap_bytes = match flow.total_bytes {
+                Some(total) => {
+                    let last = segments_for(total).saturating_sub(1);
+                    let mut b = gap * frame;
+                    if gap > 0 && old_nxt <= last && last < new_nxt {
+                        b = b - frame + u64::from(wire_bytes_for(last, total));
+                    }
+                    b
+                }
+                None => gap * frame,
+            };
+            flow.pending_rto = flow.pending_rto.filter(|p| *p >= t_end);
+            (
+                gap,
+                gap_bytes,
+                flow.spec.path,
+                flow.sender.flight(),
+                flow.sender.segments_acked(),
+                new_nxt,
+            )
+        };
+        // The refilled window is fictional — those segments never cross the
+        // wire (their ACKs are synthesized below) — so the receiver advances
+        // past them; the first real post-epoch packet then arrives exactly
+        // in order.
+        shards[topo.recv_shard[i] as usize].receivers[i]
+            .as_mut()
+            .expect("receiver on owning shard")
+            .fast_forward_to(new_nxt);
+        shards[owner].trace_progress(fid, t_end);
+        for hop in path.iter() {
+            link_extra[hop.0].0 += gap_bytes;
+            link_extra[hop.0].1 += gap;
+        }
+        // Each skipped segment would have cost one TxDone per hop, one
+        // HopArrival per intermediate hop, and one AckArrival.
+        ff.skipped += gap * 2 * path.len() as u64;
+        if flight > 0 {
+            // Re-prime the ack clock: the refilled window is treated as
+            // in flight, its ACKs arriving back-to-back at the bottleneck
+            // hop's serialization spacing — exactly the real pattern both
+            // when the flow is window-limited (the window drains as one
+            // burst per RTT) and when the link is saturated (ACKs leave at
+            // the link rate). No timestamp echo — a synthetic ACK must not
+            // feed the RTT estimator (Karn's rule for analytic segments).
+            let spacing = path
+                .iter()
+                .map(|l| {
+                    let rate = shards[topo.link_shard[l.0] as usize].links[l.0]
+                        .as_ref()
+                        .expect("link on owning shard")
+                        .spec
+                        .rate_bps;
+                    SimDuration::serialization(u64::from(wire::FULL_FRAME), rate)
+                })
+                .fold(SimDuration::ZERO, SimDuration::max);
+            for k in 1..=flight {
+                shards[owner].queue.schedule(
+                    t_end + burst_offset + spacing * k,
+                    Event::AckArrival { flow: fid, ack: Ack { ackno: una + k, ts_echo: None } },
+                );
+            }
+            burst_offset = burst_offset + spacing * flight;
+        }
+        shards[owner].sync_timer(fid);
+        shards[owner].trace_cwnd(fid, t_end);
+        shards[owner].note_completion(fid);
+    }
+    for (li, (bytes, pkts)) in link_extra.iter().enumerate() {
+        shards[topo.link_shard[li] as usize].links[li]
+            .as_mut()
+            .expect("link on owning shard")
+            .fast_forward(*bytes, *pkts, t_end);
+    }
+    ff.epochs += 1;
+    true
 }
 
 /// Aggregate session statistics for a group of flows that together carry one
@@ -1211,5 +1169,68 @@ mod tests {
         let results = net.run();
         assert!(results[f.0].finished.is_some());
         assert_eq!(net.link(LinkId(0)).packets_transmitted, 0);
+    }
+
+    // ---- multi-worker byte-identity (see also tests/par_determinism.rs) ----
+
+    /// Everything observable from one run, for exact comparison.
+    fn run_capture(workers: usize, build: impl Fn(&mut Network)) -> (Vec<FlowResult>, u64, u64) {
+        let mut net = Network::new(NetworkConfig::default().with_workers(workers));
+        build(&mut net);
+        let results = net.run();
+        (results, net.events_processed(), net.events_skipped())
+    }
+
+    #[test]
+    fn two_site_pairs_identical_across_workers() {
+        let build = |net: &mut Network| {
+            let a = net.add_link(LinkSpec::cern_anl());
+            let b = net.add_link(LinkSpec {
+                rate_bps: 10_000_000,
+                propagation: SimDuration::from_millis(20),
+                queue_capacity: 64,
+            });
+            net.add_flow(FlowSpec::transfer(4 * MB, 256 * 1024).on_link(a));
+            net.add_flow(FlowSpec::transfer(4 * MB, 128 * 1024).on_link(b));
+            net.add_flow(FlowSpec::background(MB).on_link(b).open_at(SimTime(7_000)));
+        };
+        let seq = run_capture(1, build);
+        let par = run_capture(2, build);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn manual_split_path_identical_across_workers() {
+        // Force a flow's two hops onto different shards: packets cross a
+        // shard edge every hop, exercising the conservative sync path.
+        let build_net = || {
+            let mut net = Network::new(NetworkConfig::default().with_workers(2));
+            let a = net.add_link(LinkSpec {
+                rate_bps: 20_000_000,
+                propagation: SimDuration::from_millis(3),
+                queue_capacity: 128,
+            });
+            let b = net.add_link(LinkSpec {
+                rate_bps: 15_000_000,
+                propagation: SimDuration::from_millis(11),
+                queue_capacity: 64,
+            });
+            net.add_flow(FlowSpec::transfer(3 * MB, 512 * 1024).via(&[a, b]));
+            net
+        };
+        let seq = {
+            let mut net = build_net();
+            net.set_link_partition(&[0, 0]); // both hops on one shard
+            let r = net.run();
+            (r, net.events_processed())
+        };
+        let par = {
+            let mut net = build_net();
+            net.set_link_partition(&[0, 1]); // split the path
+            let r = net.run();
+            assert_eq!(net.shard_count(), 2);
+            (r, net.events_processed())
+        };
+        assert_eq!(seq, par);
     }
 }

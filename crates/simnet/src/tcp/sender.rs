@@ -108,17 +108,25 @@ impl Sender {
 
     /// Begin transmitting (connection already established).
     pub fn on_start(&mut self, now: SimTime) -> Vec<Tx> {
+        let mut out = Vec::new();
+        self.on_start_into(now, &mut out);
+        out
+    }
+
+    /// [`Sender::on_start`] writing into a caller-owned buffer (cleared
+    /// first), so flow admission allocates nothing.
+    pub fn on_start_into(&mut self, now: SimTime, out: &mut Vec<Tx>) {
+        out.clear();
         self.started_at = Some(now);
         if self.cfg.total_segments == Some(0) {
             self.finished_at = Some(now);
-            return Vec::new();
+            return;
         }
-        let out = self.send_window();
-        for tx in &out {
+        self.send_window_into(out);
+        for tx in out.iter() {
             self.note_sent(*tx);
         }
         self.arm_timer(now);
-        out
     }
 
     /// Process an acknowledgement arriving at time `now`.
@@ -191,7 +199,7 @@ impl Sender {
         if rearm {
             self.arm_timer(now);
         }
-        out.extend(self.send_window());
+        self.send_window_into(out);
     }
 
     fn on_dup_ack(&mut self, now: SimTime, out: &mut Vec<Tx>) {
@@ -199,7 +207,7 @@ impl Sender {
         if self.in_recovery {
             // Window inflation: each dup ACK signals a departed segment.
             self.cwnd += 1.0;
-            out.extend(self.send_window());
+            self.send_window_into(out);
         } else if self.dup_acks == 3 && self.snd_una < self.snd_nxt && self.snd_una >= self.recover
         {
             // Fast retransmit / fast recovery. The `recover` guard is the
@@ -221,8 +229,17 @@ impl Sender {
     /// Retransmission timer fired. `gen` must match the arming generation;
     /// stale timers are ignored.
     pub fn on_rto(&mut self, gen: u64, now: SimTime) -> Vec<Tx> {
+        let mut out = Vec::new();
+        self.on_rto_into(gen, now, &mut out);
+        out
+    }
+
+    /// [`Sender::on_rto`] writing into a caller-owned buffer (cleared
+    /// first), so timer pops allocate nothing.
+    pub fn on_rto_into(&mut self, gen: u64, now: SimTime, out: &mut Vec<Tx>) {
+        out.clear();
         if gen != self.timer_gen || self.timer_deadline.is_none() || self.is_complete() {
-            return Vec::new();
+            return;
         }
         self.stats.timeouts += 1;
         let flight = (self.snd_nxt - self.snd_una) as f64;
@@ -239,27 +256,27 @@ impl Sender {
         self.snd_nxt = self.snd_una;
         self.rtt.backoff();
         self.arm_timer(now);
-        let out = self.send_window();
-        for tx in &out {
+        self.send_window_into(out);
+        for tx in out.iter() {
             self.note_sent(*tx);
         }
-        out
     }
 
-    /// New segments permitted by the current window. Emission per event is
-    /// capped at `MAX_BURST` (ack clocking, as in ns-2's `maxburst_`): a
-    /// window that opens by hundreds of segments at once must not dump a
-    /// queue-overflowing burst onto the wire in zero simulated time.
-    fn send_window(&mut self) -> Vec<Tx> {
+    /// Append the new segments permitted by the current window to `out`.
+    /// Emission per event is capped at `MAX_BURST` (ack clocking, as in
+    /// ns-2's `maxburst_`): a window that opens by hundreds of segments at
+    /// once must not dump a queue-overflowing burst onto the wire in zero
+    /// simulated time.
+    fn send_window_into(&mut self, out: &mut Vec<Tx>) {
         const MAX_BURST: usize = 6;
         let wnd = (self.cwnd.floor() as u64).min(self.cfg.rwnd_segments).max(1);
         let limit = self.cfg.total_segments.unwrap_or(u64::MAX);
-        let mut out = Vec::new();
-        while self.snd_nxt < limit && self.snd_nxt - self.snd_una < wnd && out.len() < MAX_BURST {
+        let mut emitted = 0;
+        while self.snd_nxt < limit && self.snd_nxt - self.snd_una < wnd && emitted < MAX_BURST {
             out.push(Tx { seq: self.snd_nxt, retransmit: self.snd_nxt < self.highest_sent });
             self.snd_nxt += 1;
+            emitted += 1;
         }
-        out
     }
 
     fn note_sent(&mut self, tx: Tx) {

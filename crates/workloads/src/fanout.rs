@@ -1,0 +1,156 @@
+//! Fan-out replication scenario: one network, many independent site pairs.
+//!
+//! The paper's data grid pushes files from CERN outward to many regional
+//! centres at once; each CERN→site path has its own bottleneck link and its
+//! own cross traffic, and the paths do not share queues. That topology is
+//! the best case for the sharded simnet engine — the partitioner finds one
+//! flow-interaction group per site pair — so this module doubles as the
+//! scaling scenario for `bench_simnet` and as a determinism fixture: the
+//! outcome must be byte-identical for any worker count.
+//!
+//! Rates, delays, and staggers are deliberately irregular across sites
+//! (derived from the site index) so no two sites run in lock-step and the
+//! event mix is realistic rather than K copies of one schedule.
+
+use gdmp_simnet::link::LinkSpec;
+use gdmp_simnet::network::{FastForward, FlowResult, FlowSpec, Network, NetworkConfig};
+use gdmp_simnet::time::{SimDuration, SimTime};
+use gdmp_telemetry::Registry;
+
+/// One fan-out run: `sites` independent CERN→regional-centre pairs.
+#[derive(Debug, Clone, Copy)]
+pub struct FanoutSpec {
+    /// Destination sites (= independent bottleneck links).
+    pub sites: u32,
+    /// Parallel streams per site transfer.
+    pub streams: u32,
+    /// Bytes pushed to each site.
+    pub bytes_per_site: u64,
+    /// Socket buffer per stream.
+    pub buffer: u64,
+    /// Background flows per site path.
+    pub background: u32,
+    /// Fidelity mode; scaling measurements use [`FastForward::Off`] so the
+    /// event count is the full packet-level load.
+    pub fast_forward: FastForward,
+    /// Event-loop worker threads (see `NetworkConfig::workers`).
+    pub workers: usize,
+}
+
+impl FanoutSpec {
+    /// The scenario used by `bench_simnet`'s workers sweep: 8 site pairs,
+    /// every packet simulated.
+    pub fn bench_default() -> FanoutSpec {
+        FanoutSpec {
+            sites: 8,
+            streams: 2,
+            bytes_per_site: 3 * 1024 * 1024,
+            buffer: 256 * 1024,
+            background: 1,
+            fast_forward: FastForward::Off,
+            workers: 1,
+        }
+    }
+
+    pub fn with_workers(mut self, workers: usize) -> FanoutSpec {
+        self.workers = workers.max(1);
+        self
+    }
+}
+
+/// Everything observable from one fan-out run, comparable with `==` across
+/// worker counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FanoutOutcome {
+    pub flows: Vec<FlowResult>,
+    pub events_processed: u64,
+    pub events_skipped: u64,
+    /// Sorted telemetry counters `(name{labels}, value)`.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// Per-site link: rates from 8 to ~22 Mb/s, one-way delays from 18 to
+/// ~60 ms, stepped by site index so every pair beats at its own frequency.
+fn site_link(site: u32) -> LinkSpec {
+    LinkSpec {
+        rate_bps: 8_000_000 + 2_000_000 * u64::from(site % 8),
+        propagation: SimDuration::from_millis(18 + 6 * u64::from(site % 8)),
+        queue_capacity: 96 + 16 * (site as usize % 4),
+    }
+}
+
+/// Run the fan-out and capture every observable output.
+pub fn run_fanout(spec: &FanoutSpec) -> FanoutOutcome {
+    let reg = Registry::new();
+    let mut net = Network::new(
+        NetworkConfig::default().with_fast_forward(spec.fast_forward).with_workers(spec.workers),
+    );
+    net.set_telemetry(reg.clone());
+    for site in 0..spec.sites {
+        let link = net.add_link(site_link(site));
+        // Stagger opens per site and per stream with site-dependent strides
+        // so no two transfers phase-lock.
+        let site_open = SimTime(u64::from(site) * 13_700_000);
+        for s in 0..spec.streams {
+            let per = spec.bytes_per_site / u64::from(spec.streams);
+            let sz = if s == spec.streams - 1 {
+                spec.bytes_per_site - per * u64::from(spec.streams - 1)
+            } else {
+                per
+            };
+            net.add_flow(
+                FlowSpec::transfer(sz, spec.buffer)
+                    .on_link(link)
+                    .open_at(site_open + SimDuration::from_millis(7 * u64::from(s))),
+            );
+        }
+        for b in 0..spec.background {
+            net.add_flow(
+                FlowSpec::background(64 * 1024)
+                    .on_link(link)
+                    .open_at(site_open + SimDuration::from_millis(3 + 11 * u64::from(b))),
+            );
+        }
+    }
+    let flows = net.run();
+    let mut counters: Vec<(String, u64)> = reg
+        .metrics_snapshot()
+        .iter()
+        .filter_map(|(name, labels, v)| match v {
+            gdmp_telemetry::MetricValue::Counter(c) => Some((format!("{name}{labels}"), *c)),
+            _ => None,
+        })
+        .collect();
+    counters.sort();
+    FanoutOutcome {
+        flows,
+        events_processed: net.events_processed(),
+        events_skipped: net.events_skipped(),
+        counters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanout_completes_every_site() {
+        let spec = FanoutSpec { sites: 3, ..FanoutSpec::bench_default() };
+        let out = run_fanout(&spec);
+        let finished =
+            out.flows.iter().filter(|f| f.spec.bytes.is_some() && f.finished.is_some()).count();
+        assert_eq!(finished, 3 * spec.streams as usize);
+        assert!(out.events_processed > 0);
+    }
+
+    #[test]
+    fn fanout_identical_for_any_worker_count() {
+        let base = FanoutSpec { sites: 5, ..FanoutSpec::bench_default() };
+        let one = run_fanout(&base.with_workers(1));
+        for workers in [2, 4] {
+            let par = run_fanout(&base.with_workers(workers));
+            assert_eq!(one, par, "fan-out outcome diverged at {workers} workers");
+        }
+    }
+}

@@ -12,10 +12,13 @@
 //!   and partitions, checked against grid-wide invariants;
 //! * [`fetch`] — the multi-source fetch scenario: striped pulls over
 //!   asymmetric WAN paths, with and without a mid-transfer source crash;
+//! * [`fanout`] — many independent CERN→site pushes in one network, the
+//!   scaling scenario for the sharded simnet engine;
 //! * [`observe`] — grid-level time-series sampling (tape staging backlog,
 //!   replica disk-hit rate) for the scenario drivers.
 
 pub mod cascade;
+pub mod fanout;
 pub mod fetch;
 pub mod observe;
 pub mod population;
@@ -24,6 +27,7 @@ pub mod transfer;
 pub mod zipf;
 
 pub use cascade::{CascadeSpec, CascadeStep, StepResult};
+pub use fanout::{run_fanout, FanoutOutcome, FanoutSpec};
 pub use fetch::{run_fetch, striped_policy, FetchOutcome, FetchSpec};
 pub use population::{Placement, Population};
 pub use soak::{run_soak, ChaosMode, SoakOutcome, SoakSpec};

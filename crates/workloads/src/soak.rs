@@ -11,6 +11,7 @@
 use bytes::Bytes;
 use gdmp::chaos::ChaosPlan;
 use gdmp::invariants::{check_grid, InvariantReport};
+use gdmp::prelude::WanProfile;
 use gdmp::{BackoffRetry, BreakerConfig, FaultSchedule, Grid, SiteConfig};
 use gdmp_simnet::time::SimDuration;
 use gdmp_telemetry::Registry;
@@ -41,6 +42,10 @@ pub struct SoakSpec {
     /// Max drain iterations after the fault horizon before giving up.
     pub drain_rounds: usize,
     pub chaos: ChaosMode,
+    /// Event-loop worker threads for every simulated transfer (see
+    /// `NetworkConfig::workers`); the soak outcome is identical for any
+    /// value — asserted by the determinism tests.
+    pub workers: usize,
 }
 
 impl SoakSpec {
@@ -53,7 +58,14 @@ impl SoakSpec {
             round_gap: SimDuration::from_secs(30),
             drain_rounds: 20,
             chaos,
+            workers: 1,
         }
+    }
+
+    /// Run every simulated transfer on up to `workers` engine threads.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
     }
 }
 
@@ -106,6 +118,7 @@ pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
     };
     let mut builder = Grid::builder("soak")
         .telemetry_sink(reg.clone())
+        .default_profile(WanProfile::cern_anl_production().with_workers(spec.workers))
         .recovery(Box::new(BackoffRetry::new(jitter_seed)))
         .breaker(BreakerConfig::default());
     for (i, name) in names.iter().enumerate() {
@@ -217,6 +230,21 @@ mod tests {
         assert!(out.published > 0);
         assert!(out.replicated >= out.published * 2, "full mesh fan-out");
         assert!(out.schedule_debug.is_empty());
+    }
+
+    #[test]
+    fn seeded_chaos_identical_across_workers() {
+        let one = run_soak(&SoakSpec::quick(ChaosMode::Seeded(0xC0FFEE)));
+        let par = run_soak(&SoakSpec::quick(ChaosMode::Seeded(0xC0FFEE)).with_workers(2));
+        assert_eq!(one.trace, par.trace);
+        assert_eq!(one.final_clock_ns, par.final_clock_ns);
+        assert_eq!(one.published, par.published);
+        assert_eq!(one.replicated, par.replicated);
+        assert_eq!(
+            one.registry.export_json_lines(),
+            par.registry.export_json_lines(),
+            "a seeded chaos soak must be byte-identical on 2 engine workers"
+        );
     }
 
     #[test]
