@@ -14,6 +14,10 @@
 #                          striped fetch must yield connected span trees
 #                          whose critical path partitions the latency, with
 #                          byte-identical same-seed exports
+#   ./ci.sh --catalog-smoke  additionally run the federated-catalog smoke
+#                          (release, < 10 s): the gdmp federation flows,
+#                          the catalog soak (Off == EmptySchedule, seeded
+#                          never-wrong), and the 100+-site acceptance soak
 #   ./ci.sh --par-smoke    the sharded-engine determinism smoke alone is
 #                          named here for discoverability; it is part of
 #                          the default gate (release build, < 10 s): the
@@ -34,6 +38,7 @@ bench_smoke=0
 chaos_smoke=0
 fetch_smoke=0
 trace_smoke=0
+catalog_smoke=0
 bench_compare=0
 par_smoke=1 # part of the default gate; the flag exists to name it
 for arg in "$@"; do
@@ -42,6 +47,7 @@ for arg in "$@"; do
     --chaos-smoke) chaos_smoke=1 ;;
     --fetch-smoke) fetch_smoke=1 ;;
     --trace-smoke) trace_smoke=1 ;;
+    --catalog-smoke) catalog_smoke=1 ;;
     --bench-compare) bench_compare=1 ;;
     --par-smoke) par_smoke=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
@@ -92,6 +98,13 @@ fi
 if [[ "$trace_smoke" == 1 ]]; then
   echo "==> trace smoke: span trees + critical path of the striped fetch"
   cargo test --offline -q --release -p gdmp-workloads --test trace_smoke
+fi
+
+if [[ "$catalog_smoke" == 1 ]]; then
+  echo "==> catalog smoke: federation flows, soak inertness, 100+-site never-wrong"
+  cargo test --offline -q --release -p gdmp --test federation_flows
+  cargo test --offline -q --release -p gdmp-workloads --lib catalog::
+  cargo test --offline -q --release -p gdmp-workloads --test catalog_soak
 fi
 
 if [[ "$bench_compare" == 1 ]]; then

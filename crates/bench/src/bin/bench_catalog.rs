@@ -1,0 +1,81 @@
+//! Tracked baseline for the federated replica catalog: the same
+//! deterministic lookup mix answered by the central catalog alone and by
+//! the LRC/RLI federation, at 10, 50, and 100 sites.
+//!
+//! ```text
+//! cargo run -p gdmp-bench --release --bin bench_catalog            # writes BENCH_catalog.json
+//! cargo run -p gdmp-bench --release --bin bench_catalog -- out.json
+//! ```
+//!
+//! The JSON is the committed baseline (`BENCH_catalog.json` at the repo
+//! root). The ladder counters and final sim clocks are deterministic and
+//! gated by `bench_compare`; `ops_per_sec` is wall-clock, informational
+//! only. `wrong_answers` must be zero in any baseline anyone ever commits.
+
+use gdmp_bench::catalog::{run_catalog_grid, CATALOG_LOOKUPS};
+
+#[derive(serde::Serialize)]
+struct Point {
+    sites: usize,
+    mode: &'static str,
+    lookups: u64,
+    confirms: u64,
+    rli_hits: u64,
+    fallbacks: u64,
+    scatters: u64,
+    false_positives: u64,
+    wrong_answers: u64,
+    /// Final sim clock, seconds (deterministic, gated).
+    final_clock_s: f64,
+    /// Wall-clock lookups/sec on the baseline host (not gated).
+    ops_per_sec: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Baseline {
+    schema: &'static str,
+    lookups_per_point: usize,
+    points: Vec<Point>,
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_catalog.json".into());
+    let points: Vec<Point> = run_catalog_grid()
+        .into_iter()
+        .map(|p| Point {
+            sites: p.sites,
+            mode: p.mode,
+            lookups: p.lookups,
+            confirms: p.confirms,
+            rli_hits: p.rli_hits,
+            fallbacks: p.fallbacks,
+            scatters: p.scatters,
+            false_positives: p.false_positives,
+            wrong_answers: p.wrong_answers,
+            final_clock_s: (p.final_clock_ns as f64 / 1e9 * 1e3).round() / 1e3,
+            ops_per_sec: (p.wall_ops_per_sec * 1e3).round() / 1e3,
+        })
+        .collect();
+    for p in &points {
+        println!(
+            "{:>3} sites {:>9}: {:>9.0} ops/s wall   sim {:>7.1} s   rli_hits {:>3} \
+             fallbacks {:>3} scatters {:>3} fps {:>3} confirms {:>4} wrong {}",
+            p.sites,
+            p.mode,
+            p.ops_per_sec,
+            p.final_clock_s,
+            p.rli_hits,
+            p.fallbacks,
+            p.scatters,
+            p.false_positives,
+            p.confirms,
+            p.wrong_answers,
+        );
+        assert_eq!(p.wrong_answers, 0, "refusing to commit a baseline with wrong answers");
+    }
+    let baseline =
+        Baseline { schema: "gdmp-bench-catalog/1", lookups_per_point: CATALOG_LOOKUPS, points };
+    let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+    std::fs::write(&out, json + "\n").expect("baseline written");
+    println!("wrote {out}");
+}

@@ -13,7 +13,7 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use gdmp_bench::compare::{compare_fetch, compare_simnet, Gate, Tolerances};
+use gdmp_bench::compare::{compare_catalog, compare_fetch, compare_simnet, Gate, Tolerances};
 
 fn load(dir: &Path, name: &str) -> Result<String, String> {
     let path = dir.join(name);
@@ -59,11 +59,18 @@ fn main() -> ExitCode {
             ok = false;
         }
     }
+    match load(dir, "BENCH_catalog.json").and_then(|json| compare_catalog(&json, &tol)) {
+        Ok(gate) => ok &= report("catalog", &gate),
+        Err(e) => {
+            println!("FAIL catalog: {e}");
+            ok = false;
+        }
+    }
     if ok {
         println!("bench-compare: all baselines reproduce");
         ExitCode::SUCCESS
     } else {
-        println!("bench-compare: baseline drift detected (re-baseline deliberately with bench_fetch / bench_simnet)");
+        println!("bench-compare: baseline drift detected (re-baseline deliberately with bench_fetch / bench_simnet / bench_catalog)");
         ExitCode::FAILURE
     }
 }

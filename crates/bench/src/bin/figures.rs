@@ -9,9 +9,10 @@
 //!
 //! Subcommands: `fig1 fig2 fig5 fig6 tuning buffer objrep objcost staging stripe placement motivation all`,
 //! plus `chaos` (failure-path cost report), `fetch` (multi-source
-//! striped-fetch comparison), and `timeline` (sim-time time-series of the
-//! striped fetch as sparklines + deterministic TSV); these are deliberately
-//! not part of `all` so the canonical figure set stays byte-identical.
+//! striped-fetch comparison), `catalog` (central vs federated lookup
+//! scaling), and `timeline` (sim-time time-series of the striped fetch as
+//! sparklines + deterministic TSV); these are deliberately not part of
+//! `all` so the canonical figure set stays byte-identical.
 //! Flags: `--json` emits machine-readable JSON lines instead of tables;
 //! `--trace` appends the telemetry dump (spans, metrics, flight recorder)
 //! of the grid-driven experiments (`fig1`, `fig2`).
@@ -49,6 +50,7 @@ fn main() {
         "motivation" => motivation(&mut o),
         "chaos" => chaos(&mut o),
         "fetch" => fetch(&mut o),
+        "catalog" => catalog(&mut o),
         "timeline" => timeline(&mut o),
         "all" => {
             fig1(&mut o);
@@ -414,6 +416,49 @@ fn fetch(o: &mut Opts) {
     ));
     r.note("(single-source is bounded by the 20 Mb/s cern path; striping draws");
     r.note(" on the ~40 Mb/s aggregate, and survives a mid-transfer source crash)");
+    r.end_section();
+}
+
+/// Catalog lookup scaling: the same deterministic lookup mix against the
+/// central catalog alone and through the LRC/RLI federation, at 10, 50,
+/// and 100 sites. The federation pays confirm RPCs for hints but keeps
+/// every answer verified at an authoritative LRC.
+fn catalog(o: &mut Opts) {
+    use gdmp_bench::catalog::run_catalog_grid;
+    let r = &mut o.report;
+    // Wall ops/s is host-dependent; it appears in the human table only, so
+    // `--json` output stays byte-identical across runs (the determinism
+    // contract every figures subcommand honors).
+    let wall = !r.is_json();
+    r.section("Federated catalog: central vs LRC/RLI lookup at 10/50/100 sites");
+    let rows: Vec<Vec<Cell>> = run_catalog_grid()
+        .iter()
+        .map(|p| {
+            let mut row = vec![Cell::from(p.sites), Cell::from(p.mode), Cell::from(p.lookups)];
+            if wall {
+                row.push(Cell::f(p.wall_ops_per_sec, 0));
+            }
+            row.extend([
+                Cell::f(p.final_clock_ns as f64 / 1e9, 1),
+                Cell::from(p.rli_hits),
+                Cell::from(p.fallbacks),
+                Cell::from(p.scatters),
+                Cell::from(p.false_positives),
+                Cell::from(p.confirms),
+                Cell::from(p.wrong_answers),
+            ]);
+            row
+        })
+        .collect();
+    let mut headers = vec!["sites", "mode", "lookups"];
+    if wall {
+        headers.push("wall ops/s");
+    }
+    headers.extend(["sim s", "rli_hits", "fallbacks", "scatters", "fps", "confirms", "wrong"]);
+    r.table(&headers, &rows);
+    r.note("(wall ops/s is host-dependent: human table only, never in --json;");
+    r.note(" every emitted column is sim-time deterministic. wrong must read 0");
+    r.note(" — the never-wrong contract)");
     r.end_section();
 }
 

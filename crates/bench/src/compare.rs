@@ -1,7 +1,7 @@
 //! The perf-regression gate behind `ci.sh --bench-compare`: re-run the
-//! deterministic metrics of the committed `BENCH_simnet.json` and
-//! `BENCH_fetch.json` baselines and fail on drift beyond per-metric
-//! tolerance bands.
+//! deterministic metrics of the committed `BENCH_simnet.json`,
+//! `BENCH_fetch.json`, and `BENCH_catalog.json` baselines and fail on
+//! drift beyond per-metric tolerance bands.
 //!
 //! Wall-clock fields (`wall_ms`, `events_per_sec`, the wall-derived
 //! `speedup`s) move with the host and are **excluded** from the gate; the
@@ -207,6 +207,26 @@ struct SimnetBaseline {
     scaling: SimnetScaling,
 }
 
+#[derive(serde::Deserialize)]
+struct CatalogPoint {
+    sites: usize,
+    mode: String,
+    lookups: u64,
+    confirms: u64,
+    rli_hits: u64,
+    fallbacks: u64,
+    scatters: u64,
+    false_positives: u64,
+    wrong_answers: u64,
+    final_clock_s: f64,
+}
+
+#[derive(serde::Deserialize)]
+struct CatalogBaseline {
+    schema: String,
+    points: Vec<CatalogPoint>,
+}
+
 // ---- fetch comparison ----------------------------------------------------
 
 /// Re-run the three fetch modes and gate their deterministic metrics
@@ -276,6 +296,69 @@ pub fn compare_fetch(baseline_json: &str, tol: &Tolerances) -> Result<Gate, Stri
         multi_mbps / single_mbps.max(1e-9),
         tol.speedup_pct,
     );
+    Ok(gate)
+}
+
+// ---- catalog comparison --------------------------------------------------
+
+/// Re-run the catalog lookup grid and gate its deterministic metrics
+/// against the committed `BENCH_catalog.json`. The wall-clock ops/sec in
+/// the baseline is informational and not compared; the lookup mix, the
+/// ladder counters, and the final sim clock are exact sim-time and must
+/// reproduce. `wrong_answers` is held to literal zero — it is the
+/// federation's correctness contract, not a perf number.
+pub fn compare_catalog(baseline_json: &str, tol: &Tolerances) -> Result<Gate, String> {
+    let base: CatalogBaseline =
+        serde_json::from_str(baseline_json).map_err(|e| format!("BENCH_catalog.json: {e}"))?;
+    let mut gate = Gate::default();
+    gate.exact("catalog.schema", "gdmp-bench-catalog/1".to_string(), base.schema);
+
+    let actual = crate::catalog::run_catalog_grid();
+    gate.exact("catalog.points.len", base.points.len(), actual.len());
+    for (b, a) in base.points.iter().zip(&actual) {
+        let p = format!("catalog.{}x{}", b.sites, b.mode);
+        gate.exact(&format!("{p}.sites"), b.sites, a.sites);
+        gate.exact(&format!("{p}.mode"), b.mode.clone(), a.mode.to_string());
+        gate.exact(&format!("{p}.lookups"), b.lookups, a.lookups);
+        gate.exact(&format!("{p}.wrong_answers"), 0u64, a.wrong_answers);
+        gate.exact(&format!("{p}.baseline_wrong_answers"), 0u64, b.wrong_answers);
+        gate.within_pct(
+            &format!("{p}.confirms"),
+            b.confirms as f64,
+            a.confirms as f64,
+            tol.events_pct,
+        );
+        gate.within_pct(
+            &format!("{p}.rli_hits"),
+            b.rli_hits as f64,
+            a.rli_hits as f64,
+            tol.events_pct,
+        );
+        gate.within_pct(
+            &format!("{p}.fallbacks"),
+            b.fallbacks as f64,
+            a.fallbacks as f64,
+            tol.events_pct,
+        );
+        gate.within_pct(
+            &format!("{p}.scatters"),
+            b.scatters as f64,
+            a.scatters as f64,
+            tol.events_pct,
+        );
+        gate.within_pct(
+            &format!("{p}.false_positives"),
+            b.false_positives as f64,
+            a.false_positives as f64,
+            tol.events_pct,
+        );
+        gate.within_pct(
+            &format!("{p}.final_clock_s"),
+            b.final_clock_s,
+            a.final_clock_ns as f64 / 1e9,
+            tol.mbps_pct,
+        );
+    }
     Ok(gate)
 }
 
@@ -451,5 +534,6 @@ mod tests {
         let tol = Tolerances::default();
         assert!(compare_fetch("{not json", &tol).is_err());
         assert!(compare_simnet("{\"schema\": 3}", &tol).is_err());
+        assert!(compare_catalog("[]", &tol).is_err());
     }
 }

@@ -4,6 +4,7 @@
 //! the `figures` binary prints them in the paper's layout, and the
 //! Criterion benches reuse the same code for component micro-benchmarks.
 
+pub mod catalog;
 pub mod compare;
 pub mod figures;
 pub mod parallel;
@@ -11,7 +12,10 @@ pub mod report;
 pub mod tables;
 pub mod timeline;
 
-pub use compare::{compare_fetch, compare_simnet, Gate, Tolerances};
+pub use catalog::{
+    run_catalog_bench, run_catalog_grid, CatalogBenchPoint, CATALOG_LOOKUPS, CATALOG_SITES,
+};
+pub use compare::{compare_catalog, compare_fetch, compare_simnet, Gate, Tolerances};
 pub use figures::{fig_sweep, fig_sweep_on, FigRow};
 pub use parallel::{default_workers, par_map, workers_for};
 pub use report::{Cell, Report};

@@ -30,6 +30,7 @@ use crate::recovery::{BreakerConfig, RecoveryStrategy};
 use crate::schedule::FetchPolicy;
 use crate::selection::CostModel;
 use crate::site::SiteConfig;
+use gdmp_replica_catalog::federation::FederationConfig;
 
 /// Builder for [`Grid`]; obtain one with [`Grid::builder`] or
 /// [`GridBuilder::new`].
@@ -48,6 +49,7 @@ pub struct GridBuilder {
     cost_model: Option<Box<dyn CostModel>>,
     recovery: Option<Box<dyn RecoveryStrategy>>,
     breaker: Option<BreakerConfig>,
+    federation: Option<FederationConfig>,
     chaos: Option<FaultSchedule>,
 }
 
@@ -148,6 +150,14 @@ impl GridBuilder {
         self
     }
 
+    /// Federate the replica catalog: per-site authoritative LRCs feeding a
+    /// soft-state RLI tree. Lookups and replication source discovery then
+    /// route through [`Grid::lookup_replicas`]'s degradation ladder.
+    pub fn federation(mut self, config: FederationConfig) -> Self {
+        self.federation = Some(config);
+        self
+    }
+
     /// Install a grid-level fault timeline (site crashes, link cuts,
     /// partitions). An empty schedule is behaviourally inert.
     pub fn fault_schedule(mut self, schedule: FaultSchedule) -> Self {
@@ -181,6 +191,9 @@ impl GridBuilder {
         }
         for (callee, caller) in self.trusts {
             grid.trust(&callee, &caller);
+        }
+        if let Some(config) = self.federation {
+            grid.enable_federation(config);
         }
         for (subscriber, producer) in self.subscriptions {
             grid.subscribe(&subscriber, &producer)

@@ -42,6 +42,21 @@ pub enum FaultEvent {
     /// Drop the `nth` RPC sent `from → to`, counted 1-based from the moment
     /// this event fires (a lost datagram / timed-out call).
     RpcDrop { from: String, to: String, nth: u64 },
+    /// Crash a Replica Location Index node (by federation node name). The
+    /// index subtree under it goes dark: lookups degrade to direct LRC
+    /// scatter and its soft-state pushes stop.
+    RliDown { node: String },
+    /// Restart a crashed RLI node. Its summaries refill on the following
+    /// soft-state rounds; until then lookups through it stay degraded.
+    RliUp { node: String },
+    /// Add `extra` latency to every catalog confirm RPC answered by
+    /// `site`'s LRC (an overloaded LDAP server). `extra` of zero clears
+    /// the delay.
+    CatalogDelay { site: String, extra: SimDuration },
+    /// Lose the `nth` soft-state update emitted by `from` (an LRC site or
+    /// RLI node name), counted 1-based from the moment this event fires.
+    /// The index goes stale, never wrong; the TTL bounds the staleness.
+    UpdateLoss { from: String, nth: u64 },
 }
 
 impl FaultEvent {
@@ -139,6 +154,12 @@ pub struct ChaosState {
     drops: BTreeMap<(String, String), DropState>,
     /// Sites that came back up and still need a recovery/resync pass.
     pending_restart: BTreeSet<String>,
+    /// Crashed RLI nodes (federation node names).
+    rli_down: BTreeSet<String>,
+    /// Extra per-confirm latency on a site's LRC (overloaded catalog).
+    catalog_delays: BTreeMap<String, SimDuration>,
+    /// Pending soft-state update losses per emitter.
+    update_drops: BTreeMap<String, DropState>,
 }
 
 impl ChaosState {
@@ -157,6 +178,9 @@ impl ChaosState {
             || self.partition.is_some()
             || !self.drops.is_empty()
             || !self.pending_restart.is_empty()
+            || !self.rli_down.is_empty()
+            || !self.catalog_delays.is_empty()
+            || !self.update_drops.is_empty()
     }
 
     /// Apply every event with time ≤ `now`; returns them in order.
@@ -201,6 +225,23 @@ impl ChaosState {
             FaultEvent::Heal => self.partition = None,
             FaultEvent::RpcDrop { from, to, nth } => {
                 let st = self.drops.entry((from.clone(), to.clone())).or_default();
+                st.targets.insert(st.seen + nth);
+            }
+            FaultEvent::RliDown { node } => {
+                self.rli_down.insert(node.clone());
+            }
+            FaultEvent::RliUp { node } => {
+                self.rli_down.remove(node);
+            }
+            FaultEvent::CatalogDelay { site, extra } => {
+                if *extra == SimDuration::ZERO {
+                    self.catalog_delays.remove(site);
+                } else {
+                    self.catalog_delays.insert(site.clone(), *extra);
+                }
+            }
+            FaultEvent::UpdateLoss { from, nth } => {
+                let st = self.update_drops.entry(from.clone()).or_default();
                 st.targets.insert(st.seen + nth);
             }
         }
@@ -253,6 +294,31 @@ impl ChaosState {
         hit
     }
 
+    /// Is this RLI node currently crashed?
+    pub fn is_rli_down(&self, node: &str) -> bool {
+        self.rli_down.contains(node)
+    }
+
+    /// Extra latency currently imposed on `site`'s catalog confirms.
+    pub fn catalog_delay(&self, site: &str) -> SimDuration {
+        self.catalog_delays.get(site).copied().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Count this soft-state emission against any armed
+    /// [`FaultEvent::UpdateLoss`] for the emitter; true when this specific
+    /// update is the one to lose.
+    pub fn should_drop_update(&mut self, from: &str) -> bool {
+        let Some(st) = self.update_drops.get_mut(from) else {
+            return false;
+        };
+        st.seen += 1;
+        let hit = st.targets.remove(&st.seen);
+        if st.targets.is_empty() {
+            self.update_drops.remove(from);
+        }
+        hit
+    }
+
     /// The first *future* scheduled event in `(after, until]` that would
     /// sever the one-way path `src → dst`, if any. Used to abort transfers
     /// in flight when the path dies mid-stream.
@@ -294,6 +360,8 @@ impl ChaosState {
             && self.cuts.is_empty()
             && self.partition.is_none()
             && self.pending_restart.is_empty()
+            && self.rli_down.is_empty()
+            && self.catalog_delays.is_empty()
     }
 
     /// Events not yet applied (diagnostics).
@@ -369,6 +437,13 @@ pub struct ChaosPlan {
     pub rpc_drops: u32,
     pub min_outage: SimDuration,
     pub max_outage: SimDuration,
+    /// Federation RLI node names crashes may target (empty → no catalog
+    /// chaos; all four fields below default to zero so pre-federation
+    /// plans generate byte-identical schedules for the same seed).
+    pub rli_nodes: Vec<String>,
+    pub rli_crashes: u32,
+    pub catalog_delays: u32,
+    pub update_losses: u32,
 }
 
 impl ChaosPlan {
@@ -387,7 +462,29 @@ impl ChaosPlan {
             rpc_drops: 3,
             min_outage: SimDuration::from_secs(5),
             max_outage: SimDuration::from_secs(120),
+            rli_nodes: Vec::new(),
+            rli_crashes: 0,
+            catalog_delays: 0,
+            update_losses: 0,
         }
+    }
+
+    /// Arm catalog chaos: RLI node crashes (drawn from `rli_nodes`),
+    /// catalog confirm delays, and soft-state update losses. The extra
+    /// events are generated *after* the base plan's, so a given seed's
+    /// site/link/partition timeline is unchanged by enabling this.
+    pub fn with_catalog_chaos(
+        mut self,
+        rli_nodes: &[String],
+        rli_crashes: u32,
+        catalog_delays: u32,
+        update_losses: u32,
+    ) -> ChaosPlan {
+        self.rli_nodes = rli_nodes.to_vec();
+        self.rli_crashes = rli_crashes;
+        self.catalog_delays = catalog_delays;
+        self.update_losses = update_losses;
+        self
     }
 
     /// Derive the schedule. Same plan → identical schedule, every time.
@@ -442,6 +539,34 @@ impl ChaosPlan {
                 t,
                 FaultEvent::RpcDrop { from: self.sites[a].clone(), to: self.sites[b].clone(), nth },
             );
+        }
+        // Catalog chaos rides after the base plan so enabling it never
+        // perturbs the site/link/partition timeline of the same seed.
+        if self.rli_crashes > 0 && !self.rli_nodes.is_empty() {
+            for _ in 0..self.rli_crashes {
+                let node =
+                    self.rli_nodes[rng.gen_range(self.rli_nodes.len() as u64) as usize].clone();
+                let (down, up) = outage(&mut rng);
+                s.push(down, FaultEvent::RliDown { node: node.clone() });
+                s.push(up, FaultEvent::RliUp { node });
+            }
+        }
+        for _ in 0..self.catalog_delays {
+            let site = self.sites[rng.gen_range(self.sites.len() as u64) as usize].clone();
+            let extra = SimDuration::from_millis(50 + rng.gen_range(450));
+            let (start, end) = outage(&mut rng);
+            s.push(start, FaultEvent::CatalogDelay { site: site.clone(), extra });
+            s.push(end, FaultEvent::CatalogDelay { site, extra: SimDuration::ZERO });
+        }
+        for _ in 0..self.update_losses {
+            let from = if !self.rli_nodes.is_empty() && rng.gen_bool() {
+                self.rli_nodes[rng.gen_range(self.rli_nodes.len() as u64) as usize].clone()
+            } else {
+                self.sites[rng.gen_range(self.sites.len() as u64) as usize].clone()
+            };
+            let t = SimTime(rng.gen_range(h * 7 / 10).max(1));
+            let nth = 1 + rng.gen_range(3);
+            s.push(t, FaultEvent::UpdateLoss { from, nth });
         }
         s
     }
@@ -600,6 +725,81 @@ mod tests {
         c.take_pending_restarts();
         assert!(c.all_healed(), "all outages must repair by the horizon: {c}");
         assert_eq!(c.remaining_events(), 0);
+    }
+
+    #[test]
+    fn rli_crash_and_restart_track_state() {
+        let mut c = ChaosState::default();
+        c.set_schedule(
+            FaultSchedule::new()
+                .at(t(1), FaultEvent::RliDown { node: "rli-leaf-0".into() })
+                .at(t(5), FaultEvent::RliUp { node: "rli-leaf-0".into() }),
+        );
+        assert!(!c.is_rli_down("rli-leaf-0"), "future events must not apply early");
+        c.apply_until(t(2));
+        assert!(c.is_rli_down("rli-leaf-0"));
+        assert!(!c.all_healed());
+        c.apply_until(t(5));
+        assert!(!c.is_rli_down("rli-leaf-0"));
+        assert!(c.all_healed());
+    }
+
+    #[test]
+    fn catalog_delay_applies_and_clears() {
+        let mut c = ChaosState::default();
+        let extra = SimDuration::from_millis(200);
+        c.set_schedule(
+            FaultSchedule::new()
+                .at(t(1), FaultEvent::CatalogDelay { site: "a".into(), extra })
+                .at(t(9), FaultEvent::CatalogDelay { site: "a".into(), extra: SimDuration::ZERO }),
+        );
+        c.apply_until(t(1));
+        assert_eq!(c.catalog_delay("a"), extra);
+        assert_eq!(c.catalog_delay("b"), SimDuration::ZERO);
+        assert!(!c.all_healed(), "an overloaded catalog is not healed");
+        c.apply_until(t(9));
+        assert_eq!(c.catalog_delay("a"), SimDuration::ZERO);
+        assert!(c.all_healed());
+    }
+
+    #[test]
+    fn update_loss_hits_exactly_the_nth_emission() {
+        let mut c = ChaosState::default();
+        c.set_schedule(
+            FaultSchedule::new().at(t(1), FaultEvent::UpdateLoss { from: "siteA".into(), nth: 2 }),
+        );
+        c.apply_until(t(1));
+        assert!(!c.should_drop_update("siteA"));
+        assert!(c.should_drop_update("siteA"), "second emission lost");
+        assert!(!c.should_drop_update("siteA"), "and only the second");
+        assert!(!c.should_drop_update("siteB"), "other emitters untouched");
+    }
+
+    #[test]
+    fn catalog_chaos_leaves_base_timeline_unchanged() {
+        let sites: Vec<String> = ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect();
+        let nodes = vec!["rli-leaf-0".to_string(), "rli-root".to_string()];
+        let base = ChaosPlan::new(42, &sites).schedule();
+        let extended = ChaosPlan::new(42, &sites).with_catalog_chaos(&nodes, 2, 1, 2).schedule();
+        let is_catalog = |ev: &FaultEvent| {
+            matches!(
+                ev,
+                FaultEvent::RliDown { .. }
+                    | FaultEvent::RliUp { .. }
+                    | FaultEvent::CatalogDelay { .. }
+                    | FaultEvent::UpdateLoss { .. }
+            )
+        };
+        let stripped: Vec<_> =
+            extended.events().iter().filter(|(_, ev)| !is_catalog(ev)).cloned().collect();
+        assert_eq!(stripped, base.events().to_vec(), "same seed, same base timeline");
+        assert!(extended.events().iter().any(|(_, ev)| is_catalog(ev)));
+        // Everything still heals by the horizon.
+        let mut c = ChaosState::default();
+        c.set_schedule(extended);
+        c.apply_until(SimTime(SimDuration::from_secs(600).nanos()));
+        c.take_pending_restarts();
+        assert!(c.all_healed(), "catalog chaos must repair by the horizon: {c}");
     }
 
     #[test]

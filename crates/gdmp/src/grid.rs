@@ -17,6 +17,9 @@ use gdmp_gsi::cert::CertificateAuthority;
 use gdmp_gsi::context::SecurityContext;
 use gdmp_gsi::name::DistinguishedName;
 use gdmp_objectstore::ObjectFileCatalog;
+use gdmp_replica_catalog::federation::{
+    FederatedCatalog, FederationConfig, FederationFaults, LookupPlan,
+};
 use gdmp_replica_catalog::service::{FileMeta, ReplicaCatalogService};
 use gdmp_simnet::time::{SimDuration, SimTime};
 use gdmp_telemetry::Registry;
@@ -85,12 +88,82 @@ impl ReplicationReport {
     }
 }
 
+/// Which rung of the catalog lookup ladder produced the answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupVia {
+    /// Federation disabled: the central catalog answered directly.
+    Central,
+    /// The requester's own LRC already held the file (no RPC needed).
+    Local,
+    /// An RLI hint confirmed at the owning LRC.
+    Rli,
+    /// No confirmed hint — the bounded fan-out query found it.
+    Fallback,
+    /// Direct LRC scatter (dead index subtree, or the fan-out came up
+    /// empty): slower, never wrong.
+    Scatter,
+}
+
+impl LookupVia {
+    pub fn label(self) -> &'static str {
+        match self {
+            LookupVia::Central => "central",
+            LookupVia::Local => "local",
+            LookupVia::Rli => "rli",
+            LookupVia::Fallback => "fallback",
+            LookupVia::Scatter => "scatter",
+        }
+    }
+}
+
+/// Outcome of one federated replica lookup: every holder listed has been
+/// *confirmed* at its authoritative LRC — never a bare index hint.
+#[derive(Debug, Clone)]
+pub struct LookupResult {
+    pub lfn: String,
+    /// Confirmed holder sites, in probe order.
+    pub holders: Vec<String>,
+    pub via: LookupVia,
+    /// Confirm probes issued (RPC round trips paid).
+    pub confirms: u32,
+    /// Hints whose owning LRC denied holding the file (bloom false
+    /// positives or stale summaries).
+    pub false_positives: u32,
+    /// Probes that never got an answer (site down, link cut, breaker open).
+    pub unreachable: u32,
+    /// True when a dead RLI subtree degraded part of the lookup.
+    pub degraded: bool,
+    /// Age of the oldest soft-state summary consulted, ns.
+    pub staleness_ns: u64,
+}
+
+/// [`FederationFaults`] answered by the grid's live chaos state: RLI
+/// crashes and soft-state update losses come off the fault schedule.
+struct ChaosFaultView<'a> {
+    chaos: &'a mut ChaosState,
+}
+
+impl FederationFaults for ChaosFaultView<'_> {
+    fn rli_down(&self, node: &str) -> bool {
+        self.chaos.is_rli_down(node)
+    }
+
+    fn lose_update(&mut self, from: &str) -> bool {
+        self.chaos.should_drop_update(from)
+    }
+}
+
 /// The assembled data grid.
 pub struct Grid {
     pub ca: CertificateAuthority,
     clock: SimTime,
     /// The central replica catalog (one LDAP server, as in the paper).
     pub catalog: ReplicaCatalogService,
+    /// The federated catalog (per-site LRCs + RLI tree), when enabled:
+    /// lookups route through it with bounded-staleness semantics, while
+    /// the central catalog above stays authoritative for metadata. `None`
+    /// keeps the pre-federation paths bit-identical.
+    federation: Option<FederatedCatalog>,
     sites: BTreeMap<String, Site>,
     /// Directed WAN profiles; missing pairs fall back to the default.
     profiles: HashMap<(String, String), WanProfile>,
@@ -147,6 +220,7 @@ impl Grid {
             clock: SimTime::ZERO,
             catalog: ReplicaCatalogService::new("GDMP", collection)
                 .expect("fresh catalog accepts a collection"),
+            federation: None,
             sites: BTreeMap::new(),
             profiles: HashMap::new(),
             default_profile: WanProfile::cern_anl_production(),
@@ -272,6 +346,7 @@ impl Grid {
         if self.chaos.is_active() {
             self.run_recovery();
         }
+        self.tick_federation();
     }
 
     fn gsi_now(&self) -> u64 {
@@ -299,6 +374,54 @@ impl Grid {
     /// The live fault state: what is down, cut, or partitioned right now.
     pub fn chaos_state(&self) -> &ChaosState {
         &self.chaos
+    }
+
+    // ---- the federated catalog --------------------------------------------
+
+    /// Turn on the federated catalog over the current site set: one
+    /// authoritative LRC per site plus an RLI tree fed by periodic
+    /// soft-state updates. Files already in the central catalog are
+    /// backfilled into their LRCs. Call after every site is added (the
+    /// builder does this in the right order).
+    pub fn enable_federation(&mut self, config: FederationConfig) {
+        let names: Vec<String> = self.sites.keys().cloned().collect();
+        assert!(!names.is_empty(), "enable federation after adding sites");
+        let mut fed = FederatedCatalog::new(&names, config);
+        for lfn in self.catalog.list().unwrap_or_default() {
+            for loc in self.catalog.locate(&lfn).unwrap_or_default() {
+                fed.publish(&loc.location, &lfn);
+            }
+        }
+        self.federation = Some(fed);
+    }
+
+    /// The federated catalog, when enabled.
+    pub fn federation(&self) -> Option<&FederatedCatalog> {
+        self.federation.as_ref()
+    }
+
+    pub fn federation_enabled(&self) -> bool {
+        self.federation.is_some()
+    }
+
+    /// Run every soft-state push round whose boundary the clock has
+    /// passed, with losses and RLI crashes answered by the chaos state,
+    /// and publish the staleness gauge. No-op with federation off.
+    fn tick_federation(&mut self) {
+        let now = self.clock;
+        let Grid { federation, chaos, telemetry, .. } = self;
+        let Some(fed) = federation.as_mut() else { return };
+        let mut view = ChaosFaultView { chaos };
+        let (delivered, lost) = fed.tick(now, &mut view);
+        if delivered > 0 {
+            telemetry.counter_add("soft_state_updates", &[("outcome", "delivered")], delivered);
+        }
+        if lost > 0 {
+            telemetry.counter_add("soft_state_updates", &[("outcome", "lost")], lost);
+        }
+        let staleness = fed.root_staleness_ns(now) as i64;
+        telemetry.gauge_set("catalog_staleness", &[], staleness);
+        telemetry.series_set("catalog_staleness", &[], now.nanos(), staleness);
     }
 
     /// Arm the Data Mover's per-source circuit breaker.
@@ -388,14 +511,31 @@ impl Grid {
                     if let Some(s) = self.sites.get_mut(site) {
                         s.crash();
                     }
+                    // The site's LRC crashes with it: the volatile index is
+                    // lost, its durable journal survives for replay.
+                    if let Some(fed) = self.federation.as_mut() {
+                        fed.crash_lrc(site);
+                    }
                     "site_down"
                 }
-                FaultEvent::SiteUp { .. } => "site_up",
+                FaultEvent::SiteUp { site } => {
+                    // LRC restart replays the journal (PR 3-style durable
+                    // log); site-level catalog resync still runs through
+                    // `run_recovery` as before.
+                    if let Some(fed) = self.federation.as_mut() {
+                        fed.recover_lrc(site);
+                    }
+                    "site_up"
+                }
                 FaultEvent::LinkDown { .. } => "link_down",
                 FaultEvent::LinkUp { .. } => "link_up",
                 FaultEvent::Partition { .. } => "partition",
                 FaultEvent::Heal => "heal",
                 FaultEvent::RpcDrop { .. } => "rpc_drop",
+                FaultEvent::RliDown { .. } => "rli_down",
+                FaultEvent::RliUp { .. } => "rli_up",
+                FaultEvent::CatalogDelay { .. } => "catalog_delay",
+                FaultEvent::UpdateLoss { .. } => "update_loss",
             };
             reg.counter_add("chaos_events", &[("kind", kind)], 1);
             reg.record(self.clock.nanos(), "chaos_event", format!("{ev:?}"));
@@ -618,6 +758,262 @@ impl Grid {
         }
     }
 
+    // ---- federated lookup --------------------------------------------------
+
+    /// Locate every confirmed replica of `lfn`, as seen from `from`.
+    ///
+    /// With federation off this is a central-catalog query. With it on,
+    /// the lookup walks the degradation ladder — own LRC, RLI hints
+    /// (each *confirmed* at the owning LRC before it counts), a bounded
+    /// fan-out query when hints miss, and direct LRC scatter when the
+    /// index cannot speak for part of the grid. Confirm RPCs pay real
+    /// round trips, feed the circuit breaker, and serve backoff via the
+    /// installed [`RecoveryStrategy`]. Every returned holder is verified
+    /// against authoritative LRC state: slower under faults, never wrong.
+    pub fn lookup_replicas(&mut self, from: &str, lfn: &str) -> Result<LookupResult> {
+        if !self.sites.contains_key(from) {
+            return Err(GdmpError::NoSuchSite(from.to_string()));
+        }
+        if self.federation.is_none() {
+            let holders: Vec<String> = self
+                .catalog
+                .locate(lfn)
+                .map_err(|_| GdmpError::NotPublished(lfn.to_string()))?
+                .into_iter()
+                .map(|l| l.location)
+                .collect();
+            if holders.is_empty() {
+                return Err(GdmpError::NotPublished(lfn.to_string()));
+            }
+            return Ok(LookupResult {
+                lfn: lfn.to_string(),
+                holders,
+                via: LookupVia::Central,
+                confirms: 0,
+                false_positives: 0,
+                unreachable: 0,
+                degraded: false,
+                staleness_ns: 0,
+            });
+        }
+        if self.chaos.is_active() {
+            self.apply_due_faults();
+        }
+        // Catch the index up to the clock before consulting it.
+        self.tick_federation();
+        let reg = self.telemetry.clone();
+        reg.counter_add("lrc_lookups", &[("site", from)], 1);
+        let span = reg.span_start("lookup", self.clock.nanos());
+        reg.span_note(span, "lfn", lfn);
+        reg.span_note(span, "from", from);
+        let result = self.lookup_ladder(from, lfn, &reg);
+        match &result {
+            Ok(r) => {
+                reg.span_note(span, "via", r.via.label());
+                reg.span_note(span, "holders", r.holders.len() as u64);
+                reg.span_note(span, "confirms", u64::from(r.confirms));
+                if r.staleness_ns > 0 {
+                    reg.span_note(span, "staleness_ns", r.staleness_ns);
+                }
+                reg.counter_add("catalog_lookups", &[("via", r.via.label())], 1);
+            }
+            Err(e) => {
+                reg.span_note(span, "error", e.to_string());
+                reg.counter_add("catalog_lookups", &[("via", "failed")], 1);
+            }
+        }
+        reg.span_end(span, self.clock.nanos());
+        result
+    }
+
+    /// The ladder body of [`Grid::lookup_replicas`] (federation on).
+    fn lookup_ladder(&mut self, from: &str, lfn: &str, reg: &Registry) -> Result<LookupResult> {
+        let now = self.clock;
+        let plan: LookupPlan = {
+            let Grid { federation, chaos, .. } = self;
+            let fed = federation.as_ref().expect("caller checked federation");
+            let view = ChaosFaultView { chaos };
+            fed.plan_lookup(lfn, now, &view)
+        };
+        let mut result = LookupResult {
+            lfn: lfn.to_string(),
+            holders: Vec::new(),
+            via: LookupVia::Rli,
+            confirms: 0,
+            false_positives: 0,
+            unreachable: 0,
+            degraded: plan.degraded,
+            staleness_ns: plan.staleness_ns,
+        };
+        let mut probed: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        let mut first_unreachable: Option<String> = None;
+
+        // Rung 0: the requester's own LRC, authoritative and free.
+        probed.insert(from.to_string());
+        if self.federation.as_ref().expect("checked").lrc_holds(from, lfn) {
+            result.holders.push(from.to_string());
+            result.via = LookupVia::Local;
+            self.federation.as_mut().expect("checked").audit_answer(lfn, &result.holders);
+            return Ok(result);
+        }
+
+        // Rung 1: RLI hints, each confirmed at the owning LRC. A denial
+        // from a *reachable* LRC is a bloom false positive / stale entry.
+        for site in &plan.hints {
+            if !probed.insert(site.clone()) {
+                continue;
+            }
+            match self.confirm_at(from, site, lfn, &mut result, reg) {
+                Some(true) => result.holders.push(site.clone()),
+                Some(false) => {
+                    result.false_positives += 1;
+                    reg.counter_add("rli_false_positives", &[], 1);
+                }
+                None => {
+                    first_unreachable.get_or_insert_with(|| site.clone());
+                }
+            }
+        }
+        if !result.holders.is_empty() {
+            result.via = LookupVia::Rli;
+            reg.counter_add("rli_hits", &[], result.holders.len() as u64);
+            self.federation.as_mut().expect("checked").audit_answer(lfn, &result.holders);
+            return Ok(result);
+        }
+
+        // Rung 2 (degraded): the index is blind to dead subtrees — ask
+        // those LRCs directly.
+        for site in &plan.scatter {
+            if !probed.insert(site.clone()) {
+                continue;
+            }
+            match self.confirm_at(from, site, lfn, &mut result, reg) {
+                Some(true) => result.holders.push(site.clone()),
+                Some(false) => {}
+                None => {
+                    first_unreachable.get_or_insert_with(|| site.clone());
+                }
+            }
+        }
+        if !result.holders.is_empty() {
+            result.via = LookupVia::Scatter;
+            self.federation.as_mut().expect("checked").audit_answer(lfn, &result.holders);
+            return Ok(result);
+        }
+
+        // Rung 3: bounded fan-out over sites nothing has asked yet (bloom
+        // false negatives are impossible, but lost/expired summaries make
+        // the index forget).
+        let (fanout, all_sites) = {
+            let fed = self.federation.as_ref().expect("checked");
+            (fed.config().fallback_fanout, fed.sites())
+        };
+        let fallback: Vec<String> =
+            all_sites.iter().filter(|s| !probed.contains(*s)).take(fanout).cloned().collect();
+        if !fallback.is_empty() {
+            reg.counter_add("lookup_fallbacks", &[], 1);
+            for site in &fallback {
+                probed.insert(site.clone());
+                match self.confirm_at(from, site, lfn, &mut result, reg) {
+                    Some(true) => result.holders.push(site.clone()),
+                    Some(false) => {}
+                    None => {
+                        first_unreachable.get_or_insert_with(|| site.clone());
+                    }
+                }
+            }
+        }
+        if !result.holders.is_empty() {
+            result.via = LookupVia::Fallback;
+            self.federation.as_mut().expect("checked").audit_answer(lfn, &result.holders);
+            return Ok(result);
+        }
+
+        // Rung 4: full LRC scatter — the slowest honest answer there is.
+        let rest: Vec<String> =
+            all_sites.iter().filter(|s| !probed.contains(*s)).cloned().collect();
+        for site in &rest {
+            match self.confirm_at(from, site, lfn, &mut result, reg) {
+                Some(true) => result.holders.push(site.clone()),
+                Some(false) => {}
+                None => {
+                    first_unreachable.get_or_insert_with(|| site.clone());
+                }
+            }
+        }
+        self.federation.as_mut().expect("checked").audit_answer(lfn, &result.holders);
+        if !result.holders.is_empty() {
+            result.via = LookupVia::Scatter;
+            return Ok(result);
+        }
+        match first_unreachable {
+            // Some holder may be hiding behind an unreachable LRC: a
+            // retryable miss, not a verdict.
+            Some(site) => Err(GdmpError::SiteUnreachable(site)),
+            None => Err(GdmpError::NotPublished(lfn.to_string())),
+        }
+    }
+
+    /// Confirm whether `site`'s LRC holds `lfn`, as one authenticated RPC
+    /// from `from` with the full retry hygiene: breaker skip, one
+    /// backoff-served retry on a retryable failure, chaos-injected
+    /// catalog latency. `Some(holds)` on an answer, `None` if the LRC
+    /// never answered.
+    fn confirm_at(
+        &mut self,
+        from: &str,
+        site: &str,
+        lfn: &str,
+        result: &mut LookupResult,
+        reg: &Registry,
+    ) -> Option<bool> {
+        if site == from {
+            return Some(self.federation.as_ref().expect("checked").lrc_holds(site, lfn));
+        }
+        if self.breaker.is_open(site, self.clock) {
+            reg.counter_add("breaker_skips", &[], 1);
+            result.unreachable += 1;
+            return None;
+        }
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            result.confirms += 1;
+            match self.ping(from, site) {
+                Ok(()) => {
+                    self.breaker.record_success(site);
+                    // An overloaded LDAP server answers late: the chaos
+                    // schedule's CatalogDelay charges the requester.
+                    let extra = self.chaos.catalog_delay(site);
+                    if extra > SimDuration::ZERO {
+                        self.clock += extra;
+                        reg.counter_add("catalog_delays_served", &[("site", site)], 1);
+                    }
+                    return Some(self.federation.as_ref().expect("checked").lrc_holds(site, lfn));
+                }
+                Err(e) if e.is_retryable() => {
+                    let ctx = FailureCtx {
+                        attempts_on_source: attempts,
+                        attempts_total: attempts,
+                        sources_tried: 1,
+                        sources_remaining: 0,
+                        kind: FailureKind::Unreachable,
+                    };
+                    let action = self.handle_failure(site, &ctx, reg);
+                    if action == RecoveryAction::RetrySameSource && attempts < 2 {
+                        continue;
+                    }
+                    result.unreachable += 1;
+                    return None;
+                }
+                Err(_) => {
+                    result.unreachable += 1;
+                    return None;
+                }
+            }
+        }
+    }
+
     // ---- publication -------------------------------------------------------
 
     /// Publish a file: store it locally (disk + tape), register it in the
@@ -647,6 +1043,11 @@ impl Grid {
                 site.url_prefix.clone()
             };
             self.catalog.publish(Some(lfn), site_name, &url_prefix, &meta)?;
+            // The publishing site's LRC is the authoritative federation
+            // record; soft state flows to the RLI tree on the next rounds.
+            if let Some(fed) = self.federation.as_mut() {
+                fed.publish(site_name, lfn);
+            }
             let notice = FileNotice {
                 lfn: lfn.to_string(),
                 meta: meta.clone(),
@@ -822,6 +1223,22 @@ impl Grid {
         if !self.sites.contains_key(dst) {
             return Err(GdmpError::NoSuchSite(dst.to_string()));
         }
+        // When the federation is live, source discovery routes through the
+        // lookup ladder: every candidate is confirmed against its
+        // authoritative LRC, so the flow never pulls from a site whose copy
+        // is stale catalog fiction. An unreachable-catalog error surfaces as
+        // retryable and defers to `replicate_pending` like any other outage.
+        let info = if self.federation.is_some() {
+            let lookup = self.lookup_replicas(dst, lfn)?;
+            let mut filtered = info;
+            filtered.replicas.retain(|r| lookup.holders.contains(&r.location));
+            if filtered.replicas.is_empty() {
+                return Err(GdmpError::NotPublished(lfn.to_string()));
+            }
+            filtered
+        } else {
+            info
+        };
         let reg = self.telemetry.clone();
         let root = reg.span_start("replicate", started_at.nanos());
         reg.span_note(root, "lfn", lfn);
@@ -1792,6 +2209,9 @@ impl Grid {
         let register_span = reg.span_start("catalog_register", self.clock.nanos());
         let url = self.site(dst)?.url_prefix.clone();
         self.catalog.add_replica(lfn, dst, &url)?;
+        if let Some(fed) = self.federation.as_mut() {
+            fed.publish(dst, lfn);
+        }
         let notice = FileNotice {
             lfn: lfn.to_string(),
             meta: info.meta.clone(),

@@ -14,6 +14,10 @@
 //!    subscriber holds every file its producers published, exactly once.
 //! 4. **Quiescence** — import queues, notification journals, and pending
 //!    restarts are empty; nothing is silently stuck.
+//! 5. **Federation** — when the catalog is federated, no lookup ever
+//!    returned a holder the owning LRC disavows (the never-wrong
+//!    contract), and once faults heal every LRC agrees with the central
+//!    catalog's per-site view.
 //!
 //! All inspection goes through non-perturbing accessors (`pool.peek`,
 //! `tape.peek`): checking the invariants never mounts a tape, touches an
@@ -27,7 +31,7 @@ use crate::grid::Grid;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Which invariant family failed (`integrity`, `accounting`,
-    /// `convergence`, `quiescence`).
+    /// `convergence`, `quiescence`, `federation`).
     pub invariant: &'static str,
     /// Site where the problem was observed (empty for grid-global issues).
     pub site: String,
@@ -84,6 +88,7 @@ pub fn check_grid(grid: &mut Grid) -> InvariantReport {
         check_quiescence(grid, name, &mut report);
     }
     check_convergence(grid, &site_names, &mut report);
+    check_federation(grid, &mut report);
 
     if grid.chaos_state().is_active() && grid.chaos_state().pending_restarts() > 0 {
         report.violations.push(Violation {
@@ -253,6 +258,56 @@ fn check_convergence(grid: &mut Grid, site_names: &[String], report: &mut Invari
                 invariant: "convergence",
                 site: subscriber.clone(),
                 detail: format!("{lfn}: {registered} catalog entries at subscriber, want 1"),
+            });
+        }
+    }
+}
+
+/// Invariant 5: the federation never lied. `wrong_answers` counts every
+/// holder a lookup returned that the owning LRC disavowed at answer time —
+/// it must be zero under *any* fault schedule, healed or not. Once chaos is
+/// quiet we additionally demand LRC ↔ central-catalog agreement: the
+/// authoritative per-site indexes and the Globus catalog describe the same
+/// grid.
+fn check_federation(grid: &mut Grid, report: &mut InvariantReport) {
+    let Some(fed) = grid.federation() else { return };
+    if fed.stats.wrong_answers > 0 {
+        report.violations.push(Violation {
+            invariant: "federation",
+            site: String::new(),
+            detail: format!(
+                "{} confirmed lookup answer(s) contradicted LRC ground truth",
+                fed.stats.wrong_answers
+            ),
+        });
+    }
+    let chaos_quiet = !grid.chaos_state().is_active() || grid.chaos_state().all_healed();
+    if !chaos_quiet {
+        return;
+    }
+    // Snapshot LRC contents first: the catalog query API needs `&mut`.
+    let lrc_view: Vec<(String, std::collections::BTreeSet<String>)> = grid
+        .federation()
+        .map(|fed| {
+            fed.sites()
+                .iter()
+                .filter_map(|s| fed.lrc(s).map(|l| (s.clone(), l.files().clone())))
+                .collect()
+        })
+        .unwrap_or_default();
+    for (site, lrc_files) in lrc_view {
+        let catalog_files: std::collections::BTreeSet<String> =
+            grid.catalog.site_files(&site).unwrap_or_default().into_iter().collect();
+        if lrc_files != catalog_files {
+            let only_lrc: Vec<_> = lrc_files.difference(&catalog_files).cloned().collect();
+            let only_cat: Vec<_> = catalog_files.difference(&lrc_files).cloned().collect();
+            report.violations.push(Violation {
+                invariant: "federation",
+                site,
+                detail: format!(
+                    "LRC and central catalog disagree after heal: \
+                     LRC-only {only_lrc:?}, catalog-only {only_cat:?}"
+                ),
             });
         }
     }

@@ -39,7 +39,7 @@ pub use chaos::{ChaosPlan, ChaosState, FaultEvent, FaultSchedule};
 pub use consistency::{associated_closure, ConsistencyPolicy};
 pub use error::{GdmpError, Result};
 pub use failure::{FaultPlan, FaultState, Verdict};
-pub use grid::{Grid, ReplicationReport, TransferParams};
+pub use grid::{Grid, LookupResult, LookupVia, ReplicationReport, TransferParams};
 pub use invariants::{check_grid, InvariantReport, Violation};
 pub use message::{FileNotice, Request, Response};
 pub use objrep::{ObjectReplicationConfig, ObjectReplicationReport};
@@ -64,13 +64,16 @@ pub mod prelude {
     pub use crate::builder::GridBuilder;
     pub use crate::chaos::{ChaosPlan, FaultSchedule};
     pub use crate::error::{FailureKind, GdmpError, Result};
-    pub use crate::grid::{Grid, ReplicationReport, TransferParams};
+    pub use crate::grid::{Grid, LookupResult, LookupVia, ReplicationReport, TransferParams};
     pub use crate::recovery::{BackoffRetry, BreakerConfig, RecoveryStrategy, SimpleRetry};
     pub use crate::schedule::{FetchPolicy, MultiSourcePlan};
     pub use crate::selection::{AnalyticCostModel, CostModel, HistoryCostModel};
     pub use crate::site::SiteConfig;
     pub use bytes::Bytes;
     pub use gdmp_gridftp::sim::WanProfile;
+    pub use gdmp_replica_catalog::federation::{
+        FederatedCatalog, FederationConfig, FederationStats,
+    };
     pub use gdmp_simnet::time::{SimDuration, SimTime};
     pub use gdmp_telemetry::Registry;
 }

@@ -11,14 +11,23 @@
 //!   auto-created entries, sanity checks, metadata filters;
 //! * [`replicated`] — the paper's future work, prototyped: an LDAP
 //!   replica cluster with eager write propagation, read load-sharing,
-//!   failure and resynchronization.
+//!   failure and resynchronization;
+//! * [`federation`] — the successor design the central catalog grew into:
+//!   per-site authoritative LRCs feeding a soft-state RLI tree with
+//!   bloom-compressed summaries, TTL expiry, and bounded-staleness
+//!   never-wrong lookup planning.
 
 pub mod catalog;
+pub mod federation;
 pub mod ldap;
 pub mod replicated;
 pub mod service;
 
 pub use catalog::{CatalogError, PhysicalLocation, ReplicaCatalog};
+pub use federation::{
+    BloomFilter, FederatedCatalog, FederationConfig, FederationFaults, FederationStats, LookupPath,
+    LookupPlan, NoFaults,
+};
 pub use ldap::{Directory, Filter, LdapDn, LdapError, Scope};
 pub use replicated::{ClusterError, DirectoryCluster};
 pub use service::{FileMeta, ReplicaCatalogService, ReplicaInfo};

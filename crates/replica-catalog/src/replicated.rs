@@ -39,9 +39,29 @@ impl From<LdapError> for ClusterError {
     }
 }
 
+/// Lifecycle of one cluster member. The dangerous transition is
+/// `Down → Live`: a member that rejoins the read rotation *before* its
+/// backfill completes serves pre-crash state. `Resyncing` makes the
+/// window explicit — the member is back but serves no reads and takes no
+/// writes until [`DirectoryCluster::complete_resync`] installs a fresh
+/// snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReplicaState {
+    Live,
+    Down,
+    /// Rejoined but not yet caught up: excluded from reads and writes.
+    Resyncing,
+}
+
 struct Replica {
     dir: Directory,
-    alive: bool,
+    state: ReplicaState,
+}
+
+impl Replica {
+    fn is_live(&self) -> bool {
+        self.state == ReplicaState::Live
+    }
 }
 
 /// `n` directory replicas: writes go to every live replica (eager,
@@ -59,7 +79,9 @@ impl DirectoryCluster {
     pub fn new(n: usize) -> Self {
         assert!(n >= 1, "need at least one replica");
         DirectoryCluster {
-            replicas: (0..n).map(|_| Replica { dir: Directory::new(), alive: true }).collect(),
+            replicas: (0..n)
+                .map(|_| Replica { dir: Directory::new(), state: ReplicaState::Live })
+                .collect(),
             cursor: 0,
             writes: 0,
         }
@@ -70,11 +92,16 @@ impl DirectoryCluster {
     }
 
     pub fn live_count(&self) -> usize {
-        self.replicas.iter().filter(|r| r.alive).count()
+        self.replicas.iter().filter(|r| r.is_live()).count()
+    }
+
+    /// Members currently inside the resync window (rejoined, not serving).
+    pub fn resyncing_count(&self) -> usize {
+        self.replicas.iter().filter(|r| r.state == ReplicaState::Resyncing).count()
     }
 
     fn primary_index(&self) -> Result<usize, ClusterError> {
-        self.replicas.iter().position(|r| r.alive).ok_or(ClusterError::NoReplicasLeft)
+        self.replicas.iter().position(|r| r.is_live()).ok_or(ClusterError::NoReplicasLeft)
     }
 
     /// Apply a write to every live replica; all must agree on the result
@@ -85,9 +112,11 @@ impl DirectoryCluster {
     ) -> Result<T, ClusterError> {
         let primary = self.primary_index()?;
         // Run on the primary first; on error nothing else is touched.
+        // Resyncing members take no writes — the snapshot installed at
+        // resync completion covers everything they miss in the window.
         let result = op(&mut self.replicas[primary].dir)?;
         for (i, r) in self.replicas.iter_mut().enumerate() {
-            if i != primary && r.alive {
+            if i != primary && r.is_live() {
                 op(&mut r.dir).expect("secondary replica diverged from primary");
             }
         }
@@ -95,12 +124,15 @@ impl DirectoryCluster {
         Ok(result)
     }
 
-    /// Pick the next live replica round-robin.
+    /// Pick the next live replica round-robin. Resyncing members are NOT
+    /// in the rotation: until their backfill completes they still hold
+    /// pre-crash state, and a read served there could silently miss every
+    /// write since the crash.
     fn next_reader(&mut self) -> Result<usize, ClusterError> {
         let n = self.replicas.len();
         for k in 0..n {
             let i = (self.cursor + k) % n;
-            if self.replicas[i].alive {
+            if self.replicas[i].is_live() {
                 self.cursor = (i + 1) % n;
                 return Ok(i);
             }
@@ -150,39 +182,71 @@ impl DirectoryCluster {
     // ---- membership ------------------------------------------------------
 
     /// Take a replica down (crash). Reads and writes continue on the rest.
+    /// A member mid-resync can crash again too.
     pub fn fail(&mut self, idx: usize) -> Result<(), ClusterError> {
         match self.replicas.get_mut(idx) {
-            Some(r) if r.alive => {
-                r.alive = false;
-                if self.live_count() == 0 {
-                    // Leave it failed; callers will get NoReplicasLeft.
-                }
+            Some(r) if r.state != ReplicaState::Down => {
+                r.state = ReplicaState::Down;
                 Ok(())
             }
             _ => Err(ClusterError::BadReplica(idx)),
         }
     }
 
-    /// Bring a replica back: it resynchronizes from the current primary.
-    pub fn recover(&mut self, idx: usize) -> Result<(), ClusterError> {
+    /// Phase one of recovery: the member rejoins the cluster but enters
+    /// the resync window — it serves no reads and takes no writes until
+    /// [`complete_resync`](Self::complete_resync) installs its backfill.
+    pub fn begin_recover(&mut self, idx: usize) -> Result<(), ClusterError> {
+        match self.replicas.get_mut(idx) {
+            Some(r) if r.state == ReplicaState::Down => {
+                r.state = ReplicaState::Resyncing;
+                Ok(())
+            }
+            _ => Err(ClusterError::BadReplica(idx)),
+        }
+    }
+
+    /// Phase two: install a snapshot of the current primary — taken *now*,
+    /// so every write that landed during the window is included — and put
+    /// the member back in the read rotation.
+    pub fn complete_resync(&mut self, idx: usize) -> Result<(), ClusterError> {
         let primary = self.primary_index()?;
         if primary == idx {
             return Err(ClusterError::BadReplica(idx));
         }
         let snapshot = self.replicas[primary].dir.clone();
         match self.replicas.get_mut(idx) {
-            Some(r) if !r.alive => {
+            Some(r) if r.state == ReplicaState::Resyncing => {
+                // The snapshot carries the primary's op counters; the
+                // member keeps its own served-load history.
+                let (reads, writes) = (r.dir.read_ops, r.dir.write_ops);
                 r.dir = snapshot;
-                r.alive = true;
+                r.dir.read_ops = reads;
+                r.dir.write_ops = writes;
+                r.state = ReplicaState::Live;
                 Ok(())
             }
             _ => Err(ClusterError::BadReplica(idx)),
         }
     }
 
+    /// Bring a replica back in one step: begin recovery and complete the
+    /// resync atomically (no observable window).
+    pub fn recover(&mut self, idx: usize) -> Result<(), ClusterError> {
+        // Validate the primary exists before changing any state, so a
+        // failed recover leaves the member Down rather than half-rejoined.
+        let primary = self.primary_index()?;
+        if primary == idx {
+            return Err(ClusterError::BadReplica(idx));
+        }
+        self.begin_recover(idx)?;
+        self.complete_resync(idx)
+    }
+
     /// Consistency check: every live replica holds identical content.
+    /// Members mid-resync are exempt — they are not serving.
     pub fn is_consistent(&self) -> bool {
-        let mut live = self.replicas.iter().filter(|r| r.alive);
+        let mut live = self.replicas.iter().filter(|r| r.is_live());
         let Some(first) = live.next() else { return true };
         live.all(|r| r.dir.content_eq(&first.dir))
     }
@@ -258,6 +322,55 @@ mod tests {
         // It serves reads again and sees the missed write.
         let hit = c.get(&LdapDn::parse("lc=missed,rc=GDMP").unwrap()).unwrap();
         assert!(hit.is_some());
+    }
+
+    /// Regression: a member inside the resync window must serve NO reads.
+    /// Under the old single-`alive`-flag design, a rejoining member was
+    /// back in the round-robin rotation before its backfill installed, so
+    /// one read in three would observe pre-crash state (here: miss a key
+    /// written while the member was down).
+    #[test]
+    fn resync_window_reads_never_observe_pre_crash_state() {
+        let mut c = seeded(3);
+        c.fail(2).unwrap();
+        // This write lands while replica 2 is down — its pre-crash state
+        // does not contain it.
+        let missed = LdapDn::parse("lc=missed,rc=GDMP").unwrap();
+        c.add(missed.clone(), attrs(&[("objectclass", "col")])).unwrap();
+        // Replica 2 rejoins but its resync has not completed.
+        c.begin_recover(2).unwrap();
+        assert_eq!(c.resyncing_count(), 1);
+        // Every read during the window must see the missed key; with the
+        // member prematurely in rotation, one in three returns None.
+        for _ in 0..9 {
+            assert!(
+                c.get(&missed).unwrap().is_some(),
+                "read observed pre-crash state during the resync window"
+            );
+        }
+        assert_eq!(c.read_load()[2], 0, "resyncing member served reads");
+        // Writes during the window are covered by the completion snapshot.
+        let late = LdapDn::parse("lc=late,rc=GDMP").unwrap();
+        c.add(late.clone(), attrs(&[("objectclass", "col")])).unwrap();
+        c.complete_resync(2).unwrap();
+        assert!(c.is_consistent(), "snapshot at completion covers window writes");
+        assert_eq!(c.live_count(), 3);
+        assert_eq!(c.resyncing_count(), 0);
+        // The member still reports only its own served load, not the
+        // primary's counters smuggled in by the snapshot.
+        assert_eq!(c.read_load()[2], 0);
+    }
+
+    #[test]
+    fn resync_member_can_crash_again() {
+        let mut c = seeded(3);
+        c.fail(1).unwrap();
+        c.begin_recover(1).unwrap();
+        c.fail(1).unwrap();
+        assert_eq!(c.live_count(), 2);
+        assert!(matches!(c.complete_resync(1), Err(ClusterError::BadReplica(1))));
+        c.recover(1).unwrap();
+        assert!(c.is_consistent());
     }
 
     #[test]

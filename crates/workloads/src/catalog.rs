@@ -1,0 +1,330 @@
+//! Federated-catalog soak: a 100-plus-site grid publishes a file
+//! population, then fires Zipf-skewed lookups at the federation while a
+//! seeded fault plan crashes RLI nodes, loses soft-state updates, delays
+//! catalog answers, and runs the base site/link/partition chaos — and the
+//! federation must *never* return a wrong answer. Slower rungs of the
+//! degradation ladder are fine; a holder the owning LRC disavows is not.
+//!
+//! Like [`crate::soak`], the run is a pure function of the spec: same
+//! seed → identical trace, final clock, and telemetry export, byte for
+//! byte.
+
+use bytes::Bytes;
+use gdmp::chaos::ChaosPlan;
+use gdmp::invariants::{check_grid, InvariantReport};
+use gdmp::prelude::WanProfile;
+use gdmp::{BackoffRetry, BreakerConfig, FaultSchedule, GdmpError, Grid, LookupVia, SiteConfig};
+use gdmp_replica_catalog::{FederatedCatalog, FederationConfig, FederationStats};
+use gdmp_simnet::time::SimDuration;
+use gdmp_telemetry::Registry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::soak::ChaosMode;
+use crate::zipf::Zipf;
+
+/// Parameters of one catalog soak run.
+#[derive(Debug, Clone)]
+pub struct CatalogSoakSpec {
+    /// Number of sites; the acceptance runs use 100+.
+    pub sites: usize,
+    /// Files published per site (each file lives at exactly one owner
+    /// until faults and lookups are done — lookups, not transfers, are
+    /// under test here).
+    pub files_per_site: usize,
+    /// Lookup rounds after the publish phase.
+    pub lookup_rounds: usize,
+    /// Zipf-sampled lookups per round.
+    pub lookups_per_round: usize,
+    /// Zipf exponent over the file population (rank 0 hottest).
+    pub zipf_alpha: f64,
+    /// Size of each published file (kept small: catalog traffic, not
+    /// GridFTP throughput, is the workload).
+    pub file_size: u64,
+    /// Sim time between lookup rounds (also the soft-state cadence the
+    /// default [`FederationConfig`] pushes on).
+    pub round_gap: SimDuration,
+    pub chaos: ChaosMode,
+}
+
+impl CatalogSoakSpec {
+    /// Sized for CI: two dozen sites, a few rounds — runs in well under a
+    /// second.
+    pub fn quick(chaos: ChaosMode) -> Self {
+        CatalogSoakSpec {
+            sites: 24,
+            files_per_site: 2,
+            lookup_rounds: 4,
+            lookups_per_round: 16,
+            zipf_alpha: 0.9,
+            file_size: 8 * 1024,
+            round_gap: SimDuration::from_secs(30),
+            chaos,
+        }
+    }
+
+    /// The acceptance shape: 100+ sites, a multi-tier RLI tree.
+    pub fn full(chaos: ChaosMode) -> Self {
+        CatalogSoakSpec {
+            sites: 108,
+            lookup_rounds: 6,
+            lookups_per_round: 24,
+            ..Self::quick(chaos)
+        }
+    }
+}
+
+/// Everything one catalog soak produced.
+#[derive(Debug, Clone)]
+pub struct CatalogSoakOutcome {
+    pub spec_chaos: ChaosMode,
+    /// Files published (sites down at publish time skip their turn).
+    pub published: usize,
+    /// Lookups attempted / answered with confirmed holders.
+    pub lookups: usize,
+    pub answered: usize,
+    /// Lookups that failed honestly (every reachable LRC denied, or the
+    /// ladder ran out of reachable LRCs). Nonzero only under chaos.
+    pub failed: usize,
+    /// Answers per ladder rung, keyed by [`LookupVia::label`] order:
+    /// local, rli, fallback, scatter.
+    pub via_local: usize,
+    pub via_rli: usize,
+    pub via_fallback: usize,
+    pub via_scatter: usize,
+    /// Answers produced while part of the index was dead.
+    pub degraded_answers: usize,
+    /// The federation's own counters (wrong_answers is the contract).
+    pub stats: FederationStats,
+    pub final_clock_ns: u64,
+    pub schedule_debug: String,
+    pub trace: Vec<String>,
+    pub report: InvariantReport,
+    pub registry: Registry,
+}
+
+impl CatalogSoakOutcome {
+    pub fn converged(&self) -> bool {
+        self.report.is_clean()
+    }
+
+    /// The never-wrong contract, directly.
+    pub fn never_wrong(&self) -> bool {
+        self.stats.wrong_answers == 0
+    }
+}
+
+fn site_name(i: usize) -> String {
+    // Zero-padded so BTreeMap order matches publish order at any scale.
+    format!("site{i:03}")
+}
+
+fn file_name(f: usize) -> String {
+    format!("file{f:04}.dat")
+}
+
+/// Run one catalog soak. Deterministic: no wall clocks, no ambient
+/// randomness.
+pub fn run_catalog_soak(spec: &CatalogSoakSpec) -> CatalogSoakOutcome {
+    let names: Vec<String> = (0..spec.sites).map(site_name).collect();
+    let fed_config = FederationConfig::default();
+    let reg = Registry::with_recorder_capacity(16384);
+    reg.enable_timeseries(SimDuration::from_secs(30).nanos());
+    let jitter_seed = match spec.chaos {
+        ChaosMode::Seeded(s) => s,
+        _ => 0,
+    };
+    let mut builder = Grid::builder("catalog-soak")
+        .telemetry_sink(reg.clone())
+        .default_profile(WanProfile::cern_anl_production())
+        .recovery(Box::new(BackoffRetry::new(jitter_seed)))
+        .breaker(BreakerConfig::default())
+        .federation(fed_config.clone());
+    for (i, name) in names.iter().enumerate() {
+        builder = builder.site(SiteConfig::named(name, &format!("{name}.grid"), 500 + i as u64));
+    }
+    builder = builder.trust_all();
+    let mut schedule_debug = String::new();
+    builder = match spec.chaos {
+        ChaosMode::Off => builder,
+        ChaosMode::EmptySchedule => builder.fault_schedule(FaultSchedule::new()),
+        ChaosMode::Seeded(seed) => {
+            // The RLI topology is a pure function of the site set, so a
+            // throwaway federation names the chaos plan's targets.
+            let rli_nodes = FederatedCatalog::new(&names, fed_config.clone()).node_names();
+            let schedule =
+                ChaosPlan::new(seed, &names).with_catalog_chaos(&rli_nodes, 3, 3, 4).schedule();
+            schedule_debug = format!("{schedule}");
+            builder.fault_schedule(schedule)
+        }
+    };
+    let mut grid = builder.build();
+    let horizon = grid.chaos_state().schedule().horizon();
+
+    // Publish phase: every file has exactly one owner, owner i holding
+    // files i, i+sites, i+2*sites, ... A site that is down when its turn
+    // comes publishes nothing (exactly like the replication soak).
+    let total_files = spec.sites * spec.files_per_site;
+    let mut published = 0usize;
+    for f in 0..total_files {
+        let owner = &names[f % spec.sites];
+        if grid.chaos_state().is_down(owner) {
+            continue;
+        }
+        let fill = (f % 251) as u8;
+        grid.publish_file(
+            owner,
+            &file_name(f),
+            Bytes::from(vec![fill; spec.file_size as usize]),
+            "flat",
+        )
+        .expect("publish on a live site");
+        published += 1;
+    }
+
+    // Lookup phase: Zipf-skewed queries from rotating requesters while
+    // the fault plan does its worst. The one inviolable check runs every
+    // round: the federation has never returned a wrong answer.
+    let zipf = Zipf::new(total_files.max(1), spec.zipf_alpha);
+    let mut rng = StdRng::seed_from_u64(0x0CA7_A106 ^ jitter_seed);
+    let mut lookups = 0usize;
+    let mut answered = 0usize;
+    let mut failed = 0usize;
+    let (mut via_local, mut via_rli, mut via_fallback, mut via_scatter) = (0, 0, 0, 0);
+    let mut degraded_answers = 0usize;
+    for _round in 0..spec.lookup_rounds {
+        grid.advance(spec.round_gap);
+        for _ in 0..spec.lookups_per_round {
+            let requester = &names[rng.gen_range(0..spec.sites)];
+            if grid.chaos_state().is_down(requester) {
+                continue;
+            }
+            let lfn = file_name(zipf.sample(&mut rng));
+            lookups += 1;
+            match grid.lookup_replicas(requester, &lfn) {
+                Ok(r) => {
+                    answered += 1;
+                    match r.via {
+                        LookupVia::Local => via_local += 1,
+                        LookupVia::Rli => via_rli += 1,
+                        LookupVia::Fallback => via_fallback += 1,
+                        LookupVia::Scatter => via_scatter += 1,
+                        LookupVia::Central => unreachable!("federation is on"),
+                    }
+                    if r.degraded {
+                        degraded_answers += 1;
+                    }
+                }
+                // Honest misses only: the owner's LRC was dead or cut off
+                // (retryable), or it was never published because the owner
+                // was down at publish time.
+                Err(GdmpError::SiteUnreachable(_)) | Err(GdmpError::NotPublished(_)) => failed += 1,
+                Err(e) => panic!("unexpected lookup error: {e}"),
+            }
+        }
+        let stats = &grid.federation().expect("federation on").stats;
+        assert_eq!(stats.wrong_answers, 0, "federation returned a wrong answer mid-soak");
+    }
+
+    // Heal and quiesce: run past the fault horizon, then drain restarts.
+    let now = grid.now();
+    if horizon > now {
+        grid.advance(horizon - now + SimDuration::from_secs(1));
+    }
+    for _ in 0..20 {
+        grid.run_recovery();
+        grid.advance(SimDuration::from_secs(30));
+        if grid.chaos_state().pending_restarts() == 0 {
+            break;
+        }
+    }
+
+    // Post-heal sweep: with every fault healed and fresh soft state
+    // flowed, every published file must be findable again — the ladder
+    // always completes once the grid is whole.
+    for f in 0..total_files {
+        let lfn = file_name(f);
+        if grid.catalog.locate(&lfn).map(|l| l.is_empty()).unwrap_or(true) {
+            continue; // owner was down at publish time; never existed
+        }
+        let requester = &names[(f * 7) % spec.sites];
+        lookups += 1;
+        match grid.lookup_replicas(requester, &lfn) {
+            Ok(_) => answered += 1,
+            Err(e) => panic!("post-heal lookup of {lfn} failed: {e}"),
+        }
+    }
+
+    let report = check_grid(&mut grid);
+    let stats = grid.federation().expect("federation on").stats.clone();
+    let trace = reg
+        .recent_events()
+        .iter()
+        .map(|e| format!("{} {} {:?}", e.t_ns, e.kind, e.detail))
+        .collect();
+    CatalogSoakOutcome {
+        spec_chaos: spec.chaos,
+        published,
+        lookups,
+        answered,
+        failed,
+        via_local,
+        via_rli,
+        via_fallback,
+        via_scatter,
+        degraded_answers,
+        stats,
+        final_clock_ns: grid.now().nanos(),
+        schedule_debug,
+        trace,
+        report,
+        registry: reg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_soak_without_chaos_answers_everything() {
+        let out = run_catalog_soak(&CatalogSoakSpec::quick(ChaosMode::Off));
+        assert!(out.converged(), "{:?}", out.report.violations);
+        assert!(out.never_wrong());
+        assert_eq!(out.failed, 0, "no faults, no honest misses");
+        assert_eq!(out.answered, out.lookups);
+        assert!(out.via_rli > 0, "warm index should serve hits: {out:?}");
+        assert!(out.schedule_debug.is_empty());
+    }
+
+    #[test]
+    fn empty_schedule_matches_off_exactly() {
+        let off = run_catalog_soak(&CatalogSoakSpec::quick(ChaosMode::Off));
+        let empty = run_catalog_soak(&CatalogSoakSpec::quick(ChaosMode::EmptySchedule));
+        assert_eq!(off.trace, empty.trace);
+        assert_eq!(off.final_clock_ns, empty.final_clock_ns);
+        assert_eq!(off.answered, empty.answered);
+        assert_eq!(off.stats, empty.stats);
+        assert_eq!(
+            off.registry.export_json_lines(),
+            empty.registry.export_json_lines(),
+            "an installed-but-empty schedule must be byte-identical to no schedule"
+        );
+    }
+
+    #[test]
+    fn seeded_catalog_chaos_is_never_wrong_and_deterministic() {
+        let a = run_catalog_soak(&CatalogSoakSpec::quick(ChaosMode::Seeded(0xFEDCA7)));
+        let b = run_catalog_soak(&CatalogSoakSpec::quick(ChaosMode::Seeded(0xFEDCA7)));
+        assert!(a.never_wrong(), "wrong answers under seed 0xFEDCA7: {:?}", a.stats);
+        assert!(a.converged(), "{:?}", a.report.violations);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.final_clock_ns, b.final_clock_ns);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(
+            a.registry.export_json_lines(),
+            b.registry.export_json_lines(),
+            "same seed must replay byte-identically"
+        );
+    }
+}

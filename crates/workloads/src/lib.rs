@@ -10,6 +10,9 @@
 //! * [`zipf`] — Zipf access sampling for cache workloads;
 //! * [`soak`] — seeded chaos soak: replication under crashes, link cuts,
 //!   and partitions, checked against grid-wide invariants;
+//! * [`catalog`] — federated-catalog soak: Zipf lookups on 100+ sites
+//!   under RLI crashes, update losses, and catalog delays — the
+//!   never-wrong contract checked every round;
 //! * [`fetch`] — the multi-source fetch scenario: striped pulls over
 //!   asymmetric WAN paths, with and without a mid-transfer source crash;
 //! * [`fanout`] — many independent CERN→site pushes in one network, the
@@ -18,6 +21,7 @@
 //!   replica disk-hit rate) for the scenario drivers.
 
 pub mod cascade;
+pub mod catalog;
 pub mod fanout;
 pub mod fetch;
 pub mod observe;
@@ -27,6 +31,7 @@ pub mod transfer;
 pub mod zipf;
 
 pub use cascade::{CascadeSpec, CascadeStep, StepResult};
+pub use catalog::{run_catalog_soak, CatalogSoakOutcome, CatalogSoakSpec};
 pub use fanout::{run_fanout, FanoutOutcome, FanoutSpec};
 pub use fetch::{run_fetch, striped_policy, FetchOutcome, FetchSpec};
 pub use population::{Placement, Population};
