@@ -18,6 +18,11 @@
 #                          (release, < 10 s): the gdmp federation flows,
 #                          the catalog soak (Off == EmptySchedule, seeded
 #                          never-wrong), and the 100+-site acceptance soak
+#   ./ci.sh --grid-smoke   additionally run the interned-id grid smoke
+#                          (release, < 10 s): the Tier-0/1/2 soak and the
+#                          zero-allocation hot-path probes, then `figures
+#                          grid --json` twice — the emissions must be
+#                          byte-identical
 #   ./ci.sh --par-smoke    the sharded-engine determinism smoke alone is
 #                          named here for discoverability; it is part of
 #                          the default gate (release build, < 10 s): the
@@ -39,6 +44,7 @@ chaos_smoke=0
 fetch_smoke=0
 trace_smoke=0
 catalog_smoke=0
+grid_smoke=0
 bench_compare=0
 par_smoke=1 # part of the default gate; the flag exists to name it
 for arg in "$@"; do
@@ -48,6 +54,7 @@ for arg in "$@"; do
     --fetch-smoke) fetch_smoke=1 ;;
     --trace-smoke) trace_smoke=1 ;;
     --catalog-smoke) catalog_smoke=1 ;;
+    --grid-smoke) grid_smoke=1 ;;
     --bench-compare) bench_compare=1 ;;
     --par-smoke) par_smoke=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
@@ -105,6 +112,19 @@ if [[ "$catalog_smoke" == 1 ]]; then
   cargo test --offline -q --release -p gdmp --test federation_flows
   cargo test --offline -q --release -p gdmp-workloads --lib catalog::
   cargo test --offline -q --release -p gdmp-workloads --test catalog_soak
+fi
+
+if [[ "$grid_smoke" == 1 ]]; then
+  echo "==> grid smoke: tiered soak, zero-alloc probes, byte-identical figures grid --json"
+  cargo test --offline -q --release -p gdmp-workloads --lib grid::
+  cargo test --offline -q --release -p gdmp-workloads --test byte_identity
+  cargo test --offline -q --release -p gdmp --test control_plane_alloc
+  tmp_a=$(mktemp); tmp_b=$(mktemp)
+  trap 'rm -f "$tmp_a" "$tmp_b"' EXIT
+  cargo run --offline --release -q -p gdmp-bench --bin figures -- grid --json > "$tmp_a"
+  cargo run --offline --release -q -p gdmp-bench --bin figures -- grid --json > "$tmp_b"
+  cmp "$tmp_a" "$tmp_b"
+  echo "    figures grid --json: byte-identical across runs"
 fi
 
 if [[ "$bench_compare" == 1 ]]; then

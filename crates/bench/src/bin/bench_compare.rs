@@ -13,7 +13,9 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use gdmp_bench::compare::{compare_catalog, compare_fetch, compare_simnet, Gate, Tolerances};
+use gdmp_bench::compare::{
+    compare_catalog, compare_fetch, compare_grid, compare_simnet, Gate, Tolerances,
+};
 
 fn load(dir: &Path, name: &str) -> Result<String, String> {
     let path = dir.join(name);
@@ -66,11 +68,18 @@ fn main() -> ExitCode {
             ok = false;
         }
     }
+    match load(dir, "BENCH_grid.json").and_then(|json| compare_grid(&json, &tol)) {
+        Ok(gate) => ok &= report("grid", &gate),
+        Err(e) => {
+            println!("FAIL grid: {e}");
+            ok = false;
+        }
+    }
     if ok {
         println!("bench-compare: all baselines reproduce");
         ExitCode::SUCCESS
     } else {
-        println!("bench-compare: baseline drift detected (re-baseline deliberately with bench_fetch / bench_simnet / bench_catalog)");
+        println!("bench-compare: baseline drift detected (re-baseline deliberately with bench_fetch / bench_simnet / bench_catalog / bench_grid)");
         ExitCode::FAILURE
     }
 }

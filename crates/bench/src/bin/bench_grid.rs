@@ -1,0 +1,136 @@
+//! Tracked baseline for the interned-id control plane: the string-keyed
+//! vs interned probe race at 50/100/200 sites, plus the Tier-0/1/2 grid
+//! soak at 16/105/200+ sites.
+//!
+//! ```text
+//! cargo run -p gdmp-bench --release --bin bench_grid            # writes BENCH_grid.json
+//! cargo run -p gdmp-bench --release --bin bench_grid -- out.json
+//! ```
+//!
+//! The JSON is the committed baseline (`BENCH_grid.json` at the repo
+//! root). Checksums, op counts, ladder splits, and final sim clocks are
+//! deterministic and gated by `bench_compare`; the wall-clock fields
+//! (`*_ops_per_sec`, `*_wall_s`, `speedup`) move with the host and are
+//! informational. The writer refuses to commit a baseline that misses the
+//! acceptance bar: ≥2× control-plane ops/sec at every 100+-site point,
+//! and zero wrong answers in every soak.
+
+use gdmp_bench::grid::{run_control_plane_grid, run_grid_soak_points, GRID_OPS};
+
+#[derive(serde::Serialize)]
+struct ControlPlane {
+    sites: usize,
+    ops: u64,
+    /// Deterministic probe-answer fold (gated exactly).
+    checksum: u64,
+    /// Wall fields: baseline-host measurements, not gated.
+    string_wall_s: f64,
+    interned_wall_s: f64,
+    string_ops_per_sec: f64,
+    interned_ops_per_sec: f64,
+    speedup: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Soak {
+    sites: usize,
+    lookups: u64,
+    publishes: u64,
+    fetches: u64,
+    index_hits: u64,
+    fallbacks: u64,
+    scatters: u64,
+    confirms: u64,
+    false_positives: u64,
+    wrong_answers: u64,
+    replica_hit_rate: f64,
+    /// Final sim clock, seconds (deterministic, gated).
+    final_clock_s: f64,
+    /// Wall seconds on the baseline host (not gated).
+    wall_s: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Baseline {
+    schema: &'static str,
+    ops_per_point: usize,
+    control_plane: Vec<ControlPlane>,
+    soak: Vec<Soak>,
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1e3).round() / 1e3
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_grid.json".into());
+
+    let control_plane: Vec<ControlPlane> = run_control_plane_grid()
+        .into_iter()
+        .map(|p| ControlPlane {
+            sites: p.sites,
+            ops: p.ops,
+            checksum: p.checksum,
+            string_wall_s: round3(p.string_wall_s),
+            interned_wall_s: round3(p.interned_wall_s),
+            string_ops_per_sec: round3(p.string_ops_per_sec),
+            interned_ops_per_sec: round3(p.interned_ops_per_sec),
+            speedup: round3(p.speedup),
+        })
+        .collect();
+    for p in &control_plane {
+        println!(
+            "{:>3} sites control-plane: string {:>10.0} ops/s  interned {:>10.0} ops/s  \
+             speedup {:>5.2}x  checksum {:#018x}",
+            p.sites, p.string_ops_per_sec, p.interned_ops_per_sec, p.speedup, p.checksum
+        );
+        if p.sites >= 100 {
+            assert!(
+                p.speedup >= 2.0,
+                "acceptance bar missed: {:.2}x < 2x at {} sites — refusing to write a baseline",
+                p.speedup,
+                p.sites
+            );
+        }
+    }
+
+    let soak: Vec<Soak> = run_grid_soak_points()
+        .into_iter()
+        .map(|p| Soak {
+            sites: p.sites,
+            lookups: p.lookups,
+            publishes: p.publishes,
+            fetches: p.fetches,
+            index_hits: p.index_hits,
+            fallbacks: p.fallbacks,
+            scatters: p.scatters,
+            confirms: p.confirms,
+            false_positives: p.false_positives,
+            wrong_answers: p.wrong_answers,
+            replica_hit_rate: round3(p.replica_hit_rate),
+            final_clock_s: round3(p.final_clock_ns as f64 / 1e9),
+            wall_s: round3(p.wall_s),
+        })
+        .collect();
+    for p in &soak {
+        println!(
+            "{:>3} sites soak: {:>3} lookups {:>2} publishes {:>2} fetches  hit rate {:>5.3}  \
+             sim {:>7.1} s  wall {:>5.2} s  wrong {}",
+            p.sites,
+            p.lookups,
+            p.publishes,
+            p.fetches,
+            p.replica_hit_rate,
+            p.final_clock_s,
+            p.wall_s,
+            p.wrong_answers
+        );
+        assert_eq!(p.wrong_answers, 0, "refusing to commit a baseline with wrong answers");
+    }
+
+    let baseline =
+        Baseline { schema: "gdmp-bench-grid/1", ops_per_point: GRID_OPS, control_plane, soak };
+    let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+    std::fs::write(&out, json + "\n").expect("baseline written");
+    println!("wrote {out}");
+}

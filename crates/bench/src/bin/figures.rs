@@ -10,9 +10,11 @@
 //! Subcommands: `fig1 fig2 fig5 fig6 tuning buffer objrep objcost staging stripe placement motivation all`,
 //! plus `chaos` (failure-path cost report), `fetch` (multi-source
 //! striped-fetch comparison), `catalog` (central vs federated lookup
-//! scaling), and `timeline` (sim-time time-series of the striped fetch as
-//! sparklines + deterministic TSV); these are deliberately not part of
-//! `all` so the canonical figure set stays byte-identical.
+//! scaling), `grid` (interned vs string-keyed control plane + the
+//! Tier-0/1/2 grid-scale soak), and `timeline` (sim-time time-series of
+//! the striped fetch as sparklines + deterministic TSV); these are
+//! deliberately not part of `all` so the canonical figure set stays
+//! byte-identical.
 //! Flags: `--json` emits machine-readable JSON lines instead of tables;
 //! `--trace` appends the telemetry dump (spans, metrics, flight recorder)
 //! of the grid-driven experiments (`fig1`, `fig2`).
@@ -51,6 +53,7 @@ fn main() {
         "chaos" => chaos(&mut o),
         "fetch" => fetch(&mut o),
         "catalog" => catalog(&mut o),
+        "grid" => grid(&mut o),
         "timeline" => timeline(&mut o),
         "all" => {
             fig1(&mut o);
@@ -459,6 +462,82 @@ fn catalog(o: &mut Opts) {
     r.note("(wall ops/s is host-dependent: human table only, never in --json;");
     r.note(" every emitted column is sim-time deterministic. wrong must read 0");
     r.note(" — the never-wrong contract)");
+    r.end_section();
+}
+
+/// Interned-id control plane: the string-keyed vs interned probe race at
+/// 50/100/200 sites, then the Tier-0/1/2 grid soak's ladder split and
+/// replica hit rate. Wall-derived columns (ops/s, speedup, wall s) are
+/// host-dependent and appear in the human table only, so `--json` output
+/// stays byte-identical across runs.
+fn grid(o: &mut Opts) {
+    use gdmp_bench::grid::{run_control_plane_grid, run_grid_soak_points};
+    let r = &mut o.report;
+    let wall = !r.is_json();
+    r.section("Interned-id control plane: string-keyed vs interned probes at 50/100/200 sites");
+    let rows: Vec<Vec<Cell>> = run_control_plane_grid()
+        .iter()
+        .map(|p| {
+            let mut row = vec![Cell::from(p.sites), Cell::from(p.ops)];
+            if wall {
+                row.extend([
+                    Cell::f(p.string_ops_per_sec, 0),
+                    Cell::f(p.interned_ops_per_sec, 0),
+                    Cell::f(p.speedup, 2),
+                ]);
+            }
+            row.push(Cell::from(format!("{:#018x}", p.checksum)));
+            row
+        })
+        .collect();
+    let mut headers = vec!["sites", "ops"];
+    if wall {
+        headers.extend(["string ops/s", "interned ops/s", "speedup x"]);
+    }
+    headers.push("checksum");
+    r.table(&headers, &rows);
+    r.note("(both control planes answer the same probes — the checksum proves");
+    r.note(" it; only the key plumbing differs)");
+
+    let rows: Vec<Vec<Cell>> = run_grid_soak_points()
+        .iter()
+        .map(|p| {
+            let mut row = vec![
+                Cell::from(p.sites),
+                Cell::from(p.lookups),
+                Cell::from(p.publishes),
+                Cell::from(p.fetches),
+                Cell::f(p.replica_hit_rate, 3),
+                Cell::from(p.fallbacks),
+                Cell::from(p.scatters),
+                Cell::from(p.confirms),
+                Cell::f(p.final_clock_ns as f64 / 1e9, 1),
+                Cell::from(p.wrong_answers),
+            ];
+            if wall {
+                row.push(Cell::f(p.wall_s, 2));
+            }
+            row
+        })
+        .collect();
+    let mut headers = vec![
+        "sites",
+        "lookups",
+        "publishes",
+        "fetches",
+        "hit rate",
+        "fallbacks",
+        "scatters",
+        "confirms",
+        "sim s",
+        "wrong",
+    ];
+    if wall {
+        headers.push("wall s");
+    }
+    r.table(&headers, &rows);
+    r.note("(Tier-0/1/2 topology, Zipf lookup/publish/fetch mix; wrong must");
+    r.note(" read 0 — the never-wrong contract holds at every scale)");
     r.end_section();
 }
 

@@ -1,7 +1,7 @@
 //! The perf-regression gate behind `ci.sh --bench-compare`: re-run the
 //! deterministic metrics of the committed `BENCH_simnet.json`,
-//! `BENCH_fetch.json`, and `BENCH_catalog.json` baselines and fail on
-//! drift beyond per-metric tolerance bands.
+//! `BENCH_fetch.json`, `BENCH_catalog.json`, and `BENCH_grid.json`
+//! baselines and fail on drift beyond per-metric tolerance bands.
 //!
 //! Wall-clock fields (`wall_ms`, `events_per_sec`, the wall-derived
 //! `speedup`s) move with the host and are **excluded** from the gate; the
@@ -227,6 +227,36 @@ struct CatalogBaseline {
     points: Vec<CatalogPoint>,
 }
 
+#[derive(serde::Deserialize)]
+struct GridControlPlanePoint {
+    sites: usize,
+    ops: u64,
+    checksum: u64,
+}
+
+#[derive(serde::Deserialize)]
+struct GridSoakBaselinePoint {
+    sites: usize,
+    lookups: u64,
+    publishes: u64,
+    fetches: u64,
+    index_hits: u64,
+    fallbacks: u64,
+    scatters: u64,
+    confirms: u64,
+    false_positives: u64,
+    wrong_answers: u64,
+    final_clock_s: f64,
+}
+
+#[derive(serde::Deserialize)]
+struct GridBaseline {
+    schema: String,
+    ops_per_point: u64,
+    control_plane: Vec<GridControlPlanePoint>,
+    soak: Vec<GridSoakBaselinePoint>,
+}
+
 // ---- fetch comparison ----------------------------------------------------
 
 /// Re-run the three fetch modes and gate their deterministic metrics
@@ -344,6 +374,85 @@ pub fn compare_catalog(baseline_json: &str, tol: &Tolerances) -> Result<Gate, St
             &format!("{p}.scatters"),
             b.scatters as f64,
             a.scatters as f64,
+            tol.events_pct,
+        );
+        gate.within_pct(
+            &format!("{p}.false_positives"),
+            b.false_positives as f64,
+            a.false_positives as f64,
+            tol.events_pct,
+        );
+        gate.within_pct(
+            &format!("{p}.final_clock_s"),
+            b.final_clock_s,
+            a.final_clock_ns as f64 / 1e9,
+            tol.mbps_pct,
+        );
+    }
+    Ok(gate)
+}
+
+// ---- grid comparison -----------------------------------------------------
+
+/// Re-run the interned control-plane probe race and the Tier-0/1/2 grid
+/// soak and gate their deterministic metrics against the committed
+/// `BENCH_grid.json`. The checksums and op counts are exact by
+/// construction; the soak's ladder split and final clock are pure
+/// sim-time. Every wall-derived field (`*_ops_per_sec`, `*_wall_s`,
+/// `speedup`) is host-dependent and **excluded** — the ≥2× acceptance bar
+/// is enforced where the wall clock is actually measured, in `bench_grid`.
+pub fn compare_grid(baseline_json: &str, tol: &Tolerances) -> Result<Gate, String> {
+    let base: GridBaseline =
+        serde_json::from_str(baseline_json).map_err(|e| format!("BENCH_grid.json: {e}"))?;
+    let mut gate = Gate::default();
+    gate.exact("grid.schema", "gdmp-bench-grid/1".to_string(), base.schema);
+    gate.exact("grid.ops_per_point", crate::grid::GRID_OPS as u64, base.ops_per_point);
+
+    let control = crate::grid::run_control_plane_grid();
+    gate.exact("grid.control_plane.len", base.control_plane.len(), control.len());
+    for (b, a) in base.control_plane.iter().zip(&control) {
+        let p = format!("grid.control_plane.{}", b.sites);
+        gate.exact(&format!("{p}.sites"), b.sites, a.sites);
+        gate.exact(&format!("{p}.ops"), b.ops, a.ops);
+        gate.exact(&format!("{p}.checksum"), b.checksum, a.checksum);
+    }
+    gate.skipped.push(
+        "grid.control_plane.speedup: wall-derived, enforced at baseline-write time by bench_grid"
+            .to_string(),
+    );
+
+    let soak = crate::grid::run_grid_soak_points();
+    gate.exact("grid.soak.len", base.soak.len(), soak.len());
+    for (b, a) in base.soak.iter().zip(&soak) {
+        let p = format!("grid.soak.{}", b.sites);
+        gate.exact(&format!("{p}.sites"), b.sites, a.sites);
+        gate.exact(&format!("{p}.lookups"), b.lookups, a.lookups);
+        gate.exact(&format!("{p}.publishes"), b.publishes, a.publishes);
+        gate.exact(&format!("{p}.fetches"), b.fetches, a.fetches);
+        gate.exact(&format!("{p}.wrong_answers"), 0u64, a.wrong_answers);
+        gate.exact(&format!("{p}.baseline_wrong_answers"), 0u64, b.wrong_answers);
+        gate.within_pct(
+            &format!("{p}.index_hits"),
+            b.index_hits as f64,
+            a.index_hits as f64,
+            tol.events_pct,
+        );
+        gate.within_pct(
+            &format!("{p}.fallbacks"),
+            b.fallbacks as f64,
+            a.fallbacks as f64,
+            tol.events_pct,
+        );
+        gate.within_pct(
+            &format!("{p}.scatters"),
+            b.scatters as f64,
+            a.scatters as f64,
+            tol.events_pct,
+        );
+        gate.within_pct(
+            &format!("{p}.confirms"),
+            b.confirms as f64,
+            a.confirms as f64,
             tol.events_pct,
         );
         gate.within_pct(
@@ -535,5 +644,6 @@ mod tests {
         assert!(compare_fetch("{not json", &tol).is_err());
         assert!(compare_simnet("{\"schema\": 3}", &tol).is_err());
         assert!(compare_catalog("[]", &tol).is_err());
+        assert!(compare_grid("{\"schema\": \"gdmp-bench-grid/1\"}", &tol).is_err());
     }
 }

@@ -1,0 +1,286 @@
+//! The interned-id control-plane scenario shared by the `bench_grid`
+//! baseline writer, the `figures grid` subcommand, and
+//! [`crate::compare::compare_grid`] (the CI gate).
+//!
+//! Two kinds of point:
+//!
+//! * **Control-plane points** race the same deterministic probe mix
+//!   (WAN-profile lookups, observed-throughput history, roster membership,
+//!   periodic roster sweeps) through the real interned-id [`Grid`] and
+//!   through a faithful replica of the pre-interning string-keyed maps
+//!   (`BTreeMap<(String, String), _>` with per-probe owned-tuple keys,
+//!   `Vec<String>` roster clones per sweep). Both sides fold every answer
+//!   into a checksum that must agree — same work, different key plumbing.
+//!   The acceptance bar is ≥2× ops/sec at 100+ sites.
+//! * **Soak points** run the Tier-0/1/2 grid soak from
+//!   [`gdmp_workloads::grid`] and report its deterministic ladder split and
+//!   replica hit rate, plus the (informational) wall time.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use gdmp::prelude::*;
+use gdmp_workloads::{run_grid_soak, GridSoakSpec};
+
+/// Scales the control-plane points run at (the acceptance asks for ≥2× at
+/// 100+ sites; 200 shows the gap widening with scale).
+pub const GRID_SITES: [usize; 3] = [50, 100, 200];
+
+/// Probes per control-plane point; fixed so checksums are comparable.
+pub const GRID_OPS: usize = 400_000;
+
+/// Soak scales: the quick 16-site topology, the 105-site acceptance
+/// topology, and a 200+-site stretch point.
+pub const SOAK_SCALES: [usize; 3] = [16, 105, 200];
+
+fn site_name(i: usize) -> String {
+    format!("site{i:03}")
+}
+
+// ---- the string-keyed baseline replica -----------------------------------
+
+/// The control-plane maps exactly as they were keyed before interning:
+/// owned `String` pairs for profiles and history, a name-keyed roster, and
+/// per-call `to_string()` tuple probes.
+struct StringControlPlane {
+    roster: BTreeMap<String, usize>,
+    profiles: BTreeMap<(String, String), WanProfile>,
+    history: BTreeMap<(String, String), f64>,
+    default_profile: WanProfile,
+}
+
+impl StringControlPlane {
+    fn profile_between(&self, a: &str, b: &str) -> WanProfile {
+        self.profiles.get(&(a.to_string(), b.to_string())).copied().unwrap_or(self.default_profile)
+    }
+
+    fn observed_bps(&self, src: &str, dst: &str) -> Option<f64> {
+        self.history.get(&(src.to_string(), dst.to_string())).copied()
+    }
+
+    fn has_site(&self, name: &str) -> bool {
+        self.roster.contains_key(name)
+    }
+
+    /// The pre-interning roster sweep: clone every name, then walk the
+    /// clones (what `advance`/notice flushing used to do each tick).
+    fn sweep(&self) -> u64 {
+        let names: Vec<String> = self.roster.keys().cloned().collect();
+        names.iter().map(|n| n.len() as u64).sum()
+    }
+}
+
+// ---- shared fixture -------------------------------------------------------
+
+/// Build the interned grid and its string-keyed twin with identical
+/// profile/history contents at `sites` scale.
+fn build_pair(sites: usize) -> (Grid, StringControlPlane, Vec<String>) {
+    let names: Vec<String> = (0..sites).map(site_name).collect();
+    let mut builder = Grid::builder("bench-grid");
+    for (i, name) in names.iter().enumerate() {
+        builder = builder.site(SiteConfig::named(name, &format!("{name}.grid"), 900 + i as u64));
+    }
+    let mut grid = builder.trust_all().build();
+
+    let default_profile = WanProfile::cern_anl_production();
+    let mut twin = StringControlPlane {
+        roster: names.iter().enumerate().map(|(i, n)| (n.clone(), i)).collect(),
+        profiles: BTreeMap::new(),
+        history: BTreeMap::new(),
+        default_profile,
+    };
+    // A ring plus a star off site000: enough pairs that probes hit real
+    // entries as well as the default-profile fallback.
+    let tuned = WanProfile::cern_anl_production();
+    for i in 0..sites {
+        let a = &names[i];
+        let ring = &names[(i + 1) % sites];
+        let hub = &names[0];
+        grid.set_profile(a, ring, tuned);
+        grid.note_observed_throughput(a, ring, 1e6 + i as f64);
+        twin.profiles.insert((a.clone(), ring.clone()), tuned);
+        twin.history.insert((a.clone(), ring.clone()), 1e6 + i as f64);
+        if i > 0 {
+            grid.set_profile(hub, a, tuned);
+            twin.profiles.insert((hub.clone(), a.clone()), tuned);
+        }
+    }
+    (grid, twin, names)
+}
+
+fn fold(checksum: &mut u64, v: u64) {
+    *checksum = checksum.wrapping_mul(0x100000001B3).wrapping_add(v);
+}
+
+/// One probe: a profile lookup, a history lookup, a membership test, and —
+/// every 16th op — a roster sweep. Answers fold into the checksum.
+macro_rules! probe_mix {
+    ($names:expr, $sites:expr, $checksum:expr, $i:expr,
+     $profile:expr, $observed:expr, $has:expr, $sweep:expr) => {{
+        let a: &str = &$names[($i * 31) % $sites];
+        let b: &str = &$names[($i * 7919 + 1) % $sites];
+        let p = $profile(a, b);
+        fold($checksum, p.link.rate_bps);
+        fold($checksum, $observed(a, b).map_or(0, |v| v as u64));
+        fold($checksum, u64::from($has(a)));
+        if $i % 16 == 0 {
+            fold($checksum, $sweep());
+        }
+    }};
+}
+
+/// One measured control-plane point.
+#[derive(Debug, Clone)]
+pub struct ControlPlanePoint {
+    pub sites: usize,
+    pub ops: u64,
+    /// Deterministic fold of every probe answer; identical between the
+    /// string-keyed and interned runs by construction (asserted).
+    pub checksum: u64,
+    /// Wall seconds for the string-keyed run (host-dependent).
+    pub string_wall_s: f64,
+    /// Wall seconds for the interned run (host-dependent).
+    pub interned_wall_s: f64,
+    pub string_ops_per_sec: f64,
+    pub interned_ops_per_sec: f64,
+    /// interned ops/sec over string ops/sec.
+    pub speedup: f64,
+}
+
+/// Race the probe mix through both control planes at `sites` scale.
+pub fn run_control_plane_bench(sites: usize) -> ControlPlanePoint {
+    let (grid, twin, names) = build_pair(sites);
+
+    let mut string_sum = 0u64;
+    let t0 = Instant::now();
+    for i in 0..GRID_OPS {
+        probe_mix!(
+            names,
+            sites,
+            &mut string_sum,
+            i,
+            |a, b| twin.profile_between(a, b),
+            |a, b| twin.observed_bps(a, b),
+            |a| twin.has_site(a),
+            || twin.sweep()
+        );
+    }
+    let string_wall = t0.elapsed().as_secs_f64();
+
+    let mut interned_sum = 0u64;
+    let t1 = Instant::now();
+    for i in 0..GRID_OPS {
+        probe_mix!(
+            names,
+            sites,
+            &mut interned_sum,
+            i,
+            |a, b| grid.profile_between(a, b),
+            |a, b| grid.observed_bps(a, b),
+            |a| grid.has_site(a),
+            || grid.site_names_iter().map(|n| n.len() as u64).sum::<u64>()
+        );
+    }
+    let interned_wall = t1.elapsed().as_secs_f64();
+
+    assert_eq!(
+        string_sum, interned_sum,
+        "the two control planes answered the same probes differently"
+    );
+    ControlPlanePoint {
+        sites,
+        ops: GRID_OPS as u64,
+        checksum: interned_sum,
+        string_wall_s: string_wall,
+        interned_wall_s: interned_wall,
+        string_ops_per_sec: GRID_OPS as f64 / string_wall.max(1e-9),
+        interned_ops_per_sec: GRID_OPS as f64 / interned_wall.max(1e-9),
+        speedup: string_wall / interned_wall.max(1e-9),
+    }
+}
+
+/// Every control-plane scale.
+pub fn run_control_plane_grid() -> Vec<ControlPlanePoint> {
+    GRID_SITES.iter().map(|&s| run_control_plane_bench(s)).collect()
+}
+
+// ---- soak points ----------------------------------------------------------
+
+/// One Tier-0/1/2 soak point: deterministic ladder split plus wall time.
+#[derive(Debug, Clone)]
+pub struct GridSoakPoint {
+    pub sites: usize,
+    pub lookups: u64,
+    pub publishes: u64,
+    pub fetches: u64,
+    pub index_hits: u64,
+    pub fallbacks: u64,
+    pub scatters: u64,
+    pub confirms: u64,
+    pub false_positives: u64,
+    pub wrong_answers: u64,
+    pub replica_hit_rate: f64,
+    pub final_clock_ns: u64,
+    /// Wall seconds for the whole soak (host-dependent).
+    pub wall_s: f64,
+}
+
+fn spec_at(scale: usize) -> GridSoakSpec {
+    match scale {
+        16 => GridSoakSpec::quick(),
+        105 => GridSoakSpec::full(),
+        n => GridSoakSpec::at_scale(n),
+    }
+}
+
+/// Run the soak at one scale.
+pub fn run_grid_soak_bench(scale: usize) -> GridSoakPoint {
+    let spec = spec_at(scale);
+    let t0 = Instant::now();
+    let out = run_grid_soak(&spec);
+    let wall = t0.elapsed().as_secs_f64();
+    GridSoakPoint {
+        sites: out.sites,
+        lookups: out.lookups,
+        publishes: out.publishes,
+        fetches: out.fetches,
+        index_hits: out.index_hits,
+        fallbacks: out.fallbacks,
+        scatters: out.scatters,
+        confirms: out.confirms,
+        false_positives: out.false_positives,
+        wrong_answers: out.wrong_answers,
+        replica_hit_rate: out.replica_hit_rate(),
+        final_clock_ns: out.final_clock_ns,
+        wall_s: wall,
+    }
+}
+
+/// Every soak scale.
+pub fn run_grid_soak_points() -> Vec<GridSoakPoint> {
+    SOAK_SCALES.iter().map(|&s| run_grid_soak_bench(s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_plane_checksums_agree_and_reproduce() {
+        let a = run_control_plane_bench(10);
+        let b = run_control_plane_bench(10);
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.ops, GRID_OPS as u64);
+    }
+
+    #[test]
+    fn soak_point_is_deterministic_and_never_wrong() {
+        let a = run_grid_soak_bench(16);
+        let b = run_grid_soak_bench(16);
+        assert_eq!(a.wrong_answers, 0);
+        assert_eq!(a.lookups, b.lookups);
+        assert_eq!(a.index_hits, b.index_hits);
+        assert_eq!(a.final_clock_ns, b.final_clock_ns);
+        assert!(a.replica_hit_rate > 0.0);
+    }
+}

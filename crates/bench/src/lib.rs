@@ -7,6 +7,7 @@
 pub mod catalog;
 pub mod compare;
 pub mod figures;
+pub mod grid;
 pub mod parallel;
 pub mod report;
 pub mod tables;
@@ -15,8 +16,12 @@ pub mod timeline;
 pub use catalog::{
     run_catalog_bench, run_catalog_grid, CatalogBenchPoint, CATALOG_LOOKUPS, CATALOG_SITES,
 };
-pub use compare::{compare_catalog, compare_fetch, compare_simnet, Gate, Tolerances};
+pub use compare::{compare_catalog, compare_fetch, compare_grid, compare_simnet, Gate, Tolerances};
 pub use figures::{fig_sweep, fig_sweep_on, FigRow};
+pub use grid::{
+    run_control_plane_bench, run_control_plane_grid, run_grid_soak_bench, run_grid_soak_points,
+    ControlPlanePoint, GridSoakPoint, GRID_OPS, GRID_SITES, SOAK_SCALES,
+};
 pub use parallel::{default_workers, par_map, workers_for};
 pub use report::{Cell, Report};
 pub use tables::{

@@ -17,6 +17,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
+use gdmp_intern::Interner;
 use gdmp_simnet::time::{SimDuration, SimTime};
 
 /// One scheduled fault or repair.
@@ -147,11 +148,17 @@ pub struct ChaosState {
     schedule: FaultSchedule,
     /// Index of the first not-yet-applied schedule entry.
     cursor: usize,
+    /// Site names referenced by link/partition/drop events, interned in
+    /// schedule-application order. Hot-path probes (`can_flow`,
+    /// `should_drop_rpc`) look names up via `try_id` without allocating; a
+    /// site never named by such an event is never interned, so the probe
+    /// short-circuits to "unaffected".
+    names: Interner,
     down: BTreeSet<String>,
-    /// One-way severed paths (from, to).
-    cuts: BTreeSet<(String, String)>,
-    partition: Option<Vec<Vec<String>>>,
-    drops: BTreeMap<(String, String), DropState>,
+    /// One-way severed paths (from, to) as interned ids.
+    cuts: BTreeSet<(u32, u32)>,
+    partition: Option<Vec<Vec<u32>>>,
+    drops: BTreeMap<(u32, u32), DropState>,
     /// Sites that came back up and still need a recovery/resync pass.
     pending_restart: BTreeSet<String>,
     /// Crashed RLI nodes (federation node names).
@@ -210,21 +217,30 @@ impl ChaosState {
                 }
             }
             FaultEvent::LinkDown { from, to, both_ways } => {
-                self.cuts.insert((from.clone(), to.clone()));
+                let (f, t) = (self.names.intern(from), self.names.intern(to));
+                self.cuts.insert((f, t));
                 if *both_ways {
-                    self.cuts.insert((to.clone(), from.clone()));
+                    self.cuts.insert((t, f));
                 }
             }
             FaultEvent::LinkUp { from, to, both_ways } => {
-                self.cuts.remove(&(from.clone(), to.clone()));
+                let (f, t) = (self.names.intern(from), self.names.intern(to));
+                self.cuts.remove(&(f, t));
                 if *both_ways {
-                    self.cuts.remove(&(to.clone(), from.clone()));
+                    self.cuts.remove(&(t, f));
                 }
             }
-            FaultEvent::Partition { groups } => self.partition = Some(groups.clone()),
+            FaultEvent::Partition { groups } => {
+                let ids = groups
+                    .iter()
+                    .map(|g| g.iter().map(|m| self.names.intern(m)).collect())
+                    .collect();
+                self.partition = Some(ids);
+            }
             FaultEvent::Heal => self.partition = None,
             FaultEvent::RpcDrop { from, to, nth } => {
-                let st = self.drops.entry((from.clone(), to.clone())).or_default();
+                let (f, t) = (self.names.intern(from), self.names.intern(to));
+                let st = self.drops.entry((f, t)).or_default();
                 st.targets.insert(st.seen + nth);
             }
             FaultEvent::RliDown { node } => {
@@ -251,11 +267,11 @@ impl ChaosState {
         self.down.contains(site)
     }
 
-    fn partition_allows(&self, a: &str, b: &str) -> bool {
+    fn partition_allows(&self, a: u32, b: u32) -> bool {
         match &self.partition {
             None => true,
             Some(groups) => {
-                let find = |s: &str| groups.iter().position(|g| g.iter().any(|m| m == s));
+                let find = |id: u32| groups.iter().position(|g| g.contains(&id));
                 match (find(a), find(b)) {
                     (Some(ga), Some(gb)) => ga == gb,
                     // A site outside every group is unaffected by the split.
@@ -266,12 +282,17 @@ impl ChaosState {
     }
 
     /// Can data flow one way `src → dst`? (Both ends up, the directed path
-    /// uncut, and no partition between them.)
+    /// uncut, and no partition between them.) Allocation-free: names are
+    /// probed via `try_id`; a site never named by a link/partition event
+    /// cannot be cut off.
     pub fn can_flow(&self, src: &str, dst: &str) -> bool {
-        !self.down.contains(src)
-            && !self.down.contains(dst)
-            && !self.cuts.contains(&(src.to_string(), dst.to_string()))
-            && self.partition_allows(src, dst)
+        if self.down.contains(src) || self.down.contains(dst) {
+            return false;
+        }
+        match (self.names.try_id(src), self.names.try_id(dst)) {
+            (Some(s), Some(d)) => !self.cuts.contains(&(s, d)) && self.partition_allows(s, d),
+            _ => true,
+        }
     }
 
     /// Can an RPC round-trip `from → to`? (Both directions must flow.)
@@ -282,7 +303,10 @@ impl ChaosState {
     /// Count this RPC against any armed [`FaultEvent::RpcDrop`] for the
     /// pair; true when this specific call is the one to drop.
     pub fn should_drop_rpc(&mut self, from: &str, to: &str) -> bool {
-        let key = (from.to_string(), to.to_string());
+        let (Some(f), Some(t)) = (self.names.try_id(from), self.names.try_id(to)) else {
+            return false;
+        };
+        let key = (f, t);
         let Some(st) = self.drops.get_mut(&key) else {
             return false;
         };

@@ -8,7 +8,7 @@
 //! reservation, CRC verification, retry and restart exactly as Section 4
 //! describes.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
 use bytes::Bytes;
 use gdmp_gridftp::crc::crc32;
@@ -16,6 +16,7 @@ use gdmp_gridftp::sim::WanProfile;
 use gdmp_gsi::cert::CertificateAuthority;
 use gdmp_gsi::context::SecurityContext;
 use gdmp_gsi::name::DistinguishedName;
+use gdmp_intern::{Lfn, SiteId, Symbol, SymbolTable};
 use gdmp_objectstore::ObjectFileCatalog;
 use gdmp_replica_catalog::federation::{
     FederatedCatalog, FederationConfig, FederationFaults, LookupPlan,
@@ -164,16 +165,27 @@ pub struct Grid {
     /// the central catalog above stays authoritative for metadata. `None`
     /// keeps the pre-federation paths bit-identical.
     federation: Option<FederatedCatalog>,
-    sites: BTreeMap<String, Site>,
+    /// Site storage in insertion order, addressed through `slot`.
+    sites: Vec<Site>,
+    /// Interned site names. Profiles and faults may name a site before it
+    /// is added, so an id's `slot` entry stays `None` until then.
+    site_ids: SymbolTable<SiteId>,
+    /// `SiteId` index → position in `sites` (`None` until the site exists).
+    slot: Vec<Option<usize>>,
+    /// Site ids sorted by name — the iteration order the old name-keyed
+    /// map gave, so clocks and serialized output stay byte-identical.
+    order: Vec<SiteId>,
+    /// Interned logical file names (fault and defer keys).
+    lfns: SymbolTable<Lfn>,
     /// Directed WAN profiles; missing pairs fall back to the default.
-    profiles: HashMap<(String, String), WanProfile>,
+    profiles: HashMap<(SiteId, SiteId), WanProfile>,
     default_profile: WanProfile,
     /// The global object→file view (Section 5.2's "global view of which
     /// objects exist where", maintained by GDMP itself).
     pub object_view: ObjectFileCatalog,
     pub params: TransferParams,
     /// Faults keyed by `(lfn, site)`; `None` site applies to any source.
-    faults: HashMap<(String, Option<String>), FaultState>,
+    faults: HashMap<(Lfn, Option<SiteId>), FaultState>,
     /// Pluggable error recovery; `None` = SimpleRetry(params.max_attempts).
     recovery: Option<Box<dyn RecoveryStrategy>>,
     /// Grid-level fault timeline (site crashes, link cuts, partitions).
@@ -190,10 +202,10 @@ pub struct Grid {
     /// by multi-source transfers (and [`Grid::note_observed_throughput`]);
     /// the single-source pipeline leaves it untouched so the default path
     /// stays bit-stable run over run.
-    history: BTreeMap<(String, String), f64>,
+    history: HashMap<(SiteId, SiteId), f64>,
     /// Backoff deadlines for deferred `replicate_pending` files, keyed
     /// `(dst, lfn)`: `(next_eligible, consecutive_defers)`.
-    defer_state: HashMap<(String, String), (SimTime, u32)>,
+    defer_state: HashMap<(SiteId, Lfn), (SimTime, u32)>,
     pub reports: Vec<ReplicationReport>,
     nonce_counter: u64,
     /// RPCs issued (Request Manager load).
@@ -221,7 +233,11 @@ impl Grid {
             catalog: ReplicaCatalogService::new("GDMP", collection)
                 .expect("fresh catalog accepts a collection"),
             federation: None,
-            sites: BTreeMap::new(),
+            sites: Vec::new(),
+            site_ids: SymbolTable::new(),
+            slot: Vec::new(),
+            order: Vec::new(),
+            lfns: SymbolTable::new(),
             profiles: HashMap::new(),
             default_profile: WanProfile::cern_anl_production(),
             object_view: ObjectFileCatalog::new(),
@@ -232,7 +248,7 @@ impl Grid {
             breaker: CircuitBreaker::default(),
             fetch: FetchPolicy::SingleSource,
             cost_model: Box::new(HistoryCostModel::default()),
-            history: BTreeMap::new(),
+            history: HashMap::new(),
             defer_state: HashMap::new(),
             reports: Vec::new(),
             nonce_counter: 1,
@@ -268,7 +284,7 @@ impl Grid {
     /// Shared body of the telemetry shims and [`GridBuilder`]
     /// (crate::builder::GridBuilder).
     pub(crate) fn attach_telemetry(&mut self, reg: Registry) {
-        for site in self.sites.values_mut() {
+        for site in &mut self.sites {
             site.set_telemetry(reg.clone());
         }
         self.telemetry = reg;
@@ -281,38 +297,65 @@ impl Grid {
 
     // ---- assembly -----------------------------------------------------
 
+    /// Intern a site name, growing the id → slot map alongside. The site
+    /// itself may not exist yet (profiles and faults can name it first).
+    fn intern_site(&mut self, name: &str) -> SiteId {
+        let id = self.site_ids.intern(name);
+        if self.slot.len() <= id.index() as usize {
+            self.slot.resize(id.index() as usize + 1, None);
+        }
+        id
+    }
+
+    /// The `sites` index of a site by name, allocation-free.
+    fn site_slot(&self, name: &str) -> Option<usize> {
+        self.site_ids
+            .try_id(name)
+            .and_then(|id| self.slot.get(id.index() as usize).copied().flatten())
+    }
+
     pub fn add_site(&mut self, mut cfg: SiteConfig) {
-        assert!(!self.sites.contains_key(&cfg.name), "site {} already exists", cfg.name);
+        let id = self.intern_site(&cfg.name);
+        assert!(self.slot[id.index() as usize].is_none(), "site {} already exists", cfg.name);
         // Sites inherit the grid's registry unless the config brought its own.
         if self.telemetry.is_enabled() && !cfg.telemetry.is_enabled() {
             cfg.telemetry = self.telemetry.clone();
         }
         let site = Site::new(&cfg, &self.ca);
-        self.sites.insert(cfg.name.clone(), site);
+        self.slot[id.index() as usize] = Some(self.sites.len());
+        self.sites.push(site);
+        // Keep `order` sorted by name (the old map's iteration order).
+        let pos =
+            self.order.partition_point(|&other| self.site_ids.resolve(other) < cfg.name.as_str());
+        self.order.insert(pos, id);
     }
 
     /// Allow `caller` to invoke all operations on `callee`.
     pub fn trust(&mut self, callee: &str, caller: &str) {
         let caller_id = self.site(caller).expect("caller exists").identity().clone();
         let local_user = format!("{caller}_svc");
-        self.sites.get_mut(callee).expect("callee exists").gridmap.add_full(caller_id, &local_user);
+        let callee_slot = self.site_slot(callee).expect("callee exists");
+        self.sites[callee_slot].gridmap.add_full(caller_id, &local_user);
     }
 
     /// Mutual full trust between every pair of sites.
     pub fn trust_all(&mut self) {
-        let names: Vec<String> = self.sites.keys().cloned().collect();
-        for a in &names {
-            for b in &names {
+        let order = self.order.clone();
+        for &a in &order {
+            let a_name = self.site_ids.resolve_arc(a);
+            for &b in &order {
                 if a != b {
-                    self.trust(a, b);
+                    let b_name = self.site_ids.resolve_arc(b);
+                    self.trust(&a_name, &b_name);
                 }
             }
         }
     }
 
     pub fn set_profile(&mut self, from: &str, to: &str, profile: WanProfile) {
-        self.profiles.insert((from.to_string(), to.to_string()), profile);
-        self.profiles.insert((to.to_string(), from.to_string()), profile);
+        let (f, t) = (self.intern_site(from), self.intern_site(to));
+        self.profiles.insert((f, t), profile);
+        self.profiles.insert((t, f), profile);
     }
 
     pub fn set_default_profile(&mut self, profile: WanProfile) {
@@ -320,19 +363,48 @@ impl Grid {
     }
 
     pub fn profile_between(&self, a: &str, b: &str) -> WanProfile {
-        self.profiles.get(&(a.to_string(), b.to_string())).copied().unwrap_or(self.default_profile)
+        match (self.site_ids.try_id(a), self.site_ids.try_id(b)) {
+            (Some(ia), Some(ib)) => {
+                self.profiles.get(&(ia, ib)).copied().unwrap_or(self.default_profile)
+            }
+            _ => self.default_profile,
+        }
     }
 
     pub fn site(&self, name: &str) -> Result<&Site> {
-        self.sites.get(name).ok_or_else(|| GdmpError::NoSuchSite(name.to_string()))
+        match self.site_slot(name) {
+            Some(i) => Ok(&self.sites[i]),
+            None => Err(GdmpError::NoSuchSite(name.to_string())),
+        }
     }
 
     pub fn site_mut(&mut self, name: &str) -> Result<&mut Site> {
-        self.sites.get_mut(name).ok_or_else(|| GdmpError::NoSuchSite(name.to_string()))
+        match self.site_slot(name) {
+            Some(i) => Ok(&mut self.sites[i]),
+            None => Err(GdmpError::NoSuchSite(name.to_string())),
+        }
     }
 
+    /// Every site name, sorted (export boundary: allocates one `String`
+    /// per site; hot paths use [`Grid::site_names_iter`] or
+    /// [`Grid::has_site`] instead).
     pub fn site_names(&self) -> Vec<String> {
-        self.sites.keys().cloned().collect()
+        self.order.iter().map(|&id| self.site_ids.resolve(id).to_string()).collect()
+    }
+
+    /// Iterate site names in sorted order without materializing a list.
+    pub fn site_names_iter(&self) -> impl Iterator<Item = &str> {
+        self.order.iter().map(|&id| self.site_ids.resolve(id))
+    }
+
+    /// Whether a site with this name exists, allocation-free.
+    pub fn has_site(&self, name: &str) -> bool {
+        self.site_slot(name).is_some()
+    }
+
+    /// Number of sites in the grid.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
     }
 
     // ---- clock -----------------------------------------------------------
@@ -384,7 +456,7 @@ impl Grid {
     /// backfilled into their LRCs. Call after every site is added (the
     /// builder does this in the right order).
     pub fn enable_federation(&mut self, config: FederationConfig) {
-        let names: Vec<String> = self.sites.keys().cloned().collect();
+        let names: Vec<String> = self.site_names();
         assert!(!names.is_empty(), "enable federation after adding sites");
         let mut fed = FederatedCatalog::new(&names, config);
         for lfn in self.catalog.list().unwrap_or_default() {
@@ -467,7 +539,10 @@ impl Grid {
     /// The observed throughput EWMA for the `src -> dst` link, bits/s, if
     /// any transfer has been measured on it.
     pub fn observed_bps(&self, src: &str, dst: &str) -> Option<f64> {
-        self.history.get(&(src.to_string(), dst.to_string())).copied()
+        match (self.site_ids.try_id(src), self.site_ids.try_id(dst)) {
+            (Some(s), Some(d)) => self.history.get(&(s, d)).copied(),
+            _ => None,
+        }
     }
 
     /// Fold one throughput observation (bits/s) into the per-link EWMA
@@ -475,7 +550,7 @@ impl Grid {
     /// fetches call this for every completed chunk; callers with external
     /// measurements (e.g. NWS readings) may seed it directly.
     pub fn note_observed_throughput(&mut self, src: &str, dst: &str, bps: f64) -> f64 {
-        let key = (src.to_string(), dst.to_string());
+        let key = (self.intern_site(src), self.intern_site(dst));
         let ewma = match self.history.get(&key) {
             Some(prev) => 0.3 * bps + 0.7 * prev,
             None => bps,
@@ -508,8 +583,8 @@ impl Grid {
         for ev in fired {
             let kind = match &ev {
                 FaultEvent::SiteDown { site } => {
-                    if let Some(s) = self.sites.get_mut(site) {
-                        s.crash();
+                    if let Some(i) = self.site_slot(site) {
+                        self.sites[i].crash();
                     }
                     // The site's LRC crashes with it: the volatile index is
                     // lost, its durable journal survives for replay.
@@ -561,15 +636,17 @@ impl Grid {
             self.apply_due_faults();
             let mut progressed = false;
 
-            // 1. Replay journaled notifications.
-            let producers: Vec<String> = self.sites.keys().cloned().collect();
-            for producer in &producers {
-                if self.chaos.is_down(producer) || self.sites[producer.as_str()].journal.is_empty()
-                {
+            // 1. Replay journaled notifications, in sorted site order. Ids
+            // iterate with one refcount bump per producer name instead of
+            // the old per-pass `Vec<String>` clone of every site name.
+            let order = self.order.clone();
+            for &pid in &order {
+                let slot = self.slot[pid.index() as usize].expect("ordered sites exist");
+                let producer = self.site_ids.resolve_arc(pid);
+                if self.chaos.is_down(&producer) || self.sites[slot].journal.is_empty() {
                     continue;
                 }
-                let journal =
-                    std::mem::take(&mut self.sites.get_mut(producer).expect("listed").journal);
+                let journal = std::mem::take(&mut self.sites[slot].journal);
                 let mut kept: Vec<(String, FileNotice)> = Vec::new();
                 let mut subscribers: Vec<String> = Vec::new();
                 for (sub, _) in &journal {
@@ -580,18 +657,18 @@ impl Grid {
                 for sub in subscribers {
                     let notices: Vec<FileNotice> =
                         journal.iter().filter(|(s, _)| *s == sub).map(|(_, n)| n.clone()).collect();
-                    if !self.chaos.can_rpc(producer, &sub) {
+                    if !self.chaos.can_rpc(&producer, &sub) {
                         kept.extend(notices.into_iter().map(|n| (sub.clone(), n)));
                         continue;
                     }
                     let count = notices.len();
-                    match self.rpc(producer, &sub, Request::Notify { notices: notices.clone() }) {
+                    match self.rpc(&producer, &sub, Request::Notify { notices: notices.clone() }) {
                         Ok(_) => {
                             actions += count;
                             progressed = true;
                             reg.counter_add(
                                 "notices_replayed",
-                                &[("site", producer.as_str())],
+                                &[("site", &producer)],
                                 count as u64,
                             );
                             reg.record(
@@ -607,7 +684,8 @@ impl Grid {
                         }
                     }
                 }
-                self.sites.get_mut(producer).expect("listed").journal = kept;
+                let slot = self.slot[pid.index() as usize].expect("ordered sites exist");
+                self.sites[slot].journal = kept;
             }
 
             // 2. Resync restarted sites against their producers.
@@ -665,12 +743,12 @@ impl Grid {
     /// Issue one authenticated, authorized RPC from `from` to `to`,
     /// charging a control round trip plus any server-side storage latency.
     pub fn rpc(&mut self, from: &str, to: &str, req: Request) -> Result<Response> {
-        if !self.sites.contains_key(from) {
+        let Some(from_slot) = self.site_slot(from) else {
             return Err(GdmpError::NoSuchSite(from.to_string()));
-        }
-        if !self.sites.contains_key(to) {
+        };
+        let Some(to_slot) = self.site_slot(to) else {
             return Err(GdmpError::NoSuchSite(to.to_string()));
-        }
+        };
         if self.chaos.is_active() {
             self.apply_due_faults();
             let failure = if !self.chaos.can_rpc(from, to) {
@@ -711,7 +789,7 @@ impl Grid {
         self.nonce_counter += 1;
         let nonce = self.nonce_counter;
         let (caller_cred, callee_cred) =
-            (self.sites[from].credential.clone(), self.sites[to].credential.clone());
+            (self.sites[from_slot].credential.clone(), self.sites[to_slot].credential.clone());
         let (_ctx_i, ctx_a) = SecurityContext::establish(
             &caller_cred,
             &callee_cred,
@@ -730,7 +808,7 @@ impl Grid {
         self.clock += rtt;
         self.rpc_count += 1;
         let peer = ctx_a.peer.clone();
-        let result = self.sites.get_mut(to).expect("checked above").handle(&peer, req);
+        let result = self.sites[to_slot].handle(&peer, req);
         let (resp, latency) = match result {
             Ok(pair) => pair,
             Err(e) => {
@@ -771,7 +849,7 @@ impl Grid {
     /// installed [`RecoveryStrategy`]. Every returned holder is verified
     /// against authoritative LRC state: slower under faults, never wrong.
     pub fn lookup_replicas(&mut self, from: &str, lfn: &str) -> Result<LookupResult> {
-        if !self.sites.contains_key(from) {
+        if !self.has_site(from) {
             return Err(GdmpError::NoSuchSite(from.to_string()));
         }
         if self.federation.is_none() {
@@ -826,14 +904,23 @@ impl Grid {
         result
     }
 
-    /// The ladder body of [`Grid::lookup_replicas`] (federation on).
+    /// The ladder body of [`Grid::lookup_replicas`] (federation on). Runs
+    /// in the federation's interned-id space: probe bookkeeping is `Copy`
+    /// ids, and holder names materialize only into the returned result.
     fn lookup_ladder(&mut self, from: &str, lfn: &str, reg: &Registry) -> Result<LookupResult> {
         let now = self.clock;
-        let plan: LookupPlan = {
+        let (plan, names, from_id, fanout, total_sites) = {
             let Grid { federation, chaos, .. } = self;
             let fed = federation.as_ref().expect("caller checked federation");
             let view = ChaosFaultView { chaos };
-            fed.plan_lookup(lfn, now, &view)
+            let plan: LookupPlan = fed.plan_lookup(lfn, now, &view);
+            (
+                plan,
+                fed.name_table(),
+                fed.try_site_id(from),
+                fed.config().fallback_fanout,
+                fed.site_count() as u32,
+            )
         };
         let mut result = LookupResult {
             lfn: lfn.to_string(),
@@ -845,11 +932,13 @@ impl Grid {
             degraded: plan.degraded,
             staleness_ns: plan.staleness_ns,
         };
-        let mut probed: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
-        let mut first_unreachable: Option<String> = None;
+        let mut probed: std::collections::BTreeSet<SiteId> = std::collections::BTreeSet::new();
+        let mut first_unreachable: Option<SiteId> = None;
 
         // Rung 0: the requester's own LRC, authoritative and free.
-        probed.insert(from.to_string());
+        if let Some(id) = from_id {
+            probed.insert(id);
+        }
         if self.federation.as_ref().expect("checked").lrc_holds(from, lfn) {
             result.holders.push(from.to_string());
             result.via = LookupVia::Local;
@@ -859,18 +948,19 @@ impl Grid {
 
         // Rung 1: RLI hints, each confirmed at the owning LRC. A denial
         // from a *reachable* LRC is a bloom false positive / stale entry.
-        for site in &plan.hints {
-            if !probed.insert(site.clone()) {
+        for &site_id in &plan.hints {
+            if !probed.insert(site_id) {
                 continue;
             }
+            let site = names.resolve_sym(site_id);
             match self.confirm_at(from, site, lfn, &mut result, reg) {
-                Some(true) => result.holders.push(site.clone()),
+                Some(true) => result.holders.push(site.to_string()),
                 Some(false) => {
                     result.false_positives += 1;
                     reg.counter_add("rli_false_positives", &[], 1);
                 }
                 None => {
-                    first_unreachable.get_or_insert_with(|| site.clone());
+                    first_unreachable.get_or_insert(site_id);
                 }
             }
         }
@@ -883,15 +973,16 @@ impl Grid {
 
         // Rung 2 (degraded): the index is blind to dead subtrees — ask
         // those LRCs directly.
-        for site in &plan.scatter {
-            if !probed.insert(site.clone()) {
+        for &site_id in &plan.scatter {
+            if !probed.insert(site_id) {
                 continue;
             }
+            let site = names.resolve_sym(site_id);
             match self.confirm_at(from, site, lfn, &mut result, reg) {
-                Some(true) => result.holders.push(site.clone()),
+                Some(true) => result.holders.push(site.to_string()),
                 Some(false) => {}
                 None => {
-                    first_unreachable.get_or_insert_with(|| site.clone());
+                    first_unreachable.get_or_insert(site_id);
                 }
             }
         }
@@ -903,22 +994,20 @@ impl Grid {
 
         // Rung 3: bounded fan-out over sites nothing has asked yet (bloom
         // false negatives are impossible, but lost/expired summaries make
-        // the index forget).
-        let (fanout, all_sites) = {
-            let fed = self.federation.as_ref().expect("checked");
-            (fed.config().fallback_fanout, fed.sites())
-        };
-        let fallback: Vec<String> =
-            all_sites.iter().filter(|s| !probed.contains(*s)).take(fanout).cloned().collect();
+        // the index forget). Federation ids walk sites in sorted name
+        // order, so id iteration replaces the old full name-list clone.
+        let fallback: Vec<SiteId> =
+            (0..total_sites).map(SiteId).filter(|id| !probed.contains(id)).take(fanout).collect();
         if !fallback.is_empty() {
             reg.counter_add("lookup_fallbacks", &[], 1);
-            for site in &fallback {
-                probed.insert(site.clone());
+            for &site_id in &fallback {
+                probed.insert(site_id);
+                let site = names.resolve_sym(site_id);
                 match self.confirm_at(from, site, lfn, &mut result, reg) {
-                    Some(true) => result.holders.push(site.clone()),
+                    Some(true) => result.holders.push(site.to_string()),
                     Some(false) => {}
                     None => {
-                        first_unreachable.get_or_insert_with(|| site.clone());
+                        first_unreachable.get_or_insert(site_id);
                     }
                 }
             }
@@ -930,14 +1019,16 @@ impl Grid {
         }
 
         // Rung 4: full LRC scatter — the slowest honest answer there is.
-        let rest: Vec<String> =
-            all_sites.iter().filter(|s| !probed.contains(*s)).cloned().collect();
-        for site in &rest {
+        for site_id in (0..total_sites).map(SiteId) {
+            if probed.contains(&site_id) {
+                continue;
+            }
+            let site = names.resolve_sym(site_id);
             match self.confirm_at(from, site, lfn, &mut result, reg) {
-                Some(true) => result.holders.push(site.clone()),
+                Some(true) => result.holders.push(site.to_string()),
                 Some(false) => {}
                 None => {
-                    first_unreachable.get_or_insert_with(|| site.clone());
+                    first_unreachable.get_or_insert(site_id);
                 }
             }
         }
@@ -949,7 +1040,9 @@ impl Grid {
         match first_unreachable {
             // Some holder may be hiding behind an unreachable LRC: a
             // retryable miss, not a verdict.
-            Some(site) => Err(GdmpError::SiteUnreachable(site)),
+            Some(site_id) => {
+                Err(GdmpError::SiteUnreachable(names.resolve_sym(site_id).to_string()))
+            }
             None => Err(GdmpError::NotPublished(lfn.to_string())),
         }
     }
@@ -1108,13 +1201,16 @@ impl Grid {
 
     /// Inject a fault plan for a file's future transfers from any source.
     pub fn inject_fault(&mut self, lfn: &str, plan: FaultPlan) {
-        self.faults.insert((lfn.to_string(), None), FaultState::new(plan));
+        let lfn = self.lfns.intern(lfn);
+        self.faults.insert((lfn, None), FaultState::new(plan));
     }
 
     /// Inject a fault plan for transfers of `lfn` sourced from `site` only
     /// (models a flaky path or bad disks at one replica).
     pub fn inject_fault_at(&mut self, lfn: &str, site: &str, plan: FaultPlan) {
-        self.faults.insert((lfn.to_string(), Some(site.to_string())), FaultState::new(plan));
+        let lfn = self.lfns.intern(lfn);
+        let site = self.intern_site(site);
+        self.faults.insert((lfn, Some(site)), FaultState::new(plan));
     }
 
     /// Install a pluggable error-recovery strategy (Section 4.3's future
@@ -1131,12 +1227,20 @@ impl Grid {
         self.recovery = Some(strategy);
     }
 
+    /// The next injected-fault verdict for a transfer of `lfn` from
+    /// `source`. Probes are allocation-free: an lfn or site never named by
+    /// an injection is not interned, so unknown names short-circuit clean.
     fn fault_verdict(&mut self, lfn: &str, source: &str) -> Verdict {
-        let site_key = (lfn.to_string(), Some(source.to_string()));
-        if let Some(state) = self.faults.get_mut(&site_key) {
-            return state.next_verdict();
+        if self.faults.is_empty() {
+            return Verdict::Clean;
         }
-        match self.faults.get_mut(&(lfn.to_string(), None)) {
+        let Some(lfn) = self.lfns.try_id(lfn) else { return Verdict::Clean };
+        if let Some(site) = self.site_ids.try_id(source) {
+            if let Some(state) = self.faults.get_mut(&(lfn, Some(site))) {
+                return state.next_verdict();
+            }
+        }
+        match self.faults.get_mut(&(lfn, None)) {
             Some(state) => state.next_verdict(),
             None => Verdict::Clean,
         }
@@ -1220,7 +1324,7 @@ impl Grid {
                 site: dst.to_string(),
             });
         }
-        if !self.sites.contains_key(dst) {
+        if !self.has_site(dst) {
             return Err(GdmpError::NoSuchSite(dst.to_string()));
         }
         // When the federation is live, source discovery routes through the
@@ -2233,7 +2337,8 @@ impl Grid {
     fn post_process(&mut self, dst: &str, lfn: &str, file_type: &str, data: &Bytes) -> Result<()> {
         let mut discovered = Vec::new();
         {
-            let site = self.sites.get_mut(dst).expect("checked above");
+            let slot = self.site_slot(dst).expect("checked above");
+            let site = &mut self.sites[slot];
             // Split borrows: plugins and federation are separate fields.
             let plugins = std::mem::take(&mut site.plugins);
             let result = {
@@ -2256,13 +2361,16 @@ impl Grid {
     /// file not yet held locally.
     pub fn replicate_pending(&mut self, dst: &str) -> Result<Vec<ReplicationReport>> {
         let mut pending: Vec<FileNotice> = self.site(dst)?.import_queue.clone();
+        let dst_id = self.intern_site(dst);
         // Files deferred by an earlier pass sort by their backoff deadline;
         // never-deferred files carry deadline zero and keep FIFO order up
         // front (the sort is stable). A file serving a long backoff thus
-        // cannot head-of-line-block fresh work behind it.
+        // cannot head-of-line-block fresh work behind it. The sort key is
+        // an id-pair probe — no per-notice key allocation.
         pending.sort_by_key(|notice| {
-            self.defer_state
-                .get(&(dst.to_string(), notice.lfn.clone()))
+            self.lfns
+                .try_id(&notice.lfn)
+                .and_then(|lfn| self.defer_state.get(&(dst_id, lfn)))
                 .map(|&(deadline, _)| deadline)
                 .unwrap_or(SimTime::ZERO)
         });
@@ -2273,14 +2381,13 @@ impl Grid {
         let mut out = Vec::new();
         let mut deferred: u64 = 0;
         for notice in pending {
-            let defer_key = (dst.to_string(), notice.lfn.clone());
             match self.replicate(dst, &notice.lfn) {
                 Ok(r) => {
-                    self.defer_state.remove(&defer_key);
+                    self.clear_defer(dst_id, &notice.lfn);
                     out.push(r);
                 }
                 Err(GdmpError::AlreadyReplicated { .. }) => {
-                    self.defer_state.remove(&defer_key);
+                    self.clear_defer(dst_id, &notice.lfn);
                     self.site_mut(dst)?.import_queue.retain(|n| n.lfn != notice.lfn);
                 }
                 Err(e) if e.is_retryable() => {
@@ -2288,7 +2395,8 @@ impl Grid {
                     // whole drain: the notice stays queued for a later pass,
                     // behind an exponentially growing backoff deadline.
                     deferred += 1;
-                    let entry = self.defer_state.entry(defer_key).or_insert((SimTime::ZERO, 0));
+                    let lfn = self.lfns.intern(&notice.lfn);
+                    let entry = self.defer_state.entry((dst_id, lfn)).or_insert((SimTime::ZERO, 0));
                     entry.1 = entry.1.saturating_add(1);
                     let backoff_ns = SimDuration::from_millis(500)
                         .nanos()
@@ -2314,6 +2422,14 @@ impl Grid {
         reg.span_note(span, "replicated", out.len() as u64);
         reg.span_end(span, self.clock.nanos());
         Ok(out)
+    }
+
+    /// Drop the defer-backoff entry for `(dst, lfn)`, if any. A never-
+    /// deferred lfn may not be interned; that means no entry either.
+    fn clear_defer(&mut self, dst: SiteId, lfn: &str) {
+        if let Some(lfn) = self.lfns.try_id(lfn) {
+            self.defer_state.remove(&(dst, lfn));
+        }
     }
 
     /// Failure recovery (Section 4.1): fetch a remote site's catalog and

@@ -98,7 +98,7 @@ impl Grid {
         reg: &gdmp_telemetry::Registry,
     ) -> Result<ObjectReplicationReport> {
         let started_at = self.now();
-        if !self.site_names().contains(&dst.to_string()) {
+        if !self.has_site(dst) {
             return Err(GdmpError::NoSuchSite(dst.to_string()));
         }
         // Step 1: what is actually missing at the destination.

@@ -1,0 +1,99 @@
+//! The interned-id contract, asserted with a counting allocator: every
+//! steady-state control-plane probe — WAN-profile lookup, observed-
+//! throughput history, roster membership, roster iteration, chaos flow
+//! checks, federated `lrc_holds`, and the interner primitives themselves
+//! — performs **zero** heap allocation. Before interning, each of these
+//! paths built owned `String`/tuple keys per call; the id-keyed maps make
+//! the probes pure hashing.
+//!
+//! Kept to a single `#[test]` so no concurrently running test can leak
+//! setup allocations into the measured window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gdmp::{Grid, SiteConfig};
+use gdmp_intern::{Interner, SiteId, Symbol, SymbolTable};
+use gdmp_replica_catalog::FederationConfig;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// relaxed atomic with no further side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn steady_state_control_plane_probes_do_not_allocate() {
+    // Setup (allocates freely): a federated grid with profiles, history,
+    // and a published file.
+    let names: Vec<String> = (0..12).map(|i| format!("site{i:03}")).collect();
+    let mut builder = Grid::builder("alloc-probe").federation(FederationConfig::default());
+    for (i, name) in names.iter().enumerate() {
+        builder = builder.site(SiteConfig::named(name, &format!("{name}.grid"), 100 + i as u64));
+    }
+    let mut grid = builder.trust_all().build();
+    grid.note_observed_throughput("site000", "site001", 2.5e7);
+    grid.publish_file("site000", "hot.dat", bytes::Bytes::from_static(b"x"), "flat")
+        .expect("publish");
+
+    let mut table: SymbolTable<SiteId> = SymbolTable::new();
+    let mut raw = Interner::new();
+    for name in &names {
+        table.intern(name);
+        raw.intern(name);
+    }
+
+    // Warm pass outside the window: faults in any lazily-built state.
+    let mut sink = 0u64;
+    let probe_once = |grid: &Grid, sink: &mut u64| {
+        for a in &names {
+            for b in &names {
+                *sink += grid.profile_between(a, b).link.rate_bps;
+                *sink += grid.observed_bps(a, b).map_or(0, |v| v as u64);
+                *sink += u64::from(grid.chaos_state().can_flow(a, b));
+            }
+            *sink += u64::from(grid.has_site(a));
+            *sink += u64::from(grid.federation().expect("federation on").lrc_holds(a, "hot.dat"));
+            *sink += u64::from(table.try_id(a).expect("interned").index());
+            *sink += raw.try_id(a).expect("interned") as u64;
+        }
+        *sink += grid.site_names_iter().map(|n| n.len() as u64).sum::<u64>();
+        for id in (0..names.len() as u32).map(SiteId::from_index) {
+            *sink += table.resolve(id).len() as u64;
+        }
+    };
+    probe_once(&grid, &mut sink);
+
+    let count = allocations_during(|| {
+        for _ in 0..50 {
+            probe_once(&grid, &mut sink);
+        }
+    });
+    assert!(sink > 0, "probes folded real answers");
+    assert_eq!(count, 0, "steady-state control-plane probes must be allocation-free");
+}

@@ -1,0 +1,317 @@
+//! # gdmp-intern — deterministic string interning for the control plane
+//!
+//! The grid's control plane used to key everything by owned `String`s:
+//! `BTreeMap<String, Site>`, `HashMap<(String, String), WanProfile>`,
+//! `(String, Option<String>)` fault keys. At hundreds of sites × millions
+//! of requests, every map probe allocates and every per-tick name list is
+//! a fresh `Vec<String>`. This crate replaces those keys with small `Copy`
+//! symbols ([`SiteId`], [`Lfn`]) backed by an append-only [`Interner`].
+//!
+//! Determinism rules:
+//!
+//! * ids are assigned in **first-intern order** and never change — the
+//!   same sequence of `intern` calls yields the same ids on every run;
+//! * the table is **append-only**: a name, once interned, resolves to the
+//!   same id and string for the table's whole lifetime;
+//! * lookups ([`Interner::try_id`], [`SymbolTable::try_id`]) never mutate,
+//!   so probing for an unknown name on a hot path cannot perturb ids.
+//!
+//! Ids are *internal*: strings are materialized only at export boundaries
+//! (JSON/TSV/telemetry labels), so serialized output is byte-identical to
+//! the string-keyed implementation.
+//!
+//! Probes are allocation-free: the id map is keyed by `Arc<str>`, which
+//! borrows as `str`, so `try_id(&str)` hashes the borrowed name directly.
+//! [`Interner::resolve_arc`] hands out a refcount clone of the stored
+//! name, letting callers hold a name across `&mut self` calls without
+//! copying the bytes.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// A typed index into an [`Interner`] (via [`SymbolTable`]).
+pub trait Symbol: Copy + Eq + Ord + Hash + fmt::Debug {
+    /// Wrap a raw interner index.
+    fn from_index(index: u32) -> Self;
+    /// The raw interner index.
+    fn index(self) -> u32;
+}
+
+/// Interned grid-site name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId(pub u32);
+
+impl Symbol for SiteId {
+    fn from_index(index: u32) -> Self {
+        SiteId(index)
+    }
+    fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// Interned logical file name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lfn(pub u32);
+
+impl Symbol for Lfn {
+    fn from_index(index: u32) -> Self {
+        Lfn(index)
+    }
+    fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// Append-only string interner: first-intern order assigns dense `u32`
+/// ids; names round-trip exactly via [`resolve`](Interner::resolve).
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    names: Vec<Arc<str>>,
+    ids: HashMap<Arc<str>, u32>,
+}
+
+impl Interner {
+    /// Empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Intern `name`, returning its stable id. Idempotent: an already
+    /// known name returns its original id without touching the table.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("interner overflow");
+        let arc: Arc<str> = Arc::from(name);
+        self.names.push(Arc::clone(&arc));
+        self.ids.insert(arc, id);
+        id
+    }
+
+    /// Look up an already interned name without allocating and without
+    /// mutating the table. Unknown names return `None`.
+    pub fn try_id(&self, name: &str) -> Option<u32> {
+        self.ids.get(name).copied()
+    }
+
+    /// The string a raw id was interned from.
+    ///
+    /// # Panics
+    /// If `id` was never returned by [`intern`](Interner::intern).
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Refcount clone of the stored name — lets callers keep a name alive
+    /// across `&mut self` calls without copying the bytes.
+    pub fn resolve_arc(&self, id: u32) -> Arc<str> {
+        Arc::clone(&self.names[id as usize])
+    }
+
+    /// Number of interned names (ids are `0..len`).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Immutable snapshot of the id → name mapping, shareable across
+    /// structs without borrowing the interner.
+    pub fn name_table(&self) -> NameTable {
+        NameTable { names: Arc::from(self.names.as_slice()) }
+    }
+}
+
+/// A typed wrapper over [`Interner`]: the same deterministic append-only
+/// table, but ids come back as a chosen [`Symbol`] type so site ids and
+/// file ids cannot be mixed up.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable<S: Symbol> {
+    inner: Interner,
+    _marker: PhantomData<S>,
+}
+
+impl<S: Symbol> SymbolTable<S> {
+    /// Empty table.
+    pub fn new() -> Self {
+        SymbolTable { inner: Interner::new(), _marker: PhantomData }
+    }
+
+    /// Intern `name` (idempotent, append-only).
+    pub fn intern(&mut self, name: &str) -> S {
+        S::from_index(self.inner.intern(name))
+    }
+
+    /// Allocation-free probe for an already interned name.
+    pub fn try_id(&self, name: &str) -> Option<S> {
+        self.inner.try_id(name).map(S::from_index)
+    }
+
+    /// The string behind a symbol.
+    pub fn resolve(&self, sym: S) -> &str {
+        self.inner.resolve(sym.index())
+    }
+
+    /// Refcount clone of the stored name (see [`Interner::resolve_arc`]).
+    pub fn resolve_arc(&self, sym: S) -> Arc<str> {
+        self.inner.resolve_arc(sym.index())
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Immutable id → name snapshot (see [`Interner::name_table`]).
+    pub fn name_table(&self) -> NameTable {
+        self.inner.name_table()
+    }
+}
+
+/// Cheap immutable snapshot of an interner's id → name mapping. Cloning
+/// is one refcount bump; resolving is an index into a shared slice. Used
+/// to carry name resolution across struct boundaries (e.g. a lookup plan
+/// built by the federation, consumed by the grid) without borrows.
+#[derive(Debug, Clone)]
+pub struct NameTable {
+    names: Arc<[Arc<str>]>,
+}
+
+impl NameTable {
+    /// The string behind a raw id.
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// The string behind a typed symbol.
+    pub fn resolve_sym<S: Symbol>(&self, sym: S) -> &str {
+        self.resolve(sym.index())
+    }
+
+    /// Refcount clone of the stored name.
+    pub fn resolve_arc(&self, id: u32) -> Arc<str> {
+        Arc::clone(&self.names[id as usize])
+    }
+
+    /// Number of names in the snapshot.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+impl Default for NameTable {
+    fn default() -> Self {
+        NameTable { names: Arc::from([]) }
+    }
+}
+
+impl fmt::Display for SiteId {
+    /// Ids format as their raw index; use the owning table to display the
+    /// original name at export boundaries.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site#{}", self.0)
+    }
+}
+
+impl fmt::Display for Lfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lfn#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_first_intern_ordered() {
+        let mut t = Interner::new();
+        assert_eq!(t.intern("cern"), 0);
+        assert_eq!(t.intern("anl"), 1);
+        assert_eq!(t.intern("lyon"), 2);
+        assert_eq!(t.intern("anl"), 1, "re-intern is idempotent");
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn resolve_round_trips_exactly() {
+        let mut t = Interner::new();
+        let names = ["site000", "site001", "rli-leaf-0", "a b/c.dat", ""];
+        let ids: Vec<u32> = names.iter().map(|n| t.intern(n)).collect();
+        for (name, id) in names.iter().zip(&ids) {
+            assert_eq!(t.resolve(*id), *name);
+            assert_eq!(&*t.resolve_arc(*id), *name);
+            assert_eq!(t.try_id(name), Some(*id));
+        }
+    }
+
+    #[test]
+    fn try_id_never_mutates() {
+        let mut t = Interner::new();
+        t.intern("cern");
+        assert_eq!(t.try_id("ghost"), None);
+        assert_eq!(t.len(), 1, "probing an unknown name must not intern it");
+        assert_eq!(t.intern("ghost"), 1, "next intern still gets the next id");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let build = || {
+            let mut t = Interner::new();
+            for i in 0..100 {
+                t.intern(&format!("site{i:03}"));
+            }
+            (0..100).map(|i| t.resolve(i).to_string()).collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn typed_tables_assign_typed_symbols() {
+        let mut sites: SymbolTable<SiteId> = SymbolTable::new();
+        let mut lfns: SymbolTable<Lfn> = SymbolTable::new();
+        let cern = sites.intern("cern");
+        let file = lfns.intern("higgs.dat");
+        assert_eq!(cern, SiteId(0));
+        assert_eq!(file, Lfn(0));
+        assert_eq!(sites.resolve(cern), "cern");
+        assert_eq!(lfns.resolve(file), "higgs.dat");
+        assert_eq!(sites.try_id("cern"), Some(SiteId(0)));
+        assert_eq!(sites.try_id("higgs.dat"), None);
+    }
+
+    #[test]
+    fn name_table_snapshot_outlives_further_interning() {
+        let mut t: SymbolTable<SiteId> = SymbolTable::new();
+        let a = t.intern("alpha");
+        let snap = t.name_table();
+        t.intern("beta");
+        assert_eq!(snap.len(), 1, "snapshot is immutable");
+        assert_eq!(snap.resolve_sym(a), "alpha");
+        assert_eq!(t.name_table().len(), 2);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(SiteId(7).to_string(), "site#7");
+        assert_eq!(Lfn(3).to_string(), "lfn#3");
+    }
+}

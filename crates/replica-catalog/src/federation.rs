@@ -23,6 +23,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use gdmp_intern::{NameTable, SiteId, Symbol, SymbolTable};
 use gdmp_simnet::time::{SimDuration, SimTime};
 
 // ---- bloom filter --------------------------------------------------------
@@ -300,7 +301,7 @@ struct Summary {
 /// RLI node (everywhere above).
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Child {
-    Site(String),
+    Site(SiteId),
     Node(usize),
 }
 
@@ -309,8 +310,10 @@ enum Child {
 struct RliNode {
     name: String,
     children: Vec<Child>,
-    /// Latest unexpired summary per child, keyed by child name.
-    summaries: BTreeMap<String, Summary>,
+    /// Latest unexpired summary per child. A node's children are all
+    /// sites (leaves) or all nodes (upper tiers), so the key is the
+    /// site id or node index respectively — never mixed.
+    summaries: BTreeMap<u32, Summary>,
 }
 
 /// Which rung of the degradation ladder answered a lookup.
@@ -337,18 +340,31 @@ impl LookupPath {
 
 /// The query plan the index produced for one lookup: who to confirm, who
 /// to scatter to because the index can no longer speak for them, and how
-/// stale the consulted soft state was.
+/// stale the consulted soft state was. Sites are interned ids — resolve
+/// them through the federation's [`NameTable`] only at export boundaries.
 #[derive(Debug, Clone, Default)]
 pub struct LookupPlan {
     /// Candidate holder sites from live RLI descent (hints — unconfirmed).
-    pub hints: Vec<String>,
+    pub hints: Vec<SiteId>,
     /// Sites covered by dead RLI subtrees: the index is blind to them, so
     /// the ladder must ask their LRCs directly.
-    pub scatter: Vec<String>,
+    pub scatter: Vec<SiteId>,
     /// True when any consulted RLI node was down.
     pub degraded: bool,
     /// Age of the oldest summary consulted on the descent, ns.
     pub staleness_ns: u64,
+}
+
+impl LookupPlan {
+    /// Materialize the hint sites as owned names (tests, reports).
+    pub fn hint_names(&self, names: &NameTable) -> Vec<String> {
+        self.hints.iter().map(|&id| names.resolve_sym(id).to_string()).collect()
+    }
+
+    /// Materialize the scatter sites as owned names (tests, reports).
+    pub fn scatter_names(&self, names: &NameTable) -> Vec<String> {
+        self.scatter.iter().map(|&id| names.resolve_sym(id).to_string()).collect()
+    }
 }
 
 /// Counters the federation keeps about itself; `wrong_answers` is the one
@@ -375,12 +391,21 @@ pub struct FederationStats {
 #[derive(Debug, Clone)]
 pub struct FederatedCatalog {
     config: FederationConfig,
-    lrcs: BTreeMap<String, Lrc>,
+    /// Site names interned in sorted order, so `SiteId(i)` walks sites in
+    /// name order — the iteration order the string-keyed map used to give.
+    site_ids: SymbolTable<SiteId>,
+    /// Cached snapshot for allocation-free id → name resolution.
+    names: NameTable,
+    /// One LRC per site, indexed by `SiteId`.
+    lrcs: Vec<Lrc>,
     /// Arena, children strictly before parents; the last node is the root.
     nodes: Vec<RliNode>,
     root: usize,
-    /// Leaf RLI index per site.
-    leaf_of: BTreeMap<String, usize>,
+    /// Leaf RLI arena index per site, indexed by `SiteId`.
+    leaf_of: Vec<usize>,
+    /// Parent arena index per node (`None` for the root), precomputed so
+    /// propagation rounds need no per-node linear scan.
+    parent: Vec<Option<usize>>,
     /// Next scheduled soft-state push boundary.
     next_update: SimTime,
     pub stats: FederationStats,
@@ -395,20 +420,28 @@ impl FederatedCatalog {
         let mut sorted: Vec<String> = sites.to_vec();
         sorted.sort();
         sorted.dedup();
-        let lrcs: BTreeMap<String, Lrc> = sorted.iter().map(|s| (s.clone(), Lrc::new(s))).collect();
+        let mut site_ids: SymbolTable<SiteId> = SymbolTable::new();
+        let mut lrcs: Vec<Lrc> = Vec::with_capacity(sorted.len());
+        for s in &sorted {
+            site_ids.intern(s);
+            lrcs.push(Lrc::new(s));
+        }
 
         let mut nodes: Vec<RliNode> = Vec::new();
-        let mut leaf_of = BTreeMap::new();
+        let mut leaf_of = vec![0usize; sorted.len()];
         // Tier 0: leaves over site chunks.
         let mut tier: Vec<usize> = Vec::new();
         for (i, chunk) in sorted.chunks(config.leaf_fanout.max(1)).enumerate() {
             let idx = nodes.len();
+            let mut children = Vec::with_capacity(chunk.len());
             for site in chunk {
-                leaf_of.insert(site.clone(), idx);
+                let id = site_ids.try_id(site).expect("interned above");
+                leaf_of[id.index() as usize] = idx;
+                children.push(Child::Site(id));
             }
             nodes.push(RliNode {
                 name: format!("rli-leaf-{i}"),
-                children: chunk.iter().map(|s| Child::Site(s.clone())).collect(),
+                children,
                 summaries: BTreeMap::new(),
             });
             tier.push(idx);
@@ -435,13 +468,25 @@ impl FederatedCatalog {
         if nodes.len() > 1 {
             nodes[root].name = "rli-root".to_string();
         }
+        let mut parent = vec![None; nodes.len()];
+        for (idx, node) in nodes.iter().enumerate() {
+            for child in &node.children {
+                if let Child::Node(c) = child {
+                    parent[*c] = Some(idx);
+                }
+            }
+        }
         let next_update = SimTime(config.update_period.nanos());
+        let names = site_ids.name_table();
         FederatedCatalog {
             config,
+            site_ids,
+            names,
             lrcs,
             nodes,
             root,
             leaf_of,
+            parent,
             next_update,
             stats: FederationStats::default(),
         }
@@ -461,43 +506,77 @@ impl FederatedCatalog {
         &self.nodes[self.root].name
     }
 
+    /// Every federated site name, sorted (export boundary: allocates).
     pub fn sites(&self) -> Vec<String> {
-        self.lrcs.keys().cloned().collect()
+        self.lrcs.iter().map(|l| l.site.clone()).collect()
+    }
+
+    /// Number of federated sites; valid ids are `SiteId(0..site_count)`,
+    /// in sorted-name order.
+    pub fn site_count(&self) -> usize {
+        self.lrcs.len()
+    }
+
+    /// Allocation-free probe: the interned id of `site`, if federated.
+    pub fn try_site_id(&self, site: &str) -> Option<SiteId> {
+        self.site_ids.try_id(site)
+    }
+
+    /// The name behind an interned site id.
+    pub fn site_name(&self, site: SiteId) -> &str {
+        self.names.resolve_sym(site)
+    }
+
+    /// Cheap snapshot (one refcount bump) of the id → name mapping, for
+    /// resolving [`LookupPlan`] ids without borrowing the federation.
+    pub fn name_table(&self) -> NameTable {
+        self.names.clone()
     }
 
     pub fn lrc(&self, site: &str) -> Option<&Lrc> {
-        self.lrcs.get(site)
+        self.try_site_id(site).map(|id| &self.lrcs[id.index() as usize])
     }
 
     /// The authoritative answer: does `site`'s LRC record `lfn`? This *is*
     /// the confirm step of the ladder (the grid pays the RPC, then asks).
     pub fn lrc_holds(&self, site: &str, lfn: &str) -> bool {
-        self.lrcs.get(site).is_some_and(|l| l.holds(lfn))
+        self.try_site_id(site).is_some_and(|id| self.lrcs[id.index() as usize].holds(lfn))
+    }
+
+    /// Id-keyed confirm step — the allocation-free hot path the ladder uses.
+    pub fn lrc_holds_id(&self, site: SiteId, lfn: &str) -> bool {
+        self.lrcs[site.index() as usize].holds(lfn)
     }
 
     // ---- mutation --------------------------------------------------------
 
     /// Record a new replica of `lfn` at `site` (journaled).
     pub fn publish(&mut self, site: &str, lfn: &str) -> bool {
-        self.lrcs.get_mut(site).is_some_and(|l| l.add(lfn))
+        match self.try_site_id(site) {
+            Some(id) => self.lrcs[id.index() as usize].add(lfn),
+            None => false,
+        }
     }
 
     /// Remove `site`'s replica of `lfn` (journaled).
     pub fn remove(&mut self, site: &str, lfn: &str) -> bool {
-        self.lrcs.get_mut(site).is_some_and(|l| l.remove(lfn))
+        match self.try_site_id(site) {
+            Some(id) => self.lrcs[id.index() as usize].remove(lfn),
+            None => false,
+        }
     }
 
     /// Site crash: the LRC's volatile index is lost with it.
     pub fn crash_lrc(&mut self, site: &str) {
-        if let Some(l) = self.lrcs.get_mut(site) {
-            l.crash();
+        if let Some(id) = self.try_site_id(site) {
+            self.lrcs[id.index() as usize].crash();
         }
     }
 
     /// Site restart: replay the durable journal, restoring the index.
     pub fn recover_lrc(&mut self, site: &str) {
-        if let Some(l) = self.lrcs.get_mut(site) {
-            l.recover();
+        if let Some(id) = self.try_site_id(site) {
+            self.lrcs[id.index() as usize].recover();
         }
     }
 
@@ -531,38 +610,38 @@ impl FederatedCatalog {
             node.summaries.retain(|_, s| s.expires_at > at);
         }
         let (mut delivered, mut lost) = (0u64, 0u64);
-        // LRC → leaf pushes, in site order.
-        let sites: Vec<String> = self.lrcs.keys().cloned().collect();
-        for site in sites {
-            let lrc = &self.lrcs[&site];
-            if lrc.down {
+        // LRC → leaf pushes, in site (= id) order. No per-round name-list
+        // clone: ids iterate the same sorted order the string map gave.
+        for i in 0..self.lrcs.len() {
+            if self.lrcs[i].down {
                 continue; // a crashed site emits nothing
             }
-            let leaf = self.leaf_of[&site];
-            if faults.lose_update(&site) || faults.rli_down(&self.nodes[leaf].name) {
+            let leaf = self.leaf_of[i];
+            if faults.lose_update(&self.lrcs[i].site) || faults.rli_down(&self.nodes[leaf].name) {
                 lost += 1;
                 continue;
             }
+            let lrc = &self.lrcs[i];
             let mut bloom =
                 BloomFilter::for_capacity(self.config.bloom_capacity, self.config.bloom_fp_rate);
             for lfn in &lrc.files {
                 bloom.insert(lfn);
             }
             let count = lrc.files.len() as u64;
-            self.nodes[leaf].summaries.insert(
-                site.clone(),
-                Summary { bloom, count, updated_at: at, expires_at: at + ttl },
-            );
+            self.nodes[leaf]
+                .summaries
+                .insert(i as u32, Summary { bloom, count, updated_at: at, expires_at: at + ttl });
             delivered += 1;
         }
         // RLI → parent pushes, children before parents by arena order.
         for idx in 0..self.nodes.len() {
-            let Some(parent) = self.parent_of(idx) else { continue };
-            let name = self.nodes[idx].name.clone();
-            if faults.rli_down(&name) {
+            let Some(parent) = self.parent[idx] else { continue };
+            if faults.rli_down(&self.nodes[idx].name) {
                 continue; // a crashed index node emits nothing
             }
-            if faults.lose_update(&name) || faults.rli_down(&self.nodes[parent].name) {
+            if faults.lose_update(&self.nodes[idx].name)
+                || faults.rli_down(&self.nodes[parent].name)
+            {
                 lost += 1;
                 continue;
             }
@@ -575,16 +654,10 @@ impl FederatedCatalog {
             }
             self.nodes[parent]
                 .summaries
-                .insert(name, Summary { bloom, count, updated_at: at, expires_at: at + ttl });
+                .insert(idx as u32, Summary { bloom, count, updated_at: at, expires_at: at + ttl });
             delivered += 1;
         }
         (delivered, lost)
-    }
-
-    fn parent_of(&self, idx: usize) -> Option<usize> {
-        self.nodes
-            .iter()
-            .position(|n| n.children.iter().any(|c| matches!(c, Child::Node(i) if *i == idx)))
     }
 
     /// Age of the oldest live summary at the root, ns — the staleness a
@@ -612,8 +685,9 @@ impl FederatedCatalog {
     ) -> LookupPlan {
         let mut plan = LookupPlan::default();
         if faults.rli_down(&self.nodes[self.root].name) {
-            // The whole index is gone: full direct-LRC scatter.
-            plan.scatter = self.sites();
+            // The whole index is gone: full direct-LRC scatter. Ids are
+            // dense and sorted, so this is the full site list in name order.
+            plan.scatter = (0..self.lrcs.len() as u32).map(SiteId).collect();
             plan.degraded = true;
             return plan;
         }
@@ -631,54 +705,49 @@ impl FederatedCatalog {
     ) {
         let node = &self.nodes[idx];
         for child in &node.children {
-            let (child_name, is_site) = match child {
-                Child::Site(s) => (s.as_str(), true),
-                Child::Node(i) => (self.nodes[*i].name.as_str(), false),
-            };
-            if !is_site {
-                let child_idx = match child {
-                    Child::Node(i) => *i,
-                    Child::Site(_) => unreachable!(),
-                };
-                if faults.rli_down(child_name) {
-                    // Dead subtree: the index is blind to every site under
-                    // it — schedule them for direct scatter.
-                    self.collect_sites(child_idx, &mut plan.scatter);
-                    plan.degraded = true;
-                    continue;
+            match *child {
+                Child::Node(child_idx) => {
+                    if faults.rli_down(&self.nodes[child_idx].name) {
+                        // Dead subtree: the index is blind to every site
+                        // under it — schedule them for direct scatter.
+                        self.collect_sites(child_idx, &mut plan.scatter);
+                        plan.degraded = true;
+                        continue;
+                    }
+                    match node.summaries.get(&(child_idx as u32)) {
+                        Some(s) if s.expires_at > now => {
+                            plan.staleness_ns = plan
+                                .staleness_ns
+                                .max(now.nanos().saturating_sub(s.updated_at.nanos()));
+                            if s.bloom.contains(lfn) {
+                                self.descend(child_idx, lfn, now, faults, plan);
+                            }
+                        }
+                        // No live summary: the subtree never reported (or
+                        // its report expired). The fallback rungs cover
+                        // the gap.
+                        _ => {}
+                    }
                 }
-                match node.summaries.get(child_name) {
+                Child::Site(site) => match node.summaries.get(&site.index()) {
                     Some(s) if s.expires_at > now => {
                         plan.staleness_ns =
                             plan.staleness_ns.max(now.nanos().saturating_sub(s.updated_at.nanos()));
                         if s.bloom.contains(lfn) {
-                            self.descend(child_idx, lfn, now, faults, plan);
-                        }
-                    }
-                    // No live summary: the subtree never reported (or its
-                    // report expired). The fallback rungs cover the gap.
-                    _ => {}
-                }
-            } else {
-                match node.summaries.get(child_name) {
-                    Some(s) if s.expires_at > now => {
-                        plan.staleness_ns =
-                            plan.staleness_ns.max(now.nanos().saturating_sub(s.updated_at.nanos()));
-                        if s.bloom.contains(lfn) {
-                            plan.hints.push(child_name.to_string());
+                            plan.hints.push(site);
                         }
                     }
                     _ => {}
-                }
+                },
             }
         }
     }
 
-    fn collect_sites(&self, idx: usize, out: &mut Vec<String>) {
+    fn collect_sites(&self, idx: usize, out: &mut Vec<SiteId>) {
         for child in &self.nodes[idx].children {
-            match child {
-                Child::Site(s) => out.push(s.clone()),
-                Child::Node(i) => self.collect_sites(*i, out),
+            match *child {
+                Child::Site(site) => out.push(site),
+                Child::Node(i) => self.collect_sites(i, out),
             }
         }
     }
@@ -694,7 +763,7 @@ impl FederatedCatalog {
     /// The union of every LRC's holdings — the ground truth the RLI
     /// converges toward once updates stop and TTLs elapse.
     pub fn ground_truth(&self) -> BTreeSet<String> {
-        self.lrcs.values().flat_map(|l| l.files.iter().cloned()).collect()
+        self.lrcs.iter().flat_map(|l| l.files.iter().cloned()).collect()
     }
 
     /// Does the root index (transitively) claim `lfn` might exist? Used by
@@ -752,9 +821,11 @@ mod tests {
         let names = f.node_names();
         assert_eq!(names.len(), 13 + 4 + 1);
         assert_eq!(f.root_name(), "rli-root");
-        // Every site maps to exactly one leaf.
+        // Every site maps to exactly one leaf, and ids round-trip.
         for s in f.sites() {
-            assert!(f.leaf_of.contains_key(&s));
+            let id = f.try_site_id(&s).expect("every site is interned");
+            assert_eq!(f.site_name(id), s);
+            assert!(f.leaf_of[id.index() as usize] < names.len());
         }
     }
 
@@ -773,7 +844,7 @@ mod tests {
         // (children push before parents), so one tick suffices.
         f.tick(t(30), &mut NoFaults);
         let plan = f.plan_lookup("hot.db", t(31), &NoFaults);
-        assert_eq!(plan.hints, vec!["site007".to_string()]);
+        assert_eq!(plan.hint_names(&f.name_table()), vec!["site007".to_string()]);
         assert!(plan.scatter.is_empty());
         assert!(!plan.degraded);
     }
@@ -786,8 +857,8 @@ mod tests {
         let plan = f.plan_lookup("ghost.db", t(31), &NoFaults);
         // Bloom FP possible but wildly unlikely at this fill; hints must
         // not include non-holders *after confirm*, which is the grid's job.
-        for h in &plan.hints {
-            assert!(!f.lrc_holds(h, "ghost.db"));
+        for &h in &plan.hints {
+            assert!(!f.lrc_holds_id(h, "ghost.db"));
         }
     }
 
@@ -851,7 +922,7 @@ mod tests {
         let plan = f.plan_lookup("x.db", t(31), &LeafDown("rli-leaf-0"));
         assert!(plan.degraded);
         assert_eq!(plan.scatter.len(), 8, "exactly the dead leaf's sites");
-        assert!(plan.scatter.contains(&"site001".to_string()));
+        assert!(plan.scatter_names(&f.name_table()).contains(&"site001".to_string()));
         assert!(plan.hints.is_empty(), "the holder sits under the dead leaf");
     }
 

@@ -24,6 +24,7 @@ pub mod cascade;
 pub mod catalog;
 pub mod fanout;
 pub mod fetch;
+pub mod grid;
 pub mod observe;
 pub mod population;
 pub mod soak;
@@ -34,6 +35,7 @@ pub use cascade::{CascadeSpec, CascadeStep, StepResult};
 pub use catalog::{run_catalog_soak, CatalogSoakOutcome, CatalogSoakSpec};
 pub use fanout::{run_fanout, FanoutOutcome, FanoutSpec};
 pub use fetch::{run_fetch, striped_policy, FetchOutcome, FetchSpec};
+pub use grid::{run_grid_soak, GridSoakOutcome, GridSoakSpec};
 pub use population::{Placement, Population};
 pub use soak::{run_soak, ChaosMode, SoakOutcome, SoakSpec};
 pub use transfer::{FigureSweep, MB};
