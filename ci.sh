@@ -28,6 +28,11 @@
 #                          the default gate (release build, < 10 s): the
 #                          fan-out scenario and the fixed-seed simnet
 #                          suites must be byte-identical on 2+ workers
+#   ./ci.sh --scenario-smoke  the scenario-DSL smoke, also part of the
+#                          default gate (release build, < 10 s): load
+#                          every committed scenarios/*.json, replay the
+#                          quick ones twice, assert invariants + byte-
+#                          identical telemetry exports
 #   ./ci.sh --bench-compare  additionally diff the deterministic bench
 #                          metrics against the committed BENCH_fetch.json /
 #                          BENCH_simnet.json baselines; fails on drift.
@@ -46,7 +51,8 @@ trace_smoke=0
 catalog_smoke=0
 grid_smoke=0
 bench_compare=0
-par_smoke=1 # part of the default gate; the flag exists to name it
+par_smoke=1      # part of the default gate; the flag exists to name it
+scenario_smoke=1 # part of the default gate; the flag exists to name it
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
@@ -57,6 +63,7 @@ for arg in "$@"; do
     --grid-smoke) grid_smoke=1 ;;
     --bench-compare) bench_compare=1 ;;
     --par-smoke) par_smoke=1 ;;
+    --scenario-smoke) scenario_smoke=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -83,6 +90,11 @@ if [[ "$par_smoke" == 1 ]]; then
   echo "==> par smoke: sharded engine byte-identical on 2+ workers"
   cargo test --offline -q --release -p gdmp-simnet --test par_determinism
   cargo test --offline -q --release -p gdmp-workloads --lib fanout::
+fi
+
+if [[ "$scenario_smoke" == 1 ]]; then
+  echo "==> scenario smoke: committed scenario files load, replay, and stay byte-identical"
+  cargo run --offline --release -q -p gdmp-bench --bin scenario_smoke
 fi
 
 if [[ "$bench_smoke" == 1 ]]; then

@@ -5,15 +5,22 @@
 //! ```text
 //! cargo run -p gdmp-bench --release --bin bench_fetch            # writes BENCH_fetch.json
 //! cargo run -p gdmp-bench --release --bin bench_fetch -- out.json
+//! cargo run -p gdmp-bench --release --bin bench_fetch -- --scenario scenarios/fetch.json
 //! ```
 //!
 //! The JSON is the committed baseline (`BENCH_fetch.json` at the repo
 //! root). Everything in it is sim-time and therefore deterministic: the
 //! per-mode goodput, the per-source byte split, the reassignment counters,
-//! and the striping speedup must not regress.
+//! and the striping speedup must not regress. `--scenario <file>` swaps
+//! the builtin fetch grid for a scenario file (the three modes then vary
+//! policy and crash around that base); without it the output is the
+//! committed baseline, byte for byte.
 
-use gdmp_workloads::fetch::{run_fetch, striped_policy, FetchOutcome, FetchSpec, FETCH_SOURCES};
-use gdmp_workloads::MB;
+use gdmp::FetchPolicy;
+use gdmp_bench::cli::ScenarioArgs;
+use gdmp_workloads::fetch::{FetchOutcome, FetchSpec};
+use gdmp_workloads::scenario::{run_fetch_scenario, ProfileDecl, WorkloadDecl};
+use gdmp_workloads::{Scenario, MB};
 
 #[derive(serde::Serialize)]
 struct SourceShare {
@@ -40,8 +47,9 @@ struct Mode {
 struct Baseline {
     schema: &'static str,
     file_mb: u64,
-    /// Source→consumer path rates, Mb/s, fastest first (cern, fnal, kek).
-    path_mbps: [u64; 3],
+    /// Source→consumer path rates, Mb/s, in workload source order (the
+    /// builtin scenario: cern, fnal, kek — fastest first).
+    path_mbps: Vec<u64>,
     modes: Vec<Mode>,
     /// multi / single aggregate goodput — the headline number (must stay
     /// ≥ 1.5 on this topology).
@@ -54,16 +62,13 @@ fn mode(name: &'static str, out: &FetchOutcome) -> Mode {
         name,
         elapsed_s: (out.elapsed.as_secs_f64() * 1e3).round() / 1e3,
         mbps: (out.agg_mbps * 1e3).round() / 1e3,
-        sources: FETCH_SOURCES
+        sources: out
+            .per_source_bytes
             .iter()
-            .map(|site| {
-                let bytes =
-                    out.per_source_bytes.iter().find(|(s, _)| s == site).map_or(0, |(_, b)| *b);
-                SourceShare {
-                    site: site.to_string(),
-                    bytes,
-                    share_pct: (bytes as f64 / total.max(1) as f64 * 1e3).round() / 10.0,
-                }
+            .map(|(site, bytes)| SourceShare {
+                site: site.clone(),
+                bytes: *bytes,
+                share_pct: (*bytes as f64 / total.max(1) as f64 * 1e3).round() / 10.0,
             })
             .collect(),
         ranges_reassigned: out.ranges_reassigned,
@@ -72,17 +77,58 @@ fn mode(name: &'static str, out: &FetchOutcome) -> Mode {
     }
 }
 
+/// Rate of each source→dst path, Mb/s, from the scenario's explicit edges
+/// (falling back to the default profile where no edge overrides the pair).
+fn path_rates(scenario: &Scenario) -> Vec<u64> {
+    let WorkloadDecl::Fetch { sources, dst, .. } = &scenario.workload else {
+        return Vec::new();
+    };
+    let rate_of = |p: &ProfileDecl| p.to_profile().link.rate_bps / 1_000_000;
+    sources
+        .iter()
+        .map(|src| {
+            scenario
+                .links
+                .edges
+                .iter()
+                .find(|e| (&e.a == src && &e.b == dst) || (&e.a == dst && &e.b == src))
+                .map_or_else(|| rate_of(&scenario.links.default), |e| rate_of(&e.profile))
+        })
+        .collect()
+}
+
 fn main() {
-    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_fetch.json".into());
-    let spec = FetchSpec::default();
-    let single = run_fetch(&spec);
-    let multi = run_fetch(&FetchSpec { policy: striped_policy(), ..spec.clone() });
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (args, positional) = ScenarioArgs::parse(&raw).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let out = positional.first().cloned().unwrap_or_else(|| "BENCH_fetch.json".into());
+    let base = args
+        .base_scenario(|| Scenario::fetch(&FetchSpec::default()))
+        .and_then(|b| Ok((b.fetch_spec()?, b)))
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+    let (spec, base) = base;
+    let run = |s: &Scenario| {
+        run_fetch_scenario(s).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    };
+    let single = run(&base.clone().with_policy(FetchPolicy::SingleSource));
+    let multi = run(&base.clone().with_striped_policy());
     let crash =
-        run_fetch(&FetchSpec { policy: striped_policy(), crash_fastest: true, ..spec.clone() });
+        run(&base.clone().with_striped_policy().with_fastest_source_crash().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }));
     let baseline = Baseline {
         schema: "gdmp-bench-fetch/1",
         file_mb: spec.size / MB,
-        path_mbps: [20, 12, 8],
+        path_mbps: path_rates(&base),
         modes: vec![mode("single", &single), mode("multi", &multi), mode("multi_crash", &crash)],
         striping_speedup: (multi.agg_mbps / single.agg_mbps * 1e3).round() / 1e3,
     };

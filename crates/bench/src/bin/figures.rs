@@ -15,28 +15,40 @@
 //! the striped fetch as sparklines + deterministic TSV); these are
 //! deliberately not part of `all` so the canonical figure set stays
 //! byte-identical.
-//! Flags: `--json` emits machine-readable JSON lines instead of tables;
-//! `--trace` appends the telemetry dump (spans, metrics, flight recorder)
-//! of the grid-driven experiments (`fig1`, `fig2`).
+//! Flags (parsed once by [`gdmp_bench::cli::ScenarioArgs`], shared with
+//! the `bench_*` binaries): `--json` emits machine-readable JSON lines
+//! instead of tables; `--trace` appends the telemetry dump (spans,
+//! metrics, flight recorder) of the grid-driven experiments (`fig1`,
+//! `fig2`); `--scenario <file>` points the scenario-driven subcommands
+//! (`fetch`, `catalog`, `grid`, `timeline`, `chaos`) at a scenario file
+//! instead of the builtin experiment; `--seed <n>` overrides the
+//! scenario's seed.
 
 use gdmp::{Grid, ObjectReplicationConfig, SiteConfig};
+use gdmp_bench::cli::ScenarioArgs;
 use gdmp_bench::figures::{fig_sweep, render, shape};
 use gdmp_bench::{tables, Cell, Report};
 use gdmp_objectstore::{LogicalOid, ObjectKind};
-use gdmp_workloads::{FigureSweep, Placement, Population, MB};
+use gdmp_workloads::{FigureSweep, Placement, Population, Scenario, MB};
 
 struct Opts {
     report: Report,
     trace: bool,
+    args: ScenarioArgs,
+}
+
+fn or_die<T, E: std::fmt::Display>(r: Result<T, E>) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let json = args.iter().any(|a| a == "--json");
-    let trace = args.iter().any(|a| a == "--trace");
-    let which =
-        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).next().unwrap_or("all");
-    let mut o = Opts { report: Report::new(json), trace };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (args, positional) = or_die(ScenarioArgs::parse(&raw));
+    let which = positional.first().map(String::as_str).unwrap_or("all");
+    let mut o = Opts { report: Report::new(args.json), trace: args.trace, args };
     match which {
         "fig1" => fig1(&mut o),
         "fig2" => fig2(&mut o),
@@ -288,9 +300,15 @@ fn stripe(o: &mut Opts) {
 /// Chaos soak comparison: the same publish/replicate workload with no
 /// chaos layer, with an installed-but-empty schedule (must cost exactly
 /// nothing), and with three seeded fault plans. Exports the failure-path
-/// counters so BENCH files can track fault-handling overhead.
+/// counters so BENCH files can track fault-handling overhead. With
+/// `--scenario` the grid and workload come from the file; the chaos-mode
+/// sweep still varies around that base.
 fn chaos(o: &mut Opts) {
     use gdmp_workloads::{run_soak, ChaosMode, SoakSpec};
+    let base = or_die(
+        o.args.base_scenario(|| Scenario::replication_soak(&SoakSpec::quick(ChaosMode::Off))),
+    );
+    let spec = or_die(base.soak_spec());
     let counter_sum = |out: &gdmp_workloads::SoakOutcome, name: &str| -> u64 {
         out.registry
             .metrics_snapshot()
@@ -313,7 +331,7 @@ fn chaos(o: &mut Opts) {
     ];
     let mut rows = Vec::new();
     for (label, mode) in modes {
-        let out = run_soak(&SoakSpec::quick(mode));
+        let out = run_soak(&SoakSpec { chaos: mode, ..spec.clone() });
         rows.push(vec![
             Cell::from(label),
             Cell::from(out.published),
@@ -355,62 +373,61 @@ fn chaos(o: &mut Opts) {
     r.end_section();
 }
 
-/// Multi-source fetch comparison: the same 48 MB hot file pulled over
-/// three asymmetric WAN paths with a single-source fetch, a striped
+/// Multi-source fetch comparison: the same hot file pulled over
+/// asymmetric WAN paths with a single-source fetch, a striped
 /// multi-source fetch, and a striped fetch whose fastest source crashes
-/// mid-transfer (exercising range reassignment and plan rebuilds).
+/// mid-transfer (exercising range reassignment and plan rebuilds). The
+/// grid comes from the builtin fetch scenario, or from `--scenario`.
 fn fetch(o: &mut Opts) {
-    use gdmp_workloads::fetch::{run_fetch, striped_policy, FetchSpec, FETCH_SOURCES};
-    let r = &mut o.report;
-    r.section(
-        "Multi-source fetch: striping over asymmetric WAN paths (48 MB, cern/fnal/kek -> lyon)",
-    );
+    use gdmp::FetchPolicy;
+    use gdmp_workloads::fetch::FetchSpec;
+    use gdmp_workloads::scenario::run_fetch_scenario;
+    let base = or_die(o.args.base_scenario(|| Scenario::fetch(&FetchSpec::default())));
     let cases = [
-        ("single", FetchSpec::default()),
-        ("multi", FetchSpec { policy: striped_policy(), ..FetchSpec::default() }),
-        (
-            "multi+crash",
-            FetchSpec { policy: striped_policy(), crash_fastest: true, ..FetchSpec::default() },
-        ),
+        ("single", base.clone().with_policy(FetchPolicy::SingleSource)),
+        ("multi", base.clone().with_striped_policy()),
+        ("multi+crash", or_die(base.clone().with_striped_policy().with_fastest_source_crash())),
     ];
+    let title = match &o.args.scenario {
+        Some(path) => format!("Multi-source fetch: scenario `{}` ({path})", base.name),
+        None => "Multi-source fetch: striping over asymmetric WAN paths \
+                 (48 MB, cern/fnal/kek -> lyon)"
+            .to_string(),
+    };
+    let r = &mut o.report;
+    r.section(&title);
     let mut rows = Vec::new();
+    let mut sources: Vec<String> = Vec::new();
     let mut single_mbps = 0.0;
     let mut multi_mbps = 0.0;
-    for (label, spec) in cases {
-        let out = run_fetch(&spec);
+    for (label, scenario) in cases {
+        let out = or_die(run_fetch_scenario(&scenario));
         match label {
             "single" => single_mbps = out.agg_mbps,
             "multi" => multi_mbps = out.agg_mbps,
             _ => {}
+        }
+        if sources.is_empty() {
+            sources = out.per_source_bytes.iter().map(|(s, _)| s.clone()).collect();
         }
         let mut row = vec![
             Cell::from(label),
             Cell::f(out.agg_mbps, 2),
             Cell::f(out.elapsed.as_secs_f64(), 1),
         ];
-        for src in FETCH_SOURCES {
-            let bytes = out.per_source_bytes.iter().find(|(s, _)| s == src).map_or(0, |(_, b)| *b);
-            row.push(Cell::f(bytes as f64 / MB as f64, 1));
+        for (_, bytes) in &out.per_source_bytes {
+            row.push(Cell::f(*bytes as f64 / MB as f64, 1));
         }
         row.push(Cell::from(out.ranges_reassigned));
         row.push(Cell::from(out.plan_rebuilds));
         row.push(Cell::from(out.converged));
         rows.push(row);
     }
-    r.table(
-        &[
-            "mode",
-            "Mb/s",
-            "elapsed s",
-            "cern MB",
-            "fnal MB",
-            "kek MB",
-            "reassigned",
-            "rebuilds",
-            "converged",
-        ],
-        &rows,
-    );
+    let source_headers: Vec<String> = sources.iter().map(|s| format!("{s} MB")).collect();
+    let mut headers = vec!["mode", "Mb/s", "elapsed s"];
+    headers.extend(source_headers.iter().map(String::as_str));
+    headers.extend(["reassigned", "rebuilds", "converged"]);
+    r.table(&headers, &rows);
     r.note(&format!(
         "  striping speedup over best single path: {:.2}x ({:.2} vs {:.2} Mb/s)",
         multi_mbps / single_mbps,
@@ -428,6 +445,9 @@ fn fetch(o: &mut Opts) {
 /// every answer verified at an authoritative LRC.
 fn catalog(o: &mut Opts) {
     use gdmp_bench::catalog::run_catalog_grid;
+    if o.args.scenario.is_some() {
+        return catalog_scenario(o);
+    }
     let r = &mut o.report;
     // Wall ops/s is host-dependent; it appears in the human table only, so
     // `--json` output stays byte-identical across runs (the determinism
@@ -465,6 +485,54 @@ fn catalog(o: &mut Opts) {
     r.end_section();
 }
 
+/// `figures catalog --scenario <file>`: run the file's catalog-soak
+/// workload and print its ladder split and never-wrong stats.
+fn catalog_scenario(o: &mut Opts) {
+    use gdmp_workloads::scenario::run_catalog_scenario;
+    let scenario = or_die(o.args.base_scenario(|| unreachable!("--scenario is set")));
+    let sites = scenario.topology.site_names().len();
+    let out = or_die(run_catalog_scenario(&scenario));
+    let r = &mut o.report;
+    r.section(&format!(
+        "Federated catalog soak: scenario `{}` ({})",
+        scenario.name,
+        o.args.scenario.as_deref().unwrap_or("-")
+    ));
+    r.table(
+        &[
+            "sites",
+            "published",
+            "lookups",
+            "answered",
+            "failed",
+            "local",
+            "rli",
+            "fallback",
+            "scatter",
+            "degraded",
+            "wrong",
+            "sim s",
+        ],
+        &[vec![
+            Cell::from(sites),
+            Cell::from(out.published),
+            Cell::from(out.lookups),
+            Cell::from(out.answered),
+            Cell::from(out.failed),
+            Cell::from(out.via_local),
+            Cell::from(out.via_rli),
+            Cell::from(out.via_fallback),
+            Cell::from(out.via_scatter),
+            Cell::from(out.degraded_answers),
+            Cell::from(out.stats.wrong_answers),
+            Cell::f(out.final_clock_ns as f64 / 1e9, 1),
+        ]],
+    );
+    r.note("(wrong must read 0 — the never-wrong contract; failed counts honest");
+    r.note(" misses under chaos, never bad answers)");
+    r.end_section();
+}
+
 /// Interned-id control plane: the string-keyed vs interned probe race at
 /// 50/100/200 sites, then the Tier-0/1/2 grid soak's ladder split and
 /// replica hit rate. Wall-derived columns (ops/s, speedup, wall s) are
@@ -472,6 +540,9 @@ fn catalog(o: &mut Opts) {
 /// stays byte-identical across runs.
 fn grid(o: &mut Opts) {
     use gdmp_bench::grid::{run_control_plane_grid, run_grid_soak_points};
+    if o.args.scenario.is_some() {
+        return grid_scenario(o);
+    }
     let r = &mut o.report;
     let wall = !r.is_json();
     r.section("Interned-id control plane: string-keyed vs interned probes at 50/100/200 sites");
@@ -541,6 +612,48 @@ fn grid(o: &mut Opts) {
     r.end_section();
 }
 
+/// `figures grid --scenario <file>`: run the file's grid-soak workload and
+/// print its deterministic op counts and ladder split.
+fn grid_scenario(o: &mut Opts) {
+    use gdmp_workloads::scenario::run_grid_scenario;
+    let scenario = or_die(o.args.base_scenario(|| unreachable!("--scenario is set")));
+    let out = or_die(run_grid_scenario(&scenario));
+    let r = &mut o.report;
+    r.section(&format!(
+        "Grid-scale soak: scenario `{}` ({})",
+        scenario.name,
+        o.args.scenario.as_deref().unwrap_or("-")
+    ));
+    r.table(
+        &[
+            "sites",
+            "lookups",
+            "publishes",
+            "fetches",
+            "hit rate",
+            "fallbacks",
+            "scatters",
+            "confirms",
+            "sim s",
+            "wrong",
+        ],
+        &[vec![
+            Cell::from(out.sites),
+            Cell::from(out.lookups),
+            Cell::from(out.publishes),
+            Cell::from(out.fetches),
+            Cell::f(out.replica_hit_rate(), 3),
+            Cell::from(out.fallbacks),
+            Cell::from(out.scatters),
+            Cell::from(out.confirms),
+            Cell::f(out.final_clock_ns as f64 / 1e9, 1),
+            Cell::from(out.wrong_answers),
+        ]],
+    );
+    r.note("(wrong must read 0 — the never-wrong contract holds at every scale)");
+    r.end_section();
+}
+
 /// Sim-time timeline of the striped fetch with a mid-transfer source
 /// crash: per-link utilisation, fetch throughput, breaker state, and queue
 /// depths as terminal sparklines plus the deterministic TSV export, then
@@ -548,14 +661,22 @@ fn grid(o: &mut Opts) {
 fn timeline(o: &mut Opts) {
     use gdmp_bench::{render_timeline, timeline_tsv};
     use gdmp_telemetry::analysis::{critical_path, render_critical_path, trace_roots};
-    use gdmp_workloads::fetch::{run_fetch, striped_policy, FetchSpec};
+    use gdmp_workloads::fetch::FetchSpec;
+    use gdmp_workloads::scenario::run_fetch_scenario;
+    let base = or_die(o.args.base_scenario(|| Scenario::fetch(&FetchSpec::default())));
+    let scenario = or_die(base.with_striped_policy().with_fastest_source_crash());
+    let title = match &o.args.scenario {
+        Some(path) => format!(
+            "Sim-time timeline: scenario `{}` ({path}), striped, fastest source crashes",
+            scenario.name
+        ),
+        None => {
+            "Sim-time timeline: striped 48 MB fetch, fastest source crashes at t0+3 s".to_string()
+        }
+    };
     let r = &mut o.report;
-    r.section("Sim-time timeline: striped 48 MB fetch, fastest source crashes at t0+3 s");
-    let out = run_fetch(&FetchSpec {
-        policy: striped_policy(),
-        crash_fastest: true,
-        ..FetchSpec::default()
-    });
+    r.section(&title);
+    let out = or_die(run_fetch_scenario(&scenario));
     r.block(&render_timeline(&out.registry, 64));
     let spans = out.registry.spans();
     // The measured fetch is the last replicate root (seeding came first).

@@ -5,6 +5,7 @@
 //! Criterion benches reuse the same code for component micro-benchmarks.
 
 pub mod catalog;
+pub mod cli;
 pub mod compare;
 pub mod figures;
 pub mod grid;
@@ -16,6 +17,7 @@ pub mod timeline;
 pub use catalog::{
     run_catalog_bench, run_catalog_grid, CatalogBenchPoint, CATALOG_LOOKUPS, CATALOG_SITES,
 };
+pub use cli::ScenarioArgs;
 pub use compare::{compare_catalog, compare_fetch, compare_grid, compare_simnet, Gate, Tolerances};
 pub use figures::{fig_sweep, fig_sweep_on, FigRow};
 pub use grid::{

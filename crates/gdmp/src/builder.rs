@@ -17,15 +17,18 @@
 //! ```
 //!
 //! The pre-builder mutators (`Grid::enable_telemetry`, `set_telemetry`,
-//! `set_breaker`, `set_recovery`, `set_fault_schedule`) remain as
-//! deprecated shims for one release (0.6 → removal in 0.8); see DESIGN.md
-//! §12.4 for the migration table.
+//! `set_breaker`, `set_recovery`, `set_fault_schedule`) were deprecated in
+//! 0.6 and removed in 0.8 — the builder is the only way to configure these
+//! at construction time (see DESIGN.md §12.4 for the migration table). The
+//! one mid-run door left open is [`Grid::inject_fault_schedule`], for
+//! chaos timelines whose event times depend on the running experiment's
+//! clock.
 
 use gdmp_gridftp::sim::WanProfile;
 use gdmp_telemetry::Registry;
 
 use crate::chaos::FaultSchedule;
-use crate::grid::{Grid, TransferParams};
+use crate::grid::{Grid, TransferConfig};
 use crate::recovery::{BreakerConfig, RecoveryStrategy};
 use crate::schedule::FetchPolicy;
 use crate::selection::CostModel;
@@ -41,7 +44,7 @@ pub struct GridBuilder {
     trusts: Vec<(String, String)>,
     trust_all: bool,
     subscriptions: Vec<(String, String)>,
-    params: Option<TransferParams>,
+    params: Option<TransferConfig>,
     default_profile: Option<WanProfile>,
     profiles: Vec<(String, String, WanProfile)>,
     telemetry: Option<Option<Registry>>,
@@ -94,7 +97,7 @@ impl GridBuilder {
     }
 
     /// GridFTP parameters for every Data Mover transfer.
-    pub fn transfer_params(mut self, params: TransferParams) -> Self {
+    pub fn transfer_params(mut self, params: TransferConfig) -> Self {
         self.params = Some(params);
         self
     }

@@ -40,7 +40,7 @@ use crate::site::{Site, SiteConfig};
 
 /// GridFTP parameters the Data Mover uses for every transfer.
 #[derive(Debug, Clone, Copy)]
-pub struct TransferParams {
+pub struct TransferConfig {
     /// Parallel TCP streams.
     pub streams: u32,
     /// Socket buffer in bytes.
@@ -49,10 +49,10 @@ pub struct TransferParams {
     pub max_attempts: u32,
 }
 
-impl Default for TransferParams {
+impl Default for TransferConfig {
     fn default() -> Self {
         // The paper's findings: a few tuned streams are close to optimal.
-        TransferParams { streams: 4, buffer: 1024 * 1024, max_attempts: 5 }
+        TransferConfig { streams: 4, buffer: 1024 * 1024, max_attempts: 5 }
     }
 }
 
@@ -183,13 +183,14 @@ pub struct Grid {
     /// The global object→file view (Section 5.2's "global view of which
     /// objects exist where", maintained by GDMP itself).
     pub object_view: ObjectFileCatalog,
-    pub params: TransferParams,
+    pub params: TransferConfig,
     /// Faults keyed by `(lfn, site)`; `None` site applies to any source.
     faults: HashMap<(Lfn, Option<SiteId>), FaultState>,
     /// Pluggable error recovery; `None` = SimpleRetry(params.max_attempts).
     recovery: Option<Box<dyn RecoveryStrategy>>,
     /// Grid-level fault timeline (site crashes, link cuts, partitions).
-    /// Inert until [`Grid::set_fault_schedule`] installs a non-empty one.
+    /// Inert until the builder's `fault_schedule` (or
+    /// [`Grid::inject_fault_schedule`]) installs a non-empty one.
     chaos: ChaosState,
     /// Per-source circuit breaker for the Data Mover; disabled by default.
     breaker: CircuitBreaker,
@@ -213,8 +214,8 @@ pub struct Grid {
     /// Sequence number for object-replication extraction files.
     pub(crate) objrep_seq: u64,
     /// Telemetry sink shared by the grid, its sites, and their storage.
-    /// Disabled (every call a no-op) unless [`Grid::enable_telemetry`] or
-    /// [`Grid::set_telemetry`] is called.
+    /// Disabled (every call a no-op) unless the builder's `telemetry()` /
+    /// `telemetry_sink(reg)` attached a live registry.
     telemetry: Registry,
 }
 
@@ -241,7 +242,7 @@ impl Grid {
             profiles: HashMap::new(),
             default_profile: WanProfile::cern_anl_production(),
             object_view: ObjectFileCatalog::new(),
-            params: TransferParams::default(),
+            params: TransferConfig::default(),
             faults: HashMap::new(),
             recovery: None,
             chaos: ChaosState::default(),
@@ -260,29 +261,10 @@ impl Grid {
 
     // ---- telemetry ----------------------------------------------------
 
-    /// Switch on telemetry with a fresh registry, propagate it to every
-    /// existing site (and their storage), and return a handle for reading
-    /// the collected spans, metrics, and flight-recorder events. Sites
-    /// added later inherit it automatically.
-    #[deprecated(since = "0.6.0", note = "use `Grid::builder(..).telemetry()`; removal in 0.8")]
-    pub fn enable_telemetry(&mut self) -> Registry {
-        let reg = Registry::new();
-        self.attach_telemetry(reg.clone());
-        reg
-    }
-
-    /// Attach an externally created registry (e.g. one shared across
-    /// several grids for merged metrics).
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `Grid::builder(..).telemetry_sink(reg)`; removal in 0.8"
-    )]
-    pub fn set_telemetry(&mut self, reg: Registry) {
-        self.attach_telemetry(reg);
-    }
-
-    /// Shared body of the telemetry shims and [`GridBuilder`]
-    /// (crate::builder::GridBuilder).
+    /// Attach a telemetry registry, propagating it to every existing site
+    /// (and their storage). Normally reached through
+    /// `Grid::builder(..).telemetry()` / `.telemetry_sink(reg)`; the 0.6
+    /// `enable_telemetry`/`set_telemetry` setters were removed in 0.8.
     pub(crate) fn attach_telemetry(&mut self, reg: Registry) {
         for site in &mut self.sites {
             site.set_telemetry(reg.clone());
@@ -427,20 +409,22 @@ impl Grid {
 
     // ---- chaos: grid-level fault timeline ---------------------------------
 
-    /// Install a fault timeline. Events fire lazily as the grid's clock
-    /// passes them — `rpc`, `replicate`, and `advance` all consult the
-    /// schedule. An empty schedule is behaviourally inert: no chaos branch
-    /// is ever taken.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `Grid::builder(..).fault_schedule(schedule)`; removal in 0.8"
-    )]
-    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
-        self.install_fault_schedule(schedule);
-    }
-
+    /// Install a fault timeline (via `Grid::builder(..).fault_schedule`).
+    /// Events fire lazily as the grid's clock passes them — `rpc`,
+    /// `replicate`, and `advance` all consult the schedule. An empty
+    /// schedule is behaviourally inert: no chaos branch is ever taken.
     pub(crate) fn install_fault_schedule(&mut self, schedule: FaultSchedule) {
         self.chaos.set_schedule(schedule);
+    }
+
+    /// Inject a fault timeline into a *running* grid, replacing any
+    /// previous schedule. Part of the `inject_*` mid-run chaos family
+    /// (with [`Grid::inject_fault`] / [`Grid::inject_fault_at`]): use the
+    /// builder's `fault_schedule` for timelines known up front, and this
+    /// when the event times depend on the experiment's own clock (for
+    /// example "sever the link one second after the transfer starts").
+    pub fn inject_fault_schedule(&mut self, schedule: FaultSchedule) {
+        self.install_fault_schedule(schedule);
     }
 
     /// The live fault state: what is down, cut, or partitioned right now.
@@ -496,12 +480,8 @@ impl Grid {
         telemetry.series_set("catalog_staleness", &[], now.nanos(), staleness);
     }
 
-    /// Arm the Data Mover's per-source circuit breaker.
-    #[deprecated(since = "0.6.0", note = "use `Grid::builder(..).breaker(config)`; removal in 0.8")]
-    pub fn set_breaker(&mut self, config: BreakerConfig) {
-        self.arm_breaker(config);
-    }
-
+    /// Arm the Data Mover's per-source circuit breaker (via
+    /// `Grid::builder(..).breaker`).
     pub(crate) fn arm_breaker(&mut self, config: BreakerConfig) {
         self.breaker = CircuitBreaker::new(config);
     }
@@ -1214,15 +1194,8 @@ impl Grid {
     }
 
     /// Install a pluggable error-recovery strategy (Section 4.3's future
-    /// work). Default: retry the same source `params.max_attempts` times.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use `Grid::builder(..).recovery(strategy)`; removal in 0.8"
-    )]
-    pub fn set_recovery(&mut self, strategy: Box<dyn RecoveryStrategy>) {
-        self.install_recovery(strategy);
-    }
-
+    /// work) via `Grid::builder(..).recovery`. Default: retry the same
+    /// source `params.max_attempts` times.
     pub(crate) fn install_recovery(&mut self, strategy: Box<dyn RecoveryStrategy>) {
         self.recovery = Some(strategy);
     }

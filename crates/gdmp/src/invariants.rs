@@ -130,7 +130,7 @@ fn check_replica_integrity(grid: &mut Grid, report: &mut InvariantReport) {
                 });
                 continue;
             };
-            let bytes = site.storage.pool.peek(&lfn).or_else(|| site.storage.tape.peek(&lfn));
+            let bytes = site.storage.pool.peek(&lfn).or_else(|| site.storage.archive.peek(&lfn));
             let Some(bytes) = bytes else {
                 report.violations.push(Violation {
                     invariant: "integrity",
@@ -239,7 +239,7 @@ fn check_convergence(grid: &mut Grid, site_names: &[String], report: &mut Invari
     for (producer, subscriber, lfn) in expected {
         report.deliveries_checked += 1;
         let Ok(sub) = grid.site(&subscriber) else { continue };
-        let resident = sub.storage.pool.contains(&lfn) || sub.storage.tape.contains(&lfn);
+        let resident = sub.storage.pool.contains(&lfn) || sub.storage.archive.contains(&lfn);
         if !resident {
             report.violations.push(Violation {
                 invariant: "convergence",

@@ -39,7 +39,7 @@ pub use chaos::{ChaosPlan, ChaosState, FaultEvent, FaultSchedule};
 pub use consistency::{associated_closure, ConsistencyPolicy};
 pub use error::{GdmpError, Result};
 pub use failure::{FaultPlan, FaultState, Verdict};
-pub use grid::{Grid, LookupResult, LookupVia, ReplicationReport, TransferParams};
+pub use grid::{Grid, LookupResult, LookupVia, ReplicationReport, TransferConfig};
 pub use invariants::{check_grid, InvariantReport, Violation};
 pub use message::{FileNotice, Request, Response};
 pub use objrep::{ObjectReplicationConfig, ObjectReplicationReport};
@@ -57,6 +57,14 @@ pub use selection::{
 };
 pub use site::{Site, SiteConfig};
 
+// The storage-backend seam (Section 4.4): re-exported so scenario files
+// and per-site storage selection need only the `gdmp` crate.
+pub use gdmp_mass_storage::backend::{
+    BackendError, BackendStats, CostUnits, DiskArraySpec, ObjectStoreSpec, OpReceipt,
+    StorageBackend, StorageConfig,
+};
+pub use gdmp_mass_storage::tape::TapeSpec;
+
 /// One import for the types nearly every test, example, and benchmark
 /// reaches for: the grid and its builder, site configs, WAN profiles,
 /// fetch policies, recovery strategies, errors, and sim time.
@@ -64,13 +72,17 @@ pub mod prelude {
     pub use crate::builder::GridBuilder;
     pub use crate::chaos::{ChaosPlan, FaultSchedule};
     pub use crate::error::{FailureKind, GdmpError, Result};
-    pub use crate::grid::{Grid, LookupResult, LookupVia, ReplicationReport, TransferParams};
+    pub use crate::grid::{Grid, LookupResult, LookupVia, ReplicationReport, TransferConfig};
     pub use crate::recovery::{BackoffRetry, BreakerConfig, RecoveryStrategy, SimpleRetry};
     pub use crate::schedule::{FetchPolicy, MultiSourcePlan};
     pub use crate::selection::{AnalyticCostModel, CostModel, HistoryCostModel};
     pub use crate::site::SiteConfig;
     pub use bytes::Bytes;
     pub use gdmp_gridftp::sim::WanProfile;
+    pub use gdmp_mass_storage::backend::{
+        DiskArraySpec, ObjectStoreSpec, StorageBackend, StorageConfig,
+    };
+    pub use gdmp_mass_storage::tape::TapeSpec;
     pub use gdmp_replica_catalog::federation::{
         FederatedCatalog, FederationConfig, FederationStats,
     };

@@ -168,7 +168,7 @@ pub fn estimate_sources_with(
         let on_disk = site.storage.on_disk(&info.lfn);
         let est_stage = if on_disk {
             SimDuration::ZERO
-        } else if site.storage.tape.contains(&info.lfn) {
+        } else if site.storage.archive.contains(&info.lfn) {
             // Mount + stream at tape rate (seek unknowable remotely).
             SimDuration::from_secs(60)
                 + SimDuration::from_secs_f64(info.meta.size as f64 / 10_000_000.0)
@@ -228,7 +228,7 @@ mod tests {
         g.replicate("anl", "x.dat").unwrap();
         // Evict cern's disk copy; the file survives on cern tape.
         g.site_mut("cern").unwrap().storage.pool.remove("x.dat").unwrap();
-        assert!(g.site("cern").unwrap().storage.tape.contains("x.dat"));
+        assert!(g.site("cern").unwrap().storage.archive.contains("x.dat"));
         let info = g.catalog.info("x.dat").unwrap();
         let ranked = estimate_sources(&g, "lyon", &info).unwrap();
         assert_eq!(ranked[0].site, "anl", "disk-resident replica must rank first");

@@ -6,9 +6,9 @@ use gdmp_gsi::cert::{CertificateAuthority, KeyPair};
 use gdmp_gsi::gridmap::{GridMap, Operation};
 use gdmp_gsi::name::DistinguishedName;
 use gdmp_gsi::proxy::CredentialChain;
+use gdmp_mass_storage::backend::StorageConfig;
 use gdmp_mass_storage::hrm::HierarchicalStorage;
 use gdmp_mass_storage::pool::EvictionPolicy;
-use gdmp_mass_storage::tape::TapeSpec;
 use gdmp_objectstore::{Federation, TagCatalog};
 use gdmp_simnet::time::SimDuration;
 use gdmp_telemetry::Registry;
@@ -27,7 +27,9 @@ pub struct SiteConfig {
     /// Disk pool capacity in bytes.
     pub pool_capacity: u64,
     pub eviction: EvictionPolicy,
-    pub tape: TapeSpec,
+    /// Archive tier behind the pool (tape library, disk array, object
+    /// store); see [`StorageConfig`].
+    pub storage: StorageConfig,
     /// Key seed (deterministic certificates).
     pub key_seed: u64,
     /// Telemetry sink for this site's server and storage; the no-op
@@ -43,7 +45,7 @@ impl SiteConfig {
             org: org.to_string(),
             pool_capacity: 10 * 1024 * 1024 * 1024,
             eviction: EvictionPolicy::Lru,
-            tape: TapeSpec::classic(),
+            storage: StorageConfig::classic_tape(),
             key_seed,
             telemetry: Registry::default(),
         }
@@ -51,6 +53,12 @@ impl SiteConfig {
 
     pub fn with_pool(mut self, bytes: u64) -> Self {
         self.pool_capacity = bytes;
+        self
+    }
+
+    /// Select the archive adapter behind this site's disk pool.
+    pub fn with_storage(mut self, storage: StorageConfig) -> Self {
+        self.storage = storage;
         self
     }
 
@@ -103,7 +111,8 @@ impl Site {
         let keys = KeyPair::from_seed(cfg.key_seed);
         let dn = DistinguishedName::host(&cfg.org, &format!("gdmp.{}", cfg.org));
         let cert = ca.issue(dn, keys.public, 0, u64::MAX / 2);
-        let mut storage = HierarchicalStorage::new(cfg.pool_capacity, cfg.eviction, cfg.tape);
+        let mut storage =
+            HierarchicalStorage::with_config(cfg.pool_capacity, cfg.eviction, &cfg.storage);
         storage.set_telemetry(cfg.telemetry.clone());
         Site {
             name: cfg.name.clone(),

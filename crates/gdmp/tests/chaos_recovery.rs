@@ -2,10 +2,6 @@
 //! crashes and cuts, catalog recovery that dies partway, journal replay,
 //! and clean rollback of transfers interrupted by severed paths.
 
-// Seed tests exercise the pre-builder constructors on purpose: the
-// deprecated shims must keep compiling until their removal in 0.8.
-#![allow(deprecated)]
-
 use bytes::Bytes;
 use gdmp::chaos::{FaultEvent, FaultSchedule};
 use gdmp::invariants::check_grid;
@@ -21,14 +17,25 @@ fn three_site_grid() -> Grid {
     grid
 }
 
+/// The same grid with a fault timeline known up front, through the
+/// builder (the only construction-time door since the 0.8 setter removal).
+fn three_site_grid_with_schedule(schedule: FaultSchedule) -> Grid {
+    Grid::builder("cms")
+        .site(SiteConfig::named("cern", "cern.ch", 11))
+        .site(SiteConfig::named("anl", "anl.gov", 12))
+        .site(SiteConfig::named("lyon", "in2p3.fr", 13))
+        .trust_all()
+        .fault_schedule(schedule)
+        .build()
+}
+
 fn t(secs: u64) -> SimTime {
     SimTime(secs * 1_000_000_000)
 }
 
 #[test]
 fn rpc_to_down_site_fails_retryably() {
-    let mut grid = three_site_grid();
-    grid.set_fault_schedule(
+    let mut grid = three_site_grid_with_schedule(
         FaultSchedule::new()
             .at(t(0), FaultEvent::SiteDown { site: "cern".into() })
             .at(t(100), FaultEvent::SiteUp { site: "cern".into() }),
@@ -44,8 +51,7 @@ fn rpc_to_down_site_fails_retryably() {
 
 #[test]
 fn link_cut_is_directional() {
-    let mut grid = three_site_grid();
-    grid.set_fault_schedule(FaultSchedule::new().at(
+    let mut grid = three_site_grid_with_schedule(FaultSchedule::new().at(
         t(0),
         FaultEvent::LinkDown { from: "anl".into(), to: "cern".into(), both_ways: false },
     ));
@@ -67,7 +73,7 @@ fn recover_catalog_mid_failure_leaves_no_partial_state() {
     // The subscriber lost its import queue (crash) and resyncs — but the
     // very first GetCatalog of the recovery dies on the wire.
     grid.site_mut("anl").unwrap().crash();
-    grid.set_fault_schedule(
+    grid.inject_fault_schedule(
         FaultSchedule::new()
             .at(t(0), FaultEvent::RpcDrop { from: "anl".into(), to: "cern".into(), nth: 1 }),
     );
@@ -92,7 +98,7 @@ fn recover_catalog_against_down_producer_fails_then_succeeds() {
     grid.subscribe("anl", "cern").unwrap();
     grid.publish_file("cern", "a.dat", Bytes::from(vec![1u8; 1024]), "flat").unwrap();
     grid.site_mut("anl").unwrap().crash();
-    grid.set_fault_schedule(
+    grid.inject_fault_schedule(
         FaultSchedule::new()
             .at(t(0), FaultEvent::SiteDown { site: "cern".into() })
             .at(t(60), FaultEvent::SiteUp { site: "cern".into() }),
@@ -111,7 +117,7 @@ fn restart_resync_requeues_lost_imports_automatically() {
     assert_eq!(grid.site("anl").unwrap().import_queue.len(), 1);
     // anl crashes (queue lost) and restarts; the grid's recovery pass
     // resyncs it from its subscribed producer without manual help.
-    grid.set_fault_schedule(
+    grid.inject_fault_schedule(
         FaultSchedule::new()
             .at(t(1), FaultEvent::SiteDown { site: "anl".into() })
             .at(t(30), FaultEvent::SiteUp { site: "anl".into() }),
@@ -125,7 +131,7 @@ fn restart_resync_requeues_lost_imports_automatically() {
 fn notify_to_unreachable_subscriber_is_journaled_and_replayed() {
     let mut grid = three_site_grid();
     grid.subscribe("anl", "cern").unwrap();
-    grid.set_fault_schedule(
+    grid.inject_fault_schedule(
         FaultSchedule::new()
             .at(t(0), FaultEvent::SiteDown { site: "anl".into() })
             .at(t(60), FaultEvent::SiteUp { site: "anl".into() }),
@@ -144,16 +150,21 @@ fn notify_to_unreachable_subscriber_is_journaled_and_replayed() {
 
 #[test]
 fn transfer_severed_mid_flight_fails_over_cleanly() {
-    let mut grid = three_site_grid();
     // An unreachable-aware strategy: dead paths fail over instead of
     // burning the whole retry budget on one source.
-    grid.set_recovery(Box::new(gdmp::BackoffRetry::new(7)));
+    let mut grid = Grid::builder("cms")
+        .site(SiteConfig::named("cern", "cern.ch", 11))
+        .site(SiteConfig::named("anl", "anl.gov", 12))
+        .site(SiteConfig::named("lyon", "in2p3.fr", 13))
+        .trust_all()
+        .recovery(Box::new(gdmp::BackoffRetry::new(7)))
+        .build();
     // Two replicas of the same file: cern (origin) and lyon.
     grid.publish_file("cern", "big.dat", Bytes::from(vec![9u8; 8 * 1024 * 1024]), "flat").unwrap();
     grid.replicate("lyon", "big.dat").unwrap();
     // The cheapest path dies one second into the transfer; the Data Mover
     // must fail over to the surviving replica.
-    grid.set_fault_schedule(FaultSchedule::new().at(
+    grid.inject_fault_schedule(FaultSchedule::new().at(
         grid.now() + SimDuration::from_secs(1),
         FaultEvent::LinkDown { from: "cern".into(), to: "anl".into(), both_ways: true },
     ));
@@ -168,7 +179,7 @@ fn transfer_severed_mid_flight_fails_over_cleanly() {
 fn all_sources_down_is_a_clean_retryable_failure() {
     let mut grid = three_site_grid();
     grid.publish_file("cern", "a.dat", Bytes::from(vec![1u8; 1024 * 1024]), "flat").unwrap();
-    grid.set_fault_schedule(
+    grid.inject_fault_schedule(
         FaultSchedule::new().at(t(0), FaultEvent::SiteDown { site: "cern".into() }),
     );
     let err = grid.replicate("anl", "a.dat").unwrap_err();

@@ -2,10 +2,6 @@
 //! Sections 4 and 5 run against the simulated WAN, storage, and security
 //! substrates.
 
-// Seed tests exercise the pre-builder constructors on purpose: the
-// deprecated shims must keep compiling until their removal in 0.8.
-#![allow(deprecated)]
-
 use bytes::Bytes;
 use gdmp::{
     ConsistencyPolicy, FaultPlan, GdmpError, Grid, ObjectReplicationConfig, Request, SiteConfig,
@@ -22,6 +18,18 @@ fn three_site_grid() -> Grid {
     grid.add_site(SiteConfig::named("lyon", "in2p3.fr", 13));
     grid.trust_all();
     grid
+}
+
+/// The same grid with a recovery strategy, through the builder (the only
+/// door since the 0.8 removal of `Grid::set_recovery`).
+fn three_site_grid_with_recovery(strategy: Box<dyn gdmp::RecoveryStrategy>) -> Grid {
+    Grid::builder("cms")
+        .site(SiteConfig::named("cern", "cern.ch", 11))
+        .site(SiteConfig::named("anl", "anl.gov", 12))
+        .site(SiteConfig::named("lyon", "in2p3.fr", 13))
+        .trust_all()
+        .recovery(strategy)
+        .build()
 }
 
 fn flat(bytes: usize, tag: u8) -> Bytes {
@@ -395,8 +403,7 @@ fn multi_hop_dissemination_across_three_sites() {
 
 #[test]
 fn failover_strategy_switches_to_healthy_replica() {
-    let mut grid = three_site_grid();
-    grid.set_recovery(Box::new(gdmp::FailoverRetry {
+    let mut grid = three_site_grid_with_recovery(Box::new(gdmp::FailoverRetry {
         attempts_per_source: 2,
         max_total_attempts: 10,
     }));
@@ -420,8 +427,7 @@ fn failover_strategy_switches_to_healthy_replica() {
 
 #[test]
 fn failover_preserves_partial_progress_across_sources() {
-    let mut grid = three_site_grid();
-    grid.set_recovery(Box::new(gdmp::FailoverRetry {
+    let mut grid = three_site_grid_with_recovery(Box::new(gdmp::FailoverRetry {
         attempts_per_source: 1,
         max_total_attempts: 5,
     }));
@@ -443,8 +449,8 @@ fn failover_preserves_partial_progress_across_sources() {
 
 #[test]
 fn corruption_averse_strategy_flees_bad_disk() {
-    let mut grid = three_site_grid();
-    grid.set_recovery(Box::new(gdmp::CorruptionAverse { max_total_attempts: 6 }));
+    let mut grid =
+        three_site_grid_with_recovery(Box::new(gdmp::CorruptionAverse { max_total_attempts: 6 }));
     grid.publish_file("cern", "bitrot.dat", flat(MB as usize, 6), "flat").unwrap();
     grid.replicate("anl", "bitrot.dat").unwrap();
     // The preferred source (anl) persistently corrupts in flight.
@@ -456,8 +462,7 @@ fn corruption_averse_strategy_flees_bad_disk() {
 
 #[test]
 fn failover_gives_up_when_all_sources_broken() {
-    let mut grid = three_site_grid();
-    grid.set_recovery(Box::new(gdmp::FailoverRetry {
+    let mut grid = three_site_grid_with_recovery(Box::new(gdmp::FailoverRetry {
         attempts_per_source: 1,
         max_total_attempts: 10,
     }));

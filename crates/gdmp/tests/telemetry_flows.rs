@@ -2,10 +2,6 @@
 //! emits, and the determinism contract — two identical runs export
 //! byte-identical JSON lines.
 
-// Seed tests exercise the pre-builder constructors on purpose: the
-// deprecated shims must keep compiling until their removal in 0.8.
-#![allow(deprecated)]
-
 use bytes::Bytes;
 use gdmp::{FaultPlan, Grid, SiteConfig};
 use gdmp_telemetry::{MetricValue, Registry};
@@ -13,11 +9,13 @@ use gdmp_telemetry::{MetricValue, Registry};
 const MB: u64 = 1024 * 1024;
 
 fn two_site_grid() -> (Grid, Registry) {
-    let mut grid = Grid::new("cms");
-    grid.add_site(SiteConfig::named("cern", "cern.ch", 11));
-    grid.add_site(SiteConfig::named("anl", "anl.gov", 12));
-    grid.trust_all();
-    let reg = grid.enable_telemetry();
+    let reg = Registry::new();
+    let grid = Grid::builder("cms")
+        .site(SiteConfig::named("cern", "cern.ch", 11))
+        .site(SiteConfig::named("anl", "anl.gov", 12))
+        .trust_all()
+        .telemetry_sink(reg.clone())
+        .build();
     (grid, reg)
 }
 

@@ -1,0 +1,559 @@
+//! Pluggable archive backends: the MosaicFS-style split between the
+//! staging/replica-tracking core and thin per-technology adapters.
+//!
+//! GDMP (Section 4.4) layers replication above interchangeable Mass
+//! Storage Systems — HPSS at SLAC, Castor at CERN, Enstore at FNAL. This
+//! module is that seam in code: [`HierarchicalStorage`] keeps the disk
+//! pool, the staging rules, and the failover logic, and talks to the
+//! archive tier only through [`StorageBackend`]. Three adapters ship:
+//!
+//! * [`TapeBackend`] — the classic robot library ([`crate::tape`]),
+//!   mount + seek + stream latencies, byte-identical to the pre-trait
+//!   `HierarchicalStorage` behaviour;
+//! * [`DiskArrayBackend`] — a bounded nearline disk array: fixed per-op
+//!   latency plus a streaming rate, refuses writes past its capacity;
+//! * [`ObjectStoreBackend`] — an unbounded remote object store: every
+//!   request pays a round trip plus streaming, and operations carry
+//!   per-request and per-byte cost units.
+//!
+//! ## The latency/cost contract
+//!
+//! Every mutating operation returns an [`OpReceipt`]. Adapters must keep
+//! both fields **pure functions of the operation sequence**: no wall
+//! clocks, no ambient randomness, so same ops ⇒ same receipts, byte for
+//! byte (the conformance suite asserts this for every adapter). Latency
+//! is sim-time the caller charges to its clock; `cost` is an abstract
+//! integer tally (mounts, requests, shipped megabytes) that policy layers
+//! can budget against without floating-point drift.
+//!
+//! [`HierarchicalStorage`]: crate::hrm::HierarchicalStorage
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use gdmp_simnet::time::SimDuration;
+
+use crate::tape::{TapeError, TapeLibrary, TapeSpec};
+
+/// Abstract, deterministic cost units (see the module docs).
+pub type CostUnits = u64;
+
+const MIB: u64 = 1024 * 1024;
+
+/// Whole mebibytes touched by an operation, rounded up (1 minimum for a
+/// non-empty payload), so per-byte pricing stays integral.
+fn mib_ceil(bytes: u64) -> u64 {
+    bytes.div_ceil(MIB)
+}
+
+/// What one mutating backend operation charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpReceipt {
+    /// Sim-time the operation took; the caller charges its clock.
+    pub latency: SimDuration,
+    /// Abstract cost units (see the module docs).
+    pub cost: CostUnits,
+}
+
+/// Adapter-side errors, uniform across backends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendError {
+    NoSuchFile(String),
+    AlreadyStored(String),
+    /// A bounded backend was asked to absorb more than its free space.
+    Full {
+        name: String,
+        size: u64,
+        free: u64,
+    },
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::NoSuchFile(n) => write!(f, "not in the archive: {n}"),
+            BackendError::AlreadyStored(n) => write!(f, "already archived: {n}"),
+            BackendError::Full { name, size, free } => {
+                write!(f, "archive full: {name} needs {size} B, {free} B free")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+impl From<TapeError> for BackendError {
+    fn from(e: TapeError) -> Self {
+        match e {
+            TapeError::NoSuchFile(n) => BackendError::NoSuchFile(n),
+            TapeError::AlreadyArchived(n) => BackendError::AlreadyStored(n),
+        }
+    }
+}
+
+/// Uniform operation counters every adapter maintains. `mounts` is zero
+/// for backends without removable media.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendStats {
+    pub stores: u64,
+    pub fetches: u64,
+    pub evictions: u64,
+    pub bytes_written: u64,
+    pub bytes_read: u64,
+    pub mounts: u64,
+    /// Total cost units charged across all operations.
+    pub cost_units: CostUnits,
+}
+
+/// The archive tier behind a site's disk pool. See the module docs for
+/// the latency/cost contract adapters must uphold.
+pub trait StorageBackend: std::fmt::Debug {
+    /// Short adapter name (`"tape"`, `"disk_array"`, `"object_store"`).
+    fn kind(&self) -> &'static str;
+
+    /// Write a file into the archive.
+    fn store(&mut self, name: &str, data: Bytes) -> Result<OpReceipt, BackendError>;
+
+    /// Read a file back (a stage request from the core's point of view).
+    fn fetch(&mut self, name: &str) -> Result<(Bytes, OpReceipt), BackendError>;
+
+    /// Drop a file from the archive.
+    fn evict(&mut self, name: &str) -> Result<(), BackendError>;
+
+    fn contains(&self, name: &str) -> bool;
+
+    /// Auditor's view of a file's contents: no latency, no cost, no stats
+    /// — invariant checks must not perturb the simulation.
+    fn peek(&self, name: &str) -> Option<Bytes>;
+
+    /// Archived names, sorted (deterministic iteration for observers).
+    fn file_names(&self) -> Vec<String>;
+
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes the backend can still absorb; `None` means unbounded.
+    fn free_bytes(&self) -> Option<u64>;
+
+    fn stats(&self) -> BackendStats;
+}
+
+/// Declarative pick of an archive adapter — what a scenario file's
+/// per-site `storage` stanza compiles into and [`SiteConfig`] carries.
+///
+/// [`SiteConfig`]: https://docs.rs/gdmp (the `gdmp` crate's site config)
+#[derive(Debug, Clone)]
+pub enum StorageConfig {
+    /// Robot tape library ([`TapeSpec`]); the default everywhere.
+    Tape(TapeSpec),
+    /// Bounded nearline disk array.
+    DiskArray(DiskArraySpec),
+    /// Unbounded remote object store.
+    ObjectStore(ObjectStoreSpec),
+}
+
+impl StorageConfig {
+    /// The historical default: a classic tape library.
+    pub fn classic_tape() -> Self {
+        StorageConfig::Tape(TapeSpec::classic())
+    }
+
+    /// Short adapter name this config builds (`"tape"`, ...).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StorageConfig::Tape(_) => "tape",
+            StorageConfig::DiskArray(_) => "disk_array",
+            StorageConfig::ObjectStore(_) => "object_store",
+        }
+    }
+
+    /// Instantiate the adapter.
+    pub fn build(&self) -> Box<dyn StorageBackend> {
+        match self {
+            StorageConfig::Tape(spec) => Box::new(TapeBackend::new(*spec)),
+            StorageConfig::DiskArray(spec) => Box::new(DiskArrayBackend::new(*spec)),
+            StorageConfig::ObjectStore(spec) => Box::new(ObjectStoreBackend::new(*spec)),
+        }
+    }
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        StorageConfig::classic_tape()
+    }
+}
+
+// ---- tape ----------------------------------------------------------------
+
+/// The tape library as a [`StorageBackend`]. Latencies are exactly
+/// [`TapeLibrary`]'s (mount + seek + stream); cost charges 100 units per
+/// mount actually paid plus 1 per MiB streamed.
+#[derive(Debug, Clone)]
+pub struct TapeBackend {
+    lib: TapeLibrary,
+    stats: BackendStats,
+}
+
+impl TapeBackend {
+    pub fn new(spec: TapeSpec) -> Self {
+        TapeBackend { lib: TapeLibrary::new(spec), stats: BackendStats::default() }
+    }
+
+    /// The underlying library, for drive-level diagnostics
+    /// (mounted tapes, fill levels).
+    pub fn library(&self) -> &TapeLibrary {
+        &self.lib
+    }
+
+    fn charge(&mut self, mounts_before: u64, bytes: u64) -> CostUnits {
+        let cost = (self.lib.stats.mounts - mounts_before) * 100 + mib_ceil(bytes);
+        self.stats.cost_units += cost;
+        self.stats.mounts = self.lib.stats.mounts;
+        cost
+    }
+}
+
+impl StorageBackend for TapeBackend {
+    fn kind(&self) -> &'static str {
+        "tape"
+    }
+
+    fn store(&mut self, name: &str, data: Bytes) -> Result<OpReceipt, BackendError> {
+        let size = data.len() as u64;
+        let mounts_before = self.lib.stats.mounts;
+        let latency = self.lib.archive(name, data)?;
+        self.stats.stores += 1;
+        self.stats.bytes_written += size;
+        let cost = self.charge(mounts_before, size);
+        Ok(OpReceipt { latency, cost })
+    }
+
+    fn fetch(&mut self, name: &str) -> Result<(Bytes, OpReceipt), BackendError> {
+        let mounts_before = self.lib.stats.mounts;
+        let (data, latency) = self.lib.stage(name)?;
+        self.stats.fetches += 1;
+        self.stats.bytes_read += data.len() as u64;
+        let cost = self.charge(mounts_before, data.len() as u64);
+        Ok((data, OpReceipt { latency, cost }))
+    }
+
+    fn evict(&mut self, name: &str) -> Result<(), BackendError> {
+        self.lib.delete(name)?;
+        self.stats.evictions += 1;
+        Ok(())
+    }
+
+    fn contains(&self, name: &str) -> bool {
+        self.lib.contains(name)
+    }
+
+    fn peek(&self, name: &str) -> Option<Bytes> {
+        self.lib.peek(name)
+    }
+
+    fn file_names(&self) -> Vec<String> {
+        self.lib.file_names()
+    }
+
+    fn len(&self) -> usize {
+        self.lib.len()
+    }
+
+    fn free_bytes(&self) -> Option<u64> {
+        None // the robot opens a fresh tape whenever the last one fills
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.stats
+    }
+}
+
+// ---- nearline disk array -------------------------------------------------
+
+/// Physical shape of a nearline disk array.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskArraySpec {
+    /// Total capacity in bytes; stores past it return [`BackendError::Full`].
+    pub capacity: u64,
+    /// Fixed per-operation latency (controller + head positioning).
+    pub op_latency: SimDuration,
+    /// Streaming read/write rate, bytes per second.
+    pub stream_bytes_per_sec: u64,
+}
+
+impl DiskArraySpec {
+    /// A commodity RAID shelf: 200 GiB, 5 ms per op, 80 MB/s streaming.
+    pub fn commodity() -> Self {
+        DiskArraySpec {
+            capacity: 200 * 1024 * MIB,
+            op_latency: SimDuration::from_millis(5),
+            stream_bytes_per_sec: 80_000_000,
+        }
+    }
+}
+
+/// Bounded disk-array adapter: every op pays the fixed latency plus the
+/// streaming time; cost is 1 unit per operation (spindles are cheap, the
+/// op slots are the scarce resource).
+#[derive(Debug, Clone)]
+pub struct DiskArrayBackend {
+    spec: DiskArraySpec,
+    files: HashMap<String, Bytes>,
+    used: u64,
+    stats: BackendStats,
+}
+
+impl DiskArrayBackend {
+    pub fn new(spec: DiskArraySpec) -> Self {
+        DiskArrayBackend { spec, files: HashMap::new(), used: 0, stats: BackendStats::default() }
+    }
+
+    fn op_receipt(&mut self, bytes: u64) -> OpReceipt {
+        let latency = self.spec.op_latency
+            + SimDuration::serialization(bytes, self.spec.stream_bytes_per_sec * 8);
+        self.stats.cost_units += 1;
+        OpReceipt { latency, cost: 1 }
+    }
+}
+
+impl StorageBackend for DiskArrayBackend {
+    fn kind(&self) -> &'static str {
+        "disk_array"
+    }
+
+    fn store(&mut self, name: &str, data: Bytes) -> Result<OpReceipt, BackendError> {
+        if self.files.contains_key(name) {
+            return Err(BackendError::AlreadyStored(name.to_string()));
+        }
+        let size = data.len() as u64;
+        let free = self.spec.capacity - self.used;
+        if size > free {
+            return Err(BackendError::Full { name: name.to_string(), size, free });
+        }
+        self.files.insert(name.to_string(), data);
+        self.used += size;
+        self.stats.stores += 1;
+        self.stats.bytes_written += size;
+        Ok(self.op_receipt(size))
+    }
+
+    fn fetch(&mut self, name: &str) -> Result<(Bytes, OpReceipt), BackendError> {
+        let data = self
+            .files
+            .get(name)
+            .cloned()
+            .ok_or_else(|| BackendError::NoSuchFile(name.to_string()))?;
+        let size = data.len() as u64;
+        self.stats.fetches += 1;
+        self.stats.bytes_read += size;
+        let receipt = self.op_receipt(size);
+        Ok((data, receipt))
+    }
+
+    fn evict(&mut self, name: &str) -> Result<(), BackendError> {
+        let data =
+            self.files.remove(name).ok_or_else(|| BackendError::NoSuchFile(name.to_string()))?;
+        self.used -= data.len() as u64;
+        self.stats.evictions += 1;
+        Ok(())
+    }
+
+    fn contains(&self, name: &str) -> bool {
+        self.files.contains_key(name)
+    }
+
+    fn peek(&self, name: &str) -> Option<Bytes> {
+        self.files.get(name).cloned()
+    }
+
+    fn file_names(&self) -> Vec<String> {
+        let mut v: Vec<_> = self.files.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    fn free_bytes(&self) -> Option<u64> {
+        Some(self.spec.capacity - self.used)
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.stats
+    }
+}
+
+// ---- remote object store -------------------------------------------------
+
+/// Shape of an object-store-like remote archive.
+#[derive(Debug, Clone, Copy)]
+pub struct ObjectStoreSpec {
+    /// Round trip paid by every request before any byte moves.
+    pub rtt: SimDuration,
+    /// Streaming transfer rate, bytes per second.
+    pub stream_bytes_per_sec: u64,
+    /// Cost units per request (PUT/GET/DELETE alike).
+    pub cost_per_request: CostUnits,
+    /// Cost units per MiB moved (rounded up per operation).
+    pub cost_per_mib: CostUnits,
+}
+
+impl ObjectStoreSpec {
+    /// A WAN-remote store: 80 ms RTT, 50 MB/s, 10 units/request + 2/MiB.
+    pub fn remote() -> Self {
+        ObjectStoreSpec {
+            rtt: SimDuration::from_millis(80),
+            stream_bytes_per_sec: 50_000_000,
+            cost_per_request: 10,
+            cost_per_mib: 2,
+        }
+    }
+}
+
+/// Unbounded remote-object-store adapter: every request pays the RTT plus
+/// streaming; cost is per-request plus per-MiB (the cloud-bill model).
+#[derive(Debug, Clone)]
+pub struct ObjectStoreBackend {
+    spec: ObjectStoreSpec,
+    objects: HashMap<String, Bytes>,
+    stats: BackendStats,
+}
+
+impl ObjectStoreBackend {
+    pub fn new(spec: ObjectStoreSpec) -> Self {
+        ObjectStoreBackend { spec, objects: HashMap::new(), stats: BackendStats::default() }
+    }
+
+    fn request_receipt(&mut self, bytes: u64) -> OpReceipt {
+        let latency =
+            self.spec.rtt + SimDuration::serialization(bytes, self.spec.stream_bytes_per_sec * 8);
+        let cost = self.spec.cost_per_request + self.spec.cost_per_mib * mib_ceil(bytes);
+        self.stats.cost_units += cost;
+        OpReceipt { latency, cost }
+    }
+}
+
+impl StorageBackend for ObjectStoreBackend {
+    fn kind(&self) -> &'static str {
+        "object_store"
+    }
+
+    fn store(&mut self, name: &str, data: Bytes) -> Result<OpReceipt, BackendError> {
+        if self.objects.contains_key(name) {
+            return Err(BackendError::AlreadyStored(name.to_string()));
+        }
+        let size = data.len() as u64;
+        self.objects.insert(name.to_string(), data);
+        self.stats.stores += 1;
+        self.stats.bytes_written += size;
+        Ok(self.request_receipt(size))
+    }
+
+    fn fetch(&mut self, name: &str) -> Result<(Bytes, OpReceipt), BackendError> {
+        let data = self
+            .objects
+            .get(name)
+            .cloned()
+            .ok_or_else(|| BackendError::NoSuchFile(name.to_string()))?;
+        let size = data.len() as u64;
+        self.stats.fetches += 1;
+        self.stats.bytes_read += size;
+        let receipt = self.request_receipt(size);
+        Ok((data, receipt))
+    }
+
+    fn evict(&mut self, name: &str) -> Result<(), BackendError> {
+        self.objects.remove(name).ok_or_else(|| BackendError::NoSuchFile(name.to_string()))?;
+        self.stats.evictions += 1;
+        Ok(())
+    }
+
+    fn contains(&self, name: &str) -> bool {
+        self.objects.contains_key(name)
+    }
+
+    fn peek(&self, name: &str) -> Option<Bytes> {
+        self.objects.get(name).cloned()
+    }
+
+    fn file_names(&self) -> Vec<String> {
+        let mut v: Vec<_> = self.objects.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    fn free_bytes(&self) -> Option<u64> {
+        None
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tape_backend_matches_raw_library_latencies() {
+        let spec = TapeSpec::classic();
+        let mut lib = TapeLibrary::new(spec);
+        let mut backend = TapeBackend::new(spec);
+        let data = Bytes::from(vec![3u8; 4 * 1024 * 1024]);
+        let raw = lib.archive("a", data.clone()).unwrap();
+        let receipt = backend.store("a", data).unwrap();
+        assert_eq!(receipt.latency, raw, "adapter must not change tape latencies");
+        let (_, raw_stage) = lib.stage("a").unwrap();
+        let (_, stage_receipt) = backend.fetch("a").unwrap();
+        assert_eq!(stage_receipt.latency, raw_stage);
+    }
+
+    #[test]
+    fn disk_array_enforces_capacity() {
+        let mut b = DiskArrayBackend::new(DiskArraySpec {
+            capacity: 1000,
+            op_latency: SimDuration::from_millis(5),
+            stream_bytes_per_sec: 1_000_000,
+        });
+        b.store("a", Bytes::from(vec![0u8; 600])).unwrap();
+        match b.store("b", Bytes::from(vec![0u8; 600])) {
+            Err(BackendError::Full { free, .. }) => assert_eq!(free, 400),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        b.evict("a").unwrap();
+        assert_eq!(b.free_bytes(), Some(1000));
+        b.store("b", Bytes::from(vec![0u8; 600])).unwrap();
+    }
+
+    #[test]
+    fn object_store_cost_is_request_plus_bytes() {
+        let spec = ObjectStoreSpec::remote();
+        let mut b = ObjectStoreBackend::new(spec);
+        let r = b.store("x", Bytes::from(vec![0u8; 3 * 1024 * 1024])).unwrap();
+        assert_eq!(r.cost, spec.cost_per_request + 3 * spec.cost_per_mib);
+        assert!(r.latency >= spec.rtt);
+    }
+
+    #[test]
+    fn storage_config_builds_the_right_adapter() {
+        assert_eq!(StorageConfig::classic_tape().build().kind(), "tape");
+        assert_eq!(
+            StorageConfig::DiskArray(DiskArraySpec::commodity()).build().kind(),
+            "disk_array"
+        );
+        assert_eq!(
+            StorageConfig::ObjectStore(ObjectStoreSpec::remote()).build().kind(),
+            "object_store"
+        );
+    }
+}

@@ -1,23 +1,28 @@
 //! The Hierarchical Resource Manager plug-in interface (Section 4.4).
 //!
 //! GDMP interfaces to Mass Storage Systems through HRM \[Bern00\]: a uniform
-//! API over "disk pool in front of a tape archive". A file request either
-//! hits the disk cache or triggers an explicit stage from tape into the
-//! pool; GDMP starts the WAN transfer only once the file is on disk.
+//! API over "disk pool in front of an archive tier". A file request either
+//! hits the disk cache or triggers an explicit stage from the archive into
+//! the pool; GDMP starts the WAN transfer only once the file is on disk.
+//!
+//! The core owns the staging rules, the disk cache, and the statistics;
+//! the archive tier is any [`StorageBackend`] adapter (tape library,
+//! nearline disk array, remote object store — see [`crate::backend`]).
 
 use bytes::Bytes;
 use gdmp_simnet::time::SimDuration;
 use gdmp_telemetry::Registry;
 
+use crate::backend::{BackendError, StorageBackend, StorageConfig};
 use crate::pool::{DiskPool, EvictionPolicy, PoolError};
-use crate::tape::{TapeError, TapeLibrary, TapeSpec};
+use crate::tape::TapeSpec;
 
 /// Where a requested file was found.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Residence {
     /// Already in the disk pool — no staging cost.
     DiskHit,
-    /// Staged from tape into the pool.
+    /// Staged from the archive tier into the pool.
     StagedFromTape,
 }
 
@@ -34,8 +39,8 @@ pub struct StageOutcome {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HrmError {
     Pool(PoolError),
-    Tape(TapeError),
-    /// Neither on disk nor on tape.
+    Backend(BackendError),
+    /// Neither on disk nor in the archive.
     Unknown(String),
 }
 
@@ -43,7 +48,7 @@ impl std::fmt::Display for HrmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             HrmError::Pool(e) => write!(f, "disk pool: {e}"),
-            HrmError::Tape(e) => write!(f, "tape: {e}"),
+            HrmError::Backend(e) => write!(f, "archive: {e}"),
             HrmError::Unknown(n) => write!(f, "file unknown to the MSS: {n}"),
         }
     }
@@ -57,9 +62,9 @@ impl From<PoolError> for HrmError {
     }
 }
 
-impl From<TapeError> for HrmError {
-    fn from(e: TapeError) -> Self {
-        HrmError::Tape(e)
+impl From<BackendError> for HrmError {
+    fn from(e: BackendError) -> Self {
+        HrmError::Backend(e)
     }
 }
 
@@ -69,23 +74,41 @@ pub struct HrmStats {
     pub disk_hits: u64,
     pub stage_requests: u64,
     pub total_stage_latency_ns: u64,
+    /// Cost units charged by the archive backend across all operations.
+    pub archive_cost_units: u64,
 }
 
-/// Disk pool + tape library under a single staging API.
+/// Disk pool + archive backend under a single staging API.
 #[derive(Debug)]
 pub struct HierarchicalStorage {
     pub pool: DiskPool,
-    pub tape: TapeLibrary,
+    /// The archive tier (tape library unless configured otherwise).
+    pub archive: Box<dyn StorageBackend>,
     pub stats: HrmStats,
     /// Telemetry sink; disabled (no-op) unless attached.
     telemetry: Registry,
 }
 
 impl HierarchicalStorage {
+    /// The historical constructor: disk pool in front of a tape library.
     pub fn new(pool_capacity: u64, policy: EvictionPolicy, tape_spec: TapeSpec) -> Self {
+        Self::with_config(pool_capacity, policy, &StorageConfig::Tape(tape_spec))
+    }
+
+    /// Disk pool in front of the adapter a [`StorageConfig`] describes.
+    pub fn with_config(pool_capacity: u64, policy: EvictionPolicy, config: &StorageConfig) -> Self {
+        Self::with_backend(pool_capacity, policy, config.build())
+    }
+
+    /// Disk pool in front of an explicit adapter instance.
+    pub fn with_backend(
+        pool_capacity: u64,
+        policy: EvictionPolicy,
+        archive: Box<dyn StorageBackend>,
+    ) -> Self {
         HierarchicalStorage {
             pool: DiskPool::new(pool_capacity, policy),
-            tape: TapeLibrary::new(tape_spec),
+            archive,
             stats: HrmStats::default(),
             telemetry: Registry::default(),
         }
@@ -98,8 +121,8 @@ impl HierarchicalStorage {
     }
 
     /// Store a new file on disk; when `archive` is set it is also written
-    /// through to tape (so eviction from the pool is safe). Returns the
-    /// archival latency (zero for disk-only files).
+    /// through to the archive tier (so eviction from the pool is safe).
+    /// Returns the archival latency (zero for disk-only files).
     pub fn store(
         &mut self,
         name: &str,
@@ -108,14 +131,16 @@ impl HierarchicalStorage {
     ) -> Result<SimDuration, HrmError> {
         self.pool.put(name, data.clone())?;
         if archive {
-            Ok(self.tape.archive(name, data)?)
+            let receipt = self.archive.store(name, data)?;
+            self.stats.archive_cost_units += receipt.cost;
+            Ok(receipt.latency)
         } else {
             Ok(SimDuration::ZERO)
         }
     }
 
     /// `file stage request`: make `name` resident on disk, staging from
-    /// tape if needed, and report the latency paid.
+    /// the archive if needed, and report the latency paid.
     pub fn request(&mut self, name: &str) -> Result<StageOutcome, HrmError> {
         if let Some(data) = self.pool.get(name) {
             self.stats.disk_hits += 1;
@@ -126,22 +151,24 @@ impl HierarchicalStorage {
                 data,
             });
         }
-        if !self.tape.contains(name) {
+        if !self.archive.contains(name) {
             return Err(HrmError::Unknown(name.to_string()));
         }
-        let (data, latency) = self.tape.stage(name)?;
+        let (data, receipt) = self.archive.fetch(name)?;
+        let latency = receipt.latency;
         // Staging requires pool space: evict per policy (the pool "cache").
         self.pool.put(name, data.clone())?;
         self.stats.stage_requests += 1;
         self.stats.total_stage_latency_ns += latency.nanos();
+        self.stats.archive_cost_units += receipt.cost;
         self.telemetry.counter_add("hrm_requests", &[("residence", "tape")], 1);
         self.telemetry.observe("hrm_stage_latency_ns", &[], latency.nanos());
         Ok(StageOutcome { residence: Residence::StagedFromTape, latency, data })
     }
 
-    /// Is the file known at all (disk or tape)?
+    /// Is the file known at all (disk or archive)?
     pub fn knows(&self, name: &str) -> bool {
-        self.pool.contains(name) || self.tape.contains(name)
+        self.pool.contains(name) || self.archive.contains(name)
     }
 
     /// Is the file currently resident on disk (no staging needed)?
@@ -149,11 +176,16 @@ impl HierarchicalStorage {
         self.pool.contains(name)
     }
 
-    /// Files archived on tape but not currently disk-resident: the staging
+    /// Is the file held by the archive tier (staging would succeed)?
+    pub fn archived(&self, name: &str) -> bool {
+        self.archive.contains(name)
+    }
+
+    /// Files in the archive but not currently disk-resident: the staging
     /// backlog a sweep of requests would have to pay for. This is what the
     /// `tape_stage_backlog` time-series samples.
     pub fn stage_backlog(&self) -> usize {
-        self.tape.file_names().iter().filter(|n| !self.pool.contains(n)).count()
+        self.archive.file_names().iter().filter(|n| !self.pool.contains(n)).count()
     }
 
     /// Drop a file everywhere.
@@ -163,8 +195,8 @@ impl HierarchicalStorage {
             self.pool.remove(name)?;
             found = true;
         }
-        if self.tape.contains(name) {
-            self.tape.delete(name)?;
+        if self.archive.contains(name) {
+            self.archive.evict(name)?;
             found = true;
         }
         if found {
@@ -178,19 +210,20 @@ impl HierarchicalStorage {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::{DiskArraySpec, ObjectStoreSpec};
+
+    fn tape_config() -> StorageConfig {
+        StorageConfig::Tape(TapeSpec {
+            mount_time: SimDuration::from_secs(60),
+            seek_bytes_per_sec: 100_000_000,
+            stream_bytes_per_sec: 10_000_000,
+            drives: 1,
+            tape_capacity: 1 << 30,
+        })
+    }
 
     fn hrm(pool: u64) -> HierarchicalStorage {
-        HierarchicalStorage::new(
-            pool,
-            EvictionPolicy::Lru,
-            TapeSpec {
-                mount_time: SimDuration::from_secs(60),
-                seek_bytes_per_sec: 100_000_000,
-                stream_bytes_per_sec: 10_000_000,
-                drives: 1,
-                tape_capacity: 1 << 30,
-            },
-        )
+        HierarchicalStorage::with_config(pool, EvictionPolicy::Lru, &tape_config())
     }
 
     #[test]
@@ -246,5 +279,27 @@ mod tests {
         h.request("a").unwrap(); // stage
         assert_eq!(h.stats.stage_requests, 1);
         assert!(h.stats.total_stage_latency_ns > 0);
+        assert!(h.stats.archive_cost_units > 0, "archive ops must charge cost units");
+    }
+
+    #[test]
+    fn staging_works_identically_over_every_adapter() {
+        // The HRM's staging behaviour (evict → request → stage back) is
+        // adapter-independent; only the latency/cost numbers differ.
+        for config in [
+            tape_config(),
+            StorageConfig::DiskArray(DiskArraySpec::commodity()),
+            StorageConfig::ObjectStore(ObjectStoreSpec::remote()),
+        ] {
+            let mut h = HierarchicalStorage::with_config(250, EvictionPolicy::Lru, &config);
+            h.store("a", Bytes::from(vec![1u8; 100]), true).unwrap();
+            h.store("b", Bytes::from(vec![2u8; 100]), true).unwrap();
+            h.store("c", Bytes::from(vec![3u8; 100]), true).unwrap(); // evicts a
+            assert!(!h.on_disk("a"), "{}: a should be evicted", config.kind());
+            let o = h.request("a").unwrap();
+            assert_eq!(o.residence, Residence::StagedFromTape, "{}", config.kind());
+            assert!(o.latency > SimDuration::ZERO, "{}", config.kind());
+            assert_eq!(h.stage_backlog(), 1, "{}: b or c left in archive only", config.kind());
+        }
     }
 }

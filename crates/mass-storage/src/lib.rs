@@ -10,11 +10,16 @@
 //! All latencies are [`gdmp_simnet::time::SimDuration`] values returned to
 //! the caller; this crate never sleeps or reads a real clock.
 
+pub mod backend;
 pub mod hrm;
 pub mod pool;
 pub mod stager;
 pub mod tape;
 
+pub use backend::{
+    BackendError, BackendStats, CostUnits, DiskArrayBackend, DiskArraySpec, ObjectStoreBackend,
+    ObjectStoreSpec, OpReceipt, StorageBackend, StorageConfig, TapeBackend,
+};
 pub use hrm::{HierarchicalStorage, HrmError, Residence, StageOutcome};
 pub use pool::{DiskPool, EvictionPolicy, PoolError, Reservation};
 pub use stager::{StageCompletion, StageRequest, StagingQueue};

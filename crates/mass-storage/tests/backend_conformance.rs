@@ -1,0 +1,195 @@
+//! Shared conformance suite for every [`StorageBackend`] adapter.
+//!
+//! Each test runs against all three shipped adapters (tape, disk array,
+//! object store) through the same driver, so a new adapter only has to be
+//! added to [`adapters()`] to inherit the whole contract:
+//!
+//! * store/fetch round-trips preserve bytes;
+//! * receipts (latency + cost) are pure functions of the op sequence;
+//! * errors are uniform (`NoSuchFile`, `AlreadyStored`, `Full`);
+//! * stats and capacity accounting balance;
+//! * `peek`/`file_names` are side-effect-free observers.
+
+use bytes::Bytes;
+use gdmp_mass_storage::backend::{BackendError, DiskArraySpec, ObjectStoreSpec, StorageConfig};
+use gdmp_mass_storage::tape::TapeSpec;
+use gdmp_simnet::time::SimDuration;
+
+/// Every shipped adapter, built from its scenario-facing config. The
+/// disk array is kept small so the `Full` path is reachable.
+fn adapters() -> Vec<StorageConfig> {
+    vec![
+        StorageConfig::Tape(TapeSpec::classic()),
+        StorageConfig::DiskArray(DiskArraySpec {
+            capacity: 64 * 1024 * 1024,
+            op_latency: SimDuration::from_millis(5),
+            stream_bytes_per_sec: 80_000_000,
+        }),
+        StorageConfig::ObjectStore(ObjectStoreSpec::remote()),
+    ]
+}
+
+fn payload(tag: u8, len: usize) -> Bytes {
+    Bytes::from((0..len).map(|i| (i as u8).wrapping_add(tag)).collect::<Vec<_>>())
+}
+
+#[test]
+fn store_fetch_roundtrip_preserves_bytes() {
+    for config in adapters() {
+        let kind = config.kind();
+        let mut b = config.build();
+        let data = payload(7, 1 << 20);
+        b.store("f1", data.clone()).unwrap();
+        assert!(b.contains("f1"), "{kind}");
+        let (back, receipt) = b.fetch("f1").unwrap();
+        assert_eq!(back, data, "{kind}: fetch must return stored bytes");
+        assert!(receipt.latency > SimDuration::ZERO, "{kind}: archive access is never free");
+        assert!(receipt.cost > 0, "{kind}: archive access always charges cost units");
+    }
+}
+
+#[test]
+fn receipts_are_deterministic_across_twin_instances() {
+    // Same op sequence on two fresh instances ⇒ identical receipts and
+    // stats, byte for byte. This is the latency/cost purity contract.
+    for config in adapters() {
+        let kind = config.kind();
+        let mut a = config.build();
+        let mut b = config.build();
+        let mut receipts_a = Vec::new();
+        let mut receipts_b = Vec::new();
+        for (backend, out) in [(&mut a, &mut receipts_a), (&mut b, &mut receipts_b)] {
+            for i in 0..6u8 {
+                let name = format!("f{i}");
+                out.push(backend.store(&name, payload(i, 300_000 + i as usize * 70_000)).unwrap());
+            }
+            for i in [3u8, 0, 5, 3] {
+                let (_, r) = backend.fetch(&format!("f{i}")).unwrap();
+                out.push(r);
+            }
+            backend.evict("f1").unwrap();
+        }
+        assert_eq!(receipts_a, receipts_b, "{kind}: receipts must be deterministic");
+        assert_eq!(a.stats(), b.stats(), "{kind}: stats must be deterministic");
+        assert_eq!(a.file_names(), b.file_names(), "{kind}");
+    }
+}
+
+#[test]
+fn errors_are_uniform_across_adapters() {
+    for config in adapters() {
+        let kind = config.kind();
+        let mut b = config.build();
+        assert!(
+            matches!(b.fetch("ghost"), Err(BackendError::NoSuchFile(_))),
+            "{kind}: fetch of an unknown file"
+        );
+        assert!(
+            matches!(b.evict("ghost"), Err(BackendError::NoSuchFile(_))),
+            "{kind}: evict of an unknown file"
+        );
+        b.store("dup", payload(1, 64)).unwrap();
+        assert!(
+            matches!(b.store("dup", payload(2, 64)), Err(BackendError::AlreadyStored(_))),
+            "{kind}: double store is rejected"
+        );
+        // A failed store must not corrupt the original.
+        assert_eq!(b.peek("dup").unwrap(), payload(1, 64), "{kind}");
+    }
+}
+
+#[test]
+fn stats_account_for_every_operation() {
+    for config in adapters() {
+        let kind = config.kind();
+        let mut b = config.build();
+        let sizes = [100_000u64, 250_000, 75_000];
+        for (i, size) in sizes.iter().enumerate() {
+            b.store(&format!("f{i}"), payload(i as u8, *size as usize)).unwrap();
+        }
+        b.fetch("f0").unwrap();
+        b.fetch("f2").unwrap();
+        b.evict("f1").unwrap();
+        let s = b.stats();
+        assert_eq!(s.stores, 3, "{kind}");
+        assert_eq!(s.fetches, 2, "{kind}");
+        assert_eq!(s.evictions, 1, "{kind}");
+        assert_eq!(s.bytes_written, sizes.iter().sum::<u64>(), "{kind}");
+        assert_eq!(s.bytes_read, sizes[0] + sizes[2], "{kind}");
+        assert!(s.cost_units > 0, "{kind}");
+        assert_eq!(b.len(), 2, "{kind}");
+        assert_eq!(b.file_names(), vec!["f0".to_string(), "f2".to_string()], "{kind}: sorted");
+    }
+}
+
+#[test]
+fn peek_and_file_names_never_perturb_state() {
+    for config in adapters() {
+        let kind = config.kind();
+        let mut b = config.build();
+        b.store("f", payload(9, 4096)).unwrap();
+        let stats_before = b.stats();
+        let free_before = b.free_bytes();
+        assert_eq!(b.peek("f").unwrap(), payload(9, 4096), "{kind}");
+        assert!(b.peek("nope").is_none(), "{kind}");
+        let _ = b.file_names();
+        let _ = b.contains("f");
+        assert_eq!(b.stats(), stats_before, "{kind}: observers must not touch stats");
+        assert_eq!(b.free_bytes(), free_before, "{kind}: observers must not touch capacity");
+    }
+}
+
+#[test]
+fn capacity_accounting_balances_through_store_evict_cycles() {
+    for config in adapters() {
+        let kind = config.kind();
+        let mut b = config.build();
+        let initial_free = b.free_bytes();
+        b.store("a", payload(1, 10_000)).unwrap();
+        b.store("b", payload(2, 20_000)).unwrap();
+        if let Some(free) = b.free_bytes() {
+            assert_eq!(free, initial_free.unwrap() - 30_000, "{kind}");
+        }
+        b.evict("a").unwrap();
+        b.evict("b").unwrap();
+        assert_eq!(b.free_bytes(), initial_free, "{kind}: evict returns all space");
+        assert!(b.is_empty(), "{kind}");
+    }
+}
+
+#[test]
+fn bounded_backend_reports_full_with_exact_free_space() {
+    let mut b = StorageConfig::DiskArray(DiskArraySpec {
+        capacity: 50_000,
+        op_latency: SimDuration::from_millis(1),
+        stream_bytes_per_sec: 1_000_000,
+    })
+    .build();
+    b.store("a", payload(0, 30_000)).unwrap();
+    match b.store("big", payload(0, 30_000)) {
+        Err(BackendError::Full { name, size, free }) => {
+            assert_eq!(name, "big");
+            assert_eq!(size, 30_000);
+            assert_eq!(free, 20_000);
+        }
+        other => panic!("expected Full, got {other:?}"),
+    }
+    // Rejected store must not consume space or bump store stats.
+    assert_eq!(b.free_bytes(), Some(20_000));
+    assert_eq!(b.stats().stores, 1);
+}
+
+#[test]
+fn larger_payloads_never_cost_less() {
+    // Latency and cost must be monotone in payload size on a fresh
+    // instance (no adapter may discount bigger transfers).
+    for config in adapters() {
+        let kind = config.kind();
+        let mut small = config.build();
+        let mut large = config.build();
+        let r_small = small.store("f", payload(0, 1 << 20)).unwrap();
+        let r_large = large.store("f", payload(0, 8 << 20)).unwrap();
+        assert!(r_large.latency >= r_small.latency, "{kind}: latency monotone in size");
+        assert!(r_large.cost >= r_small.cost, "{kind}: cost monotone in size");
+    }
+}

@@ -9,19 +9,12 @@
 //! seed → identical trace, final clock, and telemetry export, byte for
 //! byte.
 
-use bytes::Bytes;
-use gdmp::chaos::ChaosPlan;
-use gdmp::invariants::{check_grid, InvariantReport};
-use gdmp::prelude::WanProfile;
-use gdmp::{BackoffRetry, BreakerConfig, FaultSchedule, GdmpError, Grid, LookupVia, SiteConfig};
-use gdmp_replica_catalog::{FederatedCatalog, FederationConfig, FederationStats};
+use gdmp::invariants::InvariantReport;
+use gdmp_replica_catalog::FederationStats;
 use gdmp_simnet::time::SimDuration;
 use gdmp_telemetry::Registry;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::soak::ChaosMode;
-use crate::zipf::Zipf;
 
 /// Parameters of one catalog soak run.
 #[derive(Debug, Clone)]
@@ -42,7 +35,7 @@ pub struct CatalogSoakSpec {
     /// GridFTP throughput, is the workload).
     pub file_size: u64,
     /// Sim time between lookup rounds (also the soft-state cadence the
-    /// default [`FederationConfig`] pushes on).
+    /// default [`gdmp_replica_catalog::FederationConfig`] pushes on).
     pub round_gap: SimDuration,
     pub chaos: ChaosMode,
 }
@@ -86,7 +79,7 @@ pub struct CatalogSoakOutcome {
     /// Lookups that failed honestly (every reachable LRC denied, or the
     /// ladder ran out of reachable LRCs). Nonzero only under chaos.
     pub failed: usize,
-    /// Answers per ladder rung, keyed by [`LookupVia::label`] order:
+    /// Answers per ladder rung, keyed by [`gdmp::LookupVia::label`] order:
     /// local, rli, fallback, scatter.
     pub via_local: usize,
     pub via_rli: usize,
@@ -114,172 +107,17 @@ impl CatalogSoakOutcome {
     }
 }
 
-fn site_name(i: usize) -> String {
-    // Zero-padded so BTreeMap order matches publish order at any scale.
-    format!("site{i:03}")
-}
-
-fn file_name(f: usize) -> String {
+pub(crate) fn file_name(f: usize) -> String {
     format!("file{f:04}.dat")
 }
 
 /// Run one catalog soak. Deterministic: no wall clocks, no ambient
-/// randomness.
+/// randomness. A thin wrapper over the scenario DSL
+/// ([`crate::scenario::Scenario::catalog_soak`]), so a committed
+/// `scenarios/` file replays exactly this run.
 pub fn run_catalog_soak(spec: &CatalogSoakSpec) -> CatalogSoakOutcome {
-    let names: Vec<String> = (0..spec.sites).map(site_name).collect();
-    let fed_config = FederationConfig::default();
-    let reg = Registry::with_recorder_capacity(16384);
-    reg.enable_timeseries(SimDuration::from_secs(30).nanos());
-    let jitter_seed = match spec.chaos {
-        ChaosMode::Seeded(s) => s,
-        _ => 0,
-    };
-    let mut builder = Grid::builder("catalog-soak")
-        .telemetry_sink(reg.clone())
-        .default_profile(WanProfile::cern_anl_production())
-        .recovery(Box::new(BackoffRetry::new(jitter_seed)))
-        .breaker(BreakerConfig::default())
-        .federation(fed_config.clone());
-    for (i, name) in names.iter().enumerate() {
-        builder = builder.site(SiteConfig::named(name, &format!("{name}.grid"), 500 + i as u64));
-    }
-    builder = builder.trust_all();
-    let mut schedule_debug = String::new();
-    builder = match spec.chaos {
-        ChaosMode::Off => builder,
-        ChaosMode::EmptySchedule => builder.fault_schedule(FaultSchedule::new()),
-        ChaosMode::Seeded(seed) => {
-            // The RLI topology is a pure function of the site set, so a
-            // throwaway federation names the chaos plan's targets.
-            let rli_nodes = FederatedCatalog::new(&names, fed_config.clone()).node_names();
-            let schedule =
-                ChaosPlan::new(seed, &names).with_catalog_chaos(&rli_nodes, 3, 3, 4).schedule();
-            schedule_debug = format!("{schedule}");
-            builder.fault_schedule(schedule)
-        }
-    };
-    let mut grid = builder.build();
-    let horizon = grid.chaos_state().schedule().horizon();
-
-    // Publish phase: every file has exactly one owner, owner i holding
-    // files i, i+sites, i+2*sites, ... A site that is down when its turn
-    // comes publishes nothing (exactly like the replication soak).
-    let total_files = spec.sites * spec.files_per_site;
-    let mut published = 0usize;
-    for f in 0..total_files {
-        let owner = &names[f % spec.sites];
-        if grid.chaos_state().is_down(owner) {
-            continue;
-        }
-        let fill = (f % 251) as u8;
-        grid.publish_file(
-            owner,
-            &file_name(f),
-            Bytes::from(vec![fill; spec.file_size as usize]),
-            "flat",
-        )
-        .expect("publish on a live site");
-        published += 1;
-    }
-
-    // Lookup phase: Zipf-skewed queries from rotating requesters while
-    // the fault plan does its worst. The one inviolable check runs every
-    // round: the federation has never returned a wrong answer.
-    let zipf = Zipf::new(total_files.max(1), spec.zipf_alpha);
-    let mut rng = StdRng::seed_from_u64(0x0CA7_A106 ^ jitter_seed);
-    let mut lookups = 0usize;
-    let mut answered = 0usize;
-    let mut failed = 0usize;
-    let (mut via_local, mut via_rli, mut via_fallback, mut via_scatter) = (0, 0, 0, 0);
-    let mut degraded_answers = 0usize;
-    for _round in 0..spec.lookup_rounds {
-        grid.advance(spec.round_gap);
-        for _ in 0..spec.lookups_per_round {
-            let requester = &names[rng.gen_range(0..spec.sites)];
-            if grid.chaos_state().is_down(requester) {
-                continue;
-            }
-            let lfn = file_name(zipf.sample(&mut rng));
-            lookups += 1;
-            match grid.lookup_replicas(requester, &lfn) {
-                Ok(r) => {
-                    answered += 1;
-                    match r.via {
-                        LookupVia::Local => via_local += 1,
-                        LookupVia::Rli => via_rli += 1,
-                        LookupVia::Fallback => via_fallback += 1,
-                        LookupVia::Scatter => via_scatter += 1,
-                        LookupVia::Central => unreachable!("federation is on"),
-                    }
-                    if r.degraded {
-                        degraded_answers += 1;
-                    }
-                }
-                // Honest misses only: the owner's LRC was dead or cut off
-                // (retryable), or it was never published because the owner
-                // was down at publish time.
-                Err(GdmpError::SiteUnreachable(_)) | Err(GdmpError::NotPublished(_)) => failed += 1,
-                Err(e) => panic!("unexpected lookup error: {e}"),
-            }
-        }
-        let stats = &grid.federation().expect("federation on").stats;
-        assert_eq!(stats.wrong_answers, 0, "federation returned a wrong answer mid-soak");
-    }
-
-    // Heal and quiesce: run past the fault horizon, then drain restarts.
-    let now = grid.now();
-    if horizon > now {
-        grid.advance(horizon - now + SimDuration::from_secs(1));
-    }
-    for _ in 0..20 {
-        grid.run_recovery();
-        grid.advance(SimDuration::from_secs(30));
-        if grid.chaos_state().pending_restarts() == 0 {
-            break;
-        }
-    }
-
-    // Post-heal sweep: with every fault healed and fresh soft state
-    // flowed, every published file must be findable again — the ladder
-    // always completes once the grid is whole.
-    for f in 0..total_files {
-        let lfn = file_name(f);
-        if grid.catalog.locate(&lfn).map(|l| l.is_empty()).unwrap_or(true) {
-            continue; // owner was down at publish time; never existed
-        }
-        let requester = &names[(f * 7) % spec.sites];
-        lookups += 1;
-        match grid.lookup_replicas(requester, &lfn) {
-            Ok(_) => answered += 1,
-            Err(e) => panic!("post-heal lookup of {lfn} failed: {e}"),
-        }
-    }
-
-    let report = check_grid(&mut grid);
-    let stats = grid.federation().expect("federation on").stats.clone();
-    let trace = reg
-        .recent_events()
-        .iter()
-        .map(|e| format!("{} {} {:?}", e.t_ns, e.kind, e.detail))
-        .collect();
-    CatalogSoakOutcome {
-        spec_chaos: spec.chaos,
-        published,
-        lookups,
-        answered,
-        failed,
-        via_local,
-        via_rli,
-        via_fallback,
-        via_scatter,
-        degraded_answers,
-        stats,
-        final_clock_ns: grid.now().nanos(),
-        schedule_debug,
-        trace,
-        report,
-        registry: reg,
-    }
+    crate::scenario::run_catalog_scenario(&crate::scenario::Scenario::catalog_soak(spec))
+        .expect("builtin catalog scenario is always valid")
 }
 
 #[cfg(test)]

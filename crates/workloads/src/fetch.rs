@@ -17,13 +17,7 @@
 //! into the measured fetch, exercising mid-transfer range reassignment
 //! (multi-source) or salvage-and-failover (single-source).
 
-use bytes::Bytes;
-use gdmp::chaos::{FaultEvent, FaultSchedule};
-use gdmp::invariants::check_grid;
 use gdmp::prelude::*;
-use gdmp::recovery::BackoffRetry;
-use gdmp_simnet::link::LinkSpec;
-use gdmp_telemetry::MetricValue;
 
 /// The replicated hot file.
 pub const FETCH_LFN: &str = "hot_aod.dat";
@@ -93,121 +87,14 @@ pub struct FetchOutcome {
     pub registry: Registry,
 }
 
-fn wan(rate_bps: u64, one_way_ms: u64) -> WanProfile {
-    WanProfile::clean(LinkSpec {
-        rate_bps,
-        propagation: SimDuration::from_millis(one_way_ms),
-        queue_capacity: 256,
-    })
-}
-
-fn counter_sum(reg: &Registry, name: &str, label_frags: &[&str]) -> u64 {
-    reg.metrics_snapshot()
-        .iter()
-        .filter(|(n, labels, _)| n == name && label_frags.iter().all(|f| labels.contains(f)))
-        .map(|(_, _, v)| match v {
-            MetricValue::Counter(c) => *c,
-            _ => 0,
-        })
-        .sum()
-}
-
 /// Run one fetch experiment. Deterministic: no wall clocks, no ambient
-/// randomness; same spec ⇒ identical outcome.
+/// randomness; same spec ⇒ identical outcome. A thin wrapper over the
+/// scenario DSL: the grid, faults, and workload come from
+/// [`crate::scenario::Scenario::fetch`], so a committed `scenarios/`
+/// file replays exactly this run.
 pub fn run_fetch(spec: &FetchSpec) -> FetchOutcome {
-    let t0 = fetch_t0();
-    // Fast inter-source paths so replica seeding is cheap; the measured
-    // source→consumer paths are the asymmetric ones from the module doc.
-    let lan = wan(1_000_000_000, 1);
-    let mut builder = Grid::builder("fetch")
-        .telemetry()
-        .default_profile(lan)
-        .profile("cern", FETCH_DST, wan(20_000_000, 20))
-        .profile("fnal", FETCH_DST, wan(12_000_000, 35))
-        .profile("kek", FETCH_DST, wan(8_000_000, 60))
-        .recovery(Box::new(BackoffRetry::new(spec.seed)))
-        .breaker(BreakerConfig::default())
-        .fetch_policy(spec.policy)
-        .site(SiteConfig::named(FETCH_DST, "lyon.fr", 0x17))
-        .site(SiteConfig::named("cern", "cern.ch", 0xC0))
-        .site(SiteConfig::named("fnal", "fnal.gov", 0xF0))
-        .site(SiteConfig::named("kek", "kek.jp", 0x30))
-        .trust_all();
-    if spec.crash_fastest {
-        builder = builder.fault_schedule(
-            FaultSchedule::new()
-                .at(t0 + SimDuration::from_secs(3), FaultEvent::SiteDown { site: "cern".into() })
-                .at(t0 + SimDuration::from_secs(600), FaultEvent::SiteUp { site: "cern".into() }),
-        );
-    }
-    let mut grid = builder.build();
-    let reg = grid.telemetry().clone();
-    // Sim-time time-series at 500 ms buckets: per-link utilisation and
-    // fetch throughput over the measured window, for `figures timeline`.
-    reg.enable_timeseries(SimDuration::from_millis(500).nanos());
-
-    // Seed: publish at cern, pre-replicate to the other two sources over
-    // the fast paths, then park the clock at exactly t0.
-    let fill: Vec<u8> = (0..spec.size).map(|i| (i % 251) as u8).collect();
-    grid.publish_file("cern", FETCH_LFN, Bytes::from(fill), "flat").expect("publish");
-    for src in ["fnal", "kek"] {
-        grid.replicate(src, FETCH_LFN).expect("replica seeding");
-    }
-    assert!(grid.now() < t0, "seeding must finish before the measured fetch");
-    grid.advance(t0.since(grid.now()));
-
-    // The measured fetch.
-    let before = reg.metrics_snapshot();
-    let report = grid.replicate(FETCH_DST, FETCH_LFN).expect("measured fetch");
-    let elapsed = report.total_time();
-    let agg_mbps = report.effective_mbps();
-
-    // Per-source attribution: transfer_bytes counters on the source→lyon
-    // edges that grew during the measured fetch (seeding traffic went to
-    // the other sources and is excluded by the dst label).
-    let before_bytes = |src: &str| {
-        before
-            .iter()
-            .filter(|(n, labels, _)| {
-                n == "transfer_bytes"
-                    && labels.contains(&format!("src={src}"))
-                    && labels.contains(&format!("dst={FETCH_DST}"))
-            })
-            .map(|(_, _, v)| match v {
-                MetricValue::Counter(c) => *c,
-                _ => 0,
-            })
-            .sum::<u64>()
-    };
-    let per_source_bytes: Vec<(String, u64)> = FETCH_SOURCES
-        .iter()
-        .map(|src| {
-            let frags = [format!("src={src}"), format!("dst={FETCH_DST}")];
-            let frags: Vec<&str> = frags.iter().map(String::as_str).collect();
-            let after = counter_sum(&reg, "transfer_bytes", &frags);
-            (src.to_string(), after.saturating_sub(before_bytes(src)))
-        })
-        .collect();
-
-    // Drive the run to convergence: let the crashed source restart and
-    // resync, then sweep the invariants.
-    if spec.crash_fastest {
-        grid.advance(SimDuration::from_secs(700));
-        grid.run_recovery();
-    }
-    let invariants = check_grid(&mut grid);
-
-    FetchOutcome {
-        spec: spec.clone(),
-        report,
-        elapsed,
-        agg_mbps,
-        per_source_bytes,
-        ranges_reassigned: counter_sum(&reg, "ranges_reassigned", &[]),
-        plan_rebuilds: counter_sum(&reg, "plan_rebuilds", &[]),
-        converged: invariants.is_clean(),
-        registry: reg,
-    }
+    crate::scenario::run_fetch_scenario(&crate::scenario::Scenario::fetch(spec))
+        .expect("builtin fetch scenario is always valid")
 }
 
 #[cfg(test)]

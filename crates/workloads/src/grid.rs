@@ -13,17 +13,8 @@
 //! wall-clock side (ops/sec) is measured by `gdmp-bench`'s `bench_grid`
 //! binary, not here.
 
-use bytes::Bytes;
-use gdmp::prelude::WanProfile;
-use gdmp::{BackoffRetry, BreakerConfig, GdmpError, Grid, LookupVia, SiteConfig};
-use gdmp_replica_catalog::FederationConfig;
 use gdmp_simnet::time::SimDuration;
-use gdmp_simnet::LinkSpec;
 use gdmp_telemetry::Registry;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-use crate::zipf::Zipf;
 
 /// Topology + traffic shape of one grid-scale soak.
 #[derive(Debug, Clone)]
@@ -118,26 +109,9 @@ fn tier2_name(region: usize, site: usize) -> String {
     format!("t2-r{region:02}-s{site:02}")
 }
 
-/// The Tier-0↔Tier-1 backbone: clean 155 Mb/s, 25 ms one-way.
-fn backbone() -> WanProfile {
-    WanProfile::clean(LinkSpec {
-        rate_bps: 155_000_000,
-        propagation: SimDuration::from_micros(25_000),
-        queue_capacity: 256,
-    })
-}
-
-/// A regional Tier-1↔Tier-2 path: clean 100 Mb/s, 5 ms one-way.
-fn regional() -> WanProfile {
-    WanProfile::clean(LinkSpec {
-        rate_bps: 100_000_000,
-        propagation: SimDuration::from_micros(5_000),
-        queue_capacity: 128,
-    })
-}
-
 /// Counters and artifacts of one soak run. Every field except `registry`
 /// is deterministic for a given spec.
+#[derive(Debug)]
 pub struct GridSoakOutcome {
     pub sites: usize,
     pub lookups: u64,
@@ -165,118 +139,15 @@ impl GridSoakOutcome {
 }
 
 /// Build the tiered grid, seed the Zipf population, run the traffic mix.
+/// A thin wrapper over the scenario DSL
+/// ([`crate::scenario::Scenario::grid_soak`]), so a committed
+/// `scenarios/` file replays exactly this run.
 pub fn run_grid_soak(spec: &GridSoakSpec) -> GridSoakOutcome {
-    let names = spec.site_names();
-    let sites = names.len();
-    let reg = Registry::with_recorder_capacity(16384);
-
-    let mut builder = Grid::builder("grid-soak")
-        .telemetry_sink(reg.clone())
-        .default_profile(WanProfile::cern_anl_production())
-        .recovery(Box::new(BackoffRetry::new(spec.seed)))
-        .breaker(BreakerConfig::default())
-        .federation(FederationConfig::default());
-    for (i, name) in names.iter().enumerate() {
-        builder = builder.site(SiteConfig::named(name, &format!("{name}.grid"), 700 + i as u64));
-    }
-    let mut grid = builder.trust_all().build();
-
-    // Tiered WAN fabric: backbone between the core and each region,
-    // regional links between a region and its own leaves; everything else
-    // (inter-region, leaf-to-foreign-region) keeps the congested default.
-    let t0 = tier0_name();
-    for r in 0..spec.tier1 {
-        let t1 = tier1_name(r);
-        grid.set_profile(&t0, &t1, backbone());
-        grid.set_profile(&t1, &t0, backbone());
-        for s in 0..spec.tier2_per_tier1 {
-            let t2 = tier2_name(r, s);
-            grid.set_profile(&t1, &t2, regional());
-            grid.set_profile(&t2, &t1, regional());
-        }
-    }
-
-    // Seed the population round-robin across all tiers, then let two
-    // soft-state rounds warm the RLI tree.
-    let total_files = sites * spec.files_per_site;
-    for f in 0..total_files {
-        let owner = &names[f % sites];
-        grid.publish_file(owner, &file_name(f), Bytes::from(vec![7u8; spec.file_size]), "flat")
-            .expect("seeding a healthy grid");
-    }
-    grid.advance(SimDuration::from_secs(65));
-
-    let mut out = GridSoakOutcome {
-        sites,
-        lookups: 0,
-        publishes: 0,
-        fetches: 0,
-        index_hits: 0,
-        fallbacks: 0,
-        scatters: 0,
-        confirms: 0,
-        false_positives: 0,
-        wrong_answers: 0,
-        final_clock_ns: 0,
-        trace: Vec::new(),
-        registry: reg.clone(),
-    };
-
-    let zipf = Zipf::new(total_files, spec.zipf_alpha);
-    let mut rng = StdRng::seed_from_u64(0x9A1D_50AC ^ spec.seed);
-    let mut published = total_files;
-
-    for _round in 0..spec.rounds {
-        grid.advance(spec.round_gap);
-        for _op in 0..spec.ops_per_round {
-            let requester = names[rng.gen_range(0..sites)].clone();
-            let roll: u32 = rng.gen_range(0..100);
-            if roll < 70 {
-                // Zipf lookup: hot files dominate, exactly like the
-                // web-caching access patterns the paper cites.
-                let lfn = file_name(zipf.sample(&mut rng));
-                let r = grid.lookup_replicas(&requester, &lfn).expect("healthy grid answers");
-                out.lookups += 1;
-                out.confirms += u64::from(r.confirms);
-                out.false_positives += u64::from(r.false_positives);
-                match r.via {
-                    LookupVia::Local | LookupVia::Rli => out.index_hits += 1,
-                    LookupVia::Fallback => out.fallbacks += 1,
-                    LookupVia::Scatter => out.scatters += 1,
-                    LookupVia::Central => {}
-                }
-            } else if roll < 90 {
-                // Publish a brand-new file at the chosen site.
-                let lfn = file_name(published);
-                published += 1;
-                grid.publish_file(&requester, &lfn, Bytes::from(vec![7u8; spec.file_size]), "flat")
-                    .expect("publish on a live site");
-                out.publishes += 1;
-            } else {
-                // Fetch (replicate) a hot file to the chosen site; pulling
-                // a replica it already holds is a no-op success.
-                let lfn = file_name(zipf.sample(&mut rng));
-                match grid.replicate(&requester, &lfn) {
-                    Ok(_) | Err(GdmpError::AlreadyReplicated { .. }) => out.fetches += 1,
-                    Err(e) => panic!("healthy grid fetch failed: {e}"),
-                }
-            }
-        }
-    }
-
-    out.final_clock_ns = grid.now().nanos();
-    if let Some(fed) = grid.federation() {
-        out.wrong_answers = fed.stats.wrong_answers;
-    }
-    out.trace = reg
-        .recent_events()
-        .iter()
-        .map(|e| format!("{} {} {:?}", e.t_ns, e.kind, e.detail))
-        .collect();
-    out
+    crate::scenario::run_grid_scenario(&crate::scenario::Scenario::grid_soak(spec))
+        .expect("builtin grid scenario is always valid")
 }
 
-fn file_name(f: usize) -> String {
+pub(crate) fn file_name(f: usize) -> String {
     format!("file{f:05}.dat")
 }
 

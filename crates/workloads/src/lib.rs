@@ -18,7 +18,11 @@
 //! * [`fanout`] — many independent CERN→site pushes in one network, the
 //!   scaling scenario for the sharded simnet engine;
 //! * [`observe`] — grid-level time-series sampling (tape staging backlog,
-//!   replica disk-hit rate) for the scenario drivers.
+//!   replica disk-hit rate) for the scenario drivers;
+//! * [`scenario`] — the declarative scenario DSL: a strict JSON schema
+//!   describing sites, storage, links, faults, and workload, compiled
+//!   into the exact grids the runners above build — same seed, same
+//!   bytes.
 
 pub mod cascade;
 pub mod catalog;
@@ -27,6 +31,7 @@ pub mod fetch;
 pub mod grid;
 pub mod observe;
 pub mod population;
+pub mod scenario;
 pub mod soak;
 pub mod transfer;
 pub mod zipf;
@@ -37,6 +42,7 @@ pub use fanout::{run_fanout, FanoutOutcome, FanoutSpec};
 pub use fetch::{run_fetch, striped_policy, FetchOutcome, FetchSpec};
 pub use grid::{run_grid_soak, GridSoakOutcome, GridSoakSpec};
 pub use population::{Placement, Population};
+pub use scenario::{run_scenario, Scenario, ScenarioError, ScenarioOutcome};
 pub use soak::{run_soak, ChaosMode, SoakOutcome, SoakSpec};
 pub use transfer::{FigureSweep, MB};
 pub use zipf::Zipf;

@@ -8,11 +8,7 @@
 //! failing run therefore prints its seed, and replaying that seed
 //! reproduces the failure byte for byte.
 
-use bytes::Bytes;
-use gdmp::chaos::ChaosPlan;
-use gdmp::invariants::{check_grid, InvariantReport};
-use gdmp::prelude::WanProfile;
-use gdmp::{BackoffRetry, BreakerConfig, FaultSchedule, Grid, SiteConfig};
+use gdmp::invariants::InvariantReport;
 use gdmp_simnet::time::SimDuration;
 use gdmp_telemetry::Registry;
 
@@ -24,7 +20,7 @@ pub enum ChaosMode {
     /// An empty schedule installed: must behave identically to
     /// [`ChaosMode::Off`] (the inertness contract).
     EmptySchedule,
-    /// A full [`ChaosPlan`] derived from this seed.
+    /// A full [`gdmp::ChaosPlan`] derived from this seed.
     Seeded(u64),
 }
 
@@ -99,124 +95,13 @@ impl SoakOutcome {
     }
 }
 
-fn site_name(i: usize) -> String {
-    format!("site{i}")
-}
-
-/// Run one soak. Deterministic: no wall clocks, no ambient randomness.
+/// Run one soak. Deterministic: no wall clocks, no ambient randomness. A
+/// thin wrapper over the scenario DSL
+/// ([`crate::scenario::Scenario::replication_soak`]), so a committed
+/// `scenarios/` file replays exactly this run.
 pub fn run_soak(spec: &SoakSpec) -> SoakOutcome {
-    let names: Vec<String> = (0..spec.sites).map(site_name).collect();
-    let reg = Registry::with_recorder_capacity(8192);
-    // Coarse sim-time series over the whole soak: staging backlog and
-    // disk-hit rate per round (the round gap is 30 s, so 30 s buckets).
-    reg.enable_timeseries(SimDuration::from_secs(30).nanos());
-    // Retry hygiene under test: backoff with deterministic jitter plus a
-    // per-source circuit breaker.
-    let jitter_seed = match spec.chaos {
-        ChaosMode::Seeded(s) => s,
-        _ => 0,
-    };
-    let mut builder = Grid::builder("soak")
-        .telemetry_sink(reg.clone())
-        .default_profile(WanProfile::cern_anl_production().with_workers(spec.workers))
-        .recovery(Box::new(BackoffRetry::new(jitter_seed)))
-        .breaker(BreakerConfig::default());
-    for (i, name) in names.iter().enumerate() {
-        builder = builder.site(SiteConfig::named(name, &format!("{name}.grid"), 100 + i as u64));
-    }
-    builder = builder.trust_all();
-    // Full mesh: everyone consumes everyone else's publications. Build-time
-    // subscriptions run before the fault schedule is installed, so the
-    // mesh is symmetric before any fault can fire.
-    for a in &names {
-        for b in &names {
-            if a != b {
-                builder = builder.subscription(a, b);
-            }
-        }
-    }
-    let mut schedule_debug = String::new();
-    builder = match spec.chaos {
-        ChaosMode::Off => builder,
-        ChaosMode::EmptySchedule => builder.fault_schedule(FaultSchedule::new()),
-        ChaosMode::Seeded(seed) => {
-            let schedule = ChaosPlan::new(seed, &names).schedule();
-            schedule_debug = format!("{schedule}");
-            builder.fault_schedule(schedule)
-        }
-    };
-    let mut grid = builder.build();
-    let horizon = grid.chaos_state().schedule().horizon();
-
-    let mut published = 0usize;
-    let mut replicated = 0usize;
-    for round in 0..spec.rounds {
-        for (i, name) in names.iter().enumerate() {
-            // Alternate publishers each round; a crashed GDMP server
-            // publishes nothing.
-            if (round + i) % 2 != 0 || grid.chaos_state().is_down(name) {
-                continue;
-            }
-            let lfn = format!("{name}_r{round}.dat");
-            let fill = ((i + round) % 251) as u8;
-            let data = Bytes::from(vec![fill; spec.file_size as usize]);
-            grid.publish_file(name, &lfn, data, "flat").expect("publish on a live site");
-            published += 1;
-        }
-        grid.advance(spec.round_gap);
-        for name in &names {
-            if grid.chaos_state().is_down(name) {
-                continue;
-            }
-            let reports = grid.replicate_pending(name).expect("only retryable failures deferred");
-            replicated += reports.len();
-        }
-        crate::observe::sample_grid_series(&grid, &reg);
-        grid.advance(spec.round_gap);
-    }
-
-    // Let every scheduled fault fire and heal.
-    let now = grid.now();
-    if horizon > now {
-        grid.advance(horizon - now + SimDuration::from_secs(1));
-    }
-
-    // Drain: replay journals, resync restarted sites, retry deferred
-    // replications until the grid is quiescent (or the budget runs out).
-    for _ in 0..spec.drain_rounds {
-        grid.run_recovery();
-        for name in &names {
-            let reports = grid.replicate_pending(name).expect("only retryable failures deferred");
-            replicated += reports.len();
-        }
-        grid.advance(SimDuration::from_secs(30));
-        crate::observe::sample_grid_series(&grid, &reg);
-        let quiescent = grid.chaos_state().pending_restarts() == 0
-            && names.iter().all(|n| {
-                let s = grid.site(n).expect("site exists");
-                s.import_queue.is_empty() && s.journal.is_empty()
-            });
-        if quiescent {
-            break;
-        }
-    }
-
-    let report = check_grid(&mut grid);
-    let trace = reg
-        .recent_events()
-        .iter()
-        .map(|e| format!("{} {} {:?}", e.t_ns, e.kind, e.detail))
-        .collect();
-    SoakOutcome {
-        spec_chaos: spec.chaos,
-        published,
-        replicated,
-        final_clock_ns: grid.now().nanos(),
-        schedule_debug,
-        trace,
-        report,
-        registry: reg,
-    }
+    crate::scenario::run_soak_scenario(&crate::scenario::Scenario::replication_soak(spec))
+        .expect("builtin soak scenario is always valid")
 }
 
 #[cfg(test)]

@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("cern pool after 6 publishes ({} B capacity):", cern.storage.pool.capacity());
     println!("  on disk: {:?}", cern.storage.pool.file_names());
     println!("  evictions so far: {}", cern.storage.pool.stats.evictions);
-    println!("  on tape: {} files", cern.storage.tape.len());
+    println!("  on tape: {} files", cern.storage.archive.len());
 
     // Replicating an evicted file triggers a stage request first; the
     // GDMP server "informs the remote site when the file is present
@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "cern storage stats: {} disk hits, {} stages, {} tape mounts",
         cern.storage.stats.disk_hits,
         cern.storage.stats.stage_requests,
-        cern.storage.tape.stats.mounts
+        cern.storage.archive.stats().mounts
     );
     println!("grid clock: {}", grid.now());
     Ok(())
